@@ -1,0 +1,97 @@
+// Ablation bench: gutter tree geometry (DESIGN.md section 5 /
+// paper Section 5.1). Sweeps internal-buffer size and fan-out and
+// reports ingestion rate plus the tree's own I/O volume — the knobs the
+// paper fixes at 8 MB / fan-out 512 for SATA SSDs.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "buffer/gutter_tree.h"
+#include "buffer/work_queue.h"
+#include "util/timer.h"
+
+namespace gz {
+namespace {
+
+struct TreeRunResult {
+  double updates_per_sec = 0;
+  double write_amp = 0;  // Tree bytes written per update byte.
+};
+
+TreeRunResult RunTree(const bench::Workload& w, size_t buffer_bytes,
+                      size_t fanout, size_t leaf_updates) {
+  WorkQueue queue(1 << 20);  // Effectively unbounded: isolate tree cost.
+  GutterTreeParams p;
+  p.num_nodes = w.num_nodes;
+  p.file_path = bench::TempDir() + "/gz_ablation_gt.bin";
+  p.buffer_bytes = buffer_bytes;
+  p.fanout = fanout;
+  p.leaf_gutter_updates = leaf_updates;
+  GutterTree tree(p, &queue);
+  GZ_CHECK_OK(tree.Init());
+
+  // Drain the queue concurrently so Push never blocks for long.
+  std::atomic<bool> done{false};
+  std::thread drainer([&queue, &done] {
+    NodeBatch batch;
+    while (!done.load(std::memory_order_acquire)) {
+      while (queue.ApproxSize() > 0 && queue.Pop(&batch)) queue.MarkDone();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  WallTimer timer;
+  uint64_t half_updates = 0;
+  for (const GraphUpdate& u : w.stream.updates) {
+    const uint64_t idx = EdgeToIndex(u.edge, w.num_nodes);
+    tree.Insert(u.edge.u, idx);
+    tree.Insert(u.edge.v, idx);
+    half_updates += 2;
+  }
+  tree.ForceFlush();
+  const double seconds = timer.Seconds();
+  done.store(true, std::memory_order_release);
+  queue.Close();
+  drainer.join();
+
+  TreeRunResult result;
+  result.updates_per_sec =
+      static_cast<double>(w.stream.updates.size()) / seconds;
+  result.write_amp = static_cast<double>(tree.bytes_written()) /
+                     (static_cast<double>(half_updates) * 12.0);
+  std::remove(p.file_path.c_str());
+  return result;
+}
+
+}  // namespace
+}  // namespace gz
+
+int main() {
+  using namespace gz;
+  bench::PrintHeader("Ablation", "gutter tree geometry");
+  const int scale = bench::GetEnvInt("GZ_BENCH_KRON_MAX", 10) - 1;
+  const bench::Workload w = bench::MakeKronWorkload(scale);
+
+  std::printf("--- internal buffer size (fanout 64, leaf 512 updates) ---\n");
+  std::printf("%-12s %14s %12s\n", "buffer", "updates/s", "write-amp");
+  for (size_t buffer_kb : {16UL, 64UL, 256UL, 1024UL, 4096UL}) {
+    const TreeRunResult r = RunTree(w, buffer_kb << 10, 64, 512);
+    std::printf("%8zu KiB %14.0f %11.2fx\n", buffer_kb, r.updates_per_sec,
+                r.write_amp);
+  }
+
+  std::printf("\n--- fan-out (buffer 1 MiB, leaf 512 updates) ---\n");
+  std::printf("%-12s %14s %12s\n", "fanout", "updates/s", "write-amp");
+  for (size_t fanout : {4UL, 16UL, 64UL, 256UL}) {
+    const TreeRunResult r = RunTree(w, 1 << 20, fanout, 512);
+    std::printf("%-12zu %14.0f %11.2fx\n", fanout, r.updates_per_sec,
+                r.write_amp);
+  }
+
+  std::printf(
+      "\nWrite amplification falls as fan-out grows (fewer tree levels,\n"
+      "each record written once per level); the paper's 8 MB x 512\n"
+      "choice drives amplification toward 1 write per record at SSD-\n"
+      "friendly 16 KB granularity.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension bench (paper Section 8): sharded ingestion. Sketch
+// linearity lets shards ingest disjoint stream partitions with zero
+// coordination; a query XORs shard snapshots node-wise. This bench
+// measures the coordination-free partitioning overhead (routing + per-
+// shard pipelines + merge-at-query) — on a multicore/multimachine
+// deployment each shard would run on its own cores, multiplying
+// throughput.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "distributed/sharded_graph_zeppelin.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace gz;
+  bench::PrintHeader("Extension (Sec. 8)", "sharded ingestion");
+  std::printf("%-8s %8s %14s %12s %14s\n", "Dataset", "Shards", "Updates/s",
+              "Query (s)", "Components");
+
+  const int scale = bench::GetEnvInt("GZ_BENCH_KRON_MAX", 10) - 1;
+  const bench::Workload w = bench::MakeKronWorkload(scale);
+
+  size_t expect_components = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    GraphZeppelinConfig base = bench::DefaultGzConfig();
+    base.num_nodes = w.num_nodes;
+    base.num_workers = 1;  // One worker per shard: shards ARE the parallelism.
+    ShardedGraphZeppelin sharded(base, shards);
+    GZ_CHECK_OK(sharded.Init());
+
+    WallTimer timer;
+    for (const GraphUpdate& u : w.stream.updates) sharded.Update(u);
+    sharded.Flush();  // Ingestion includes applying all updates.
+    const double total = timer.Seconds();
+    WallTimer query_timer;
+    const ConnectivityResult r = sharded.ListSpanningForest();
+    const double query_seconds = query_timer.Seconds();
+    GZ_CHECK(!r.failed);
+    if (shards == 1) {
+      expect_components = r.num_components;
+    } else {
+      GZ_CHECK(r.num_components == expect_components);
+    }
+    std::printf("%-8s %8d %14.0f %12.3f %14zu\n", w.name.c_str(), shards,
+                static_cast<double>(w.stream.updates.size()) / total,
+                query_seconds, r.num_components);
+  }
+  std::printf(
+      "\nAll shard counts produced identical component structure\n"
+      "(GZ_CHECK-verified): linearity makes sharding lossless. On a\n"
+      "single core the per-shard pipelines add overhead; with real\n"
+      "cores/machines per shard, rates multiply (paper section 8).\n");
+  return 0;
+}

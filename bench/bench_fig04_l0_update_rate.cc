@@ -1,0 +1,80 @@
+// Figure 4: CubeSketch vs standard l0 sketching ingestion rate across
+// vector lengths 10^3 .. 10^12, plus the Section 3 back-of-the-envelope
+// StreamingCC feasibility row.
+//
+// Paper shape to reproduce: both rates decline slowly with length; the
+// standard sampler falls off a cliff once 128-bit arithmetic kicks in,
+// while CubeSketch stays within one order of magnitude of its small-
+// vector rate; the speedup factor grows with length.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sketch/cube_sketch.h"
+#include "sketch/l0_standard.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace gz {
+namespace {
+
+double MeasureCubeSketch(uint64_t vector_len, int target_updates) {
+  CubeSketchParams p;
+  p.vector_len = vector_len;
+  p.seed = 7;
+  CubeSketch sketch(p);
+  SplitMix64 rng(13);
+  std::vector<uint64_t> indices(target_updates);
+  for (auto& idx : indices) idx = rng.NextBelow(vector_len);
+  WallTimer timer;
+  sketch.UpdateBatch(indices.data(), indices.size());
+  return static_cast<double>(target_updates) / timer.Seconds();
+}
+
+double MeasureStandardL0(uint64_t vector_len, int target_updates) {
+  L0SketchParams p;
+  p.vector_len = vector_len;
+  p.seed = 7;
+  StandardL0Sketch sketch(p);
+  SplitMix64 rng(13);
+  std::vector<uint64_t> indices(target_updates);
+  for (auto& idx : indices) idx = rng.NextBelow(vector_len);
+  WallTimer timer;
+  for (uint64_t idx : indices) sketch.Update(idx, 1);
+  return static_cast<double>(target_updates) / timer.Seconds();
+}
+
+}  // namespace
+}  // namespace gz
+
+int main() {
+  using namespace gz;
+  bench::PrintHeader("Figure 4",
+                     "l0-sampler ingestion rate (updates/second)");
+  std::printf("%-14s %15s %15s %10s\n", "Vector Length", "Standard l0",
+              "CubeSketch", "Speedup");
+
+  const int cube_updates = bench::GetEnvInt("GZ_BENCH_L0_UPDATES", 400000);
+  double standard_rate_at_1e12 = 0;
+  for (int exp10 = 3; exp10 <= 12; ++exp10) {
+    uint64_t len = 1;
+    for (int i = 0; i < exp10; ++i) len *= 10;
+    // The standard sampler is orders of magnitude slower; keep its
+    // sample count proportional so the bench stays quick.
+    const int std_updates = std::max(2000, cube_updates / 100);
+    const double cube = MeasureCubeSketch(len, cube_updates);
+    const double standard = MeasureStandardL0(len, std_updates);
+    if (exp10 == 12) standard_rate_at_1e12 = standard;
+    std::printf("10^%-11d %15.0f %15.0f %9.1fx\n", exp10, standard, cube,
+                cube / standard);
+  }
+
+  std::printf(
+      "\nSection 3 feasibility check: StreamingCC applies each update to\n"
+      "2 node sketches x log(V) subsketches. For V = 10^6 (vector length\n"
+      "~5*10^11), implied StreamingCC rate ~= %.0f / 40 = %.0f edge\n"
+      "updates/second, matching the paper's infeasibility conclusion.\n",
+      standard_rate_at_1e12, standard_rate_at_1e12 / 40.0);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 5: sketch sizes of the standard l0 sampler vs CubeSketch for
+// vector lengths 10^3 .. 10^12.
+//
+// Paper shape to reproduce: standard l0 is ~2x larger in the narrow
+// (64-bit) regime and ~4x larger once its buckets widen to 128-bit
+// integers, while both grow logarithmically with vector length.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "sketch/cube_sketch.h"
+#include "sketch/l0_standard.h"
+#include "util/mem_usage.h"
+
+int main() {
+  using namespace gz;
+  bench::PrintHeader("Figure 5", "l0 sketch sizes");
+  std::printf("%-14s %14s %14s %16s\n", "Vector Length", "Standard l0",
+              "CubeSketch", "Size Reduction");
+
+  for (int exp10 = 3; exp10 <= 12; ++exp10) {
+    uint64_t len = 1;
+    for (int i = 0; i < exp10; ++i) len *= 10;
+
+    CubeSketchParams cp;
+    cp.vector_len = len;
+    cp.seed = 1;
+    const CubeSketch cube(cp);
+
+    L0SketchParams lp;
+    lp.vector_len = len;
+    lp.seed = 1;
+    const StandardL0Sketch standard(lp);
+
+    char buf_std[32], buf_cube[32];
+    std::printf("10^%-11d %14s %14s %15.1fx%s\n", exp10,
+                FormatBytes(standard.ByteSize(), buf_std, sizeof(buf_std)),
+                FormatBytes(cube.ByteSize(), buf_cube, sizeof(buf_cube)),
+                static_cast<double>(standard.ByteSize()) /
+                    static_cast<double>(cube.ByteSize()),
+                standard.wide() ? "  (128-bit buckets)" : "");
+  }
+  return 0;
+}

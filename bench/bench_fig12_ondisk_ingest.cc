@@ -1,0 +1,72 @@
+// Figure 12a/b: stream ingestion with data structures on disk.
+//
+// Paper shape to reproduce: GraphZeppelin keeps a high ingestion rate
+// with its sketches on SSD — within ~30% of its in-RAM rate — via the
+// gutter tree / leaf gutters, while explicit systems collapse once they
+// spill out of RAM. The explicit baselines here are in-RAM (we cannot
+// cgroup-limit them in-process), so their rates are *upper bounds*;
+// GraphZeppelin's on-disk rates are real read-XOR-write disk cycles.
+#include <cstdio>
+
+#include "baseline/disk_adjacency_graph.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace gz;
+  bench::PrintHeader("Figure 12a/b",
+                     "ingestion rate, sketches on disk (updates/s)");
+  std::printf("%-8s %12s %12s %13s %13s %12s\n", "Dataset",
+              "explicit-dsk", "Terrace-lk*", "GutterTree", "GZ LeafOnly",
+              "disk/RAM");
+
+  const int kron_min = bench::GetEnvInt("GZ_BENCH_KRON_MIN", 8);
+  const int kron_max = bench::GetEnvInt("GZ_BENCH_KRON_MAX", 10);
+  for (int scale = kron_min; scale <= kron_max; ++scale) {
+    const bench::Workload w = bench::MakeKronWorkload(scale);
+
+    // Honest out-of-core explicit baseline: adjacency lists on disk
+    // with a small paged cache (the "Aspen/Terrace swapping" regime).
+    DiskAdjacencyParams dp;
+    dp.num_nodes = w.num_nodes;
+    dp.file_path = bench::TempDir() + "/gz_bench_diskadj.bin";
+    dp.cache_vertices = std::max<size_t>(8, w.num_nodes / 64);
+    DiskAdjacencyGraph explicit_disk(dp);
+    GZ_CHECK_OK(explicit_disk.Init());
+    const bench::IngestResult aspen =
+        bench::RunExplicitBaseline(w, &explicit_disk);
+    std::remove(dp.file_path.c_str());
+
+    HashAdjacencyGraph terrace_like(w.num_nodes);
+    const bench::IngestResult terrace =
+        bench::RunExplicitBaseline(w, &terrace_like);
+
+    // GraphZeppelin with on-disk sketches, gutter-tree buffering.
+    GraphZeppelinConfig tree_config = bench::DefaultGzConfig();
+    tree_config.buffering = GraphZeppelinConfig::Buffering::kGutterTree;
+    tree_config.storage = GraphZeppelinConfig::Storage::kDisk;
+    const bench::IngestResult tree = bench::RunGraphZeppelin(w, tree_config);
+
+    // GraphZeppelin with on-disk sketches, leaf-only gutters.
+    GraphZeppelinConfig leaf_config = bench::DefaultGzConfig();
+    leaf_config.storage = GraphZeppelinConfig::Storage::kDisk;
+    const bench::IngestResult leaf = bench::RunGraphZeppelin(w, leaf_config);
+
+    // In-RAM reference for the 29%-slowdown comparison.
+    GraphZeppelinConfig ram_config = bench::DefaultGzConfig();
+    const bench::IngestResult ram = bench::RunGraphZeppelin(w, ram_config);
+
+    std::printf("%-8s %12.0f %12.0f %13.0f %13.0f %11.0f%%\n",
+                w.name.c_str(), aspen.updates_per_sec,
+                terrace.updates_per_sec, tree.updates_per_sec,
+                leaf.updates_per_sec,
+                100.0 * leaf.updates_per_sec / ram.updates_per_sec);
+  }
+  std::printf(
+      "\nexplicit-dsk: adjacency lists on disk behind a small paged\n"
+      "cache (honest out-of-core explicit baseline). * Terrace-like\n"
+      "runs fully in RAM: an upper bound on its out-of-core rate.\n"
+      "Shape check vs paper: the explicit representation collapses once\n"
+      "per-vertex state pages to disk, while GraphZeppelin stays within\n"
+      "a modest factor of its in-RAM rate (paper: 29%% on kron18).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Section 6.3: reliability trials. Streams are ingested in parallel by
+// GraphZeppelin and an exact bit-vector adjacency matrix; at periodic
+// checkpoints GraphZeppelin's answer is compared against Kruskal's on
+// the matrix. The paper runs 1000 checks per dataset and observes zero
+// failures; default here is smaller (GZ_BENCH_TRIALS to raise it).
+#include <cstdio>
+
+#include "baseline/matrix_checker.h"
+#include "bench/bench_common.h"
+
+namespace gz {
+namespace {
+
+// Runs one stream with `checks` interleaved correctness checks.
+// Returns the number of failed checks.
+int RunTrial(const bench::Workload& w, uint64_t seed, int checks) {
+  GraphZeppelinConfig config = bench::DefaultGzConfig(seed);
+  config.num_nodes = w.num_nodes;
+  GraphZeppelin gz(config);
+  GZ_CHECK_OK(gz.Init());
+  AdjacencyMatrixChecker checker(w.num_nodes);
+
+  int failures = 0;
+  const size_t total = w.stream.updates.size();
+  size_t consumed = 0;
+  size_t next_check = total / checks;
+  for (const GraphUpdate& u : w.stream.updates) {
+    gz.Update(u);
+    checker.Update(u);
+    ++consumed;
+    if (consumed >= next_check || consumed == total) {
+      const ConnectivityResult got = gz.ListSpanningForest();
+      const ConnectivityResult expect = checker.ConnectedComponents();
+      bool ok = !got.failed && got.num_components == expect.num_components;
+      if (ok) {
+        // Partition equality via label normalization.
+        for (uint64_t i = 0; i < w.num_nodes && ok; ++i) {
+          for (uint64_t j = i + 1; j < w.num_nodes; ++j) {
+            if ((got.component_of[i] == got.component_of[j]) !=
+                (expect.component_of[i] == expect.component_of[j])) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!ok) ++failures;
+      next_check += total / checks;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace gz
+
+int main() {
+  using namespace gz;
+  bench::PrintHeader("Section 6.3", "reliability trials");
+  const int trials = bench::GetEnvInt("GZ_BENCH_TRIALS", 40);
+  const int checks_per_trial = 5;
+
+  int total_checks = 0;
+  int total_failures = 0;
+
+  // Dense Kronecker streams with fresh seeds per trial.
+  for (int t = 0; t < trials; ++t) {
+    const bench::Workload w =
+        bench::MakeKronWorkload(/*scale=*/7, /*seed=*/t + 1);
+    total_failures += RunTrial(w, 1000 + t, checks_per_trial);
+    total_checks += checks_per_trial;
+  }
+  std::printf("kron streams:        %3d trials x %d checks, %d failures\n",
+              trials, checks_per_trial, total_failures);
+
+  // Sparse real-world stand-ins (the paper also checks sparse inputs).
+  int rw_checks = 0, rw_failures = 0;
+  for (const bench::Workload& w : bench::MakeRealWorldWorkloads(64)) {
+    rw_failures += RunTrial(w, 77, checks_per_trial);
+    rw_checks += checks_per_trial;
+  }
+  std::printf("real-world stand-ins: %2d checks, %d failures\n", rw_checks,
+              rw_failures);
+
+  std::printf(
+      "\nTotal: %d correctness checks, %d failures (paper: 5000 checks,\n"
+      "0 failures). Set GZ_BENCH_TRIALS=200 for a full-scale run.\n",
+      total_checks + rw_checks, total_failures + rw_failures);
+  return (total_failures + rw_failures) == 0 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a GraphZeppelin instance, stream edge insertions
+// and deletions, and query the connected components.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/graph_zeppelin.h"
+
+int main() {
+  using namespace gz;
+
+  // A graph on 16 vertices. All sketch/buffering defaults apply: 7
+  // sketch columns (failure probability ~1/100 per sketch), leaf-only
+  // gutters, in-RAM sketches, 2 worker threads.
+  GraphZeppelinConfig config;
+  config.num_nodes = 16;
+  config.seed = 2022;
+
+  GraphZeppelin gz(config);
+  const Status init = gz.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", init.ToString().c_str());
+    return 1;
+  }
+
+  // Stream: a triangle {0,1,2}, a path 3-4-5, and an edge 6-7 that is
+  // later deleted. Inserts and deletes may be arbitrarily interleaved.
+  gz.Update({Edge(0, 1), UpdateType::kInsert});
+  gz.Update({Edge(1, 2), UpdateType::kInsert});
+  gz.Update({Edge(6, 7), UpdateType::kInsert});
+  gz.Update({Edge(0, 2), UpdateType::kInsert});
+  gz.Update({Edge(3, 4), UpdateType::kInsert});
+  gz.Update({Edge(4, 5), UpdateType::kInsert});
+  gz.Update({Edge(6, 7), UpdateType::kDelete});
+
+  // Query: flushes buffers and runs Boruvka over the sketches.
+  const ConnectivityResult result = gz.ListSpanningForest();
+  if (result.failed) {
+    std::fprintf(stderr, "sketch query failed (probability ~1/V^c)\n");
+    return 1;
+  }
+
+  std::printf("ingested %llu updates\n",
+              static_cast<unsigned long long>(gz.num_updates_ingested()));
+  std::printf("connected components: %zu\n", result.num_components);
+  std::printf("spanning forest edges:");
+  for (const Edge& e : result.spanning_forest) {
+    std::printf(" (%u,%u)", e.u, e.v);
+  }
+  std::printf("\n");
+
+  const auto components = ComponentsFromLabels(result.component_of);
+  for (const auto& members : components) {
+    if (members.size() < 2) continue;  // Skip isolated vertices.
+    std::printf("component:");
+    for (NodeId v : members) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Social-network community tracking (paper introduction): users add
+// and remove friendships over time; connected components track the
+// evolving community structure. GraphZeppelin supports queries at any
+// point in the stream, so we watch two communities merge through a
+// "bridge" friendship and split again when it dissolves.
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "core/graph_zeppelin.h"
+#include "stream/erdos_renyi_generator.h"
+#include "util/random.h"
+
+namespace {
+
+void Report(const char* phase, const gz::ConnectivityResult& r,
+            gz::NodeId alice, gz::NodeId bob) {
+  std::printf("%-34s components=%3zu  alice~bob=%s\n", phase,
+              r.num_components,
+              r.component_of[alice] == r.component_of[bob] ? "yes" : "no");
+}
+
+}  // namespace
+
+int main() {
+  using namespace gz;
+
+  // Two communities of 100 users each, plus 56 not-yet-active accounts.
+  constexpr uint64_t kUsers = 256;
+  constexpr NodeId kAlice = 5;    // Community A member.
+  constexpr NodeId kBob = 150;    // Community B member.
+
+  GraphZeppelinConfig config;
+  config.num_nodes = kUsers;
+  config.seed = 4;
+  GraphZeppelin gz(config);
+  if (!gz.Init().ok()) return 1;
+
+  // Build community A over users [0, 100) and B over [100, 200): a
+  // connecting chain plus random extra friendships for density.
+  SplitMix64 rng(11);
+  std::set<std::pair<NodeId, NodeId>> friendships;
+  auto add_community = [&](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u + 1 < hi; ++u) {
+      gz.Update({Edge(u, u + 1), UpdateType::kInsert});
+      friendships.insert({u, u + 1});
+    }
+    for (NodeId k = 0; k < 2 * (hi - lo); ++k) {
+      const NodeId a = lo + static_cast<NodeId>(rng.NextBelow(hi - lo));
+      const NodeId b = lo + static_cast<NodeId>(rng.NextBelow(hi - lo));
+      if (a == b) continue;
+      const Edge e(a, b);
+      if (!friendships.insert({e.u, e.v}).second) continue;  // Already friends.
+      gz.Update({e, UpdateType::kInsert});
+    }
+  };
+  add_community(0, 100);
+  add_community(100, 200);
+
+  Report("initial communities:", gz.ListSpanningForest(), kAlice, kBob);
+
+  // A bridge friendship forms between the communities.
+  gz.Update({Edge(kAlice, kBob), UpdateType::kInsert});
+  Report("after alice befriends bob:", gz.ListSpanningForest(), kAlice,
+         kBob);
+
+  // New users join community A.
+  for (NodeId u = 200; u < 230; ++u) {
+    gz.Update({Edge(static_cast<NodeId>(u % 100), u), UpdateType::kInsert});
+  }
+  Report("after 30 new users join:", gz.ListSpanningForest(), kAlice, kBob);
+
+  // The bridge friendship dissolves: communities split again.
+  gz.Update({Edge(kAlice, kBob), UpdateType::kDelete});
+  Report("after the bridge dissolves:", gz.ListSpanningForest(), kAlice,
+         kBob);
+
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Minimum-spanning-forest weight on weighted dynamic graph streams —
+// another application the paper lists for CubeSketch (Section 3.1,
+// "minimum spanning trees"), following the classic
+// component-counting identity used by AGM:
+//
+//   For integer weights in {1..W} and level graphs
+//   G_i = (V, {e : w(e) <= i}),
+//     MSF weight = sum_{i=0}^{W-1} ( cc(G_i) - cc(G) ),
+//   with G_0 the empty graph (cc = V).
+//
+// Each level graph is maintained as its own GraphZeppelin sketch, so
+// the whole structure supports insertions and deletions of weighted
+// edges in O(W · V log^3 V) space — exact for small integer weight
+// ranges, and usable with geometric bucketing for a (1+eps)
+// approximation on real weights.
+#ifndef GZ_ALGOS_MSF_WEIGHT_H_
+#define GZ_ALGOS_MSF_WEIGHT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/graph_zeppelin.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct MsfWeightResult {
+  bool failed = false;      // Any level query failed.
+  uint64_t weight = 0;      // MSF weight (0 when failed).
+  size_t num_components = 0;  // cc(G), from the top level.
+};
+
+class MsfWeightSketch {
+ public:
+  // `config` describes the graph (num_nodes etc.); `max_weight` = W
+  // bounds edge weights (inclusive). W level sketches are allocated.
+  MsfWeightSketch(const GraphZeppelinConfig& config, uint32_t max_weight);
+
+  Status Init();
+
+  // Inserts or deletes edge `e` with weight `w` in [1, max_weight].
+  // A deletion must use the same weight as the matching insertion.
+  void Update(const Edge& e, uint32_t weight, UpdateType type);
+
+  MsfWeightResult Query();
+
+  uint32_t max_weight() const { return max_weight_; }
+
+ private:
+  uint64_t num_nodes_;
+  uint32_t max_weight_;
+  // levels_[i] sketches G_{i+1} (edges of weight <= i+1); the last one
+  // is the full graph.
+  std::vector<std::unique_ptr<GraphZeppelin>> levels_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_ALGOS_MSF_WEIGHT_H_

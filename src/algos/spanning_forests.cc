@@ -1,0 +1,55 @@
+#include "algos/spanning_forests.h"
+
+#include "core/connectivity.h"
+#include "util/check.h"
+
+namespace gz {
+
+EdgeList ForestDecomposition::CertificateEdges() const {
+  EdgeList all;
+  for (const EdgeList& forest : forests) {
+    all.insert(all.end(), forest.begin(), forest.end());
+  }
+  return all;
+}
+
+int RoundsForForests(uint64_t num_nodes, int k) {
+  GZ_CHECK(k >= 1);
+  return k * NodeSketch::DefaultRounds(num_nodes);
+}
+
+ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* snapshot,
+                                           int k) {
+  GZ_CHECK(snapshot != nullptr && !snapshot->empty());
+  GZ_CHECK(k >= 1);
+  std::vector<NodeSketch>& pristine = *snapshot;
+  const uint64_t num_nodes = pristine[0].params().num_nodes;
+  const int total_rounds = pristine[0].rounds();
+  const int rounds_per_phase = total_rounds / k;
+  GZ_CHECK_MSG(rounds_per_phase >= 1,
+               "snapshot has too few rounds for the requested k");
+
+  ForestDecomposition result;
+  for (int phase = 0; phase < k; ++phase) {
+    // Boruvka consumes the working copy; the pristine snapshot stays a
+    // faithful sketch of the remaining graph.
+    std::vector<NodeSketch> working = pristine;
+    const ConnectivityResult cc = BoruvkaConnectivity(
+        &working, phase * rounds_per_phase, rounds_per_phase);
+    if (cc.failed) {
+      result.failed = true;
+      break;
+    }
+    if (cc.spanning_forest.empty()) break;  // No edges left to peel.
+    result.forests.push_back(cc.spanning_forest);
+    // Peel: toggle the forest's edges out of the remaining graph.
+    for (const Edge& e : cc.spanning_forest) {
+      const uint64_t idx = EdgeToIndex(e, num_nodes);
+      pristine[e.u].Update(idx);
+      pristine[e.v].Update(idx);
+    }
+  }
+  return result;
+}
+
+}  // namespace gz

@@ -1,0 +1,48 @@
+// Edge-disjoint spanning-forest decomposition over linear sketches —
+// the Ahn-Guha-McGregor peeling construction the paper points to for
+// problems beyond connectivity (Section 3.1: edge connectivity,
+// k-connectivity certificates).
+//
+// Phase i runs Boruvka over a dedicated window of sketch rounds to
+// extract a spanning forest F_i of G \ (F_1 ∪ ... ∪ F_{i-1}), then
+// toggles F_i's edges out of the pristine sketches (linearity makes
+// the deletion exact, not approximate). The union F_1 ∪ ... ∪ F_k is a
+// k-edge-connectivity certificate of G: it preserves every cut of size
+// <= k, so e.g. the bridges of G are exactly the bridges of the k=2
+// certificate.
+#ifndef GZ_ALGOS_SPANNING_FORESTS_H_
+#define GZ_ALGOS_SPANNING_FORESTS_H_
+
+#include <vector>
+
+#include "sketch/node_sketch.h"
+#include "stream/stream_types.h"
+
+namespace gz {
+
+struct ForestDecomposition {
+  // forests[i] is the i-th edge-disjoint spanning forest; later forests
+  // may be empty once all edges are consumed.
+  std::vector<EdgeList> forests;
+  // True if any phase's Boruvka ran out of sketch rounds (probability
+  // polynomially small when the snapshot has >= k * ceil(log_{3/2} V)
+  // rounds).
+  bool failed = false;
+
+  // Union of all forests: the k-edge-connectivity certificate.
+  EdgeList CertificateEdges() const;
+};
+
+// Number of sketch rounds a snapshot needs for a k-forest
+// decomposition of a graph on `num_nodes` vertices.
+int RoundsForForests(uint64_t num_nodes, int k);
+
+// Extracts up to `k` edge-disjoint spanning forests from the snapshot
+// (consumed destructively). The snapshot must hold one sketch per
+// vertex with at least RoundsForForests(V, k) rounds.
+ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* snapshot,
+                                           int k);
+
+}  // namespace gz
+
+#endif  // GZ_ALGOS_SPANNING_FORESTS_H_

@@ -1,0 +1,133 @@
+#include "baseline/csr_batch_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace gz {
+
+CsrBatchGraph::CsrBatchGraph(uint64_t num_nodes, size_t batch_capacity)
+    : num_nodes_(num_nodes),
+      batch_capacity_(batch_capacity),
+      adjacency_(num_nodes) {
+  GZ_CHECK(num_nodes >= 2);
+  GZ_CHECK(batch_capacity >= 1);
+  pending_.reserve(batch_capacity);
+}
+
+void CsrBatchGraph::Update(const GraphUpdate& update) {
+  const bool is_insert = update.type == UpdateType::kInsert;
+  if (!pending_.empty() && is_insert != pending_is_insert_) Flush();
+  pending_is_insert_ = is_insert;
+  pending_.push_back(update.edge);
+  if (pending_.size() >= batch_capacity_) Flush();
+}
+
+void CsrBatchGraph::Flush() {
+  if (pending_.empty()) return;
+  ApplyBatch(pending_, pending_is_insert_);
+  pending_.clear();
+}
+
+void CsrBatchGraph::ApplyBatch(const std::vector<Edge>& edges,
+                               bool is_insert) {
+  // Build the directed update list sorted by (vertex, neighbor), then
+  // rewrite each touched vertex's sorted array with one merge pass.
+  std::vector<std::pair<NodeId, NodeId>> directed;
+  directed.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    directed.emplace_back(e.u, e.v);
+    directed.emplace_back(e.v, e.u);
+  }
+  std::sort(directed.begin(), directed.end());
+
+  size_t i = 0;
+  while (i < directed.size()) {
+    const NodeId vertex = directed[i].first;
+    size_t j = i;
+    while (j < directed.size() && directed[j].first == vertex) ++j;
+
+    const std::vector<NodeId>& old_list = adjacency_[vertex];
+    std::vector<NodeId> merged;
+    if (is_insert) {
+      merged.reserve(old_list.size() + (j - i));
+      size_t a = 0;
+      for (size_t k = i; k < j; ++k) {
+        const NodeId nb = directed[k].second;
+        while (a < old_list.size() && old_list[a] < nb) {
+          merged.push_back(old_list[a++]);
+        }
+        GZ_CHECK_MSG(a >= old_list.size() || old_list[a] != nb,
+                     "insert of an edge already present");
+        merged.push_back(nb);
+      }
+      while (a < old_list.size()) merged.push_back(old_list[a++]);
+    } else {
+      merged.reserve(old_list.size());
+      size_t a = 0;
+      for (size_t k = i; k < j; ++k) {
+        const NodeId nb = directed[k].second;
+        while (a < old_list.size() && old_list[a] < nb) {
+          merged.push_back(old_list[a++]);
+        }
+        GZ_CHECK_MSG(a < old_list.size() && old_list[a] == nb,
+                     "delete of an absent edge");
+        ++a;  // Skip the deleted neighbor.
+      }
+      while (a < old_list.size()) merged.push_back(old_list[a++]);
+    }
+    adjacency_[vertex] = std::move(merged);
+    adjacency_[vertex].shrink_to_fit();
+    i = j;
+  }
+  if (is_insert) {
+    num_edges_ += edges.size();
+  } else {
+    num_edges_ -= edges.size();
+  }
+}
+
+bool CsrBatchGraph::HasEdge(const Edge& e) const {
+  const std::vector<NodeId>& list = adjacency_[e.u];
+  return std::binary_search(list.begin(), list.end(), e.v);
+}
+
+ConnectivityResult CsrBatchGraph::ConnectedComponents() {
+  Flush();
+  ConnectivityResult result;
+  result.component_of.assign(num_nodes_, 0);
+  std::vector<bool> visited(num_nodes_, false);
+  std::deque<NodeId> frontier;
+  for (NodeId start = 0; start < num_nodes_; ++start) {
+    if (visited[start]) continue;
+    ++result.num_components;
+    visited[start] = true;
+    result.component_of[start] = start;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const NodeId next : adjacency_[cur]) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        result.component_of[next] = start;
+        result.spanning_forest.push_back(Edge(cur, next));
+        frontier.push_back(next);
+      }
+    }
+  }
+  return result;
+}
+
+size_t CsrBatchGraph::ByteSize() const {
+  size_t total = sizeof(*this) +
+                 adjacency_.capacity() * sizeof(adjacency_[0]) +
+                 pending_.capacity() * sizeof(Edge);
+  for (const auto& list : adjacency_) {
+    total += list.capacity() * sizeof(NodeId);
+  }
+  return total;
+}
+
+}  // namespace gz

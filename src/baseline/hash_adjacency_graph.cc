@@ -1,0 +1,73 @@
+#include "baseline/hash_adjacency_graph.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace gz {
+
+HashAdjacencyGraph::HashAdjacencyGraph(uint64_t num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {
+  GZ_CHECK(num_nodes >= 2);
+}
+
+void HashAdjacencyGraph::Update(const GraphUpdate& update) {
+  const NodeId u = update.edge.u;
+  const NodeId v = update.edge.v;
+  if (update.type == UpdateType::kInsert) {
+    const bool fresh = adjacency_[u].insert(v).second;
+    GZ_CHECK_MSG(fresh, "insert of an edge already present");
+    adjacency_[v].insert(u);
+    ++num_edges_;
+  } else {
+    const bool removed = adjacency_[u].erase(v) > 0;
+    GZ_CHECK_MSG(removed, "delete of an absent edge");
+    adjacency_[v].erase(u);
+    --num_edges_;
+  }
+}
+
+bool HashAdjacencyGraph::HasEdge(const Edge& e) const {
+  return adjacency_[e.u].count(e.v) > 0;
+}
+
+ConnectivityResult HashAdjacencyGraph::ConnectedComponents() const {
+  ConnectivityResult result;
+  result.component_of.assign(num_nodes_, 0);
+  std::vector<bool> visited(num_nodes_, false);
+  std::deque<NodeId> frontier;
+  for (NodeId start = 0; start < num_nodes_; ++start) {
+    if (visited[start]) continue;
+    ++result.num_components;
+    visited[start] = true;
+    result.component_of[start] = start;
+    frontier.push_back(start);
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const NodeId next : adjacency_[cur]) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        result.component_of[next] = start;
+        result.spanning_forest.push_back(Edge(cur, next));
+        frontier.push_back(next);
+      }
+    }
+  }
+  return result;
+}
+
+size_t HashAdjacencyGraph::ByteSize() const {
+  // Unordered sets cost roughly one pointer per bucket plus a heap node
+  // (value + next pointer + allocator overhead) per element; 16 B/node
+  // and 8 B/bucket is the common libstdc++ footprint.
+  size_t total = sizeof(*this) +
+                 adjacency_.capacity() * sizeof(adjacency_[0]);
+  for (const auto& set : adjacency_) {
+    total += set.bucket_count() * sizeof(void*);
+    total += set.size() * (sizeof(NodeId) + 2 * sizeof(void*));
+  }
+  return total;
+}
+
+}  // namespace gz

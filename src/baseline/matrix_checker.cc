@@ -1,0 +1,72 @@
+#include "baseline/matrix_checker.h"
+
+#include <bit>
+
+#include "dsu/dsu.h"
+#include "util/check.h"
+
+namespace gz {
+
+AdjacencyMatrixChecker::AdjacencyMatrixChecker(uint64_t num_nodes)
+    : num_nodes_(num_nodes) {
+  GZ_CHECK(num_nodes >= 2);
+  const uint64_t possible = NumPossibleEdges(num_nodes);
+  bits_.assign((possible + 63) / 64, 0);
+}
+
+void AdjacencyMatrixChecker::Update(const GraphUpdate& update) {
+  const uint64_t idx = EdgeToIndex(update.edge, num_nodes_);
+  const uint64_t word = idx / 64;
+  const uint64_t mask = uint64_t{1} << (idx % 64);
+  const bool present = (bits_[word] & mask) != 0;
+  if (update.type == UpdateType::kInsert) {
+    GZ_CHECK_MSG(!present, "insert of an edge already present");
+    ++num_edges_;
+  } else {
+    GZ_CHECK_MSG(present, "delete of an absent edge");
+    --num_edges_;
+  }
+  bits_[word] ^= mask;
+}
+
+bool AdjacencyMatrixChecker::HasEdge(const Edge& e) const {
+  const uint64_t idx = EdgeToIndex(e, num_nodes_);
+  return (bits_[idx / 64] >> (idx % 64)) & 1;
+}
+
+ConnectivityResult AdjacencyMatrixChecker::ConnectedComponents() const {
+  ConnectivityResult result;
+  Dsu dsu(num_nodes_);
+  for (uint64_t w = 0; w < bits_.size(); ++w) {
+    uint64_t word = bits_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      word &= word - 1;
+      const Edge e = IndexToEdge(w * 64 + bit, num_nodes_);
+      if (dsu.Union(e.u, e.v)) result.spanning_forest.push_back(e);
+    }
+  }
+  result.failed = false;
+  result.num_components = dsu.num_sets();
+  result.component_of.resize(num_nodes_);
+  for (uint64_t i = 0; i < num_nodes_; ++i) {
+    result.component_of[i] = static_cast<NodeId>(dsu.Find(i));
+  }
+  return result;
+}
+
+EdgeList AdjacencyMatrixChecker::Edges() const {
+  EdgeList edges;
+  edges.reserve(num_edges_);
+  for (uint64_t w = 0; w < bits_.size(); ++w) {
+    uint64_t word = bits_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      word &= word - 1;
+      edges.push_back(IndexToEdge(w * 64 + bit, num_nodes_));
+    }
+  }
+  return edges;
+}
+
+}  // namespace gz

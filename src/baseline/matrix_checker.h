@@ -1,0 +1,46 @@
+// Correctness oracle (paper Section 6.3): an exact in-memory adjacency
+// matrix stored as a bit vector over the triangular edge-index space,
+// with connected components computed by Kruskal's algorithm over a DSU.
+// Used to validate GraphZeppelin's answers on every test stream.
+#ifndef GZ_BASELINE_MATRIX_CHECKER_H_
+#define GZ_BASELINE_MATRIX_CHECKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/connectivity.h"
+#include "stream/stream_types.h"
+
+namespace gz {
+
+class AdjacencyMatrixChecker {
+ public:
+  explicit AdjacencyMatrixChecker(uint64_t num_nodes);
+
+  // Applies one stream update; inserts and deletes both toggle the bit
+  // (the stream guarantees legality, which Update verifies).
+  void Update(const GraphUpdate& update);
+
+  bool HasEdge(const Edge& e) const;
+  uint64_t num_edges() const { return num_edges_; }
+  uint64_t num_nodes() const { return num_nodes_; }
+
+  // Exact connected components via Kruskal's algorithm.
+  ConnectivityResult ConnectedComponents() const;
+
+  // The full current edge set (sorted by index).
+  EdgeList Edges() const;
+
+  size_t ByteSize() const {
+    return bits_.capacity() * sizeof(uint64_t) + sizeof(*this);
+  }
+
+ private:
+  uint64_t num_nodes_;
+  uint64_t num_edges_ = 0;
+  std::vector<uint64_t> bits_;  // One bit per possible edge.
+};
+
+}  // namespace gz
+
+#endif  // GZ_BASELINE_MATRIX_CHECKER_H_

@@ -1,0 +1,95 @@
+#include "baseline/streaming_cc.h"
+
+#include "dsu/dsu.h"
+#include "sketch/node_sketch.h"
+#include "util/check.h"
+#include "util/xxhash.h"
+
+namespace gz {
+
+StreamingCc::StreamingCc(const StreamingCcParams& params) : params_(params) {
+  GZ_CHECK(params_.num_nodes >= 2);
+  rounds_ = params_.rounds > 0 ? params_.rounds
+                               : NodeSketch::DefaultRounds(params_.num_nodes);
+  const uint64_t vec_len = NumPossibleEdges(params_.num_nodes);
+  sketches_.reserve(params_.num_nodes);
+  for (uint64_t node = 0; node < params_.num_nodes; ++node) {
+    std::vector<StandardL0Sketch> per_round;
+    per_round.reserve(rounds_);
+    for (int r = 0; r < rounds_; ++r) {
+      L0SketchParams lp;
+      lp.vector_len = vec_len;
+      // Seed per round only — shared across nodes for linearity.
+      lp.seed = XxHash64Word(static_cast<uint64_t>(r) + 1, params_.seed);
+      lp.cols = params_.cols;
+      per_round.emplace_back(lp);
+    }
+    sketches_.push_back(std::move(per_round));
+  }
+}
+
+void StreamingCc::Update(const GraphUpdate& update) {
+  const uint64_t idx = EdgeToIndex(update.edge, params_.num_nodes);
+  const int delta = update.type == UpdateType::kInsert ? 1 : -1;
+  // f_u gains +delta (u is the smaller endpoint), f_v gains -delta.
+  for (StandardL0Sketch& s : sketches_[update.edge.u]) s.Update(idx, delta);
+  for (StandardL0Sketch& s : sketches_[update.edge.v]) s.Update(idx, -delta);
+}
+
+ConnectivityResult StreamingCc::Query() const {
+  std::vector<std::vector<StandardL0Sketch>> sk = sketches_;  // Snapshot.
+  ConnectivityResult result;
+  Dsu dsu(params_.num_nodes);
+  bool complete = false;
+
+  for (int round = 0; round < rounds_ && !complete; ++round) {
+    result.rounds_used = round + 1;
+    EdgeList candidates;
+    bool any_fail = false;
+    for (uint64_t i = 0; i < params_.num_nodes; ++i) {
+      if (dsu.Find(i) != i) continue;
+      const SketchSample sample = sk[i][round].Query();
+      switch (sample.kind) {
+        case SampleKind::kGood:
+          candidates.push_back(IndexToEdge(sample.index, params_.num_nodes));
+          break;
+        case SampleKind::kZero:
+          break;
+        case SampleKind::kFail:
+          any_fail = true;
+          break;
+      }
+    }
+    bool found_edge = false;
+    for (const Edge& e : candidates) {
+      const size_t ra = dsu.Find(e.u);
+      const size_t rb = dsu.Find(e.v);
+      if (ra == rb) continue;
+      GZ_CHECK(dsu.Union(ra, rb));
+      const size_t root = dsu.Find(ra);
+      const size_t other = (root == ra) ? rb : ra;
+      for (int r = 0; r < rounds_; ++r) sk[root][r].Merge(sk[other][r]);
+      result.spanning_forest.push_back(e);
+      found_edge = true;
+    }
+    if (!found_edge && !any_fail) complete = true;
+  }
+
+  result.failed = !complete;
+  result.num_components = dsu.num_sets();
+  result.component_of.resize(params_.num_nodes);
+  for (uint64_t i = 0; i < params_.num_nodes; ++i) {
+    result.component_of[i] = static_cast<NodeId>(dsu.Find(i));
+  }
+  return result;
+}
+
+size_t StreamingCc::ByteSize() const {
+  size_t total = sizeof(*this);
+  for (const auto& per_round : sketches_) {
+    for (const StandardL0Sketch& s : per_round) total += s.ByteSize();
+  }
+  return total;
+}
+
+}  // namespace gz

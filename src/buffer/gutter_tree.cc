@@ -1,0 +1,255 @@
+#include "buffer/gutter_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/check.h"
+
+namespace gz {
+
+GutterTree::GutterTree(const GutterTreeParams& params, WorkQueue* queue)
+    : params_(params), queue_(queue) {
+  GZ_CHECK(params_.num_nodes >= 1);
+  GZ_CHECK(params_.fanout >= 2);
+  GZ_CHECK(params_.leaf_gutter_updates >= 1);
+  GZ_CHECK(params_.nodes_per_group >= 1);
+  GZ_CHECK(params_.buffer_bytes >= kRecordBytes * params_.fanout);
+  GZ_CHECK(queue_ != nullptr);
+}
+
+GutterTree::~GutterTree() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+// The tree is built over *node groups*: [lo, hi) ranges below are in
+// group units and each leaf is one group's gutter.
+uint32_t GutterTree::BuildVertex(uint64_t lo, uint64_t hi) {
+  const uint32_t id = static_cast<uint32_t>(internals_.size());
+  internals_.emplace_back();
+  {
+    Internal& v = internals_[id];
+    v.lo = lo;
+    v.hi = hi;
+    v.capacity_bytes = params_.buffer_bytes;
+  }
+  const uint64_t range = hi - lo;
+  if (range <= params_.fanout) {
+    Internal& v = internals_[id];
+    v.children_are_leaves = true;
+    v.span = 1;
+    return id;
+  }
+  const uint64_t span =
+      (range + params_.fanout - 1) / params_.fanout;  // ceil
+  std::vector<uint32_t> children;
+  for (uint64_t start = lo; start < hi; start += span) {
+    const uint64_t end = std::min(hi, start + span);
+    children.push_back(BuildVertex(start, end));  // may reallocate
+  }
+  Internal& v = internals_[id];  // re-fetch after child recursion
+  v.span = span;
+  v.children = std::move(children);
+  return id;
+}
+
+Status GutterTree::Init() {
+  if (initialized_) return Status::FailedPrecondition("already initialized");
+  BuildVertex(0, NumGroups());
+
+  // Assign file regions to every internal vertex except the RAM root.
+  uint64_t offset = 0;
+  for (size_t i = 1; i < internals_.size(); ++i) {
+    internals_[i].file_offset = offset;
+    offset += internals_[i].capacity_bytes;
+  }
+  leaf_region_offset_ = offset;
+  leaf_gutter_bytes_ = params_.leaf_gutter_updates * kRecordBytes;
+  file_bytes_ = leaf_region_offset_ + NumGroups() * leaf_gutter_bytes_;
+
+  root_capacity_records_ = params_.buffer_bytes / kRecordBytes;
+  root_buffer_.reserve(root_capacity_records_);
+  leaf_fill_.assign(NumGroups(), 0);
+
+  fd_ = ::open(params_.file_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("cannot create gutter tree file: " +
+                           params_.file_path);
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(file_bytes_)) != 0) {
+    return Status::IoError("cannot preallocate gutter tree file");
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+int GutterTree::ChildIndexFor(const Internal& v, NodeId node) const {
+  const uint64_t group = GroupOf(node);
+  GZ_CHECK(group >= v.lo && group < v.hi);
+  return static_cast<int>((group - v.lo) / v.span);
+}
+
+void GutterTree::Insert(NodeId node, uint64_t edge_index) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  GZ_CHECK(node < params_.num_nodes);
+  root_buffer_.push_back(Record{node, edge_index});
+  if (root_buffer_.size() >= root_capacity_records_) {
+    std::vector<Record> records;
+    records.swap(root_buffer_);
+    root_buffer_.reserve(root_capacity_records_);
+    Partition(internals_[0], records);
+  }
+}
+
+void GutterTree::Partition(const Internal& v,
+                           const std::vector<Record>& records) {
+  if (v.children_are_leaves) {
+    // Group records per leaf gutter within [lo, hi).
+    std::vector<std::vector<Record>> per_group(v.hi - v.lo);
+    for (const Record& r : records) {
+      per_group[GroupOf(r.node) - v.lo].push_back(r);
+    }
+    for (uint64_t i = 0; i < per_group.size(); ++i) {
+      if (!per_group[i].empty()) DeliverToLeaf(v.lo + i, per_group[i]);
+    }
+    return;
+  }
+  std::vector<std::vector<Record>> per_child(v.children.size());
+  for (const Record& r : records) {
+    per_child[ChildIndexFor(v, r.node)].push_back(r);
+  }
+  for (size_t i = 0; i < per_child.size(); ++i) {
+    if (!per_child[i].empty()) {
+      DeliverToInternal(v.children[i], per_child[i]);
+    }
+  }
+}
+
+void GutterTree::DeliverToInternal(uint32_t id,
+                                   const std::vector<Record>& records) {
+  size_t next = 0;
+  while (next < records.size()) {
+    Internal& v = internals_[id];
+    const size_t space_records =
+        (v.capacity_bytes - v.fill_bytes) / kRecordBytes;
+    if (space_records == 0) {
+      FlushInternal(id);
+      continue;
+    }
+    const size_t chunk = std::min(space_records, records.size() - next);
+    WriteRecords(v.file_offset + v.fill_bytes, records.data() + next, chunk);
+    internals_[id].fill_bytes += chunk * kRecordBytes;
+    next += chunk;
+    if (internals_[id].fill_bytes >= internals_[id].capacity_bytes) {
+      FlushInternal(id);
+    }
+  }
+}
+
+void GutterTree::FlushInternal(uint32_t id) {
+  Internal& v = internals_[id];
+  if (v.fill_bytes == 0) return;
+  std::vector<Record> records = ReadRecords(v.file_offset, v.fill_bytes);
+  v.fill_bytes = 0;
+  Partition(v, records);
+}
+
+void GutterTree::DeliverToLeaf(uint64_t group,
+                               const std::vector<Record>& records) {
+  const uint32_t fill = leaf_fill_[group];
+  if (fill + records.size() >= params_.leaf_gutter_updates) {
+    EmitLeaf(group, records);
+    return;
+  }
+  const uint64_t offset = leaf_region_offset_ + group * leaf_gutter_bytes_ +
+                          static_cast<uint64_t>(fill) * kRecordBytes;
+  WriteRecords(offset, records.data(), records.size());
+  leaf_fill_[group] = fill + static_cast<uint32_t>(records.size());
+}
+
+void GutterTree::EmitLeaf(uint64_t group, const std::vector<Record>& extra) {
+  const uint32_t fill = leaf_fill_[group];
+  std::vector<Record> records;
+  if (fill > 0) {
+    const uint64_t offset = leaf_region_offset_ + group * leaf_gutter_bytes_;
+    records = ReadRecords(offset, static_cast<size_t>(fill) * kRecordBytes);
+  }
+  records.insert(records.end(), extra.begin(), extra.end());
+  leaf_fill_[group] = 0;
+
+  // One batch per node present (stable: per-node update order is the
+  // arrival order).
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.node < b.node;
+                   });
+  size_t i = 0;
+  while (i < records.size()) {
+    NodeBatch batch;
+    batch.node = records[i].node;
+    size_t j = i;
+    while (j < records.size() && records[j].node == batch.node) {
+      batch.edge_indices.push_back(records[j].edge_index);
+      ++j;
+    }
+    queue_->Push(std::move(batch));
+    i = j;
+  }
+}
+
+void GutterTree::ForceFlush() {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  if (!root_buffer_.empty()) {
+    std::vector<Record> records;
+    records.swap(root_buffer_);
+    root_buffer_.reserve(root_capacity_records_);
+    Partition(internals_[0], records);
+  }
+  // Internal ids are assigned parent-before-child, so ascending order
+  // flushes top-down and nothing is left stranded.
+  for (uint32_t id = 1; id < internals_.size(); ++id) FlushInternal(id);
+  static const std::vector<Record> kEmpty;
+  for (uint64_t group = 0; group < leaf_fill_.size(); ++group) {
+    if (leaf_fill_[group] > 0) EmitLeaf(group, kEmpty);
+  }
+}
+
+void GutterTree::WriteRecords(uint64_t offset, const Record* records,
+                              size_t count) {
+  std::vector<uint8_t> buf(count * kRecordBytes);
+  for (size_t i = 0; i < count; ++i) {
+    std::memcpy(&buf[i * kRecordBytes], &records[i].node, 4);
+    std::memcpy(&buf[i * kRecordBytes + 4], &records[i].edge_index, 8);
+  }
+  const ssize_t wrote =
+      ::pwrite(fd_, buf.data(), buf.size(), static_cast<off_t>(offset));
+  GZ_CHECK_MSG(wrote == static_cast<ssize_t>(buf.size()),
+               "gutter tree pwrite");
+  bytes_written_ += buf.size();
+}
+
+std::vector<GutterTree::Record> GutterTree::ReadRecords(uint64_t offset,
+                                                        size_t bytes) {
+  GZ_CHECK(bytes % kRecordBytes == 0);
+  std::vector<uint8_t> buf(bytes);
+  const ssize_t got =
+      ::pread(fd_, buf.data(), bytes, static_cast<off_t>(offset));
+  GZ_CHECK_MSG(got == static_cast<ssize_t>(bytes), "gutter tree pread");
+  bytes_read_ += bytes;
+  std::vector<Record> records(bytes / kRecordBytes);
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::memcpy(&records[i].node, &buf[i * kRecordBytes], 4);
+    std::memcpy(&records[i].edge_index, &buf[i * kRecordBytes + 4], 8);
+  }
+  return records;
+}
+
+size_t GutterTree::RamByteSize() const {
+  return sizeof(*this) + root_buffer_.capacity() * sizeof(Record) +
+         internals_.capacity() * sizeof(Internal) +
+         leaf_fill_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace gz

@@ -1,0 +1,94 @@
+#include "buffer/leaf_gutters.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gz {
+
+LeafGutters::LeafGutters(const LeafGuttersParams& params, WorkQueue* queue)
+    : params_(params), queue_(queue) {
+  GZ_CHECK(params_.num_nodes >= 1);
+  GZ_CHECK(params_.gutter_capacity >= 1);
+  GZ_CHECK(params_.nodes_per_group >= 1);
+  GZ_CHECK(queue_ != nullptr);
+  const uint64_t groups =
+      (params_.num_nodes + params_.nodes_per_group - 1) /
+      params_.nodes_per_group;
+  if (params_.nodes_per_group == 1) {
+    // Solo gutters: the node is implied, store bare 8-byte indices
+    // (this is the paper's per-update byte accounting for f).
+    solo_gutters_.resize(groups);
+  } else {
+    group_gutters_.resize(groups);
+  }
+}
+
+void LeafGutters::Insert(NodeId node, uint64_t edge_index) {
+  GZ_CHECK(node < params_.num_nodes);
+  if (params_.nodes_per_group == 1) {
+    std::vector<uint64_t>& gutter = solo_gutters_[node];
+    if (gutter.capacity() == 0) gutter.reserve(params_.gutter_capacity);
+    gutter.push_back(edge_index);
+    if (gutter.size() >= params_.gutter_capacity) FlushGroup(node);
+    return;
+  }
+  std::vector<Record>& gutter = group_gutters_[GroupOf(node)];
+  if (gutter.capacity() == 0) gutter.reserve(params_.gutter_capacity);
+  gutter.push_back(Record{node, edge_index});
+  if (gutter.size() >= params_.gutter_capacity) FlushGroup(GroupOf(node));
+}
+
+void LeafGutters::FlushGroup(uint64_t group) {
+  if (params_.nodes_per_group == 1) {
+    NodeBatch batch;
+    batch.node = static_cast<NodeId>(group);
+    batch.edge_indices.swap(solo_gutters_[group]);
+    queue_->Push(std::move(batch));
+    return;
+  }
+  std::vector<Record> records;
+  records.swap(group_gutters_[group]);
+  // Grouped mode: one batch per node present, in node order (stable
+  // sort keeps per-node update order intact).
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.node < b.node;
+                   });
+  size_t i = 0;
+  while (i < records.size()) {
+    NodeBatch batch;
+    batch.node = records[i].node;
+    size_t j = i;
+    while (j < records.size() && records[j].node == batch.node) {
+      batch.edge_indices.push_back(records[j].edge_index);
+      ++j;
+    }
+    queue_->Push(std::move(batch));
+    i = j;
+  }
+}
+
+void LeafGutters::ForceFlush() {
+  const uint64_t groups = num_groups();
+  for (uint64_t group = 0; group < groups; ++group) {
+    const bool empty = params_.nodes_per_group == 1
+                           ? solo_gutters_[group].empty()
+                           : group_gutters_[group].empty();
+    if (!empty) FlushGroup(group);
+  }
+}
+
+size_t LeafGutters::RamByteSize() const {
+  size_t total = sizeof(*this);
+  total += solo_gutters_.capacity() * sizeof(std::vector<uint64_t>);
+  for (const auto& g : solo_gutters_) {
+    total += g.capacity() * sizeof(uint64_t);
+  }
+  total += group_gutters_.capacity() * sizeof(std::vector<Record>);
+  for (const auto& g : group_gutters_) total += g.capacity() * sizeof(Record);
+  return total;
+}
+
+}  // namespace gz

@@ -1,0 +1,64 @@
+// Leaf-only gutters (paper Section 5.1): one RAM buffer per graph node
+// — or per *node group* (Section 4.1: groups of cardinality
+// max{1, B/log^3 V} so that a group's sketches fill a disk block) —
+// flushed to the work queue whenever it fills. By default each gutter
+// holds updates totalling a configurable fraction f of a node sketch's
+// size (the paper's knob in Figure 15).
+#ifndef GZ_BUFFER_LEAF_GUTTERS_H_
+#define GZ_BUFFER_LEAF_GUTTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "buffer/guttering_system.h"
+#include "buffer/work_queue.h"
+
+namespace gz {
+
+struct LeafGuttersParams {
+  uint64_t num_nodes = 0;
+  // Capacity of each gutter, in updates. Typical value:
+  // f * node_sketch_bytes / sizeof(uint64_t) with f = 1/2.
+  size_t gutter_capacity = 256;
+  // Nodes sharing one gutter (paper: max{1, B / log^3 V}). With
+  // groups > 1, a full gutter emits one batch per node present.
+  uint64_t nodes_per_group = 1;
+};
+
+class LeafGutters : public GutteringSystem {
+ public:
+  LeafGutters(const LeafGuttersParams& params, WorkQueue* queue);
+
+  void Insert(NodeId node, uint64_t edge_index) override;
+  void ForceFlush() override;
+  size_t RamByteSize() const override;
+  size_t DiskByteSize() const override { return 0; }
+
+  uint64_t num_groups() const {
+    return params_.nodes_per_group == 1 ? solo_gutters_.size()
+                                        : group_gutters_.size();
+  }
+
+ private:
+  struct Record {
+    NodeId node;
+    uint64_t edge_index;
+  };
+
+  uint64_t GroupOf(NodeId node) const {
+    return node / params_.nodes_per_group;
+  }
+  void FlushGroup(uint64_t group);
+
+  LeafGuttersParams params_;
+  WorkQueue* queue_;  // Not owned.
+  // Exactly one of these is populated. Solo gutters (the common case)
+  // store bare indices — 8 B per buffered update, the paper's
+  // accounting — while grouped gutters need the destination node.
+  std::vector<std::vector<uint64_t>> solo_gutters_;
+  std::vector<std::vector<Record>> group_gutters_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_BUFFER_LEAF_GUTTERS_H_

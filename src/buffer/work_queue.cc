@@ -1,0 +1,54 @@
+#include "buffer/work_queue.h"
+
+#include "util/check.h"
+
+namespace gz {
+
+WorkQueue::WorkQueue(size_t capacity) : capacity_(capacity) {
+  GZ_CHECK(capacity >= 1);
+}
+
+bool WorkQueue::Push(NodeBatch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(batch));
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool WorkQueue::Pop(NodeBatch* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and drained
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void WorkQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+void WorkQueue::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  GZ_CHECK_MSG(queue_.empty(), "reopening a non-drained queue");
+  closed_ = false;
+}
+
+size_t WorkQueue::ApproxSize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace gz

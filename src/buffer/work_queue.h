@@ -1,0 +1,66 @@
+// Bounded MPMC work queue (paper Section 5.1): the buffering system
+// produces per-node batches of sketch updates; Graph Workers consume
+// them. Capacity is kept moderate (8 batches per worker in the paper)
+// so neither side waits long while memory stays bounded.
+#ifndef GZ_BUFFER_WORK_QUEUE_H_
+#define GZ_BUFFER_WORK_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "stream/stream_types.h"
+
+namespace gz {
+
+// A batch of edge-index updates all destined for the same graph node.
+struct NodeBatch {
+  NodeId node = 0;
+  std::vector<uint64_t> edge_indices;
+};
+
+class WorkQueue {
+ public:
+  explicit WorkQueue(size_t capacity);
+
+  // Blocks while the queue is full. Returns false if the queue was
+  // closed (the batch is dropped in that case).
+  bool Push(NodeBatch batch);
+
+  // Blocks while the queue is empty. Returns false once the queue is
+  // closed *and* drained.
+  bool Pop(NodeBatch* out);
+
+  // After Close(), pushes fail and pops drain the remaining batches.
+  void Close();
+
+  // Re-opens a closed, drained queue for another ingestion phase.
+  void Reopen();
+
+  size_t ApproxSize();
+
+  // In-flight accounting: Push() increments; consumers call MarkDone()
+  // after fully processing a popped batch. InFlight() therefore counts
+  // batches that are queued or currently being applied, which is what a
+  // drain barrier needs to wait on.
+  void MarkDone() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+  int64_t InFlight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<int64_t> in_flight_{0};
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<NodeBatch> queue_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace gz
+
+#endif  // GZ_BUFFER_WORK_QUEUE_H_

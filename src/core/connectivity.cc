@@ -1,0 +1,102 @@
+#include "core/connectivity.h"
+
+#include <algorithm>
+
+#include "dsu/dsu.h"
+#include "stream/stream_file.h"
+#include "util/check.h"
+
+namespace gz {
+
+ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
+                                       int first_round, int num_rounds) {
+  GZ_CHECK(sketches != nullptr && !sketches->empty());
+  std::vector<NodeSketch>& sk = *sketches;
+  const uint64_t num_nodes = sk[0].params().num_nodes;
+  GZ_CHECK_MSG(sk.size() == num_nodes,
+               "need one node sketch per vertex");
+  GZ_CHECK(first_round >= 0 && first_round < sk[0].rounds());
+  const int last_round = num_rounds < 0
+                             ? sk[0].rounds()
+                             : std::min(sk[0].rounds(),
+                                        first_round + num_rounds);
+
+  ConnectivityResult result;
+  Dsu dsu(num_nodes);
+  bool complete = false;
+
+  for (int round = first_round; round < last_round && !complete; ++round) {
+    result.rounds_used = round - first_round + 1;
+    // Phase 1: sample one cut edge per current component.
+    EdgeList candidates;
+    bool any_fail = false;
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      if (dsu.Find(i) != i) continue;  // Only component representatives.
+      const SketchSample sample = sk[i].Query(round);
+      switch (sample.kind) {
+        case SampleKind::kGood:
+          candidates.push_back(IndexToEdge(sample.index, num_nodes));
+          break;
+        case SampleKind::kZero:
+          break;  // Empty cut: this component is finished.
+        case SampleKind::kFail:
+          any_fail = true;
+          break;
+      }
+    }
+
+    // Phase 2 + 3: merge endpoint components and sum their sketches.
+    bool found_edge = false;
+    for (const Edge& e : candidates) {
+      const size_t ra = dsu.Find(e.u);
+      const size_t rb = dsu.Find(e.v);
+      if (ra == rb) continue;  // Already merged transitively this round.
+      GZ_CHECK(dsu.Union(ra, rb));
+      const size_t root = dsu.Find(ra);
+      const size_t other = (root == ra) ? rb : ra;
+      sk[root].Merge(sk[other]);
+      result.spanning_forest.push_back(e);
+      found_edge = true;
+    }
+
+    if (!found_edge && !any_fail) complete = true;  // All cuts empty.
+  }
+
+  result.failed = !complete;
+  result.num_components = dsu.num_sets();
+  result.component_of.resize(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    result.component_of[i] = static_cast<NodeId>(dsu.Find(i));
+  }
+  return result;
+}
+
+Status WriteSpanningForestStream(const ConnectivityResult& result,
+                                 uint64_t num_nodes,
+                                 const std::string& path) {
+  StreamWriter writer;
+  Status s = writer.Open(path, num_nodes);
+  if (!s.ok()) return s;
+  for (const Edge& e : result.spanning_forest) {
+    s = writer.Append({e, UpdateType::kInsert});
+    if (!s.ok()) return s;
+  }
+  return writer.Close();
+}
+
+std::vector<std::vector<NodeId>> ComponentsFromLabels(
+    const std::vector<NodeId>& component_of) {
+  std::vector<std::vector<NodeId>> components;
+  std::vector<int64_t> slot(component_of.size(), -1);
+  for (NodeId i = 0; i < component_of.size(); ++i) {
+    const NodeId root = component_of[i];
+    if (slot[root] < 0) {
+      slot[root] = static_cast<int64_t>(components.size());
+      components.emplace_back();
+    }
+    components[slot[root]].push_back(i);
+  }
+  return components;
+}
+
+}  // namespace gz

@@ -1,0 +1,67 @@
+// Boruvka-over-sketches connectivity computation (paper Figure 9).
+//
+// Each round queries one fresh subsketch per current component for a cut
+// edge, merges the endpoints' components in a DSU, and XOR-sums the
+// merged components' sketches (linearity makes the sum a sketch of the
+// merged component's cut vector). Rounds use independent subsketches
+// because query answers feed back into later merges (adaptivity).
+#ifndef GZ_CORE_CONNECTIVITY_H_
+#define GZ_CORE_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sketch/node_sketch.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct ConnectivityResult {
+  // True when the sketches could not complete Boruvka within the round
+  // budget (probability polynomially small; Section 6.3 observes zero
+  // failures in practice).
+  bool failed = false;
+  EdgeList spanning_forest;
+  // Component id (the DSU root) per node.
+  std::vector<NodeId> component_of;
+  // Number of connected components.
+  size_t num_components = 0;
+  // Boruvka rounds actually executed.
+  int rounds_used = 0;
+
+  // Point connectivity query against this result.
+  bool Connected(NodeId u, NodeId v) const {
+    return component_of[u] == component_of[v];
+  }
+};
+
+// Destructively computes a spanning forest from the given node sketches
+// (they are merged in place; pass copies/snapshots). `sketches[i]` must
+// be the node sketch of vertex i, all built with identical params.
+//
+// `first_round`/`num_rounds` restrict Boruvka to a window of sketch
+// rounds (default: all of them) so that multi-phase algorithms — e.g.
+// the spanning-forest decomposition in algos/ — can give each phase
+// fresh, adaptivity-safe rounds. num_rounds < 0 means "through the
+// last round".
+ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
+                                       int first_round = 0,
+                                       int num_rounds = -1);
+
+// Groups nodes by component id. Helper for callers that want explicit
+// component membership lists.
+std::vector<std::vector<NodeId>> ComponentsFromLabels(
+    const std::vector<NodeId>& component_of);
+
+// Problem 1 of the paper asks for the spanning forest as an
+// *insert-only edge stream*; this writes exactly that, reusing the
+// binary stream-file format (every record an insertion).
+Status WriteSpanningForestStream(const ConnectivityResult& result,
+                                 uint64_t num_nodes,
+                                 const std::string& path);
+
+}  // namespace gz
+
+#endif  // GZ_CORE_CONNECTIVITY_H_

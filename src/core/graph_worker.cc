@@ -1,0 +1,58 @@
+#include "core/graph_worker.h"
+
+#include <chrono>
+
+#include "util/check.h"
+
+namespace gz {
+
+WorkerPool::WorkerPool(WorkQueue* queue, SketchStore* store, int num_workers)
+    : queue_(queue), store_(store), num_workers_(num_workers) {
+  GZ_CHECK(queue_ != nullptr && store_ != nullptr);
+  GZ_CHECK(num_workers_ >= 1);
+}
+
+WorkerPool::~WorkerPool() { Stop(); }
+
+void WorkerPool::Start() {
+  GZ_CHECK_MSG(!started_, "pool already started");
+  started_ = true;
+  threads_.reserve(num_workers_);
+  for (int i = 0; i < num_workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  // Reusable delta sketch: cleared per batch, so the allocation cost is
+  // paid once per worker, not per batch.
+  NodeSketch delta(store_->params());
+  NodeBatch batch;
+  while (queue_->Pop(&batch)) {
+    delta.Clear();
+    delta.UpdateBatch(batch.edge_indices.data(), batch.edge_indices.size());
+    store_->MergeDelta(batch.node, delta);
+    updates_applied_.fetch_add(batch.edge_indices.size(),
+                               std::memory_order_relaxed);
+    batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    queue_->MarkDone();
+  }
+}
+
+void WorkerPool::Drain() {
+  while (queue_->InFlight() > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void WorkerPool::Stop() {
+  if (!started_) return;
+  queue_->Close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  started_ = false;
+}
+
+}  // namespace gz

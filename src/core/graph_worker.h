@@ -1,0 +1,55 @@
+// Graph Workers (paper Section 5.1): a pool of threads that pop
+// per-node batches from the work queue, sketch each batch into a
+// private delta NodeSketch, and XOR-merge the delta into the store.
+// Sketching the batch needs no lock (linearity); only the final merge
+// synchronizes, which is the paper's small-critical-section trick.
+#ifndef GZ_CORE_GRAPH_WORKER_H_
+#define GZ_CORE_GRAPH_WORKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "buffer/work_queue.h"
+#include "core/sketch_store.h"
+
+namespace gz {
+
+class WorkerPool {
+ public:
+  // `queue` and `store` must outlive the pool.
+  WorkerPool(WorkQueue* queue, SketchStore* store, int num_workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void Start();
+
+  // Blocks until the queue is empty and no worker is mid-batch. The
+  // producer must have stopped pushing (e.g. after ForceFlush) for this
+  // to be meaningful.
+  void Drain();
+
+  // Closes the queue and joins all workers. Called automatically by the
+  // destructor.
+  void Stop();
+
+  uint64_t updates_applied() const { return updates_applied_.load(); }
+  uint64_t batches_applied() const { return batches_applied_.load(); }
+
+ private:
+  void WorkerLoop();
+
+  WorkQueue* queue_;
+  SketchStore* store_;
+  int num_workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> batches_applied_{0};
+  bool started_ = false;
+};
+
+}  // namespace gz
+
+#endif  // GZ_CORE_GRAPH_WORKER_H_

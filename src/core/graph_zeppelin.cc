@@ -1,0 +1,226 @@
+#include "core/graph_zeppelin.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <unistd.h>
+
+#include "buffer/gutter_tree.h"
+#include "buffer/leaf_gutters.h"
+#include "util/check.h"
+
+namespace gz {
+namespace {
+
+std::string UniquePath(const std::string& dir, const char* stem,
+                       uint64_t seed, const std::string& tag) {
+  std::string path = dir + "/" + stem + "_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(seed);
+  if (!tag.empty()) path += "_" + tag;
+  return path + ".bin";
+}
+
+}  // namespace
+
+GraphZeppelin::GraphZeppelin(const GraphZeppelinConfig& config)
+    : config_(config) {
+  GZ_CHECK_MSG(config_.num_nodes >= 2, "need at least two nodes");
+  GZ_CHECK(config_.num_workers >= 1);
+  GZ_CHECK(config_.gutter_fraction > 0.0);
+}
+
+GraphZeppelin::~GraphZeppelin() {
+  if (pool_ != nullptr) pool_->Stop();
+  // Remove backing files; they are per-instance scratch state.
+  if (!gutter_tree_path_.empty()) ::unlink(gutter_tree_path_.c_str());
+  if (!sketch_store_path_.empty()) ::unlink(sketch_store_path_.c_str());
+}
+
+Status GraphZeppelin::Init() {
+  if (initialized_) return Status::FailedPrecondition("already initialized");
+
+  NodeSketchParams sp;
+  sp.num_nodes = config_.num_nodes;
+  sp.seed = config_.seed;
+  sp.cols = config_.cols;
+  sp.rounds = config_.rounds;
+
+  // Sketch store.
+  if (config_.storage == GraphZeppelinConfig::Storage::kRam) {
+    store_ = std::make_unique<InMemorySketchStore>(sp);
+  } else {
+    sketch_store_path_ = UniquePath(config_.disk_dir, "gz_sketches",
+                                    config_.seed, config_.instance_tag);
+    auto disk_store =
+        std::make_unique<OnDiskSketchStore>(sp, sketch_store_path_);
+    Status s = disk_store->Init();
+    if (!s.ok()) return s;
+    store_ = std::move(disk_store);
+  }
+  {
+    NodeSketch prototype(store_->params());
+    node_sketch_bytes_ = prototype.ByteSize();
+  }
+
+  // Work queue: 8 batches per worker, as in the paper.
+  queue_ = std::make_unique<WorkQueue>(
+      static_cast<size_t>(8) * config_.num_workers);
+
+  // Buffering system. Gutter capacity = f * sketch_bytes / 8B-per-update.
+  const size_t gutter_updates = std::max<size_t>(
+      1, static_cast<size_t>(config_.gutter_fraction *
+                             static_cast<double>(node_sketch_bytes_)) /
+             sizeof(uint64_t));
+  if (config_.buffering == GraphZeppelinConfig::Buffering::kLeafOnly) {
+    LeafGuttersParams lp;
+    lp.num_nodes = config_.num_nodes;
+    lp.gutter_capacity = gutter_updates;
+    lp.nodes_per_group = config_.nodes_per_gutter_group;
+    gutters_ = std::make_unique<LeafGutters>(lp, queue_.get());
+  } else {
+    gutter_tree_path_ = UniquePath(config_.disk_dir, "gz_gutter_tree",
+                                   config_.seed, config_.instance_tag);
+    GutterTreeParams tp;
+    tp.num_nodes = config_.num_nodes;
+    tp.file_path = gutter_tree_path_;
+    tp.buffer_bytes = config_.gutter_tree_buffer_bytes;
+    tp.fanout = config_.gutter_tree_fanout;
+    tp.leaf_gutter_updates = gutter_updates;
+    tp.nodes_per_group = config_.nodes_per_gutter_group;
+    auto tree = std::make_unique<GutterTree>(tp, queue_.get());
+    Status s = tree->Init();
+    if (!s.ok()) return s;
+    gutters_ = std::move(tree);
+  }
+
+  pool_ = std::make_unique<WorkerPool>(queue_.get(), store_.get(),
+                                       config_.num_workers);
+  pool_->Start();
+  initialized_ = true;
+  return Status::Ok();
+}
+
+void GraphZeppelin::Update(const GraphUpdate& update) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  const uint64_t idx = EdgeToIndex(update.edge, config_.num_nodes);
+  // Both endpoints' characteristic vectors toggle the same coordinate
+  // (paper Figure 8: buffer_insert({u,v}) and buffer_insert({v,u})).
+  gutters_->Insert(update.edge.u, idx);
+  gutters_->Insert(update.edge.v, idx);
+  ++num_updates_;
+}
+
+void GraphZeppelin::Flush() {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  gutters_->ForceFlush();
+  pool_->Drain();
+}
+
+std::vector<NodeSketch> GraphZeppelin::SnapshotSketches() {
+  Flush();
+  std::vector<NodeSketch> snapshot;
+  snapshot.reserve(config_.num_nodes);
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    snapshot.emplace_back(store_->params());
+    store_->Load(i, &snapshot.back());
+  }
+  return snapshot;
+}
+
+ConnectivityResult GraphZeppelin::ListSpanningForest() {
+  // cleanup(): force updates out of buffers and wait for the workers.
+  // Boruvka merges the snapshot copies in place.
+  std::vector<NodeSketch> snapshot = SnapshotSketches();
+  return BoruvkaConnectivity(&snapshot);
+}
+
+namespace {
+constexpr char kCheckpointMagic[8] = {'G', 'Z', 'C', 'K', 'P', 'T', '0', '1'};
+}  // namespace
+
+Status GraphZeppelin::SaveCheckpoint(const std::string& path) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  Flush();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create checkpoint file: " + path);
+  }
+  const NodeSketchParams& sp = store_->params();
+  bool ok = std::fwrite(kCheckpointMagic, 1, 8, f) == 8;
+  ok = ok && std::fwrite(&sp.num_nodes, sizeof(sp.num_nodes), 1, f) == 1;
+  ok = ok && std::fwrite(&sp.seed, sizeof(sp.seed), 1, f) == 1;
+  ok = ok && std::fwrite(&sp.cols, sizeof(sp.cols), 1, f) == 1;
+  ok = ok && std::fwrite(&sp.rounds, sizeof(sp.rounds), 1, f) == 1;
+  ok = ok && std::fwrite(&num_updates_, sizeof(num_updates_), 1, f) == 1;
+
+  NodeSketch scratch(sp);
+  std::vector<uint8_t> buf(scratch.SerializedSize());
+  for (NodeId i = 0; ok && i < config_.num_nodes; ++i) {
+    store_->Load(i, &scratch);
+    scratch.SerializeTo(buf.data());
+    ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write to checkpoint: " + path);
+  return Status::Ok();
+}
+
+Status GraphZeppelin::LoadCheckpoint(const std::string& path) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open checkpoint file: " + path);
+  }
+  char magic[8];
+  NodeSketchParams saved;
+  uint64_t saved_updates = 0;
+  bool ok = std::fread(magic, 1, 8, f) == 8 &&
+            std::memcmp(magic, kCheckpointMagic, 8) == 0;
+  ok = ok && std::fread(&saved.num_nodes, sizeof(saved.num_nodes), 1, f) == 1;
+  ok = ok && std::fread(&saved.seed, sizeof(saved.seed), 1, f) == 1;
+  ok = ok && std::fread(&saved.cols, sizeof(saved.cols), 1, f) == 1;
+  ok = ok && std::fread(&saved.rounds, sizeof(saved.rounds), 1, f) == 1;
+  ok = ok && std::fread(&saved_updates, sizeof(saved_updates), 1, f) == 1;
+  if (!ok) {
+    std::fclose(f);
+    return Status::InvalidArgument("malformed checkpoint header: " + path);
+  }
+  if (!(saved == store_->params())) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "checkpoint sketch parameters do not match this instance");
+  }
+
+  NodeSketch scratch(saved);
+  std::vector<uint8_t> buf(scratch.SerializedSize());
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      return Status::IoError("truncated checkpoint: " + path);
+    }
+    scratch.DeserializeFrom(buf.data());
+    store_->Store(i, scratch);
+  }
+  std::fclose(f);
+  num_updates_ = saved_updates;
+  return Status::Ok();
+}
+
+const NodeSketchParams& GraphZeppelin::sketch_params() const {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  return store_->params();
+}
+
+size_t GraphZeppelin::RamByteSize() const {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  return store_->RamByteSize() + gutters_->RamByteSize();
+}
+
+size_t GraphZeppelin::DiskByteSize() const {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  return store_->DiskByteSize() + gutters_->DiskByteSize();
+}
+
+}  // namespace gz

@@ -1,0 +1,138 @@
+// GraphZeppelin: the paper's streaming connected-components system
+// (Section 5). Wires together the buffering system (leaf-only gutters
+// or on-disk gutter tree), the work queue, the Graph Worker pool, and
+// the sketch store (RAM or SSD), and answers connectivity queries by
+// running Boruvka's algorithm over snapshot sketches.
+//
+// User-facing API mirrors the paper: Update() (edge_update) ingests one
+// stream element; ListSpanningForest() / Query() flushes buffers and
+// returns the connected components. Queries may be issued mid-stream;
+// ingestion can continue afterwards.
+#ifndef GZ_CORE_GRAPH_ZEPPELIN_H_
+#define GZ_CORE_GRAPH_ZEPPELIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "buffer/guttering_system.h"
+#include "buffer/work_queue.h"
+#include "core/connectivity.h"
+#include "core/graph_worker.h"
+#include "core/sketch_store.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct GraphZeppelinConfig {
+  uint64_t num_nodes = 0;  // Upper bound U on the vertex count.
+  uint64_t seed = 42;
+
+  // Sketch geometry. cols = 7 matches delta = 1/100; rounds = 0 picks
+  // ceil(log_{3/2} V) automatically.
+  int cols = 7;
+  int rounds = 0;
+
+  // Ingestion parallelism (Graph Workers).
+  int num_workers = 2;
+
+  enum class Buffering { kLeafOnly, kGutterTree };
+  Buffering buffering = Buffering::kLeafOnly;
+
+  enum class Storage { kRam, kDisk };
+  Storage storage = Storage::kRam;
+
+  // Leaf gutter capacity as a fraction f of the node-sketch size
+  // (Figure 15's knob). Applies to both buffering structures.
+  double gutter_fraction = 0.5;
+
+  // Nodes per leaf gutter (Section 4.1 node groups; 1 = paper's
+  // measured best for in-RAM gutters, larger for block-granular disks).
+  uint64_t nodes_per_gutter_group = 1;
+
+  // Directory for the gutter tree and on-disk sketch store files.
+  std::string disk_dir = "/tmp";
+
+  // Disambiguates backing-file names when several instances share a
+  // seed in one process (e.g. shards of a ShardedGraphZeppelin).
+  std::string instance_tag;
+
+  // Gutter tree geometry (paper: 8 MB buffers, fan-out 512; defaults
+  // here are scaled to this environment but configurable back up).
+  size_t gutter_tree_buffer_bytes = 1 << 22;
+  size_t gutter_tree_fanout = 64;
+};
+
+class GraphZeppelin {
+ public:
+  explicit GraphZeppelin(const GraphZeppelinConfig& config);
+  ~GraphZeppelin();
+  GraphZeppelin(const GraphZeppelin&) = delete;
+  GraphZeppelin& operator=(const GraphZeppelin&) = delete;
+
+  // Allocates sketches, buffering and workers. Must be called once
+  // before the first Update().
+  Status Init();
+
+  // Ingests one stream update ((u, v), ±1). Inserts and deletions are
+  // both XOR toggles of the edge's coordinate.
+  void Update(const GraphUpdate& update);
+
+  // Forces all buffered updates through the workers and blocks until
+  // every sketch is up to date (paper cleanup()). Implied by
+  // ListSpanningForest(); exposed so benchmarks can separate ingestion
+  // time from query time.
+  void Flush();
+
+  // Flushes all buffered updates and computes the connected components
+  // from sketch snapshots. Ingestion may continue afterwards.
+  ConnectivityResult ListSpanningForest();
+
+  // Flushes and returns a copy of every node sketch (one per vertex).
+  // The snapshot is the input to the extended sketch algorithms
+  // (spanning-forest decomposition, bipartiteness, sharded merging);
+  // linearity makes snapshots from different instances with the same
+  // seed mergeable.
+  std::vector<NodeSketch> SnapshotSketches();
+
+  // --- Checkpointing -----------------------------------------------------
+  // Saves the flushed sketch state to `path`. The checkpoint encodes
+  // the sketch parameters and the update count; buffered-but-unflushed
+  // updates are flushed first, so a restore resumes exactly here.
+  Status SaveCheckpoint(const std::string& path);
+
+  // Restores sketch state saved by SaveCheckpoint into this
+  // (initialized) instance. Sketch parameters must match the saved
+  // ones; fails with InvalidArgument otherwise.
+  Status LoadCheckpoint(const std::string& path);
+
+  // ----- Introspection ---------------------------------------------------
+  uint64_t num_updates_ingested() const { return num_updates_; }
+  const NodeSketchParams& sketch_params() const;
+  // Bytes of one node sketch (drives gutter sizing).
+  size_t node_sketch_bytes() const { return node_sketch_bytes_; }
+  size_t RamByteSize() const;
+  size_t DiskByteSize() const;
+
+  const GraphZeppelinConfig& config() const { return config_; }
+
+ private:
+  GraphZeppelinConfig config_;
+  size_t node_sketch_bytes_ = 0;
+  uint64_t num_updates_ = 0;
+  std::string gutter_tree_path_;
+  std::string sketch_store_path_;
+
+  // Declaration order doubles as reverse destruction order: the pool
+  // must die before the queue/store it references.
+  std::unique_ptr<WorkQueue> queue_;
+  std::unique_ptr<SketchStore> store_;
+  std::unique_ptr<GutteringSystem> gutters_;
+  std::unique_ptr<WorkerPool> pool_;
+  bool initialized_ = false;
+};
+
+}  // namespace gz
+
+#endif  // GZ_CORE_GRAPH_ZEPPELIN_H_

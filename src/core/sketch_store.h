@@ -1,0 +1,101 @@
+// Sketch stores: where the V node sketches live during ingestion.
+//
+// InMemorySketchStore keeps them in RAM. OnDiskSketchStore keeps each
+// node's sketch in a fixed-size region of a preallocated file and
+// merges batched deltas with read-XOR-write cycles — the hybrid
+// streaming model of Section 4, where batching (gutters) amortizes the
+// per-update I/O cost.
+//
+// Thread safety: MergeDelta/Load are safe to call concurrently from
+// many Graph Workers; stores lock per node. Following Section 5.1,
+// workers accumulate a batch into a private delta sketch and the store
+// only holds the lock for the XOR merge.
+#ifndef GZ_CORE_SKETCH_STORE_H_
+#define GZ_CORE_SKETCH_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sketch/node_sketch.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+class SketchStore {
+ public:
+  virtual ~SketchStore() = default;
+
+  // XOR-merges `delta` (a sketch of a batch of updates) into `node`'s
+  // sketch. `delta` must have been built with the store's params.
+  virtual void MergeDelta(NodeId node, const NodeSketch& delta) = 0;
+
+  // Copies `node`'s current sketch into `out` (constructed with the
+  // store's params). Used by the connectivity query to take a snapshot.
+  virtual void Load(NodeId node, NodeSketch* out) = 0;
+
+  // Overwrites `node`'s sketch with `sketch` (params must match).
+  // Used by checkpoint restore.
+  virtual void Store(NodeId node, const NodeSketch& sketch) = 0;
+
+  virtual size_t RamByteSize() const = 0;
+  virtual size_t DiskByteSize() const = 0;
+
+  const NodeSketchParams& params() const { return params_; }
+  uint64_t num_nodes() const { return params_.num_nodes; }
+
+ protected:
+  explicit SketchStore(const NodeSketchParams& params) : params_(params) {}
+  NodeSketchParams params_;
+};
+
+class InMemorySketchStore : public SketchStore {
+ public:
+  explicit InMemorySketchStore(const NodeSketchParams& params);
+
+  void MergeDelta(NodeId node, const NodeSketch& delta) override;
+  void Load(NodeId node, NodeSketch* out) override;
+  void Store(NodeId node, const NodeSketch& sketch) override;
+  size_t RamByteSize() const override;
+  size_t DiskByteSize() const override { return 0; }
+
+ private:
+  std::vector<NodeSketch> sketches_;
+  // One lock per node; 40 B each is negligible next to the sketches.
+  std::unique_ptr<std::mutex[]> locks_;
+};
+
+class OnDiskSketchStore : public SketchStore {
+ public:
+  OnDiskSketchStore(const NodeSketchParams& params, std::string path);
+  ~OnDiskSketchStore() override;
+
+  // Creates and preallocates the backing file (all-zero regions are
+  // valid empty sketches). Must be called before use.
+  Status Init();
+
+  void MergeDelta(NodeId node, const NodeSketch& delta) override;
+  void Load(NodeId node, NodeSketch* out) override;
+  void Store(NodeId node, const NodeSketch& sketch) override;
+  size_t RamByteSize() const override;
+  size_t DiskByteSize() const override;
+
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  size_t record_bytes_ = 0;  // Serialized node-sketch size (uniform).
+  std::unique_ptr<std::mutex[]> locks_;
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace gz
+
+#endif  // GZ_CORE_SKETCH_STORE_H_

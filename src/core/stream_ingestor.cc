@@ -1,0 +1,39 @@
+#include "core/stream_ingestor.h"
+
+#include "stream/stream_file.h"
+#include "util/timer.h"
+
+namespace gz {
+
+Result<uint64_t> IngestStreamFile(GraphZeppelin* gz, const std::string& path,
+                                  uint64_t callback_every,
+                                  IngestProgressCallback callback) {
+  StreamReader reader;
+  Status s = reader.Open(path);
+  if (!s.ok()) return s;
+  if (reader.num_nodes() > gz->config().num_nodes) {
+    return Status::InvalidArgument(
+        "stream has more nodes than the GraphZeppelin instance");
+  }
+
+  WallTimer timer;
+  IngestProgress progress;
+  progress.total = reader.num_updates();
+  GraphUpdate update;
+  while (reader.Next(&update)) {
+    gz->Update(update);
+    ++progress.consumed;
+    if (callback != nullptr && callback_every > 0 &&
+        progress.consumed % callback_every == 0) {
+      progress.seconds = timer.Seconds();
+      callback(progress);
+    }
+  }
+  if (!reader.status().ok()) return reader.status();
+  gz->Flush();
+  progress.seconds = timer.Seconds();
+  if (callback != nullptr) callback(progress);
+  return progress.consumed;
+}
+
+}  // namespace gz

@@ -1,0 +1,67 @@
+#include "distributed/sharded_graph_zeppelin.h"
+
+#include "core/connectivity.h"
+#include "util/check.h"
+#include "util/xxhash.h"
+
+namespace gz {
+
+ShardedGraphZeppelin::ShardedGraphZeppelin(const GraphZeppelinConfig& base,
+                                           int num_shards)
+    : base_(base) {
+  GZ_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    GraphZeppelinConfig shard_config = base;
+    shard_config.instance_tag = "shard" + std::to_string(s);
+    shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
+  }
+}
+
+Status ShardedGraphZeppelin::Init() {
+  for (auto& shard : shards_) {
+    Status s = shard->Init();
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+int ShardedGraphZeppelin::ShardFor(const Edge& e) const {
+  const uint64_t idx = EdgeToIndex(e, base_.num_nodes);
+  return static_cast<int>(XxHash64Word(idx, 0x7368617264ULL) %
+                          shards_.size());
+}
+
+void ShardedGraphZeppelin::Update(const GraphUpdate& update) {
+  shards_[ShardFor(update.edge)]->Update(update);
+}
+
+void ShardedGraphZeppelin::Flush() {
+  for (auto& shard : shards_) shard->Flush();
+}
+
+std::vector<NodeSketch> ShardedGraphZeppelin::SnapshotSketches() {
+  // All shards share hash seeds, so the node-wise XOR of their
+  // snapshots is the sketch of the whole graph.
+  std::vector<NodeSketch> merged = shards_[0]->SnapshotSketches();
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    std::vector<NodeSketch> snapshot = shards_[s]->SnapshotSketches();
+    for (uint64_t i = 0; i < merged.size(); ++i) {
+      merged[i].Merge(snapshot[i]);
+    }
+  }
+  return merged;
+}
+
+ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
+  std::vector<NodeSketch> merged = SnapshotSketches();
+  return BoruvkaConnectivity(&merged);
+}
+
+size_t ShardedGraphZeppelin::RamByteSize() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->RamByteSize();
+  return total;
+}
+
+}  // namespace gz

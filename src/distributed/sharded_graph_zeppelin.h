@@ -1,0 +1,65 @@
+// Sharded ingestion: the distributed extension the paper sketches in
+// its conclusion ("sketches can be updated independently ... they can
+// be partitioned throughout a distributed cluster without sacrificing
+// stream ingestion rate").
+//
+// Each shard is a complete GraphZeppelin instance sharing the same
+// sketch seed; stream updates are routed to shards by hashing the edge,
+// so no coordination is needed during ingestion. Because sketches are
+// linear, the true node sketch is the XOR of the per-shard node
+// sketches, and a query merges shard snapshots node-wise before running
+// Boruvka — exactly the aggregation a distributed deployment would do
+// at a coordinator.
+#ifndef GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_
+#define GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/graph_zeppelin.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+class ShardedGraphZeppelin {
+ public:
+  // `base` configures every shard (same num_nodes and sketch seed;
+  // backing files get per-shard tags automatically).
+  ShardedGraphZeppelin(const GraphZeppelinConfig& base, int num_shards);
+
+  Status Init();
+
+  // Routes the update to its shard (deterministic by edge).
+  void Update(const GraphUpdate& update);
+
+  // Shard an update would go to; exposed for tests and for external
+  // routers (e.g. a stream partitioner in front of real machines).
+  int ShardFor(const Edge& e) const;
+
+  // Flushes every shard's buffers and waits for their workers.
+  void Flush();
+
+  // Coordinator aggregation: flushes all shards and XOR-merges their
+  // snapshots node-wise, yielding sketches of the whole graph. The
+  // extended algorithms (spanning-forest decomposition etc.) consume
+  // this directly.
+  std::vector<NodeSketch> SnapshotSketches();
+
+  // Merges shard snapshots node-wise and runs Boruvka.
+  ConnectivityResult ListSpanningForest();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  uint64_t updates_in_shard(int shard) const {
+    return shards_[shard]->num_updates_ingested();
+  }
+  size_t RamByteSize() const;
+
+ private:
+  GraphZeppelinConfig base_;
+  std::vector<std::unique_ptr<GraphZeppelin>> shards_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_

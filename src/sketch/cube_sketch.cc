@@ -1,0 +1,137 @@
+#include "sketch/cube_sketch.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/xxhash.h"
+
+namespace gz {
+namespace {
+
+// Domain-separation constants for deriving per-column hash seeds.
+constexpr uint64_t kColSeedTag = 0x636f6c5f73656564ULL;    // "col_seed"
+constexpr uint64_t kGammaSeedTag = 0x67616d6d615f7364ULL;  // "gamma_sd"
+constexpr uint64_t kDetSeedTag = 0x6465745f73656564ULL;    // "det_seed"
+
+int RowsForLength(uint64_t n) {
+  GZ_CHECK(n >= 1);
+  // ceil(log2(n)) geometric levels plus the always-on row 0.
+  const int levels = (n <= 1) ? 1 : std::bit_width(n - 1);
+  return levels + 1;
+}
+
+}  // namespace
+
+CubeSketch::CubeSketch(const CubeSketchParams& params)
+    : params_(params), rows_(RowsForLength(params.vector_len)) {
+  GZ_CHECK(params_.vector_len >= 1);
+  GZ_CHECK(params_.cols >= 1);
+  alphas_.assign(static_cast<size_t>(params_.cols) * rows_, 0);
+  gammas_.assign(static_cast<size_t>(params_.cols) * rows_, 0);
+  col_seeds_.reserve(params_.cols);
+  gamma_seeds_.reserve(params_.cols + 1);
+  for (int c = 0; c < params_.cols; ++c) {
+    col_seeds_.push_back(XxHash64Word(kColSeedTag + c, params_.seed));
+    gamma_seeds_.push_back(XxHash64Word(kGammaSeedTag + c, params_.seed));
+  }
+  // Seed for the deterministic bucket's checksum.
+  gamma_seeds_.push_back(XxHash64Word(kDetSeedTag, params_.seed));
+}
+
+void CubeSketch::Update(uint64_t idx) {
+  GZ_CHECK(idx < params_.vector_len);
+  const uint64_t enc = idx + 1;  // 0 is reserved for "empty".
+
+  det_alpha_ ^= enc;
+  det_gamma_ ^= static_cast<uint32_t>(XxHash64Word(enc, gamma_seeds_.back()));
+
+  for (int c = 0; c < params_.cols; ++c) {
+    const uint64_t h = XxHash64Word(enc, col_seeds_[c]);
+    // Rows 0..z where z = number of trailing zero bits of h (capped).
+    int depth = (h == 0) ? rows_ - 1 : std::countr_zero(h);
+    if (depth > rows_ - 1) depth = rows_ - 1;
+    const uint32_t checksum =
+        static_cast<uint32_t>(XxHash64Word(enc, gamma_seeds_[c]));
+    uint64_t* alpha = &alphas_[BucketIndex(c, 0)];
+    uint32_t* gamma = &gammas_[BucketIndex(c, 0)];
+    for (int r = 0; r <= depth; ++r) {
+      alpha[r] ^= enc;
+      gamma[r] ^= checksum;
+    }
+  }
+}
+
+void CubeSketch::UpdateBatch(const uint64_t* indices, size_t count) {
+  for (size_t i = 0; i < count; ++i) Update(indices[i]);
+}
+
+SketchSample CubeSketch::Query() const {
+  // Deterministic bucket: zero detection and O(1) singleton recovery.
+  if (det_alpha_ == 0 && det_gamma_ == 0) return SketchSample::Zero();
+  if (det_alpha_ != 0 && det_alpha_ <= params_.vector_len) {
+    const uint32_t expect =
+        static_cast<uint32_t>(XxHash64Word(det_alpha_, gamma_seeds_.back()));
+    if (expect == det_gamma_) return SketchSample::Good(det_alpha_ - 1);
+  }
+
+  // Scan each column from the deepest (sparsest) row upward: deep rows
+  // are the most likely to hold a single survivor.
+  for (int c = 0; c < params_.cols; ++c) {
+    for (int r = rows_ - 1; r >= 0; --r) {
+      const uint64_t alpha = alphas_[BucketIndex(c, r)];
+      const uint32_t gamma = gammas_[BucketIndex(c, r)];
+      if (alpha == 0 || alpha > params_.vector_len) continue;
+      const uint32_t expect =
+          static_cast<uint32_t>(XxHash64Word(alpha, gamma_seeds_[c]));
+      if (expect == gamma) return SketchSample::Good(alpha - 1);
+    }
+  }
+  return SketchSample::Fail();
+}
+
+void CubeSketch::Merge(const CubeSketch& other) {
+  GZ_CHECK_MSG(params_ == other.params_,
+               "merging sketches with different parameters");
+  for (size_t i = 0; i < alphas_.size(); ++i) {
+    alphas_[i] ^= other.alphas_[i];
+    gammas_[i] ^= other.gammas_[i];
+  }
+  det_alpha_ ^= other.det_alpha_;
+  det_gamma_ ^= other.det_gamma_;
+}
+
+void CubeSketch::Clear() {
+  std::memset(alphas_.data(), 0, alphas_.size() * sizeof(uint64_t));
+  std::memset(gammas_.data(), 0, gammas_.size() * sizeof(uint32_t));
+  det_alpha_ = 0;
+  det_gamma_ = 0;
+}
+
+size_t CubeSketch::ByteSize() const {
+  // 12 bytes per bucket (alpha u64 + gamma u32), including the
+  // deterministic bucket.
+  return (alphas_.size() + 1) * (sizeof(uint64_t) + sizeof(uint32_t));
+}
+
+void CubeSketch::SerializeTo(uint8_t* out) const {
+  std::memcpy(out, alphas_.data(), alphas_.size() * sizeof(uint64_t));
+  out += alphas_.size() * sizeof(uint64_t);
+  std::memcpy(out, gammas_.data(), gammas_.size() * sizeof(uint32_t));
+  out += gammas_.size() * sizeof(uint32_t);
+  std::memcpy(out, &det_alpha_, sizeof(det_alpha_));
+  out += sizeof(det_alpha_);
+  std::memcpy(out, &det_gamma_, sizeof(det_gamma_));
+}
+
+void CubeSketch::DeserializeFrom(const uint8_t* in) {
+  std::memcpy(alphas_.data(), in, alphas_.size() * sizeof(uint64_t));
+  in += alphas_.size() * sizeof(uint64_t);
+  std::memcpy(gammas_.data(), in, gammas_.size() * sizeof(uint32_t));
+  in += gammas_.size() * sizeof(uint32_t);
+  std::memcpy(&det_alpha_, in, sizeof(det_alpha_));
+  in += sizeof(det_alpha_);
+  std::memcpy(&det_gamma_, in, sizeof(det_gamma_));
+}
+
+}  // namespace gz

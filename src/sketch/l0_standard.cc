@@ -1,0 +1,8 @@
+#include "sketch/l0_standard.h"
+
+// StandardL0Sketch is header-only (templates); this file exists so the
+// module shows up as a translation unit and to pin vtable-free symbols.
+namespace gz {
+static_assert(internal_l0::NarrowField::kBucketBytes == 24);
+static_assert(internal_l0::WideField::kBucketBytes == 48);
+}  // namespace gz

@@ -1,0 +1,91 @@
+#include "sketch/node_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stream/stream_types.h"
+#include "util/check.h"
+#include "util/xxhash.h"
+
+namespace gz {
+
+int NodeSketch::DefaultRounds(uint64_t num_nodes) {
+  GZ_CHECK(num_nodes >= 2);
+  // ceil(log_{3/2}(V)): Boruvka shrinks the component count by at least
+  // 3/2 per successful round (paper Figure 9, line 8). The minimum of 2
+  // leaves a confirmation round (all-cuts-empty) after the last merge.
+  const double rounds =
+      std::log(static_cast<double>(num_nodes)) / std::log(1.5);
+  return std::max(2, static_cast<int>(std::ceil(rounds)));
+}
+
+NodeSketch::NodeSketch(const NodeSketchParams& params) : params_(params) {
+  GZ_CHECK(params_.num_nodes >= 2);
+  const int rounds = params_.rounds > 0 ? params_.rounds
+                                        : DefaultRounds(params_.num_nodes);
+  params_.rounds = rounds;
+  subsketches_.reserve(rounds);
+  const uint64_t vec_len = NumPossibleEdges(params_.num_nodes);
+  for (int r = 0; r < rounds; ++r) {
+    CubeSketchParams cp;
+    cp.vector_len = vec_len;
+    // Round seeds derive from the graph seed only, NOT the node id:
+    // every vertex must share hash functions for merges to be linear.
+    cp.seed = XxHash64Word(static_cast<uint64_t>(r) + 1, params_.seed);
+    cp.cols = params_.cols;
+    subsketches_.emplace_back(cp);
+  }
+}
+
+void NodeSketch::Update(uint64_t edge_index) {
+  for (CubeSketch& s : subsketches_) s.Update(edge_index);
+}
+
+void NodeSketch::UpdateBatch(const uint64_t* indices, size_t count) {
+  for (CubeSketch& s : subsketches_) s.UpdateBatch(indices, count);
+}
+
+SketchSample NodeSketch::Query(int round) const {
+  GZ_CHECK(round >= 0 && round < rounds());
+  return subsketches_[round].Query();
+}
+
+void NodeSketch::Merge(const NodeSketch& other) {
+  GZ_CHECK_MSG(params_ == other.params_,
+               "merging node sketches with different parameters");
+  for (int r = 0; r < rounds(); ++r) {
+    subsketches_[r].Merge(other.subsketches_[r]);
+  }
+}
+
+void NodeSketch::Clear() {
+  for (CubeSketch& s : subsketches_) s.Clear();
+}
+
+size_t NodeSketch::ByteSize() const {
+  size_t total = 0;
+  for (const CubeSketch& s : subsketches_) total += s.ByteSize();
+  return total;
+}
+
+size_t NodeSketch::SerializedSize() const {
+  size_t total = 0;
+  for (const CubeSketch& s : subsketches_) total += s.SerializedSize();
+  return total;
+}
+
+void NodeSketch::SerializeTo(uint8_t* out) const {
+  for (const CubeSketch& s : subsketches_) {
+    s.SerializeTo(out);
+    out += s.SerializedSize();
+  }
+}
+
+void NodeSketch::DeserializeFrom(const uint8_t* in) {
+  for (CubeSketch& s : subsketches_) {
+    s.DeserializeFrom(in);
+    in += s.SerializedSize();
+  }
+}
+
+}  // namespace gz

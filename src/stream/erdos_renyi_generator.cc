@@ -1,0 +1,64 @@
+#include "stream/erdos_renyi_generator.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/random.h"
+#include "util/xxhash.h"
+
+namespace gz {
+
+ErdosRenyiGenerator::ErdosRenyiGenerator(const ErdosRenyiParams& params)
+    : params_(params) {
+  GZ_CHECK(params_.num_nodes >= 2);
+  GZ_CHECK(params_.p > 0.0 && params_.p <= 1.0);
+}
+
+EdgeList ErdosRenyiGenerator::Generate() const {
+  const uint64_t n = params_.num_nodes;
+  EdgeList edges;
+  edges.reserve(
+      static_cast<size_t>(params_.p * static_cast<double>(NumPossibleEdges(n)) *
+                          1.02) +
+      16);
+  SplitMix64 rng(XxHash64Word(0x6572ULL, params_.seed));
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextDouble() < params_.p) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+EdgeList RandomConnectedGraph(uint64_t num_nodes, uint64_t num_edges,
+                              uint64_t seed) {
+  GZ_CHECK(num_nodes >= 2);
+  GZ_CHECK(num_edges >= num_nodes - 1);
+  GZ_CHECK(num_edges <= NumPossibleEdges(num_nodes));
+  SplitMix64 rng(XxHash64Word(0x636f6e6eULL, seed));
+
+  EdgeList edges;
+  edges.reserve(num_edges);
+  std::unordered_set<uint64_t> present;
+  present.reserve(num_edges * 2);
+
+  // Random spanning tree: attach each vertex to a random earlier one.
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const NodeId u = static_cast<NodeId>(rng.NextBelow(v));
+    Edge e(u, v);
+    present.insert(EdgeToIndex(e, num_nodes));
+    edges.push_back(e);
+  }
+  // Fill with distinct random extra edges.
+  while (edges.size() < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.NextBelow(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.NextBelow(num_nodes));
+    if (u == v) continue;
+    Edge e(u, v);
+    const uint64_t idx = EdgeToIndex(e, num_nodes);
+    if (present.insert(idx).second) edges.push_back(e);
+  }
+  return edges;
+}
+
+}  // namespace gz

@@ -1,0 +1,36 @@
+// Erdős–Rényi G(n, p) generator: the simplest dense-graph workload, used
+// by tests and as an unskewed counterpart to the Kronecker generator.
+#ifndef GZ_STREAM_ERDOS_RENYI_GENERATOR_H_
+#define GZ_STREAM_ERDOS_RENYI_GENERATOR_H_
+
+#include <cstdint>
+
+#include "stream/stream_types.h"
+
+namespace gz {
+
+struct ErdosRenyiParams {
+  uint64_t num_nodes = 0;
+  double p = 0.5;  // Independent probability per possible edge.
+  uint64_t seed = 1;
+};
+
+class ErdosRenyiGenerator {
+ public:
+  explicit ErdosRenyiGenerator(const ErdosRenyiParams& params);
+
+  EdgeList Generate() const;
+
+ private:
+  ErdosRenyiParams params_;
+};
+
+// Convenience: a uniformly random spanning-tree-plus-extras graph with
+// exactly `num_edges` edges and guaranteed connectivity. Used by tests
+// that need a connected ground truth.
+EdgeList RandomConnectedGraph(uint64_t num_nodes, uint64_t num_edges,
+                              uint64_t seed);
+
+}  // namespace gz
+
+#endif  // GZ_STREAM_ERDOS_RENYI_GENERATOR_H_

@@ -1,0 +1,62 @@
+// Maps arbitrary string node identifiers to dense integer NodeIds —
+// the paper's Section 2.2 note that streams may name nodes with
+// arbitrary strings. A dense assignment (rather than the paper's
+// hash-to-[O(U^2)] sketch trick) keeps downstream structures exactly
+// V-sized and is collision-free by construction.
+#ifndef GZ_STREAM_NODE_ID_MAPPER_H_
+#define GZ_STREAM_NODE_ID_MAPPER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream_types.h"
+#include "util/check.h"
+
+namespace gz {
+
+class NodeIdMapper {
+ public:
+  // Maximum distinct names (the GraphZeppelin instance's num_nodes).
+  explicit NodeIdMapper(uint64_t capacity) : capacity_(capacity) {}
+
+  // Returns the id for `name`, assigning the next free id on first use.
+  // Aborts if capacity is exhausted (callers size capacity as the
+  // stream's node upper bound U).
+  NodeId IdFor(std::string_view name) {
+    const auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    GZ_CHECK_MSG(names_.size() < capacity_, "node id capacity exhausted");
+    const NodeId id = static_cast<NodeId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Lookup without assignment.
+  std::optional<NodeId> Find(std::string_view name) const {
+    const auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Inverse mapping; `id` must have been assigned.
+  const std::string& NameOf(NodeId id) const {
+    GZ_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  uint64_t size() const { return names_.size(); }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  uint64_t capacity_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> ids_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_STREAM_NODE_ID_MAPPER_H_

@@ -1,0 +1,158 @@
+#include "stream/stream_file.h"
+
+#include <cstring>
+
+namespace gz {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'Z', 'S', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
+constexpr size_t kRecordSize = 4 + 4 + 1;
+
+void PackHeader(uint64_t num_nodes, uint64_t count, uint8_t out[kHeaderSize]) {
+  std::memcpy(out, kMagic, 4);
+  std::memcpy(out + 4, &kVersion, 4);
+  std::memcpy(out + 8, &num_nodes, 8);
+  std::memcpy(out + 16, &count, 8);
+}
+
+}  // namespace
+
+StreamWriter::~StreamWriter() {
+  if (file_ != nullptr) (void)Close();
+}
+
+Status StreamWriter::Open(const std::string& path, uint64_t num_nodes) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot create stream file: " + path);
+  }
+  num_nodes_ = num_nodes;
+  count_ = 0;
+  uint8_t header[kHeaderSize];
+  PackHeader(num_nodes_, 0, header);
+  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    return Status::IoError("short header write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status StreamWriter::Append(const GraphUpdate& update) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  uint8_t rec[kRecordSize];
+  std::memcpy(rec, &update.edge.u, 4);
+  std::memcpy(rec + 4, &update.edge.v, 4);
+  rec[8] = static_cast<uint8_t>(update.type);
+  if (std::fwrite(rec, 1, kRecordSize, file_) != kRecordSize) {
+    return Status::IoError("short record write");
+  }
+  ++count_;
+  return Status::Ok();
+}
+
+Status StreamWriter::AppendAll(const std::vector<GraphUpdate>& updates) {
+  for (const GraphUpdate& u : updates) {
+    Status s = Append(u);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status StreamWriter::Close() {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  uint8_t header[kHeaderSize];
+  PackHeader(num_nodes_, count_, header);
+  Status result = Status::Ok();
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    result = Status::IoError("header rewrite failed");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return result;
+}
+
+StreamReader::~StreamReader() { Close(); }
+
+Status StreamReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("reader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open stream file: " + path);
+  }
+  uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    Close();
+    return Status::IoError("short header read: " + path);
+  }
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    Close();
+    return Status::InvalidArgument("bad magic in stream file: " + path);
+  }
+  uint32_t version;
+  std::memcpy(&version, header + 4, 4);
+  if (version != kVersion) {
+    Close();
+    return Status::InvalidArgument("unsupported stream file version");
+  }
+  std::memcpy(&num_nodes_, header + 8, 8);
+  std::memcpy(&num_updates_, header + 16, 8);
+  consumed_ = 0;
+  status_ = Status::Ok();
+  return Status::Ok();
+}
+
+bool StreamReader::Next(GraphUpdate* update) {
+  if (file_ == nullptr || consumed_ >= num_updates_) return false;
+  uint8_t rec[kRecordSize];
+  if (std::fread(rec, 1, kRecordSize, file_) != kRecordSize) {
+    status_ = Status::IoError("short record read (stream truncated)");
+    return false;
+  }
+  NodeId u, v;
+  std::memcpy(&u, rec, 4);
+  std::memcpy(&v, rec + 4, 4);
+  update->edge = Edge(u, v);
+  update->type = static_cast<UpdateType>(rec[8]);
+  ++consumed_;
+  return true;
+}
+
+void StreamReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteStreamFile(const std::string& path, uint64_t num_nodes,
+                       const std::vector<GraphUpdate>& updates) {
+  StreamWriter writer;
+  Status s = writer.Open(path, num_nodes);
+  if (!s.ok()) return s;
+  s = writer.AppendAll(updates);
+  if (!s.ok()) return s;
+  return writer.Close();
+}
+
+Result<std::vector<GraphUpdate>> ReadStreamFile(const std::string& path,
+                                                uint64_t* num_nodes_out) {
+  StreamReader reader;
+  Status s = reader.Open(path);
+  if (!s.ok()) return s;
+  if (num_nodes_out != nullptr) *num_nodes_out = reader.num_nodes();
+  std::vector<GraphUpdate> updates;
+  updates.reserve(reader.num_updates());
+  GraphUpdate u;
+  while (reader.Next(&u)) updates.push_back(u);
+  if (!reader.status().ok()) return reader.status();
+  return updates;
+}
+
+}  // namespace gz

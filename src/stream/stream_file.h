@@ -1,0 +1,76 @@
+// Binary stream files: the on-disk representation of a graph stream.
+// Format: 24-byte header (magic, version, node count, update count)
+// followed by packed 9-byte records (u: u32, v: u32, type: u8).
+#ifndef GZ_STREAM_STREAM_FILE_H_
+#define GZ_STREAM_STREAM_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+class StreamWriter {
+ public:
+  StreamWriter() = default;
+  ~StreamWriter();
+  StreamWriter(const StreamWriter&) = delete;
+  StreamWriter& operator=(const StreamWriter&) = delete;
+
+  // Creates/truncates `path` and writes the header. `num_nodes` is the
+  // node-count upper bound consumers should size their structures for.
+  Status Open(const std::string& path, uint64_t num_nodes);
+
+  Status Append(const GraphUpdate& update);
+  Status AppendAll(const std::vector<GraphUpdate>& updates);
+
+  // Rewrites the header with the final update count and closes the file.
+  Status Close();
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t num_nodes_ = 0;
+  uint64_t count_ = 0;
+};
+
+class StreamReader {
+ public:
+  StreamReader() = default;
+  ~StreamReader();
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_updates() const { return num_updates_; }
+
+  // Reads the next update. Returns true on success, false at EOF.
+  // I/O errors are reported through `status()`.
+  bool Next(GraphUpdate* update);
+
+  const Status& status() const { return status_; }
+
+  void Close();
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_updates_ = 0;
+  uint64_t consumed_ = 0;
+  Status status_;
+};
+
+// Convenience round-trips for tests and examples.
+Status WriteStreamFile(const std::string& path, uint64_t num_nodes,
+                       const std::vector<GraphUpdate>& updates);
+Result<std::vector<GraphUpdate>> ReadStreamFile(const std::string& path,
+                                                uint64_t* num_nodes_out);
+
+}  // namespace gz
+
+#endif  // GZ_STREAM_STREAM_FILE_H_

@@ -1,0 +1,31 @@
+#include "stream/stream_types.h"
+
+#include <cmath>
+
+namespace gz {
+
+Edge IndexToEdge(EdgeIndex idx, uint64_t num_nodes) {
+  GZ_CHECK(idx < NumPossibleEdges(num_nodes));
+  // Solve for the largest u with RowStart(u) <= idx where
+  // RowStart(u) = u*num_nodes - u*(u+1)/2. Start from the float
+  // approximation and correct with integer steps (float error is tiny but
+  // nonzero for indices near 2^53).
+  const double n = static_cast<double>(num_nodes);
+  const double disc = (2.0 * n - 1.0) * (2.0 * n - 1.0) -
+                      8.0 * static_cast<double>(idx);
+  uint64_t u = static_cast<uint64_t>(
+      std::floor(((2.0 * n - 1.0) - std::sqrt(disc)) / 2.0));
+  if (u >= num_nodes) u = num_nodes - 1;
+
+  auto row_start = [num_nodes](uint64_t r) {
+    return r * num_nodes - r * (r + 1) / 2;
+  };
+  while (u > 0 && row_start(u) > idx) --u;
+  while (u + 1 < num_nodes && row_start(u + 1) <= idx) ++u;
+
+  const uint64_t v = idx - row_start(u) + u + 1;
+  GZ_CHECK(v < num_nodes);
+  return Edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+}
+
+}  // namespace gz

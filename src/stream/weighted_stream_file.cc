@@ -1,0 +1,155 @@
+#include "stream/weighted_stream_file.h"
+
+#include <cstring>
+
+namespace gz {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'Z', 'W', 'S'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
+constexpr size_t kRecordSize = 4 + 4 + 1 + 4;
+
+void PackHeader(uint64_t num_nodes, uint64_t count, uint8_t out[kHeaderSize]) {
+  std::memcpy(out, kMagic, 4);
+  std::memcpy(out + 4, &kVersion, 4);
+  std::memcpy(out + 8, &num_nodes, 8);
+  std::memcpy(out + 16, &count, 8);
+}
+
+}  // namespace
+
+WeightedStreamWriter::~WeightedStreamWriter() {
+  if (file_ != nullptr) (void)Close();
+}
+
+Status WeightedStreamWriter::Open(const std::string& path,
+                                  uint64_t num_nodes) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("writer already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot create weighted stream file: " + path);
+  }
+  num_nodes_ = num_nodes;
+  count_ = 0;
+  uint8_t header[kHeaderSize];
+  PackHeader(num_nodes_, 0, header);
+  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    return Status::IoError("short header write: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WeightedStreamWriter::Append(const WeightedUpdate& wu) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  uint8_t rec[kRecordSize];
+  std::memcpy(rec, &wu.update.edge.u, 4);
+  std::memcpy(rec + 4, &wu.update.edge.v, 4);
+  rec[8] = static_cast<uint8_t>(wu.update.type);
+  std::memcpy(rec + 9, &wu.weight, 4);
+  if (std::fwrite(rec, 1, kRecordSize, file_) != kRecordSize) {
+    return Status::IoError("short record write");
+  }
+  ++count_;
+  return Status::Ok();
+}
+
+Status WeightedStreamWriter::Close() {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer not open");
+  uint8_t header[kHeaderSize];
+  PackHeader(num_nodes_, count_, header);
+  Status result = Status::Ok();
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    result = Status::IoError("header rewrite failed");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  return result;
+}
+
+WeightedStreamReader::~WeightedStreamReader() { Close(); }
+
+Status WeightedStreamReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("reader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::NotFound("cannot open weighted stream file: " + path);
+  }
+  uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    Close();
+    return Status::IoError("short header read: " + path);
+  }
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    Close();
+    return Status::InvalidArgument("bad magic in weighted stream: " + path);
+  }
+  uint32_t version;
+  std::memcpy(&version, header + 4, 4);
+  if (version != kVersion) {
+    Close();
+    return Status::InvalidArgument("unsupported weighted stream version");
+  }
+  std::memcpy(&num_nodes_, header + 8, 8);
+  std::memcpy(&num_updates_, header + 16, 8);
+  consumed_ = 0;
+  status_ = Status::Ok();
+  return Status::Ok();
+}
+
+bool WeightedStreamReader::Next(WeightedUpdate* wu) {
+  if (file_ == nullptr || consumed_ >= num_updates_) return false;
+  uint8_t rec[kRecordSize];
+  if (std::fread(rec, 1, kRecordSize, file_) != kRecordSize) {
+    status_ = Status::IoError("short record read (stream truncated)");
+    return false;
+  }
+  NodeId u, v;
+  std::memcpy(&u, rec, 4);
+  std::memcpy(&v, rec + 4, 4);
+  wu->update.edge = Edge(u, v);
+  wu->update.type = static_cast<UpdateType>(rec[8]);
+  std::memcpy(&wu->weight, rec + 9, 4);
+  ++consumed_;
+  return true;
+}
+
+void WeightedStreamReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WriteWeightedStreamFile(const std::string& path, uint64_t num_nodes,
+                               const std::vector<WeightedUpdate>& updates) {
+  WeightedStreamWriter writer;
+  Status s = writer.Open(path, num_nodes);
+  if (!s.ok()) return s;
+  for (const WeightedUpdate& wu : updates) {
+    s = writer.Append(wu);
+    if (!s.ok()) return s;
+  }
+  return writer.Close();
+}
+
+Result<std::vector<WeightedUpdate>> ReadWeightedStreamFile(
+    const std::string& path, uint64_t* num_nodes_out) {
+  WeightedStreamReader reader;
+  Status s = reader.Open(path);
+  if (!s.ok()) return s;
+  if (num_nodes_out != nullptr) *num_nodes_out = reader.num_nodes();
+  std::vector<WeightedUpdate> updates;
+  updates.reserve(reader.num_updates());
+  WeightedUpdate wu;
+  while (reader.Next(&wu)) updates.push_back(wu);
+  if (!reader.status().ok()) return reader.status();
+  return updates;
+}
+
+}  // namespace gz

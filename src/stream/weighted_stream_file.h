@@ -1,0 +1,74 @@
+// Weighted binary stream files: like stream_file.h but each record
+// carries an integer edge weight, feeding the MSF-weight sketch
+// (algos/msf_weight.h). Format: 24-byte header (magic "GZWS", version,
+// node count, update count) then packed 13-byte records
+// (u: u32, v: u32, type: u8, weight: u32).
+#ifndef GZ_STREAM_WEIGHTED_STREAM_FILE_H_
+#define GZ_STREAM_WEIGHTED_STREAM_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct WeightedUpdate {
+  GraphUpdate update;
+  uint32_t weight = 1;
+
+  friend bool operator==(const WeightedUpdate& a, const WeightedUpdate& b) {
+    return a.update == b.update && a.weight == b.weight;
+  }
+};
+
+class WeightedStreamWriter {
+ public:
+  WeightedStreamWriter() = default;
+  ~WeightedStreamWriter();
+  WeightedStreamWriter(const WeightedStreamWriter&) = delete;
+  WeightedStreamWriter& operator=(const WeightedStreamWriter&) = delete;
+
+  Status Open(const std::string& path, uint64_t num_nodes);
+  Status Append(const WeightedUpdate& update);
+  Status Close();
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t num_nodes_ = 0;
+  uint64_t count_ = 0;
+};
+
+class WeightedStreamReader {
+ public:
+  WeightedStreamReader() = default;
+  ~WeightedStreamReader();
+  WeightedStreamReader(const WeightedStreamReader&) = delete;
+  WeightedStreamReader& operator=(const WeightedStreamReader&) = delete;
+
+  Status Open(const std::string& path);
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint64_t num_updates() const { return num_updates_; }
+  bool Next(WeightedUpdate* update);
+  const Status& status() const { return status_; }
+  void Close();
+
+ private:
+  FILE* file_ = nullptr;
+  uint64_t num_nodes_ = 0;
+  uint64_t num_updates_ = 0;
+  uint64_t consumed_ = 0;
+  Status status_;
+};
+
+Status WriteWeightedStreamFile(const std::string& path, uint64_t num_nodes,
+                               const std::vector<WeightedUpdate>& updates);
+Result<std::vector<WeightedUpdate>> ReadWeightedStreamFile(
+    const std::string& path, uint64_t* num_nodes_out);
+
+}  // namespace gz
+
+#endif  // GZ_STREAM_WEIGHTED_STREAM_FILE_H_

@@ -1,0 +1,40 @@
+// Invariant-checking macros (abort on violation). Library code uses these
+// for programmer errors; recoverable conditions use gz::Status instead.
+#ifndef GZ_UTIL_CHECK_H_
+#define GZ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a message if `cond` is false. Enabled in all build types:
+// sketch/buffering invariants are cheap relative to hashing work.
+#define GZ_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GZ_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define GZ_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "GZ_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Checks that a gz::Status-returning expression is OK.
+#define GZ_CHECK_OK(expr)                                                   \
+  do {                                                                      \
+    const ::gz::Status _gz_status = (expr);                                 \
+    if (!_gz_status.ok()) {                                                 \
+      std::fprintf(stderr, "GZ_CHECK_OK failed: %s at %s:%d\n",             \
+                   _gz_status.message().c_str(), __FILE__, __LINE__);       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // GZ_UTIL_CHECK_H_

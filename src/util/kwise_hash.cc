@@ -1,0 +1,30 @@
+#include "util/kwise_hash.h"
+
+#include "util/check.h"
+#include "util/mersenne_field.h"
+#include "util/xxhash.h"
+
+namespace gz {
+
+KWiseHash::KWiseHash(uint64_t seed, int k) {
+  GZ_CHECK(k >= 1);
+  coeffs_.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    uint64_t c = XxHash64Word(static_cast<uint64_t>(i) + 1, seed) % kMersenne61;
+    // The leading coefficient must be nonzero for full independence.
+    if (i == k - 1 && c == 0) c = 1;
+    coeffs_.push_back(c);
+  }
+}
+
+uint64_t KWiseHash::Hash(uint64_t x) const {
+  uint64_t xr = x % kMersenne61;
+  // Horner evaluation, highest degree first.
+  uint64_t acc = coeffs_.back();
+  for (int i = static_cast<int>(coeffs_.size()) - 2; i >= 0; --i) {
+    acc = AddMod61(MulMod61(acc, xr), coeffs_[i]);
+  }
+  return acc;
+}
+
+}  // namespace gz

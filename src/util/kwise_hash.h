@@ -1,0 +1,36 @@
+// k-wise independent hash family over a Mersenne-61 field:
+//   h(x) = (a_{k-1} x^{k-1} + ... + a_1 x + a_0) mod p
+// Degree-(k-1) polynomials with random coefficients give a k-wise
+// independent family (Wegman-Carter). CubeSketch and the standard
+// l0-sampler both need 2-wise independence for their analyses.
+#ifndef GZ_UTIL_KWISE_HASH_H_
+#define GZ_UTIL_KWISE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gz {
+
+class KWiseHash {
+ public:
+  // Draws the k coefficients deterministically from `seed`.
+  KWiseHash(uint64_t seed, int k);
+
+  // Evaluates the polynomial at x (x may be any 64-bit value; it is
+  // reduced into the field first). Output is uniform in [0, 2^61 - 1).
+  uint64_t Hash(uint64_t x) const;
+
+  // Hash reduced to [0, range).
+  uint64_t HashRange(uint64_t x, uint64_t range) const {
+    return Hash(x) % range;
+  }
+
+  int k() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // coeffs_[i] multiplies x^i.
+};
+
+}  // namespace gz
+
+#endif  // GZ_UTIL_KWISE_HASH_H_

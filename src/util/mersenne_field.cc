@@ -1,0 +1,27 @@
+#include "util/mersenne_field.h"
+
+namespace gz {
+
+uint64_t PowMod31(uint64_t r, uint64_t e) {
+  uint64_t base = Reduce31(r);
+  uint64_t acc = 1;
+  while (e > 0) {
+    if (e & 1) acc = MulMod31(acc, base);
+    base = MulMod31(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+uint64_t PowMod61(uint64_t r, uint64_t e) {
+  uint64_t base = r % kMersenne61;
+  uint64_t acc = 1;
+  while (e > 0) {
+    if (e & 1) acc = MulMod61(acc, base);
+    base = MulMod61(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace gz

@@ -1,0 +1,38 @@
+// Small, fast, seedable PRNG (SplitMix64) used by generators and tests.
+// Header-only: the whole implementation is a handful of arithmetic ops.
+#ifndef GZ_UTIL_RANDOM_H_
+#define GZ_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace gz {
+
+// SplitMix64: passes BigCrush, one multiply-xor-shift pipeline per draw.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). Modulo bias is negligible for bound << 2^64.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_UTIL_RANDOM_H_

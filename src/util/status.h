@@ -1,0 +1,94 @@
+// Minimal Status / Result<T> error-handling types (no exceptions in
+// library code, following the Google C++ style used throughout).
+#ifndef GZ_UTIL_STATUS_H_
+#define GZ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace gz {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+  kResourceExhausted,
+};
+
+// Value-semantic status: either OK or a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable one-line rendering, e.g. "IO_ERROR: short read".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value or an error status. Accessing the value of an
+// error result is a programmer error (GZ_CHECK).
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions mirror absl::StatusOr ergonomics: functions can
+  // `return value;` or `return Status::IoError(...);`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    GZ_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GZ_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    GZ_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    GZ_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace gz
+
+#endif  // GZ_UTIL_STATUS_H_

@@ -1,0 +1,18 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace gz {
+
+const char* FormatRate(double ops_per_sec, char* buf, int buf_len) {
+  if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, buf_len, "%.2fM", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, buf_len, "%.1fK", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, buf_len, "%.0f", ops_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace gz

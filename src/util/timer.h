@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#ifndef GZ_UTIL_TIMER_H_
+#define GZ_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gz {
+
+class WallTimer {
+ public:
+  WallTimer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Formats a rate (ops/sec) with engineering-style units, e.g. "3.21M".
+// Defined in timer.cc.
+const char* FormatRate(double ops_per_sec, char* buf, int buf_len);
+
+}  // namespace gz
+
+#endif  // GZ_UTIL_TIMER_H_

@@ -1,0 +1,22 @@
+// From-scratch implementation of the XXH64 hash algorithm (the hash the
+// paper's system uses for sketch bucket placement; see Collet, xxHash).
+// Non-cryptographic, very fast, well-distributed 64-bit output.
+#ifndef GZ_UTIL_XXHASH_H_
+#define GZ_UTIL_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gz {
+
+// Hashes an arbitrary byte buffer with the XXH64 algorithm.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+// Hashes a single 64-bit value. This is the hot path for sketch updates:
+// a specialized fixed-length variant of XXH64 (identical output to
+// XxHash64(&value, 8, seed)).
+uint64_t XxHash64Word(uint64_t value, uint64_t seed);
+
+}  // namespace gz
+
+#endif  // GZ_UTIL_XXHASH_H_

@@ -1,0 +1,144 @@
+// Tests for the Kronecker and Erdős–Rényi graph generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsu/dsu.h"
+#include "stream/erdos_renyi_generator.h"
+#include "stream/kronecker_generator.h"
+
+namespace gz {
+namespace {
+
+bool IsSimple(const EdgeList& edges) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : edges) {
+    if (e.u == e.v) return false;
+    if (e.u > e.v) return false;  // Must be normalized.
+    if (!seen.insert({e.u, e.v}).second) return false;
+  }
+  return true;
+}
+
+TEST(KroneckerGeneratorTest, EdgeCountNearTarget) {
+  KroneckerParams p;
+  p.scale = 9;  // 512 nodes, ~65k possible edges.
+  p.density = 0.5;
+  p.seed = 3;
+  KroneckerGenerator gen(p);
+  const EdgeList edges = gen.Generate();
+  const double target =
+      p.density * static_cast<double>(NumPossibleEdges(gen.num_nodes()));
+  EXPECT_GT(static_cast<double>(edges.size()), target * 0.93);
+  EXPECT_LT(static_cast<double>(edges.size()), target * 1.07);
+}
+
+TEST(KroneckerGeneratorTest, ProducesSimpleGraph) {
+  KroneckerParams p;
+  p.scale = 8;
+  p.density = 0.4;
+  const EdgeList edges = KroneckerGenerator(p).Generate();
+  EXPECT_TRUE(IsSimple(edges));
+}
+
+TEST(KroneckerGeneratorTest, DeterministicBySeed) {
+  KroneckerParams p;
+  p.scale = 7;
+  p.seed = 42;
+  const EdgeList a = KroneckerGenerator(p).Generate();
+  const EdgeList b = KroneckerGenerator(p).Generate();
+  EXPECT_EQ(a, b);
+  p.seed = 43;
+  const EdgeList c = KroneckerGenerator(p).Generate();
+  EXPECT_NE(a, c);
+}
+
+TEST(KroneckerGeneratorTest, SkewedDegreesAtLowDensity) {
+  // Kronecker graphs concentrate edges among low-id vertices (initiator
+  // A = 0.57 favors the 0-bit quadrant).
+  KroneckerParams p;
+  p.scale = 10;
+  p.density = 0.02;
+  p.seed = 5;
+  KroneckerGenerator gen(p);
+  const EdgeList edges = gen.Generate();
+  const uint64_t n = gen.num_nodes();
+  std::vector<int> degree(n, 0);
+  for (const Edge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  uint64_t low_half = 0, high_half = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    (v < n / 2 ? low_half : high_half) += degree[v];
+  }
+  EXPECT_GT(low_half, high_half * 2);
+}
+
+TEST(KroneckerGeneratorTest, PairWeightSymmetric) {
+  KroneckerParams p;
+  p.scale = 6;
+  KroneckerGenerator gen(p);
+  EXPECT_DOUBLE_EQ(gen.PairWeight(3, 17), gen.PairWeight(17, 3));
+}
+
+class KroneckerDensitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KroneckerDensitySweepTest, CalibrationHitsTarget) {
+  // The class-histogram calibration must hit the target density even
+  // when clipping at probability 1 kicks in for heavy pairs.
+  KroneckerParams p;
+  p.scale = 9;
+  p.density = GetParam();
+  p.seed = 11;
+  KroneckerGenerator gen(p);
+  const EdgeList edges = gen.Generate();
+  const double target =
+      p.density * static_cast<double>(NumPossibleEdges(gen.num_nodes()));
+  EXPECT_GT(static_cast<double>(edges.size()), target * 0.93);
+  EXPECT_LT(static_cast<double>(edges.size()), target * 1.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, KroneckerDensitySweepTest,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95));
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  ErdosRenyiParams p;
+  p.num_nodes = 400;
+  p.p = 0.3;
+  p.seed = 7;
+  const EdgeList edges = ErdosRenyiGenerator(p).Generate();
+  const double expect = 0.3 * static_cast<double>(NumPossibleEdges(400));
+  EXPECT_GT(static_cast<double>(edges.size()), expect * 0.9);
+  EXPECT_LT(static_cast<double>(edges.size()), expect * 1.1);
+  EXPECT_TRUE(IsSimple(edges));
+}
+
+TEST(ErdosRenyiTest, FullDensityIsCompleteGraph) {
+  ErdosRenyiParams p;
+  p.num_nodes = 30;
+  p.p = 1.0;
+  const EdgeList edges = ErdosRenyiGenerator(p).Generate();
+  EXPECT_EQ(edges.size(), NumPossibleEdges(30));
+}
+
+TEST(RandomConnectedGraphTest, ExactEdgeCountAndConnected) {
+  const uint64_t n = 100;
+  const uint64_t m = 250;
+  const EdgeList edges = RandomConnectedGraph(n, m, 9);
+  EXPECT_EQ(edges.size(), m);
+  EXPECT_TRUE(IsSimple(edges));
+  Dsu dsu(n);
+  for (const Edge& e : edges) dsu.Union(e.u, e.v);
+  EXPECT_EQ(dsu.num_sets(), 1u);
+}
+
+TEST(RandomConnectedGraphTest, TreeCase) {
+  const EdgeList edges = RandomConnectedGraph(50, 49, 2);
+  EXPECT_EQ(edges.size(), 49u);
+  Dsu dsu(50);
+  for (const Edge& e : edges) EXPECT_TRUE(dsu.Union(e.u, e.v));
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,200 @@
+// Tests for the standard (a, b, c)-bucket l0-sampler baseline.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "sketch/l0_standard.h"
+#include "util/random.h"
+
+namespace gz {
+namespace {
+
+L0SketchParams MakeParams(uint64_t n, uint64_t seed, int cols = 7) {
+  L0SketchParams p;
+  p.vector_len = n;
+  p.seed = seed;
+  p.cols = cols;
+  return p;
+}
+
+TEST(StandardL0Test, EmptyIsZero) {
+  StandardL0Sketch s(MakeParams(1000, 1));
+  EXPECT_EQ(s.Query().kind, SampleKind::kZero);
+}
+
+TEST(StandardL0Test, SingletonRecovered) {
+  for (uint64_t idx : {0ULL, 1ULL, 999ULL}) {
+    StandardL0Sketch s(MakeParams(1000, 2));
+    s.Update(idx, 1);
+    const SketchSample sample = s.Query();
+    ASSERT_EQ(sample.kind, SampleKind::kGood);
+    EXPECT_EQ(sample.index, idx);
+  }
+}
+
+TEST(StandardL0Test, NegativeSingletonRecovered) {
+  // Entry value -1 (characteristic-vector semantics for the larger
+  // endpoint) must also be sampleable.
+  StandardL0Sketch s(MakeParams(1000, 3));
+  s.Update(77, -1);
+  const SketchSample sample = s.Query();
+  ASSERT_EQ(sample.kind, SampleKind::kGood);
+  EXPECT_EQ(sample.index, 77u);
+}
+
+TEST(StandardL0Test, InsertDeleteCancels) {
+  StandardL0Sketch s(MakeParams(1000, 4));
+  s.Update(123, 1);
+  s.Update(123, -1);
+  EXPECT_EQ(s.Query().kind, SampleKind::kZero);
+}
+
+TEST(StandardL0Test, FieldWidthSelection) {
+  EXPECT_FALSE(StandardL0Sketch(MakeParams(1000, 1)).wide());
+  EXPECT_FALSE(
+      StandardL0Sketch(MakeParams(StandardL0Sketch::kNarrowLimit - 1, 1))
+          .wide());
+  EXPECT_TRUE(
+      StandardL0Sketch(MakeParams(StandardL0Sketch::kNarrowLimit, 1)).wide());
+  EXPECT_TRUE(StandardL0Sketch(MakeParams(1ULL << 40, 1)).wide());
+}
+
+TEST(StandardL0Test, WideRegimeRecovers) {
+  const uint64_t n = 1ULL << 40;
+  StandardL0Sketch s(MakeParams(n, 5));
+  s.Update(n - 1, 1);
+  const SketchSample sample = s.Query();
+  ASSERT_EQ(sample.kind, SampleKind::kGood);
+  EXPECT_EQ(sample.index, n - 1);
+}
+
+TEST(StandardL0Test, BucketBytesReproducePaperRatios) {
+  // Narrow buckets are 24 B (2x CubeSketch's 12 B), wide are 48 B (4x).
+  const size_t narrow = StandardL0Sketch(MakeParams(1000, 1)).ByteSize();
+  const size_t wide = StandardL0Sketch(MakeParams(1ULL << 32, 1)).ByteSize();
+  // Same geometry would give wide = 2x narrow per bucket; more rows for
+  // the longer vector push it higher still.
+  EXPECT_GT(wide, narrow * 2);
+}
+
+class StandardL0RecoveryTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int, uint64_t>> {};
+
+TEST_P(StandardL0RecoveryTest, RecoversSupportMember) {
+  const auto [vector_len, support, seed] = GetParam();
+  SplitMix64 rng(seed * 31 + 7);
+  int failures = 0;
+  const int trials = 25;
+  for (int trial = 0; trial < trials; ++trial) {
+    StandardL0Sketch s(MakeParams(vector_len, seed * 517 + trial));
+    std::set<uint64_t> in;
+    while (in.size() < static_cast<size_t>(support)) {
+      in.insert(rng.NextBelow(vector_len));
+    }
+    for (uint64_t idx : in) s.Update(idx, 1);
+    const SketchSample sample = s.Query();
+    if (sample.kind == SampleKind::kFail) {
+      ++failures;
+      continue;
+    }
+    ASSERT_EQ(sample.kind, SampleKind::kGood);
+    EXPECT_TRUE(in.count(sample.index) > 0);
+  }
+  EXPECT_LE(failures, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StandardL0RecoveryTest,
+    ::testing::Combine(::testing::Values<uint64_t>(100, 100000,
+                                                   1ULL << 33),
+                       ::testing::Values(1, 3, 20),
+                       ::testing::Values<uint64_t>(1, 2)));
+
+TEST(StandardL0Test, MergeIsLinear) {
+  // Characteristic-vector cancellation: +1 in one sketch and -1 in the
+  // other cancel after merging.
+  const uint64_t n = 10000;
+  StandardL0Sketch a(MakeParams(n, 9));
+  StandardL0Sketch b(MakeParams(n, 9));
+  a.Update(5, 1);
+  a.Update(100, 1);   // Survives: only in a.
+  b.Update(5, -1);
+  a.Merge(b);
+  const SketchSample sample = a.Query();
+  ASSERT_EQ(sample.kind, SampleKind::kGood);
+  EXPECT_EQ(sample.index, 100u);
+}
+
+TEST(StandardL0Test, MergeToZero) {
+  const uint64_t n = 10000;
+  StandardL0Sketch a(MakeParams(n, 10));
+  StandardL0Sketch b(MakeParams(n, 10));
+  a.Update(42, 1);
+  b.Update(42, -1);
+  a.Merge(b);
+  EXPECT_EQ(a.Query().kind, SampleKind::kZero);
+}
+
+TEST(StandardL0Test, InvalidDeltaAborts) {
+  StandardL0Sketch s(MakeParams(100, 1));
+  EXPECT_DEATH(s.Update(5, 2), "delta");
+}
+
+TEST(StandardL0Test, MultiplicityTwoStillRecoverable) {
+  // Entry value 2 at one index: a/b = idx still resolves, checksum
+  // c = 2*r^idx matches b*r^value.
+  StandardL0Sketch s(MakeParams(1000, 21));
+  s.Update(55, 1);
+  s.Update(55, 1);
+  const SketchSample sample = s.Query();
+  ASSERT_EQ(sample.kind, SampleKind::kGood);
+  EXPECT_EQ(sample.index, 55u);
+}
+
+TEST(StandardL0Test, FullCancellationAfterManyUpdates) {
+  StandardL0Sketch s(MakeParams(100000, 22));
+  SplitMix64 rng(5);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t idx = rng.NextBelow(100000);
+    inserted.push_back(idx);
+    s.Update(idx, 1);
+  }
+  for (uint64_t idx : inserted) s.Update(idx, -1);
+  EXPECT_EQ(s.Query().kind, SampleKind::kZero);
+}
+
+TEST(StandardL0Test, WideMergeCancels) {
+  const uint64_t n = 1ULL << 35;
+  StandardL0Sketch a(MakeParams(n, 23));
+  StandardL0Sketch b(MakeParams(n, 23));
+  a.Update(n - 5, 1);
+  a.Update(77, 1);
+  b.Update(n - 5, -1);
+  a.Merge(b);
+  const SketchSample sample = a.Query();
+  ASSERT_EQ(sample.kind, SampleKind::kGood);
+  EXPECT_EQ(sample.index, 77u);
+}
+
+TEST(StandardL0Test, FailureRateBelowDelta) {
+  SplitMix64 rng(777);
+  const uint64_t n = 100000;
+  int failures = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    StandardL0Sketch s(MakeParams(n, 5000 + t));
+    const int support = 1 + static_cast<int>(rng.NextBelow(200));
+    std::set<uint64_t> in;
+    while (in.size() < static_cast<size_t>(support)) {
+      in.insert(rng.NextBelow(n));
+    }
+    for (uint64_t idx : in) s.Update(idx, 1);
+    if (s.Query().kind == SampleKind::kFail) ++failures;
+  }
+  EXPECT_LE(failures, 8);  // Expected ~2 at delta = 1/100.
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,198 @@
+// Tests for the leaf-only gutters buffering structure.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "buffer/leaf_gutters.h"
+#include "buffer/work_queue.h"
+#include "util/random.h"
+
+namespace gz {
+namespace {
+
+// Drains everything currently in the queue into a per-node multiset.
+std::map<NodeId, std::multiset<uint64_t>> DrainQueue(WorkQueue* q) {
+  std::map<NodeId, std::multiset<uint64_t>> got;
+  NodeBatch batch;
+  while (q->ApproxSize() > 0 && q->Pop(&batch)) {
+    for (uint64_t idx : batch.edge_indices) got[batch.node].insert(idx);
+    q->MarkDone();
+  }
+  return got;
+}
+
+TEST(LeafGuttersTest, EmitsBatchWhenFull) {
+  WorkQueue q(100);
+  LeafGuttersParams p;
+  p.num_nodes = 4;
+  p.gutter_capacity = 3;
+  LeafGutters gutters(p, &q);
+
+  gutters.Insert(2, 10);
+  gutters.Insert(2, 11);
+  EXPECT_EQ(q.ApproxSize(), 0u);  // Not yet full.
+  gutters.Insert(2, 12);
+  EXPECT_EQ(q.ApproxSize(), 1u);
+
+  NodeBatch batch;
+  ASSERT_TRUE(q.Pop(&batch));
+  EXPECT_EQ(batch.node, 2u);
+  EXPECT_EQ(batch.edge_indices, (std::vector<uint64_t>{10, 11, 12}));
+}
+
+TEST(LeafGuttersTest, SeparateGuttersPerNode) {
+  WorkQueue q(100);
+  LeafGuttersParams p;
+  p.num_nodes = 3;
+  p.gutter_capacity = 2;
+  LeafGutters gutters(p, &q);
+  gutters.Insert(0, 1);
+  gutters.Insert(1, 2);
+  gutters.Insert(2, 3);
+  EXPECT_EQ(q.ApproxSize(), 0u);  // Each gutter holds one update.
+  gutters.Insert(1, 4);
+  EXPECT_EQ(q.ApproxSize(), 1u);
+  NodeBatch batch;
+  ASSERT_TRUE(q.Pop(&batch));
+  EXPECT_EQ(batch.node, 1u);
+}
+
+TEST(LeafGuttersTest, ForceFlushEmitsPartialGutters) {
+  WorkQueue q(100);
+  LeafGuttersParams p;
+  p.num_nodes = 5;
+  p.gutter_capacity = 10;
+  LeafGutters gutters(p, &q);
+  gutters.Insert(0, 7);
+  gutters.Insert(4, 8);
+  gutters.ForceFlush();
+  const auto got = DrainQueue(&q);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.at(0).count(7), 1u);
+  EXPECT_EQ(got.at(4).count(8), 1u);
+}
+
+TEST(LeafGuttersTest, ForceFlushOnEmptyIsNoop) {
+  WorkQueue q(10);
+  LeafGuttersParams p;
+  p.num_nodes = 3;
+  p.gutter_capacity = 4;
+  LeafGutters gutters(p, &q);
+  gutters.ForceFlush();
+  EXPECT_EQ(q.ApproxSize(), 0u);
+}
+
+TEST(LeafGuttersTest, OutOfRangeNodeAborts) {
+  WorkQueue q(10);
+  LeafGuttersParams p;
+  p.num_nodes = 3;
+  p.gutter_capacity = 4;
+  LeafGutters gutters(p, &q);
+  EXPECT_DEATH(gutters.Insert(3, 0), "node < params_.num_nodes");
+}
+
+class LeafGuttersDeliveryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LeafGuttersDeliveryTest, DeliversEveryUpdateExactlyOnce) {
+  const size_t capacity = GetParam();
+  WorkQueue q(1 << 16);
+  LeafGuttersParams p;
+  p.num_nodes = 50;
+  p.gutter_capacity = capacity;
+  LeafGutters gutters(p, &q);
+
+  SplitMix64 rng(capacity * 1009 + 1);
+  std::map<NodeId, std::multiset<uint64_t>> sent;
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(50));
+    const uint64_t idx = rng.Next();
+    gutters.Insert(node, idx);
+    sent[node].insert(idx);
+  }
+  gutters.ForceFlush();
+  const auto got = DrainQueue(&q);
+  EXPECT_EQ(got, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LeafGuttersDeliveryTest,
+                         ::testing::Values(1, 2, 7, 64, 1024));
+
+// --- Node groups (Section 4.1) -------------------------------------------
+
+TEST(LeafGuttersGroupTest, GroupCountRoundsUp) {
+  WorkQueue q(100);
+  LeafGuttersParams p;
+  p.num_nodes = 10;
+  p.gutter_capacity = 4;
+  p.nodes_per_group = 3;
+  LeafGutters gutters(p, &q);
+  EXPECT_EQ(gutters.num_groups(), 4u);  // ceil(10 / 3).
+}
+
+TEST(LeafGuttersGroupTest, GroupFlushSplitsPerNode) {
+  WorkQueue q(100);
+  LeafGuttersParams p;
+  p.num_nodes = 8;
+  p.gutter_capacity = 4;
+  p.nodes_per_group = 4;
+  LeafGutters gutters(p, &q);
+  // Nodes 0..3 share group 0; fill it with a mix.
+  gutters.Insert(1, 10);
+  gutters.Insert(3, 30);
+  gutters.Insert(1, 11);
+  gutters.Insert(0, 40);  // Fourth record: group flushes.
+  EXPECT_EQ(q.ApproxSize(), 3u);  // One batch per node present.
+
+  std::map<NodeId, std::vector<uint64_t>> got;
+  NodeBatch batch;
+  while (q.ApproxSize() > 0 && q.Pop(&batch)) {
+    got[batch.node] = batch.edge_indices;
+    q.MarkDone();
+  }
+  EXPECT_EQ(got.at(1), (std::vector<uint64_t>{10, 11}));  // Order kept.
+  EXPECT_EQ(got.at(3), (std::vector<uint64_t>{30}));
+  EXPECT_EQ(got.at(0), (std::vector<uint64_t>{40}));
+}
+
+class LeafGuttersGroupedDeliveryTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeafGuttersGroupedDeliveryTest, DeliversEverythingExactlyOnce) {
+  const uint64_t group_size = GetParam();
+  WorkQueue q(1 << 16);
+  LeafGuttersParams p;
+  p.num_nodes = 50;
+  p.gutter_capacity = 16;
+  p.nodes_per_group = group_size;
+  LeafGutters gutters(p, &q);
+
+  SplitMix64 rng(group_size * 31 + 5);
+  std::map<NodeId, std::multiset<uint64_t>> sent;
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId node = static_cast<NodeId>(rng.NextBelow(50));
+    const uint64_t idx = rng.Next();
+    gutters.Insert(node, idx);
+    sent[node].insert(idx);
+  }
+  gutters.ForceFlush();
+  EXPECT_EQ(DrainQueue(&q), sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, LeafGuttersGroupedDeliveryTest,
+                         ::testing::Values(1, 2, 7, 50, 64));
+
+TEST(LeafGuttersTest, RamByteSizeTracksReservedGutters) {
+  WorkQueue q(1000);
+  LeafGuttersParams p;
+  p.num_nodes = 10;
+  p.gutter_capacity = 100;
+  LeafGutters gutters(p, &q);
+  const size_t before = gutters.RamByteSize();
+  gutters.Insert(0, 1);  // Triggers reserve of one gutter.
+  EXPECT_GT(gutters.RamByteSize(), before);
+}
+
+}  // namespace
+}  // namespace gz

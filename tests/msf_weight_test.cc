@@ -1,0 +1,146 @@
+// Tests for the MSF-weight sketch (level-graph component counting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "algos/msf_weight.h"
+#include "dsu/dsu.h"
+#include "util/random.h"
+
+namespace gz {
+namespace {
+
+GraphZeppelinConfig MakeConfig(uint64_t n, uint64_t seed) {
+  GraphZeppelinConfig c;
+  c.num_nodes = n;
+  c.seed = seed;
+  c.num_workers = 2;
+  c.disk_dir = ::testing::TempDir();
+  return c;
+}
+
+struct WeightedEdge {
+  Edge edge;
+  uint32_t weight;
+};
+
+// Exact MSF weight by Kruskal.
+uint64_t KruskalWeight(uint64_t n, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight < b.weight;
+            });
+  Dsu dsu(n);
+  uint64_t total = 0;
+  for (const WeightedEdge& we : edges) {
+    if (dsu.Union(we.edge.u, we.edge.v)) total += we.weight;
+  }
+  return total;
+}
+
+TEST(MsfWeightTest, SingleEdge) {
+  MsfWeightSketch msf(MakeConfig(8, 1), /*max_weight=*/4);
+  ASSERT_TRUE(msf.Init().ok());
+  msf.Update(Edge(0, 1), 3, UpdateType::kInsert);
+  const MsfWeightResult r = msf.Query();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.weight, 3u);
+  EXPECT_EQ(r.num_components, 7u);
+}
+
+TEST(MsfWeightTest, PathWithMixedWeights) {
+  // Path 0-1-2-3 with weights 2, 1, 4: MSF weight = 7.
+  MsfWeightSketch msf(MakeConfig(8, 2), 5);
+  ASSERT_TRUE(msf.Init().ok());
+  msf.Update(Edge(0, 1), 2, UpdateType::kInsert);
+  msf.Update(Edge(1, 2), 1, UpdateType::kInsert);
+  msf.Update(Edge(2, 3), 4, UpdateType::kInsert);
+  const MsfWeightResult r = msf.Query();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.weight, 7u);
+}
+
+TEST(MsfWeightTest, HeavyEdgeAvoidedWhenCycleExists) {
+  // Triangle with weights 1, 1, 5: MSF picks the two light edges.
+  MsfWeightSketch msf(MakeConfig(8, 3), 5);
+  ASSERT_TRUE(msf.Init().ok());
+  msf.Update(Edge(0, 1), 1, UpdateType::kInsert);
+  msf.Update(Edge(1, 2), 1, UpdateType::kInsert);
+  msf.Update(Edge(0, 2), 5, UpdateType::kInsert);
+  const MsfWeightResult r = msf.Query();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.weight, 2u);
+}
+
+TEST(MsfWeightTest, DeletionRaisesWeight) {
+  // Same triangle; deleting a light edge forces the heavy one in.
+  MsfWeightSketch msf(MakeConfig(8, 4), 5);
+  ASSERT_TRUE(msf.Init().ok());
+  msf.Update(Edge(0, 1), 1, UpdateType::kInsert);
+  msf.Update(Edge(1, 2), 1, UpdateType::kInsert);
+  msf.Update(Edge(0, 2), 5, UpdateType::kInsert);
+  msf.Update(Edge(1, 2), 1, UpdateType::kDelete);
+  const MsfWeightResult r = msf.Query();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.weight, 6u);  // Edges (0,1)=1 and (0,2)=5.
+}
+
+TEST(MsfWeightTest, DisconnectedForest) {
+  // Two components: edge (0,1) w=2 and edge (4,5) w=3.
+  MsfWeightSketch msf(MakeConfig(8, 5), 4);
+  ASSERT_TRUE(msf.Init().ok());
+  msf.Update(Edge(0, 1), 2, UpdateType::kInsert);
+  msf.Update(Edge(4, 5), 3, UpdateType::kInsert);
+  const MsfWeightResult r = msf.Query();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.weight, 5u);
+  EXPECT_EQ(r.num_components, 6u);
+}
+
+TEST(MsfWeightTest, WeightOutOfRangeAborts) {
+  MsfWeightSketch msf(MakeConfig(8, 6), 3);
+  ASSERT_TRUE(msf.Init().ok());
+  EXPECT_DEATH(msf.Update(Edge(0, 1), 4, UpdateType::kInsert),
+               "weight out of");
+  EXPECT_DEATH(msf.Update(Edge(0, 1), 0, UpdateType::kInsert),
+               "weight out of");
+}
+
+class MsfWeightPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(MsfWeightPropertyTest, MatchesKruskalOnRandomWeightedGraphs) {
+  const auto [seed, max_weight] = GetParam();
+  const uint64_t n = 24;
+  SplitMix64 rng(seed);
+  MsfWeightSketch msf(MakeConfig(n, seed + 30), max_weight);
+  ASSERT_TRUE(msf.Init().ok());
+
+  std::vector<WeightedEdge> edges;
+  std::set<std::pair<NodeId, NodeId>> used;
+  for (int i = 0; i < 50; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBelow(n));
+    NodeId b = static_cast<NodeId>(rng.NextBelow(n));
+    if (a == b) continue;
+    Edge e(a, b);
+    if (!used.insert({e.u, e.v}).second) continue;
+    const uint32_t w = 1 + static_cast<uint32_t>(rng.NextBelow(max_weight));
+    edges.push_back(WeightedEdge{e, w});
+    msf.Update(e, w, UpdateType::kInsert);
+  }
+
+  const MsfWeightResult r = msf.Query();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.weight, KruskalWeight(n, edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MsfWeightPropertyTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 4),
+                       ::testing::Values<uint32_t>(2, 5, 8)));
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,129 @@
+// Tests for the binary stream file reader/writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "stream/erdos_renyi_generator.h"
+#include "stream/stream_file.h"
+#include "stream/stream_transform.h"
+
+namespace gz {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(StreamFileTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.gzst");
+  std::vector<GraphUpdate> updates = {
+      {Edge(0, 1), UpdateType::kInsert},
+      {Edge(1, 2), UpdateType::kInsert},
+      {Edge(0, 1), UpdateType::kDelete},
+  };
+  ASSERT_TRUE(WriteStreamFile(path, 10, updates).ok());
+
+  uint64_t num_nodes = 0;
+  Result<std::vector<GraphUpdate>> readback = ReadStreamFile(path, &num_nodes);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(num_nodes, 10u);
+  EXPECT_EQ(readback.value(), updates);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, HeaderCountsUpdates) {
+  const std::string path = TempPath("header.gzst");
+  StreamWriter writer;
+  ASSERT_TRUE(writer.Open(path, 5).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        writer.Append({Edge(0, static_cast<NodeId>(i + 1)),
+                       UpdateType::kInsert})
+            .ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  StreamReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.num_updates(), 4u);
+  EXPECT_EQ(reader.num_nodes(), 5u);
+  GraphUpdate u;
+  int count = 0;
+  while (reader.Next(&u)) ++count;
+  EXPECT_EQ(count, 4);
+  EXPECT_TRUE(reader.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, MissingFileIsNotFound) {
+  StreamReader reader;
+  const Status s = reader.Open(TempPath("does_not_exist.gzst"));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(StreamFileTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.gzst");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[32] = "this is not a stream file";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+
+  StreamReader reader;
+  const Status s = reader.Open(path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, TruncatedFileReportsIoError) {
+  const std::string path = TempPath("truncated.gzst");
+  std::vector<GraphUpdate> updates(10, {Edge(0, 1), UpdateType::kInsert});
+  // Interleave legally: insert/delete alternating.
+  for (size_t i = 0; i < updates.size(); ++i) {
+    updates[i].type = (i % 2 == 0) ? UpdateType::kInsert : UpdateType::kDelete;
+  }
+  ASSERT_TRUE(WriteStreamFile(path, 4, updates).ok());
+  // Chop off the last record.
+  ASSERT_EQ(::truncate(path.c_str(), 24 + 9 * 9), 0);
+
+  StreamReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  GraphUpdate u;
+  int count = 0;
+  while (reader.Next(&u)) ++count;
+  EXPECT_EQ(count, 9);
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, LargeGeneratedStreamRoundTrips) {
+  const std::string path = TempPath("large.gzst");
+  EdgeList edges = RandomConnectedGraph(500, 3000, 11);
+  StreamTransformParams p;
+  p.num_nodes = 500;
+  p.seed = 11;
+  const StreamTransformResult r = BuildStream(edges, p);
+  ASSERT_TRUE(WriteStreamFile(path, 500, r.updates).ok());
+
+  uint64_t num_nodes = 0;
+  Result<std::vector<GraphUpdate>> readback = ReadStreamFile(path, &num_nodes);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value().size(), r.updates.size());
+  EXPECT_EQ(readback.value(), r.updates);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, DoubleOpenFails) {
+  const std::string path = TempPath("double_open.gzst");
+  StreamWriter writer;
+  ASSERT_TRUE(writer.Open(path, 2).ok());
+  EXPECT_EQ(writer.Open(path, 2).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(writer.Close().ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,160 @@
+// Tests for the stream-file ingestion driver and the string node-id
+// mapper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/matrix_checker.h"
+#include "core/stream_ingestor.h"
+#include "stream/erdos_renyi_generator.h"
+#include "stream/node_id_mapper.h"
+#include "stream/stream_file.h"
+#include "stream/stream_transform.h"
+
+namespace gz {
+namespace {
+
+GraphZeppelinConfig MakeConfig(uint64_t n, uint64_t seed) {
+  GraphZeppelinConfig c;
+  c.num_nodes = n;
+  c.seed = seed;
+  c.num_workers = 2;
+  c.disk_dir = ::testing::TempDir();
+  return c;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(StreamIngestorTest, IngestsWholeFileAndMatchesChecker) {
+  const uint64_t n = 40;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.15;
+  ep.seed = 3;
+  StreamTransformParams tp;
+  tp.num_nodes = n;
+  tp.seed = 3;
+  const StreamTransformResult stream =
+      BuildStream(ErdosRenyiGenerator(ep).Generate(), tp);
+  const std::string path = TempPath("ingest_whole.gzst");
+  ASSERT_TRUE(WriteStreamFile(path, n, stream.updates).ok());
+
+  GraphZeppelin gz(MakeConfig(n, 7));
+  ASSERT_TRUE(gz.Init().ok());
+  const Result<uint64_t> ingested = IngestStreamFile(&gz, path);
+  ASSERT_TRUE(ingested.ok());
+  EXPECT_EQ(ingested.value(), stream.updates.size());
+
+  AdjacencyMatrixChecker checker(n);
+  for (const GraphUpdate& u : stream.updates) checker.Update(u);
+  const ConnectivityResult got = gz.ListSpanningForest();
+  ASSERT_FALSE(got.failed);
+  EXPECT_EQ(got.num_components,
+            checker.ConnectedComponents().num_components);
+  std::remove(path.c_str());
+}
+
+TEST(StreamIngestorTest, ProgressCallbacksFire) {
+  const uint64_t n = 16;
+  std::vector<GraphUpdate> updates;
+  for (NodeId i = 0; i + 1 < 11; ++i) {
+    updates.push_back({Edge(i, i + 1), UpdateType::kInsert});
+  }
+  const std::string path = TempPath("ingest_progress.gzst");
+  ASSERT_TRUE(WriteStreamFile(path, n, updates).ok());
+
+  GraphZeppelin gz(MakeConfig(n, 8));
+  ASSERT_TRUE(gz.Init().ok());
+  std::vector<uint64_t> checkpoints;
+  const Result<uint64_t> ingested = IngestStreamFile(
+      &gz, path, /*callback_every=*/3,
+      [&checkpoints](const IngestProgress& p) {
+        checkpoints.push_back(p.consumed);
+        EXPECT_EQ(p.total, 10u);
+      });
+  ASSERT_TRUE(ingested.ok());
+  // Every 3 updates plus the final call: 3, 6, 9, 10.
+  EXPECT_EQ(checkpoints, (std::vector<uint64_t>{3, 6, 9, 10}));
+  std::remove(path.c_str());
+}
+
+TEST(StreamIngestorTest, MissingFileReported) {
+  GraphZeppelin gz(MakeConfig(8, 9));
+  ASSERT_TRUE(gz.Init().ok());
+  const Result<uint64_t> r = IngestStreamFile(&gz, TempPath("no.gzst"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StreamIngestorTest, NodeCountMismatchRejected) {
+  const std::string path = TempPath("ingest_mismatch.gzst");
+  ASSERT_TRUE(WriteStreamFile(path, 100,
+                              {{Edge(0, 1), UpdateType::kInsert}})
+                  .ok());
+  GraphZeppelin gz(MakeConfig(8, 10));  // Too small for the stream.
+  ASSERT_TRUE(gz.Init().ok());
+  const Result<uint64_t> r = IngestStreamFile(&gz, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---------------- NodeIdMapper -------------------------------------------
+
+TEST(NodeIdMapperTest, AssignsDenseIdsInOrder) {
+  NodeIdMapper mapper(10);
+  EXPECT_EQ(mapper.IdFor("alice"), 0u);
+  EXPECT_EQ(mapper.IdFor("bob"), 1u);
+  EXPECT_EQ(mapper.IdFor("alice"), 0u);  // Stable.
+  EXPECT_EQ(mapper.size(), 2u);
+}
+
+TEST(NodeIdMapperTest, FindDoesNotAssign) {
+  NodeIdMapper mapper(10);
+  EXPECT_FALSE(mapper.Find("carol").has_value());
+  mapper.IdFor("carol");
+  ASSERT_TRUE(mapper.Find("carol").has_value());
+  EXPECT_EQ(*mapper.Find("carol"), 0u);
+  EXPECT_EQ(mapper.size(), 1u);
+}
+
+TEST(NodeIdMapperTest, NameOfInverts) {
+  NodeIdMapper mapper(10);
+  const NodeId a = mapper.IdFor("gene_X");
+  const NodeId b = mapper.IdFor("gene_Y");
+  EXPECT_EQ(mapper.NameOf(a), "gene_X");
+  EXPECT_EQ(mapper.NameOf(b), "gene_Y");
+}
+
+TEST(NodeIdMapperTest, CapacityEnforced) {
+  NodeIdMapper mapper(2);
+  mapper.IdFor("a");
+  mapper.IdFor("b");
+  EXPECT_DEATH(mapper.IdFor("c"), "capacity exhausted");
+}
+
+TEST(NodeIdMapperTest, DrivesAStringNamedStream) {
+  // End-to-end: a stream naming nodes by strings, mapped on the fly.
+  NodeIdMapper mapper(8);
+  GraphZeppelin gz(MakeConfig(8, 11));
+  ASSERT_TRUE(gz.Init().ok());
+  const std::pair<const char*, const char*> string_edges[] = {
+      {"server-a", "server-b"},
+      {"server-b", "server-c"},
+      {"db-1", "db-2"},
+  };
+  for (const auto& [x, y] : string_edges) {
+    gz.Update({Edge(mapper.IdFor(x), mapper.IdFor(y)), UpdateType::kInsert});
+  }
+  const ConnectivityResult r = gz.ListSpanningForest();
+  ASSERT_FALSE(r.failed);
+  EXPECT_TRUE(r.Connected(*mapper.Find("server-a"), *mapper.Find("server-c")));
+  EXPECT_FALSE(r.Connected(*mapper.Find("server-a"), *mapper.Find("db-1")));
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,84 @@
+// Tests for edge/update types and the edge <-> index bijection.
+#include <gtest/gtest.h>
+
+#include "stream/stream_types.h"
+#include "util/random.h"
+
+namespace gz {
+namespace {
+
+TEST(EdgeTest, NormalizesEndpointOrder) {
+  Edge e(5, 2);
+  EXPECT_EQ(e.u, 2u);
+  EXPECT_EQ(e.v, 5u);
+  EXPECT_EQ(e, Edge(2, 5));
+}
+
+TEST(EdgeTest, OrderingIsLexicographic) {
+  EXPECT_LT(Edge(0, 1), Edge(0, 2));
+  EXPECT_LT(Edge(0, 9), Edge(1, 2));
+}
+
+TEST(EdgeTest, SelfLoopAborts) {
+  EXPECT_DEATH(Edge(3, 3), "self-loop");
+}
+
+TEST(NumPossibleEdgesTest, SmallValues) {
+  EXPECT_EQ(NumPossibleEdges(2), 1u);
+  EXPECT_EQ(NumPossibleEdges(3), 3u);
+  EXPECT_EQ(NumPossibleEdges(10), 45u);
+  EXPECT_EQ(NumPossibleEdges(1ULL << 17), (1ULL << 17) * ((1ULL << 17) - 1) / 2);
+}
+
+// Exhaustive bijection check for a sweep of small node counts.
+class EdgeIndexBijectionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeIndexBijectionTest, RoundTripsExhaustively) {
+  const uint64_t n = GetParam();
+  uint64_t expected_idx = 0;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const Edge e(u, v);
+      const EdgeIndex idx = EdgeToIndex(e, n);
+      EXPECT_EQ(idx, expected_idx) << "u=" << u << " v=" << v;
+      EXPECT_EQ(IndexToEdge(idx, n), e);
+      ++expected_idx;
+    }
+  }
+  EXPECT_EQ(expected_idx, NumPossibleEdges(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallNodeCounts, EdgeIndexBijectionTest,
+                         ::testing::Values(2, 3, 5, 17, 64, 100));
+
+TEST(EdgeIndexTest, RandomRoundTripsAtLargeScale) {
+  // 2^20 nodes: indices up to ~5.5e11; float-assisted inversion must be
+  // exact everywhere, including row boundaries.
+  const uint64_t n = 1ULL << 20;
+  SplitMix64 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const EdgeIndex idx = rng.NextBelow(NumPossibleEdges(n));
+    const Edge e = IndexToEdge(idx, n);
+    EXPECT_EQ(EdgeToIndex(e, n), idx);
+  }
+}
+
+TEST(EdgeIndexTest, BoundaryIndices) {
+  const uint64_t n = 1000;
+  EXPECT_EQ(IndexToEdge(0, n), Edge(0, 1));
+  EXPECT_EQ(IndexToEdge(n - 2, n), Edge(0, static_cast<NodeId>(n - 1)));
+  EXPECT_EQ(IndexToEdge(n - 1, n), Edge(1, 2));  // First index of row 1.
+  EXPECT_EQ(IndexToEdge(NumPossibleEdges(n) - 1, n),
+            Edge(static_cast<NodeId>(n - 2), static_cast<NodeId>(n - 1)));
+}
+
+TEST(GraphUpdateTest, Equality) {
+  GraphUpdate a{Edge(1, 2), UpdateType::kInsert};
+  GraphUpdate b{Edge(2, 1), UpdateType::kInsert};
+  GraphUpdate c{Edge(1, 2), UpdateType::kDelete};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,262 @@
+// Unit tests for the util substrate: hashing, fields, status, RNG.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "util/kwise_hash.h"
+#include "util/mem_usage.h"
+#include "util/mersenne_field.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+#include "util/xxhash.h"
+
+namespace gz {
+namespace {
+
+// ---------------- xxhash ------------------------------------------------
+
+TEST(XxHashTest, Deterministic) {
+  const char data[] = "graph zeppelin";
+  EXPECT_EQ(XxHash64(data, sizeof(data), 7), XxHash64(data, sizeof(data), 7));
+  EXPECT_NE(XxHash64(data, sizeof(data), 7), XxHash64(data, sizeof(data), 8));
+}
+
+TEST(XxHashTest, WordMatchesBufferVariant) {
+  const std::vector<uint64_t> values = {0, 1, 42, 0xDEADBEEFCAFEULL,
+                                        UINT64_MAX};
+  for (uint64_t v : values) {
+    for (uint64_t seed : std::vector<uint64_t>{0, 1, 999}) {
+      EXPECT_EQ(XxHash64Word(v, seed), XxHash64(&v, sizeof(v), seed))
+          << "v=" << v << " seed=" << seed;
+    }
+  }
+}
+
+TEST(XxHashTest, VariousLengths) {
+  // Exercise all tail paths: 0..40 byte inputs must all hash without
+  // colliding trivially.
+  std::vector<uint8_t> buf(64, 0xAB);
+  std::set<uint64_t> seen;
+  for (size_t len = 0; len <= 40; ++len) {
+    seen.insert(XxHash64(buf.data(), len, 1));
+  }
+  EXPECT_EQ(seen.size(), 41u);
+}
+
+TEST(XxHashTest, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    const uint64_t a = XxHash64Word(0x123456789ULL, 5);
+    const uint64_t b = XxHash64Word(0x123456789ULL ^ (1ULL << bit), 5);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(XxHashTest, DistributionRoughlyUniform) {
+  // Bucket 100k hashes into 16 bins; each bin should be near 6250.
+  int bins[16] = {0};
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ++bins[XxHash64Word(i, 3) & 15];
+  }
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_GT(bins[b], 5500) << "bin " << b;
+    EXPECT_LT(bins[b], 7000) << "bin " << b;
+  }
+}
+
+// ---------------- Mersenne fields ---------------------------------------
+
+TEST(MersenneFieldTest, Reduce31Identities) {
+  EXPECT_EQ(Reduce31(0), 0u);
+  EXPECT_EQ(Reduce31(kMersenne31), 0u);
+  EXPECT_EQ(Reduce31(kMersenne31 + 5), 5u);
+  EXPECT_EQ(Reduce31(2 * kMersenne31), 0u);
+}
+
+TEST(MersenneFieldTest, Reduce61Identities) {
+  EXPECT_EQ(Reduce61(0), 0u);
+  EXPECT_EQ(Reduce61(kMersenne61), 0u);
+  EXPECT_EQ(Reduce61(static_cast<unsigned __int128>(kMersenne61) * 3 + 7),
+            7u);
+}
+
+TEST(MersenneFieldTest, MulModAgainstNaive) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.NextBelow(kMersenne31);
+    const uint64_t b = rng.NextBelow(kMersenne31);
+    const uint64_t expect =
+        static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) %
+                              kMersenne31);
+    EXPECT_EQ(MulMod31(a, b), expect);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.NextBelow(kMersenne61);
+    const uint64_t b = rng.NextBelow(kMersenne61);
+    const uint64_t expect =
+        static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) %
+                              kMersenne61);
+    EXPECT_EQ(MulMod61(a, b), expect);
+  }
+}
+
+TEST(MersenneFieldTest, PowModSmallCases) {
+  EXPECT_EQ(PowMod31(2, 10), 1024u);
+  EXPECT_EQ(PowMod31(3, 0), 1u);
+  EXPECT_EQ(PowMod31(0, 5), 0u);
+  EXPECT_EQ(PowMod61(2, 10), 1024u);
+  EXPECT_EQ(PowMod61(7, 1), 7u);
+}
+
+TEST(MersenneFieldTest, PowModMatchesRepeatedMultiply) {
+  SplitMix64 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t base = rng.NextBelow(kMersenne61 - 1) + 1;
+    const uint64_t e = rng.NextBelow(64);
+    uint64_t expect = 1;
+    for (uint64_t i = 0; i < e; ++i) expect = MulMod61(expect, base);
+    EXPECT_EQ(PowMod61(base, e), expect);
+  }
+}
+
+TEST(MersenneFieldTest, FermatLittleTheorem) {
+  // a^(p-1) == 1 mod p for prime p and a != 0.
+  EXPECT_EQ(PowMod31(12345, kMersenne31 - 1), 1u);
+  EXPECT_EQ(PowMod61(987654321, kMersenne61 - 1), 1u);
+}
+
+// ---------------- k-wise hash -------------------------------------------
+
+TEST(KWiseHashTest, DeterministicAndSeedSensitive) {
+  KWiseHash h1(42, 2), h2(42, 2), h3(43, 2);
+  EXPECT_EQ(h1.Hash(7), h2.Hash(7));
+  EXPECT_NE(h1.Hash(7), h3.Hash(7));
+}
+
+TEST(KWiseHashTest, OutputInField) {
+  KWiseHash h(1, 4);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.Hash(x), kMersenne61);
+}
+
+TEST(KWiseHashTest, HashRangeBounded) {
+  KWiseHash h(5, 2);
+  for (uint64_t x = 0; x < 1000; ++x) EXPECT_LT(h.HashRange(x, 17), 17u);
+}
+
+TEST(KWiseHashTest, PairwiseUniformOverFamily) {
+  // 2-wise independence is a property of the *family*: for fixed inputs
+  // (x, y), the pair (h(x), h(y)) must be uniform over random draws of
+  // the hash function. Sample 2000 independently seeded functions.
+  int bins[4][4] = {};
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    KWiseHash h(seed, 2);
+    bins[h.HashRange(123, 4)][h.HashRange(456, 4)]++;
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_GT(bins[i][j], 60) << i << "," << j;  // expect ~125
+      EXPECT_LT(bins[i][j], 200) << i << "," << j;
+    }
+  }
+}
+
+TEST(KWiseHashTest, HigherDegreeFamilies) {
+  // k = 3 and 4 evaluate consistently and stay in the field.
+  for (int k : {3, 4}) {
+    KWiseHash h(17, k);
+    EXPECT_EQ(h.k(), k);
+    for (uint64_t x = 0; x < 200; ++x) {
+      EXPECT_LT(h.Hash(x), kMersenne61);
+      EXPECT_EQ(h.Hash(x), h.Hash(x));
+    }
+  }
+}
+
+// ---------------- Status / Result ---------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IO_ERROR: disk on fire");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------- RNG ----------------------------------------------------
+
+TEST(SplitMix64Test, DeterministicBySeed) {
+  SplitMix64 a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(SplitMix64Test, NextBelowInRange) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBelow(13), 13u);
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, BoolProbability) {
+  SplitMix64 rng(3);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.25);
+  EXPECT_GT(heads, 2100);
+  EXPECT_LT(heads, 2900);
+}
+
+// ---------------- misc utils ---------------------------------------------
+
+TEST(MemUsageTest, RssIsPositive) { EXPECT_GT(CurrentRssBytes(), 0u); }
+
+TEST(MemUsageTest, FormatBytes) {
+  char buf[32];
+  EXPECT_STREQ(FormatBytes(512, buf, sizeof(buf)), "512 B");
+  EXPECT_STREQ(FormatBytes(2048, buf, sizeof(buf)), "2.00 KiB");
+  EXPECT_STREQ(FormatBytes(3 * 1024 * 1024, buf, sizeof(buf)), "3.00 MiB");
+}
+
+TEST(TimerTest, MeasuresElapsedAndFormatsRates) {
+  WallTimer t;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.Seconds(), 0.0);
+  char buf[32];
+  EXPECT_STREQ(FormatRate(2.5e6, buf, sizeof(buf)), "2.50M");
+  EXPECT_STREQ(FormatRate(1500, buf, sizeof(buf)), "1.5K");
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,159 @@
+// Tests for the bounded MPMC work queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "buffer/work_queue.h"
+
+namespace gz {
+namespace {
+
+NodeBatch MakeBatch(NodeId node, std::vector<uint64_t> indices) {
+  NodeBatch b;
+  b.node = node;
+  b.edge_indices = std::move(indices);
+  return b;
+}
+
+TEST(WorkQueueTest, FifoSingleThread) {
+  WorkQueue q(10);
+  ASSERT_TRUE(q.Push(MakeBatch(1, {10})));
+  ASSERT_TRUE(q.Push(MakeBatch(2, {20})));
+  NodeBatch out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.node, 1u);
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.node, 2u);
+}
+
+TEST(WorkQueueTest, InFlightAccounting) {
+  WorkQueue q(4);
+  EXPECT_EQ(q.InFlight(), 0);
+  q.Push(MakeBatch(1, {}));
+  q.Push(MakeBatch(2, {}));
+  EXPECT_EQ(q.InFlight(), 2);
+  NodeBatch out;
+  q.Pop(&out);
+  EXPECT_EQ(q.InFlight(), 2);  // Popped but not done.
+  q.MarkDone();
+  EXPECT_EQ(q.InFlight(), 1);
+  q.Pop(&out);
+  q.MarkDone();
+  EXPECT_EQ(q.InFlight(), 0);
+}
+
+TEST(WorkQueueTest, CloseUnblocksConsumers) {
+  WorkQueue q(4);
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    NodeBatch out;
+    while (q.Pop(&out)) ++popped;
+  });
+  q.Push(MakeBatch(1, {}));
+  q.Push(MakeBatch(2, {}));
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(popped.load(), 2);  // Drains remaining batches, then exits.
+}
+
+TEST(WorkQueueTest, PushAfterCloseFails) {
+  WorkQueue q(4);
+  q.Close();
+  EXPECT_FALSE(q.Push(MakeBatch(1, {})));
+}
+
+TEST(WorkQueueTest, ReopenAllowsAnotherPhase) {
+  WorkQueue q(4);
+  q.Push(MakeBatch(1, {}));
+  NodeBatch out;
+  q.Pop(&out);
+  q.Close();
+  q.Reopen();
+  EXPECT_TRUE(q.Push(MakeBatch(2, {})));
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.node, 2u);
+}
+
+TEST(WorkQueueTest, BoundedCapacityBlocksProducer) {
+  WorkQueue q(2);
+  ASSERT_TRUE(q.Push(MakeBatch(1, {})));
+  ASSERT_TRUE(q.Push(MakeBatch(2, {})));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(MakeBatch(3, {}));
+    third_pushed = true;
+  });
+  // Give the producer a moment: it must be blocked on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  NodeBatch out;
+  q.Pop(&out);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(WorkQueueTest, CloseUnblocksBlockedProducer) {
+  WorkQueue q(1);
+  ASSERT_TRUE(q.Push(MakeBatch(1, {})));
+  std::atomic<int> push_result{-1};
+  std::thread producer([&] {
+    push_result = q.Push(MakeBatch(2, {})) ? 1 : 0;  // Blocks: queue full.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(push_result.load(), -1);
+  q.Close();
+  producer.join();
+  EXPECT_EQ(push_result.load(), 0);  // Rejected after close.
+}
+
+TEST(WorkQueueTest, BatchContentSurvivesTransit) {
+  WorkQueue q(4);
+  std::vector<uint64_t> payload = {7, 8, 9, 1ULL << 40};
+  q.Push(MakeBatch(3, payload));
+  NodeBatch out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.node, 3u);
+  EXPECT_EQ(out.edge_indices, payload);
+}
+
+TEST(WorkQueueTest, ManyProducersManyConsumers) {
+  WorkQueue q(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<uint64_t> sum_consumed{0};
+  std::atomic<int> count_consumed{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      NodeBatch out;
+      while (q.Pop(&out)) {
+        sum_consumed += out.edge_indices[0];
+        ++count_consumed;
+        q.MarkDone();
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> sum_produced{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = static_cast<uint64_t>(p) * 10000 + i;
+        q.Push(MakeBatch(static_cast<NodeId>(p), {value}));
+        sum_produced += value;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(count_consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum_consumed.load(), sum_produced.load());
+  EXPECT_EQ(q.InFlight(), 0);
+}
+
+}  // namespace
+}  // namespace gz

@@ -1,0 +1,63 @@
+// Tiny command-line flag parser for the CLI tools: --name=value or
+// --name value. No external dependencies.
+#ifndef GZ_TOOLS_FLAGS_H_
+#define GZ_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace gz {
+namespace tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) continue;
+      const char* eq = std::strchr(arg, '=');
+      if (eq != nullptr) {
+        values_[std::string(arg + 2, eq - arg - 2)] = eq + 1;
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg + 2] = argv[++i];
+      } else {
+        values_[arg + 2] = "true";  // Bare boolean flag.
+      }
+    }
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1";
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tools
+}  // namespace gz
+
+#endif  // GZ_TOOLS_FLAGS_H_

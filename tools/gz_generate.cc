@@ -1,0 +1,103 @@
+// gz_generate: create a binary graph-stream file from a synthetic
+// generator — the workload-preparation tool of this repository.
+//
+// Usage:
+//   gz_generate --out stream.gzst --kind kron --scale 12 --density 0.5
+//   gz_generate --out stream.gzst --kind er --nodes 5000 --p 0.1
+// Common flags: --seed N, --churn F, --phantom F, --disconnect K
+#include <cstdio>
+#include <string>
+
+#include "stream/erdos_renyi_generator.h"
+#include "stream/kronecker_generator.h"
+#include "stream/stream_file.h"
+#include "stream/stream_transform.h"
+#include "stream/weighted_stream_file.h"
+#include "tools/flags.h"
+#include "util/xxhash.h"
+
+int main(int argc, char** argv) {
+  using namespace gz;
+  tools::Flags flags(argc, argv);
+
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: gz_generate --out FILE [--kind kron|er] "
+                 "[--scale N | --nodes N --p F] [--density F] [--seed N]\n"
+                 "       [--churn F] [--phantom F] [--disconnect K]\n");
+    return 2;
+  }
+
+  const std::string kind = flags.GetString("kind", "kron");
+  const uint64_t seed = flags.GetInt("seed", 1);
+
+  EdgeList edges;
+  uint64_t num_nodes = 0;
+  if (kind == "kron") {
+    KroneckerParams kp;
+    kp.scale = static_cast<int>(flags.GetInt("scale", 10));
+    kp.density = flags.GetDouble("density", 0.5);
+    kp.seed = seed;
+    KroneckerGenerator gen(kp);
+    num_nodes = gen.num_nodes();
+    edges = gen.Generate();
+  } else if (kind == "er") {
+    ErdosRenyiParams ep;
+    ep.num_nodes = flags.GetInt("nodes", 1024);
+    ep.p = flags.GetDouble("p", 0.5);
+    ep.seed = seed;
+    num_nodes = ep.num_nodes;
+    edges = ErdosRenyiGenerator(ep).Generate();
+  } else {
+    std::fprintf(stderr, "unknown --kind '%s' (kron|er)\n", kind.c_str());
+    return 2;
+  }
+
+  StreamTransformParams tp;
+  tp.num_nodes = num_nodes;
+  tp.seed = seed;
+  tp.churn_fraction = flags.GetDouble("churn", 0.03);
+  tp.phantom_fraction = flags.GetDouble("phantom", 0.02);
+  tp.disconnect_count = static_cast<int>(flags.GetInt("disconnect", 0));
+  const StreamTransformResult stream = BuildStream(edges, tp);
+
+  const Status s = WriteStreamFile(out, num_nodes, stream.updates);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %llu nodes, %zu graph edges, %zu stream updates, "
+              "%zu disconnected nodes\n",
+              out.c_str(), static_cast<unsigned long long>(num_nodes),
+              edges.size(), stream.updates.size(),
+              stream.disconnected_nodes.size());
+
+  // Optional weighted companion stream for gz_msf: each edge gets a
+  // hash-derived weight so an edge's insert and delete always agree.
+  const std::string weighted_out = flags.GetString("weighted-out", "");
+  if (!weighted_out.empty()) {
+    const uint32_t max_weight =
+        static_cast<uint32_t>(flags.GetInt("max-weight", 8));
+    std::vector<WeightedUpdate> weighted;
+    weighted.reserve(stream.updates.size());
+    for (const GraphUpdate& u : stream.updates) {
+      const uint64_t idx = EdgeToIndex(u.edge, num_nodes);
+      WeightedUpdate wu;
+      wu.update = u;
+      wu.weight =
+          1 + static_cast<uint32_t>(XxHash64Word(idx, seed) % max_weight);
+      weighted.push_back(wu);
+    }
+    const Status ws =
+        WriteWeightedStreamFile(weighted_out, num_nodes, weighted);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "weighted write failed: %s\n",
+                   ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: weighted companion (weights in [1, %u])\n",
+                weighted_out.c_str(), max_weight);
+  }
+  return 0;
+}
