@@ -21,33 +21,34 @@ struct TreeRunResult {
 TreeRunResult RunTree(const bench::Workload& w, size_t buffer_bytes,
                       size_t fanout, size_t leaf_updates) {
   WorkQueue queue(1 << 20);  // Effectively unbounded: isolate tree cost.
+  BatchPool pool(static_cast<uint32_t>(leaf_updates));
   GutterTreeParams p;
   p.num_nodes = w.num_nodes;
   p.file_path = bench::TempDir() + "/gz_ablation_gt.bin";
   p.buffer_bytes = buffer_bytes;
   p.fanout = fanout;
   p.leaf_gutter_updates = leaf_updates;
-  GutterTree tree(p, &queue);
+  GutterTree tree(p, &pool, &queue);
   GZ_CHECK_OK(tree.Init());
 
   // Drain the queue concurrently so Push never blocks for long.
   std::atomic<bool> done{false};
-  std::thread drainer([&queue, &done] {
-    NodeBatch batch;
+  std::thread drainer([&queue, &pool, &done] {
     while (!done.load(std::memory_order_acquire)) {
-      while (queue.ApproxSize() > 0 && queue.Pop(&batch)) queue.MarkDone();
+      while (queue.ApproxSize() > 0) {
+        UpdateBatch* batch = queue.Pop();
+        if (batch == nullptr) break;
+        pool.Release(batch);
+        queue.MarkDone();
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   });
 
   WallTimer timer;
-  uint64_t half_updates = 0;
-  for (const GraphUpdate& u : w.stream.updates) {
-    const uint64_t idx = EdgeToIndex(u.edge, w.num_nodes);
-    tree.Insert(u.edge.u, idx);
-    tree.Insert(u.edge.v, idx);
-    half_updates += 2;
-  }
+  const uint64_t half_updates =
+      static_cast<uint64_t>(w.stream.updates.size()) * 2;
+  tree.InsertBatch(w.stream.updates.data(), w.stream.updates.size());
   tree.ForceFlush();
   const double seconds = timer.Seconds();
   done.store(true, std::memory_order_release);

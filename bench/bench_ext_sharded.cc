@@ -29,7 +29,7 @@ int main() {
     GZ_CHECK_OK(sharded.Init());
 
     WallTimer timer;
-    for (const GraphUpdate& u : w.stream.updates) sharded.Update(u);
+    sharded.Update(w.stream.updates.data(), w.stream.updates.size());
     sharded.Flush();  // Ingestion includes applying all updates.
     const double total = timer.Seconds();
     WallTimer query_timer;

@@ -1,0 +1,126 @@
+// Pipeline allocation bench: verifies the flat pooled-batch refactor's
+// core claim — steady-state ingestion performs zero heap allocations
+// per update in the gutter -> queue -> worker path — and measures the
+// ingest rate alongside, emitting one JSON object per configuration so
+// BENCH_*.json trajectories can track both across builds.
+//
+// Method: global operator new/delete are overridden with a counting
+// hook (the C++ analogue of malloc_count). Phase 1 ingests the whole
+// stream once to warm the BatchPool, gutters and worker deltas; phase 2
+// re-ingests with the counter armed. Pool recycling means phase 2
+// should allocate nothing on the leaf+RAM path.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench/bench_common.h"
+
+// ---- malloc-count hook ----------------------------------------------------
+
+namespace {
+std::atomic<bool> g_track{false};
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_track.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  if (g_track.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+  return std::malloc(size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+
+int main() {
+  using namespace gz;
+  const int scale = bench::GetEnvInt("GZ_BENCH_KRON_MAX", 11) - 1;
+  const bench::Workload w = bench::MakeKronWorkload(scale);
+  const uint64_t n_updates = w.stream.updates.size();
+
+  std::fprintf(stderr, "pipeline alloc bench: %s, %llu updates\n",
+               w.name.c_str(), static_cast<unsigned long long>(n_updates));
+
+  struct Case {
+    GraphZeppelinConfig::Buffering buffering;
+    const char* name;
+  };
+  const Case cases[] = {
+      {GraphZeppelinConfig::Buffering::kLeafOnly, "leaf_ram"},
+      {GraphZeppelinConfig::Buffering::kGutterTree, "tree_ram"},
+  };
+
+  std::printf("[\n");
+  bool first = true;
+  for (const Case& c : cases) {
+    GraphZeppelinConfig config = bench::DefaultGzConfig();
+    config.num_nodes = w.num_nodes;
+    config.buffering = c.buffering;
+    GraphZeppelin gz(config);
+    GZ_CHECK_OK(gz.Init());
+
+    // Phase 1: warm-up pass. Grows the BatchPool to the pipeline's peak
+    // depth and lets every worker build its delta sketch.
+    gz.Update(w.stream.updates.data(), n_updates);
+    gz.Flush();
+
+    // Phase 2: steady state, counter armed. Same updates again — the
+    // sketches just toggle back; costs are identical.
+    g_alloc_count.store(0);
+    g_alloc_bytes.store(0);
+    g_track.store(true);
+    WallTimer timer;
+    gz.Update(w.stream.updates.data(), n_updates);
+    gz.Flush();
+    const double seconds = timer.Seconds();
+    g_track.store(false);
+
+    const uint64_t allocs = g_alloc_count.load();
+    const uint64_t bytes = g_alloc_bytes.load();
+    const double allocs_per_update =
+        static_cast<double>(allocs) / static_cast<double>(n_updates);
+    std::printf(
+        "%s  {\"bench\": \"pipeline_alloc\", \"config\": \"%s\",\n"
+        "   \"workload\": \"%s\", \"updates\": %llu,\n"
+        "   \"steady_allocs\": %llu, \"steady_alloc_bytes\": %llu,\n"
+        "   \"allocs_per_update\": %.6f,\n"
+        "   \"updates_per_sec\": %.0f,\n"
+        "   \"zero_alloc_steady_state\": %s}",
+        first ? "" : ",\n", c.name, w.name.c_str(),
+        static_cast<unsigned long long>(n_updates),
+        static_cast<unsigned long long>(allocs),
+        static_cast<unsigned long long>(bytes), allocs_per_update,
+        static_cast<double>(n_updates) / seconds,
+        allocs == 0 ? "true" : "false");
+    first = false;
+  }
+  std::printf("\n]\n");
+  return 0;
+}

@@ -48,7 +48,7 @@ int main() {
               FormatBytes(gz.DiskByteSize(), disk_buf, sizeof(disk_buf)));
 
   WallTimer timer;
-  for (const GraphUpdate& u : stream.updates) gz.Update(u);
+  gz.Update(stream.updates.data(), stream.updates.size());
   gz.Flush();
   const double seconds = timer.Seconds();
   std::printf("ingested %zu updates in %.2fs (%.0f updates/s)\n",

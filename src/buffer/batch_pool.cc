@@ -1,0 +1,74 @@
+#include "buffer/update_batch.h"
+
+#include <mutex>
+#include <new>
+
+#include "util/check.h"
+
+namespace gz {
+
+BatchPool::BatchPool(uint32_t slab_capacity)
+    : slab_capacity_(slab_capacity) {
+  GZ_CHECK(slab_capacity >= 1);
+}
+
+BatchPool::~BatchPool() {
+  // Slabs are owned by the pool for their whole life; by destruction
+  // time every pipeline stage referencing them must be gone.
+  for (void* slab : all_slabs_) ::operator delete(slab);
+}
+
+UpdateBatch* BatchPool::Acquire() {
+  UpdateBatch* batch = nullptr;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    if (free_head_ != nullptr) {
+      batch = free_head_;
+      free_head_ = batch->pool_next;
+    }
+  }
+  if (batch == nullptr) {
+    // Grow: rare (pool warm-up or a deeper-than-ever pipeline). The
+    // allocation happens outside the spinlock so concurrent
+    // acquire/release traffic never busy-waits on the allocator, and a
+    // bad_alloc cannot leave the lock held.
+    void* raw = ::operator new(slab_bytes());
+    batch = new (raw) UpdateBatch();
+    batch->capacity = slab_capacity_;
+    std::lock_guard<Spinlock> guard(lock_);
+    all_slabs_.push_back(raw);
+  }
+  batch->node = 0;
+  batch->count = 0;
+  batch->pool_next = nullptr;
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  return batch;
+}
+
+void BatchPool::Release(UpdateBatch* batch) {
+  GZ_CHECK(batch != nullptr);
+  batch->count = 0;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    batch->pool_next = free_head_;
+    free_head_ = batch;
+  }
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+uint64_t BatchPool::slabs_allocated() const {
+  std::lock_guard<Spinlock> guard(lock_);
+  return all_slabs_.size();
+}
+
+size_t BatchPool::RamByteSize() const {
+  size_t slabs, vec_cap;
+  {
+    std::lock_guard<Spinlock> guard(lock_);
+    slabs = all_slabs_.size();
+    vec_cap = all_slabs_.capacity();
+  }
+  return sizeof(*this) + slabs * slab_bytes() + vec_cap * sizeof(void*);
+}
+
+}  // namespace gz

@@ -10,13 +10,15 @@
 
 namespace gz {
 
-GutterTree::GutterTree(const GutterTreeParams& params, WorkQueue* queue)
-    : params_(params), queue_(queue) {
+GutterTree::GutterTree(const GutterTreeParams& params, BatchPool* pool,
+                       WorkQueue* queue)
+    : params_(params), pool_(pool), queue_(queue) {
   GZ_CHECK(params_.num_nodes >= 1);
   GZ_CHECK(params_.fanout >= 2);
   GZ_CHECK(params_.leaf_gutter_updates >= 1);
   GZ_CHECK(params_.nodes_per_group >= 1);
   GZ_CHECK(params_.buffer_bytes >= kRecordBytes * params_.fanout);
+  GZ_CHECK(pool_ != nullptr);
   GZ_CHECK(queue_ != nullptr);
 }
 
@@ -91,8 +93,7 @@ int GutterTree::ChildIndexFor(const Internal& v, NodeId node) const {
   return static_cast<int>((group - v.lo) / v.span);
 }
 
-void GutterTree::Insert(NodeId node, uint64_t edge_index) {
-  GZ_CHECK_MSG(initialized_, "Init() not called");
+void GutterTree::InsertRecord(NodeId node, uint64_t edge_index) {
   GZ_CHECK(node < params_.num_nodes);
   root_buffer_.push_back(Record{node, edge_index});
   if (root_buffer_.size() >= root_capacity_records_) {
@@ -100,6 +101,22 @@ void GutterTree::Insert(NodeId node, uint64_t edge_index) {
     records.swap(root_buffer_);
     root_buffer_.reserve(root_capacity_records_);
     Partition(internals_[0], records);
+  }
+}
+
+void GutterTree::Insert(NodeId node, uint64_t edge_index) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  InsertRecord(node, edge_index);
+}
+
+void GutterTree::InsertBatch(const GraphUpdate* updates, size_t count) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  const uint64_t n = params_.num_nodes;
+  for (size_t i = 0; i < count; ++i) {
+    const Edge& e = updates[i].edge;
+    const uint64_t idx = EdgeToIndex(e, n);
+    InsertRecord(e.u, idx);
+    InsertRecord(e.v, idx);
   }
 }
 
@@ -179,23 +196,27 @@ void GutterTree::EmitLeaf(uint64_t group, const std::vector<Record>& extra) {
   records.insert(records.end(), extra.begin(), extra.end());
   leaf_fill_[group] = 0;
 
-  // One batch per node present (stable: per-node update order is the
-  // arrival order).
+  // One run per node present (stable: per-node update order is the
+  // arrival order), chunked into pooled slabs.
   std::stable_sort(records.begin(), records.end(),
                    [](const Record& a, const Record& b) {
                      return a.node < b.node;
                    });
   size_t i = 0;
   while (i < records.size()) {
-    NodeBatch batch;
-    batch.node = records[i].node;
-    size_t j = i;
-    while (j < records.size() && records[j].node == batch.node) {
-      batch.edge_indices.push_back(records[j].edge_index);
-      ++j;
+    const NodeId node = records[i].node;
+    UpdateBatch* batch = pool_->Acquire();
+    batch->node = node;
+    while (i < records.size() && records[i].node == node) {
+      if (batch->full()) {  // Run longer than a slab: emit a chunk.
+        if (!queue_->Push(batch)) pool_->Release(batch);
+        batch = pool_->Acquire();
+        batch->node = node;
+      }
+      batch->Append(records[i].edge_index);
+      ++i;
     }
-    queue_->Push(std::move(batch));
-    i = j;
+    if (!queue_->Push(batch)) pool_->Release(batch);
   }
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "buffer/guttering_system.h"
+#include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 #include "util/status.h"
 
@@ -42,7 +43,9 @@ class GutterTree : public GutteringSystem {
   // On-disk record: u32 graph node + u64 edge index.
   static constexpr size_t kRecordBytes = 12;
 
-  GutterTree(const GutterTreeParams& params, WorkQueue* queue);
+  // `pool` supplies the emitted batch slabs; the consumer releases them.
+  GutterTree(const GutterTreeParams& params, BatchPool* pool,
+             WorkQueue* queue);
   ~GutterTree() override;
   GutterTree(const GutterTree&) = delete;
   GutterTree& operator=(const GutterTree&) = delete;
@@ -52,7 +55,9 @@ class GutterTree : public GutteringSystem {
   Status Init();
 
   void Insert(NodeId node, uint64_t edge_index) override;
+  void InsertBatch(const GraphUpdate* updates, size_t count) override;
   void ForceFlush() override;
+  uint64_t num_nodes() const override { return params_.num_nodes; }
   size_t RamByteSize() const override;
   size_t DiskByteSize() const override { return file_bytes_; }
 
@@ -77,6 +82,9 @@ class GutterTree : public GutteringSystem {
     size_t capacity_bytes = 0;
     size_t fill_bytes = 0;
   };
+
+  // Non-virtual insert body shared by Insert and InsertBatch.
+  void InsertRecord(NodeId node, uint64_t edge_index);
 
   // Builds the vertex at [lo, hi) and returns its id in internals_.
   uint32_t BuildVertex(uint64_t lo, uint64_t hi);
@@ -107,6 +115,7 @@ class GutterTree : public GutteringSystem {
   std::vector<Record> ReadRecords(uint64_t offset, size_t bytes);
 
   GutterTreeParams params_;
+  BatchPool* pool_;   // Not owned.
   WorkQueue* queue_;  // Not owned.
   int fd_ = -1;
   uint64_t file_bytes_ = 0;

@@ -1,0 +1,14 @@
+#include "buffer/guttering_system.h"
+
+namespace gz {
+
+void GutteringSystem::InsertBatch(const GraphUpdate* updates, size_t count) {
+  const uint64_t n = num_nodes();
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t idx = EdgeToIndex(updates[i].edge, n);
+    Insert(updates[i].edge.u, idx);
+    Insert(updates[i].edge.v, idx);
+  }
+}
+
+}  // namespace gz

@@ -1,13 +1,15 @@
 // Common interface of GraphZeppelin's two buffering structures
 // (Section 5.1): the in-RAM leaf-only gutters and the on-disk gutter
 // tree. Both collect fine-grained stream updates and emit them as
-// per-node batches into a WorkQueue, amortizing sketch access costs.
+// per-node pooled batches into a WorkQueue, amortizing sketch access
+// costs.
 #ifndef GZ_BUFFER_GUTTERING_SYSTEM_H_
 #define GZ_BUFFER_GUTTERING_SYSTEM_H_
 
 #include <cstddef>
 #include <cstdint>
 
+#include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 #include "stream/stream_types.h"
 
@@ -22,9 +24,20 @@ class GutteringSystem {
   // twice, once per endpoint (paper Figure 8, edge_update()).
   virtual void Insert(NodeId node, uint64_t edge_index) = 0;
 
+  // Bulk path: buffers a span of stream updates, inserting each edge's
+  // index for both endpoints. This is what GraphZeppelin::Update feeds
+  // after batching at the API boundary; implementations override it to
+  // skip the per-half-update virtual dispatch. The default simply loops
+  // over Insert.
+  virtual void InsertBatch(const GraphUpdate* updates, size_t count);
+
   // Forces every buffered update out as batches (possibly small ones).
   // Called at query time (paper cleanup()).
   virtual void ForceFlush() = 0;
+
+  // Upper bound on the vertex count (drives EdgeToIndex in the bulk
+  // path).
+  virtual uint64_t num_nodes() const = 0;
 
   // RAM footprint of the buffering structure itself.
   virtual size_t RamByteSize() const = 0;

@@ -1,0 +1,110 @@
+// Flat pooled batches: the unit of work flowing through the ingestion
+// pipeline (gutters -> work queue -> Graph Workers).
+//
+// The paper's throughput argument (Sections 4-5) is that gutters
+// amortize sketch access so the hot path is bounded by XOR work, not
+// memory traffic. A per-batch std::vector undoes that: every emitted
+// batch costs an allocation and every Push moves vector headers around.
+// UpdateBatch is instead a fixed-capacity slab — a small header and the
+// payload in one allocation — so a batch moves through the whole
+// pipeline as a single pointer, and BatchPool recycles slabs so
+// steady-state ingestion performs no heap allocations at all.
+#ifndef GZ_BUFFER_UPDATE_BATCH_H_
+#define GZ_BUFFER_UPDATE_BATCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream_types.h"
+
+namespace gz {
+
+// A batch of edge-index updates all destined for the same graph node.
+// The payload lives immediately after the header in the same
+// allocation; only BatchPool creates and destroys these.
+struct UpdateBatch {
+  NodeId node = 0;
+  uint32_t count = 0;
+  uint32_t capacity = 0;
+  uint32_t reserved_ = 0;            // Keeps the payload 8-byte aligned.
+  UpdateBatch* pool_next = nullptr;  // Intrusive free-list link.
+
+  uint64_t* edge_indices() { return reinterpret_cast<uint64_t*>(this + 1); }
+  const uint64_t* edge_indices() const {
+    return reinterpret_cast<const uint64_t*>(this + 1);
+  }
+
+  bool full() const { return count >= capacity; }
+  bool empty() const { return count == 0; }
+
+  // Caller must ensure !full().
+  void Append(uint64_t edge_index) { edge_indices()[count++] = edge_index; }
+};
+
+static_assert(sizeof(UpdateBatch) % alignof(uint64_t) == 0,
+              "payload after the header must stay 8-byte aligned");
+
+// Recycles fixed-capacity UpdateBatch slabs across the pipeline.
+// Acquire pops from an intrusive free list (growing the pool only when
+// it is empty, which in steady state never happens); Release pushes the
+// slab back. The free list is guarded by a spinlock: the critical
+// section is two pointer writes, so contention is far cheaper than a
+// mutex sleep and there is no ABA hazard to reason about.
+//
+// Thread safety: Acquire/Release may be called concurrently from any
+// number of producers (gutters) and consumers (Graph Workers).
+class BatchPool {
+ public:
+  explicit BatchPool(uint32_t slab_capacity);
+  ~BatchPool();
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  // Returns an empty slab (count == 0, node unset). Never nullptr.
+  UpdateBatch* Acquire();
+
+  // Returns a slab to the pool. The slab must have come from Acquire()
+  // on this pool and must not be used afterwards.
+  void Release(UpdateBatch* batch);
+
+  uint32_t slab_capacity() const { return slab_capacity_; }
+  size_t slab_bytes() const {
+    return sizeof(UpdateBatch) + static_cast<size_t>(slab_capacity_) * 8;
+  }
+
+  // Total slabs ever allocated (growth events; flat in steady state).
+  uint64_t slabs_allocated() const;
+  // Slabs currently acquired and not yet released.
+  int64_t outstanding() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+  size_t RamByteSize() const;
+
+ private:
+  class Spinlock {
+   public:
+    void lock() {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+    void unlock() { flag_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  };
+
+  const uint32_t slab_capacity_;
+  mutable Spinlock lock_;
+  UpdateBatch* free_head_ = nullptr;    // Guarded by lock_.
+  std::vector<void*> all_slabs_;        // Guarded by lock_; for freeing.
+  std::atomic<int64_t> outstanding_{0};
+};
+
+}  // namespace gz
+
+#endif  // GZ_BUFFER_UPDATE_BATCH_H_

@@ -4,31 +4,38 @@
 
 namespace gz {
 
-WorkQueue::WorkQueue(size_t capacity) : capacity_(capacity) {
+WorkQueue::WorkQueue(size_t capacity)
+    : ring_(capacity, nullptr), capacity_(capacity) {
   GZ_CHECK(capacity >= 1);
 }
 
-bool WorkQueue::Push(NodeBatch batch) {
+bool WorkQueue::Push(UpdateBatch* batch) {
+  GZ_CHECK(batch != nullptr);
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || queue_.size() < capacity_; });
+  not_full_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+  // The closed check must come before any accounting: a batch rejected
+  // here is handed back to the caller, so bumping in_flight_ for it
+  // would deadlock a later Drain barrier.
   if (closed_) return false;
-  queue_.push_back(std::move(batch));
+  ring_[(head_ + size_) % capacity_] = batch;
+  ++size_;
   in_flight_.fetch_add(1, std::memory_order_acq_rel);
   lock.unlock();
   not_empty_.notify_one();
   return true;
 }
 
-bool WorkQueue::Pop(NodeBatch* out) {
+UpdateBatch* WorkQueue::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return false;  // closed and drained
-  *out = std::move(queue_.front());
-  queue_.pop_front();
+  not_empty_.wait(lock, [this] { return closed_ || size_ > 0; });
+  if (size_ == 0) return nullptr;  // Closed and drained.
+  UpdateBatch* batch = ring_[head_];
+  ring_[head_] = nullptr;
+  head_ = (head_ + 1) % capacity_;
+  --size_;
   lock.unlock();
   not_full_.notify_one();
-  return true;
+  return batch;
 }
 
 void WorkQueue::Close() {
@@ -42,13 +49,13 @@ void WorkQueue::Close() {
 
 void WorkQueue::Reopen() {
   std::lock_guard<std::mutex> lock(mu_);
-  GZ_CHECK_MSG(queue_.empty(), "reopening a non-drained queue");
+  GZ_CHECK_MSG(size_ == 0, "reopening a non-drained queue");
   closed_ = false;
 }
 
 size_t WorkQueue::ApproxSize() {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return size_;
 }
 
 }  // namespace gz

@@ -6,9 +6,11 @@
 
 namespace gz {
 
-WorkerPool::WorkerPool(WorkQueue* queue, SketchStore* store, int num_workers)
-    : queue_(queue), store_(store), num_workers_(num_workers) {
-  GZ_CHECK(queue_ != nullptr && store_ != nullptr);
+WorkerPool::WorkerPool(WorkQueue* queue, BatchPool* batch_pool,
+                       SketchStore* store, int num_workers)
+    : queue_(queue), batch_pool_(batch_pool), store_(store),
+      num_workers_(num_workers) {
+  GZ_CHECK(queue_ != nullptr && batch_pool_ != nullptr && store_ != nullptr);
   GZ_CHECK(num_workers_ >= 1);
 }
 
@@ -27,14 +29,14 @@ void WorkerPool::WorkerLoop() {
   // Reusable delta sketch: cleared per batch, so the allocation cost is
   // paid once per worker, not per batch.
   NodeSketch delta(store_->params());
-  NodeBatch batch;
-  while (queue_->Pop(&batch)) {
+  UpdateBatch* batch = nullptr;
+  while ((batch = queue_->Pop()) != nullptr) {
     delta.Clear();
-    delta.UpdateBatch(batch.edge_indices.data(), batch.edge_indices.size());
-    store_->MergeDelta(batch.node, delta);
-    updates_applied_.fetch_add(batch.edge_indices.size(),
-                               std::memory_order_relaxed);
+    delta.UpdateBatch(batch->edge_indices(), batch->count);
+    store_->MergeDelta(batch->node, delta);
+    updates_applied_.fetch_add(batch->count, std::memory_order_relaxed);
     batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    batch_pool_->Release(batch);
     queue_->MarkDone();
   }
 }

@@ -1,6 +1,7 @@
 #include "core/graph_zeppelin.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -14,11 +15,17 @@
 namespace gz {
 namespace {
 
+// Backing-file names combine seed, instance tag and PID so two
+// processes sharing one disk_dir cannot clobber each other, plus a
+// process-wide counter so two same-seed instances in one process (e.g.
+// untagged shards, or a test creating twins) cannot either.
 std::string UniquePath(const std::string& dir, const char* stem,
                        uint64_t seed, const std::string& tag) {
-  std::string path = dir + "/" + stem + "_" + std::to_string(::getpid()) +
-                     "_" + std::to_string(seed);
+  static std::atomic<uint64_t> instance_counter{0};
+  std::string path = dir + "/" + stem + "_p" + std::to_string(::getpid()) +
+                     "_s" + std::to_string(seed);
   if (!tag.empty()) path += "_" + tag;
+  path += "_i" + std::to_string(instance_counter.fetch_add(1));
   return path + ".bin";
 }
 
@@ -73,12 +80,16 @@ Status GraphZeppelin::Init() {
       1, static_cast<size_t>(config_.gutter_fraction *
                              static_cast<double>(node_sketch_bytes_)) /
              sizeof(uint64_t));
+  // One slab size serves the whole pipeline: every emitted batch fits.
+  batch_pool_ = std::make_unique<BatchPool>(
+      static_cast<uint32_t>(gutter_updates));
   if (config_.buffering == GraphZeppelinConfig::Buffering::kLeafOnly) {
     LeafGuttersParams lp;
     lp.num_nodes = config_.num_nodes;
     lp.gutter_capacity = gutter_updates;
     lp.nodes_per_group = config_.nodes_per_gutter_group;
-    gutters_ = std::make_unique<LeafGutters>(lp, queue_.get());
+    gutters_ = std::make_unique<LeafGutters>(lp, batch_pool_.get(),
+                                             queue_.get());
   } else {
     gutter_tree_path_ = UniquePath(config_.disk_dir, "gz_gutter_tree",
                                    config_.seed, config_.instance_tag);
@@ -89,31 +100,53 @@ Status GraphZeppelin::Init() {
     tp.fanout = config_.gutter_tree_fanout;
     tp.leaf_gutter_updates = gutter_updates;
     tp.nodes_per_group = config_.nodes_per_gutter_group;
-    auto tree = std::make_unique<GutterTree>(tp, queue_.get());
+    auto tree = std::make_unique<GutterTree>(tp, batch_pool_.get(),
+                                             queue_.get());
     Status s = tree->Init();
     if (!s.ok()) return s;
     gutters_ = std::move(tree);
   }
 
-  pool_ = std::make_unique<WorkerPool>(queue_.get(), store_.get(),
-                                       config_.num_workers);
+  ingest_span_.reserve(kIngestSpanUpdates);
+  pool_ = std::make_unique<WorkerPool>(queue_.get(), batch_pool_.get(),
+                                       store_.get(), config_.num_workers);
   pool_->Start();
   initialized_ = true;
   return Status::Ok();
 }
 
+void GraphZeppelin::DrainIngestSpan() {
+  if (ingest_span_.empty()) return;
+  // Both endpoints' characteristic vectors toggle the same coordinate
+  // (paper Figure 8): InsertBatch inserts each edge's index twice.
+  gutters_->InsertBatch(ingest_span_.data(), ingest_span_.size());
+  ingest_span_.clear();  // Keeps capacity: no realloc on refill.
+}
+
 void GraphZeppelin::Update(const GraphUpdate& update) {
   GZ_CHECK_MSG(initialized_, "Init() not called");
-  const uint64_t idx = EdgeToIndex(update.edge, config_.num_nodes);
-  // Both endpoints' characteristic vectors toggle the same coordinate
-  // (paper Figure 8: buffer_insert({u,v}) and buffer_insert({v,u})).
-  gutters_->Insert(update.edge.u, idx);
-  gutters_->Insert(update.edge.v, idx);
+  // Fail fast at the API boundary: buffering would otherwise defer the
+  // violation to an arbitrary later drain. Both halves are checked —
+  // GraphUpdate is an aggregate, so a caller can bypass Edge's
+  // normalizing constructor.
+  GZ_CHECK_MSG(update.edge.u < update.edge.v &&
+                   update.edge.v < config_.num_nodes,
+               "u < v && v < num_nodes");
+  ingest_span_.push_back(update);
   ++num_updates_;
+  if (ingest_span_.size() >= kIngestSpanUpdates) DrainIngestSpan();
+}
+
+void GraphZeppelin::Update(const GraphUpdate* updates, size_t count) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  DrainIngestSpan();  // Preserve stream order with singly fed updates.
+  gutters_->InsertBatch(updates, count);
+  num_updates_ += count;
 }
 
 void GraphZeppelin::Flush() {
   GZ_CHECK_MSG(initialized_, "Init() not called");
+  DrainIngestSpan();
   gutters_->ForceFlush();
   pool_->Drain();
 }
@@ -215,7 +248,10 @@ const NodeSketchParams& GraphZeppelin::sketch_params() const {
 
 size_t GraphZeppelin::RamByteSize() const {
   GZ_CHECK_MSG(initialized_, "Init() not called");
-  return store_->RamByteSize() + gutters_->RamByteSize();
+  // The batch pool owns every slab (held by gutters, queued, or free),
+  // so gutter RamByteSize covers only the structures the gutters own.
+  return store_->RamByteSize() + batch_pool_->RamByteSize() +
+         gutters_->RamByteSize();
 }
 
 size_t GraphZeppelin::DiskByteSize() const {

@@ -14,8 +14,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "buffer/guttering_system.h"
+#include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 #include "core/connectivity.h"
 #include "core/graph_worker.h"
@@ -76,8 +78,16 @@ class GraphZeppelin {
   Status Init();
 
   // Ingests one stream update ((u, v), ±1). Inserts and deletions are
-  // both XOR toggles of the edge's coordinate.
+  // both XOR toggles of the edge's coordinate. Updates are batched at
+  // this API boundary: they accumulate in a small span buffer that is
+  // handed to the buffering system in bulk, so the gutters see spans
+  // rather than single edges.
   void Update(const GraphUpdate& update);
+
+  // Bulk ingestion: the preferred path for stream drivers that already
+  // hold a span of updates. Equivalent to calling Update() per element
+  // but skips the API-boundary copy and per-update dispatch.
+  void Update(const GraphUpdate* updates, size_t count);
 
   // Forces all buffered updates through the workers and blocks until
   // every sketch is up to date (paper cleanup()). Implied by
@@ -118,15 +128,25 @@ class GraphZeppelin {
   const GraphZeppelinConfig& config() const { return config_; }
 
  private:
+  // Updates buffered at the API boundary before a bulk hand-off to the
+  // gutters (GutteringSystem::InsertBatch).
+  static constexpr size_t kIngestSpanUpdates = 1024;
+
+  // Hands the API-boundary span buffer to the gutters.
+  void DrainIngestSpan();
+
   GraphZeppelinConfig config_;
   size_t node_sketch_bytes_ = 0;
   uint64_t num_updates_ = 0;
   std::string gutter_tree_path_;
   std::string sketch_store_path_;
+  std::vector<GraphUpdate> ingest_span_;  // Reserved once in Init().
 
-  // Declaration order doubles as reverse destruction order: the pool
-  // must die before the queue/store it references.
+  // Declaration order doubles as reverse destruction order: the worker
+  // pool must die before the queue/store it references, and everything
+  // holding slabs (gutters, workers) before the batch pool.
   std::unique_ptr<WorkQueue> queue_;
+  std::unique_ptr<BatchPool> batch_pool_;
   std::unique_ptr<SketchStore> store_;
   std::unique_ptr<GutteringSystem> gutters_;
   std::unique_ptr<WorkerPool> pool_;

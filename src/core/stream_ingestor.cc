@@ -1,9 +1,18 @@
 #include "core/stream_ingestor.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "stream/stream_file.h"
 #include "util/timer.h"
 
 namespace gz {
+
+namespace {
+// Updates read from the stream file per bulk hand-off. Spans this size
+// keep the flat batch pipeline fed without growing resident state.
+constexpr size_t kChunkUpdates = 4096;
+}  // namespace
 
 Result<uint64_t> IngestStreamFile(GraphZeppelin* gz, const std::string& path,
                                   uint64_t callback_every,
@@ -19,12 +28,30 @@ Result<uint64_t> IngestStreamFile(GraphZeppelin* gz, const std::string& path,
   WallTimer timer;
   IngestProgress progress;
   progress.total = reader.num_updates();
-  GraphUpdate update;
-  while (reader.Next(&update)) {
-    gz->Update(update);
-    ++progress.consumed;
-    if (callback != nullptr && callback_every > 0 &&
-        progress.consumed % callback_every == 0) {
+  std::vector<GraphUpdate> chunk;
+  chunk.reserve(kChunkUpdates);
+  const bool callbacks_on = callback != nullptr && callback_every > 0;
+  bool eof = false;
+  while (!eof) {
+    // Cap the chunk at the next progress boundary so callbacks fire at
+    // exactly the consumed counts single-update ingestion would report.
+    size_t limit = kChunkUpdates;
+    if (callbacks_on) {
+      const uint64_t to_boundary =
+          callback_every - (progress.consumed % callback_every);
+      limit = static_cast<size_t>(
+          std::min<uint64_t>(limit, to_boundary));
+    }
+    chunk.clear();
+    GraphUpdate update;
+    while (chunk.size() < limit && reader.Next(&update)) {
+      chunk.push_back(update);
+    }
+    eof = chunk.size() < limit;
+    if (chunk.empty()) break;
+    gz->Update(chunk.data(), chunk.size());
+    progress.consumed += chunk.size();
+    if (callbacks_on && progress.consumed % callback_every == 0) {
       progress.seconds = timer.Seconds();
       callback(progress);
     }

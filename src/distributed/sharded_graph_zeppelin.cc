@@ -16,6 +16,7 @@ ShardedGraphZeppelin::ShardedGraphZeppelin(const GraphZeppelinConfig& base,
     shard_config.instance_tag = "shard" + std::to_string(s);
     shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
   }
+  route_bufs_.resize(num_shards);
 }
 
 Status ShardedGraphZeppelin::Init() {
@@ -34,6 +35,18 @@ int ShardedGraphZeppelin::ShardFor(const Edge& e) const {
 
 void ShardedGraphZeppelin::Update(const GraphUpdate& update) {
   shards_[ShardFor(update.edge)]->Update(update);
+}
+
+void ShardedGraphZeppelin::Update(const GraphUpdate* updates, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    route_bufs_[ShardFor(updates[i].edge)].push_back(updates[i]);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::vector<GraphUpdate>& buf = route_bufs_[s];
+    if (buf.empty()) continue;
+    shards_[s]->Update(buf.data(), buf.size());
+    buf.clear();  // Keeps capacity for the next span.
+  }
 }
 
 void ShardedGraphZeppelin::Flush() {

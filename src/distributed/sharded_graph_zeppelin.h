@@ -33,6 +33,11 @@ class ShardedGraphZeppelin {
   // Routes the update to its shard (deterministic by edge).
   void Update(const GraphUpdate& update);
 
+  // Bulk ingestion: partitions the span by shard, then hands each shard
+  // its updates through the flat batch pipeline. This is what a stream
+  // partitioner in front of real machines would do per network buffer.
+  void Update(const GraphUpdate* updates, size_t count);
+
   // Shard an update would go to; exposed for tests and for external
   // routers (e.g. a stream partitioner in front of real machines).
   int ShardFor(const Edge& e) const;
@@ -58,6 +63,9 @@ class ShardedGraphZeppelin {
  private:
   GraphZeppelinConfig base_;
   std::vector<std::unique_ptr<GraphZeppelin>> shards_;
+  // Per-shard routing buffers for the bulk path (capacity persists
+  // across calls, so steady-state routing does not allocate).
+  std::vector<std::vector<GraphUpdate>> route_bufs_;
 };
 
 }  // namespace gz

@@ -114,6 +114,46 @@ TEST(CheckpointTest, WorksWithDiskStore) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, SameSeedDiskInstancesSharingDirDoNotCollide) {
+  // Two disk-backed instances with identical seed, no instance_tag and
+  // the same disk_dir (the two-processes-sharing-/tmp hazard, modeled
+  // in-process where it is strictly harder: PIDs match too). Backing
+  // file names must still differ, so neither corrupts the other.
+  GraphZeppelinConfig config = MakeConfig(32, 77);
+  config.storage = GraphZeppelinConfig::Storage::kDisk;
+  config.buffering = GraphZeppelinConfig::Buffering::kGutterTree;
+
+  GraphZeppelin a(config);
+  GraphZeppelin b(config);
+  ASSERT_TRUE(a.Init().ok());
+  ASSERT_TRUE(b.Init().ok());
+
+  // Disjoint edge sets; interleaved ingestion maximizes the chance that
+  // shared backing files would produce cross-talk.
+  AdjacencyMatrixChecker check_a(32), check_b(32);
+  for (NodeId i = 0; i + 1 < 10; ++i) {
+    const GraphUpdate ua{Edge(i, i + 1), UpdateType::kInsert};
+    const GraphUpdate ub{Edge(i + 20, i + 21), UpdateType::kInsert};
+    a.Update(ua);
+    check_a.Update(ua);
+    b.Update(ub);
+    check_b.Update(ub);
+  }
+  const ConnectivityResult ra = a.ListSpanningForest();
+  const ConnectivityResult rb = b.ListSpanningForest();
+  ASSERT_FALSE(ra.failed);
+  ASSERT_FALSE(rb.failed);
+  EXPECT_EQ(ra.num_components,
+            check_a.ConnectedComponents().num_components);
+  EXPECT_EQ(rb.num_components,
+            check_b.ConnectedComponents().num_components);
+  // a's chain and b's chain are disjoint: a must not see b's edges.
+  EXPECT_TRUE(ra.component_of[0] == ra.component_of[9]);
+  EXPECT_FALSE(ra.component_of[0] == ra.component_of[20]);
+  EXPECT_TRUE(rb.component_of[20] == rb.component_of[29]);
+  EXPECT_FALSE(rb.component_of[20] == rb.component_of[0]);
+}
+
 TEST(CheckpointTest, SeedMismatchRejected) {
   const std::string path = TempPath("ckpt_mismatch.bin");
   GraphZeppelin a(MakeConfig(16, 1));

@@ -1,5 +1,6 @@
 // Tests for the on-disk gutter tree: exactly-once delivery, batch
-// purity, flush completeness, multi-level recursion.
+// purity, flush completeness, multi-level recursion. Emission goes
+// through pooled UpdateBatch slabs.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -8,6 +9,7 @@
 #include <tuple>
 
 #include "buffer/gutter_tree.h"
+#include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 #include "util/random.h"
 
@@ -18,11 +20,16 @@ std::string TempPath(const std::string& name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
-std::map<NodeId, std::multiset<uint64_t>> DrainQueue(WorkQueue* q) {
+std::map<NodeId, std::multiset<uint64_t>> DrainQueue(WorkQueue* q,
+                                                     BatchPool* pool) {
   std::map<NodeId, std::multiset<uint64_t>> got;
-  NodeBatch batch;
-  while (q->ApproxSize() > 0 && q->Pop(&batch)) {
-    for (uint64_t idx : batch.edge_indices) got[batch.node].insert(idx);
+  while (q->ApproxSize() > 0) {
+    UpdateBatch* batch = q->Pop();
+    if (batch == nullptr) break;
+    for (uint32_t i = 0; i < batch->count; ++i) {
+      got[batch->node].insert(batch->edge_indices()[i]);
+    }
+    pool->Release(batch);
     q->MarkDone();
   }
   return got;
@@ -42,7 +49,8 @@ GutterTreeParams SmallParams(uint64_t num_nodes, const std::string& file) {
 TEST(GutterTreeTest, InitCreatesBackingFile) {
   const std::string path = TempPath("gt_init.bin");
   WorkQueue q(100);
-  GutterTree tree(SmallParams(64, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(64, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   EXPECT_GT(tree.DiskByteSize(), 0u);
   FILE* f = std::fopen(path.c_str(), "rb");
@@ -53,19 +61,21 @@ TEST(GutterTreeTest, InitCreatesBackingFile) {
 
 TEST(GutterTreeTest, InsertBeforeInitAborts) {
   WorkQueue q(100);
-  GutterTree tree(SmallParams(8, TempPath("gt_noinit.bin")), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(8, TempPath("gt_noinit.bin")), &pool, &q);
   EXPECT_DEATH(tree.Insert(0, 1), "Init");
 }
 
 TEST(GutterTreeTest, ForceFlushDeliversEverything) {
   const std::string path = TempPath("gt_flush.bin");
   WorkQueue q(1 << 14);
-  GutterTree tree(SmallParams(16, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(16, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   tree.Insert(3, 100);
   tree.Insert(9, 200);
   tree.ForceFlush();
-  const auto got = DrainQueue(&q);
+  const auto got = DrainQueue(&q, &pool);
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got.at(3).count(100), 1u);
   EXPECT_EQ(got.at(9).count(200), 1u);
@@ -75,20 +85,53 @@ TEST(GutterTreeTest, ForceFlushDeliversEverything) {
 TEST(GutterTreeTest, BatchesAreNodePure) {
   const std::string path = TempPath("gt_pure.bin");
   WorkQueue q(1 << 14);
-  GutterTree tree(SmallParams(32, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(32, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   SplitMix64 rng(3);
   for (int i = 0; i < 3000; ++i) {
     tree.Insert(static_cast<NodeId>(rng.NextBelow(32)), rng.Next());
   }
   tree.ForceFlush();
-  NodeBatch batch;
-  while (q.ApproxSize() > 0 && q.Pop(&batch)) {
+  while (q.ApproxSize() > 0) {
+    UpdateBatch* batch = q.Pop();
+    ASSERT_NE(batch, nullptr);
     // A batch's destination is one node; every index was inserted for it.
-    EXPECT_LT(batch.node, 32u);
-    EXPECT_FALSE(batch.edge_indices.empty());
+    EXPECT_LT(batch->node, 32u);
+    EXPECT_GT(batch->count, 0u);
+    pool.Release(batch);
     q.MarkDone();
   }
+  std::remove(path.c_str());
+}
+
+TEST(GutterTreeTest, InsertBatchMatchesPerUpdateInserts) {
+  const std::string path = TempPath("gt_bulk.bin");
+  WorkQueue q(1 << 14);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(16, path), &pool, &q);
+  ASSERT_TRUE(tree.Init().ok());
+
+  std::vector<GraphUpdate> updates;
+  SplitMix64 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBelow(16));
+    NodeId b = static_cast<NodeId>(rng.NextBelow(16));
+    if (a == b) b = (b + 1) % 16;
+    updates.push_back({Edge(a, b), UpdateType::kInsert});
+  }
+  tree.InsertBatch(updates.data(), updates.size());
+  tree.ForceFlush();
+  const auto got = DrainQueue(&q, &pool);
+
+  std::map<NodeId, std::multiset<uint64_t>> want;
+  for (const GraphUpdate& u : updates) {
+    const uint64_t idx = EdgeToIndex(u.edge, 16);
+    want[u.edge.u].insert(idx);
+    want[u.edge.v].insert(idx);
+  }
+  EXPECT_EQ(got, want);
+  std::remove(path.c_str());
 }
 
 // Sweep tree geometries: all must deliver every update exactly once.
@@ -102,13 +145,14 @@ TEST_P(GutterTreeDeliveryTest, DeliversEveryUpdateExactlyOnce) {
       "gt_deliver_" + std::to_string(num_nodes) + "_" +
       std::to_string(fanout) + "_" + std::to_string(leaf_updates) + ".bin");
   WorkQueue q(1 << 16);
+  BatchPool pool(static_cast<uint32_t>(leaf_updates));
   GutterTreeParams p;
   p.num_nodes = num_nodes;
   p.file_path = path;
   p.buffer_bytes = GutterTree::kRecordBytes * fanout * 4;
   p.fanout = fanout;
   p.leaf_gutter_updates = leaf_updates;
-  GutterTree tree(p, &q);
+  GutterTree tree(p, &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
 
   SplitMix64 rng(num_nodes * 31 + fanout);
@@ -120,9 +164,10 @@ TEST_P(GutterTreeDeliveryTest, DeliversEveryUpdateExactlyOnce) {
     sent[node].insert(idx);
   }
   tree.ForceFlush();
-  const auto got = DrainQueue(&q);
+  const auto got = DrainQueue(&q, &pool);
   EXPECT_EQ(got, sent);
   EXPECT_GT(tree.bytes_written(), 0u);
+  EXPECT_EQ(pool.outstanding(), 0);  // Every emitted slab came back.
   std::remove(path.c_str());
 }
 
@@ -140,11 +185,12 @@ TEST(GutterTreeTest, SkewedLoadOnOneNode) {
   // path repeatedly.
   const std::string path = TempPath("gt_skew.bin");
   WorkQueue q(1 << 14);
-  GutterTree tree(SmallParams(64, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(64, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   for (int i = 0; i < 1000; ++i) tree.Insert(7, i);
   tree.ForceFlush();
-  const auto got = DrainQueue(&q);
+  const auto got = DrainQueue(&q, &pool);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got.at(7).size(), 1000u);
   std::remove(path.c_str());
@@ -157,6 +203,7 @@ TEST_P(GutterTreeGroupedTest, GroupedLeavesDeliverExactlyOnce) {
   const std::string path =
       TempPath("gt_grouped_" + std::to_string(group_size) + ".bin");
   WorkQueue q(1 << 16);
+  BatchPool pool(16);
   GutterTreeParams p;
   p.num_nodes = 100;
   p.file_path = path;
@@ -164,7 +211,7 @@ TEST_P(GutterTreeGroupedTest, GroupedLeavesDeliverExactlyOnce) {
   p.fanout = 4;
   p.leaf_gutter_updates = 16;
   p.nodes_per_group = group_size;
-  GutterTree tree(p, &q);
+  GutterTree tree(p, &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
 
   SplitMix64 rng(group_size * 13 + 3);
@@ -176,7 +223,7 @@ TEST_P(GutterTreeGroupedTest, GroupedLeavesDeliverExactlyOnce) {
     sent[node].insert(idx);
   }
   tree.ForceFlush();
-  EXPECT_EQ(DrainQueue(&q), sent);
+  EXPECT_EQ(DrainQueue(&q, &pool), sent);
   std::remove(path.c_str());
 }
 
@@ -186,17 +233,18 @@ INSTANTIATE_TEST_SUITE_P(GroupSizes, GutterTreeGroupedTest,
 TEST(GutterTreeTest, SingleNodeGraph) {
   const std::string path = TempPath("gt_single.bin");
   WorkQueue q(100);
+  BatchPool pool(4);
   GutterTreeParams p;
   p.num_nodes = 1;
   p.file_path = path;
   p.buffer_bytes = GutterTree::kRecordBytes * 32;
   p.fanout = 4;
   p.leaf_gutter_updates = 4;
-  GutterTree tree(p, &q);
+  GutterTree tree(p, &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   for (int i = 0; i < 10; ++i) tree.Insert(0, i);
   tree.ForceFlush();
-  const auto got = DrainQueue(&q);
+  const auto got = DrainQueue(&q, &pool);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got.at(0).size(), 10u);
   std::remove(path.c_str());
@@ -205,7 +253,8 @@ TEST(GutterTreeTest, SingleNodeGraph) {
 TEST(GutterTreeTest, IoCountersMonotone) {
   const std::string path = TempPath("gt_io.bin");
   WorkQueue q(1 << 14);
-  GutterTree tree(SmallParams(16, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(16, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   uint64_t last_written = 0;
   SplitMix64 rng(7);
@@ -214,7 +263,7 @@ TEST(GutterTreeTest, IoCountersMonotone) {
       tree.Insert(static_cast<NodeId>(rng.NextBelow(16)), rng.Next());
     }
     tree.ForceFlush();
-    DrainQueue(&q);
+    DrainQueue(&q, &pool);
     EXPECT_GE(tree.bytes_written(), last_written);
     last_written = tree.bytes_written();
   }
@@ -225,7 +274,8 @@ TEST(GutterTreeTest, IoCountersMonotone) {
 TEST(GutterTreeTest, DoubleInitFails) {
   const std::string path = TempPath("gt_double.bin");
   WorkQueue q(10);
-  GutterTree tree(SmallParams(8, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(8, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   EXPECT_EQ(tree.Init().code(), StatusCode::kFailedPrecondition);
   std::remove(path.c_str());
@@ -236,7 +286,8 @@ TEST(GutterTreeTest, RepeatedFlushCyclesStayConsistent) {
   // correctly across ForceFlush cycles (mid-stream query pattern).
   const std::string path = TempPath("gt_cycles.bin");
   WorkQueue q(1 << 14);
-  GutterTree tree(SmallParams(32, path), &q);
+  BatchPool pool(8);
+  GutterTree tree(SmallParams(32, path), &pool, &q);
   ASSERT_TRUE(tree.Init().ok());
   SplitMix64 rng(17);
   std::map<NodeId, std::multiset<uint64_t>> sent;
@@ -249,7 +300,7 @@ TEST(GutterTreeTest, RepeatedFlushCyclesStayConsistent) {
       sent[node].insert(idx);
     }
     tree.ForceFlush();
-    for (auto& [node, indices] : DrainQueue(&q)) {
+    for (auto& [node, indices] : DrainQueue(&q, &pool)) {
       got[node].insert(indices.begin(), indices.end());
     }
     EXPECT_EQ(got, sent) << "cycle " << cycle;

@@ -1,4 +1,5 @@
-// Tests for the leaf-only gutters buffering structure.
+// Tests for the leaf-only gutters buffering structure (pooled-slab
+// edition: gutters are UpdateBatch slabs recycled through a BatchPool).
 #include <gtest/gtest.h>
 
 #include <map>
@@ -6,29 +7,42 @@
 #include <vector>
 
 #include "buffer/leaf_gutters.h"
+#include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 #include "util/random.h"
 
 namespace gz {
 namespace {
 
-// Drains everything currently in the queue into a per-node multiset.
-std::map<NodeId, std::multiset<uint64_t>> DrainQueue(WorkQueue* q) {
+// Drains everything currently in the queue into a per-node multiset,
+// releasing the slabs back to the pool.
+std::map<NodeId, std::multiset<uint64_t>> DrainQueue(WorkQueue* q,
+                                                     BatchPool* pool) {
   std::map<NodeId, std::multiset<uint64_t>> got;
-  NodeBatch batch;
-  while (q->ApproxSize() > 0 && q->Pop(&batch)) {
-    for (uint64_t idx : batch.edge_indices) got[batch.node].insert(idx);
+  while (q->ApproxSize() > 0) {
+    UpdateBatch* batch = q->Pop();
+    if (batch == nullptr) break;
+    for (uint32_t i = 0; i < batch->count; ++i) {
+      got[batch->node].insert(batch->edge_indices()[i]);
+    }
+    pool->Release(batch);
     q->MarkDone();
   }
   return got;
 }
 
+std::vector<uint64_t> Payload(const UpdateBatch* b) {
+  return std::vector<uint64_t>(b->edge_indices(),
+                               b->edge_indices() + b->count);
+}
+
 TEST(LeafGuttersTest, EmitsBatchWhenFull) {
   WorkQueue q(100);
+  BatchPool pool(3);
   LeafGuttersParams p;
   p.num_nodes = 4;
   p.gutter_capacity = 3;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
 
   gutters.Insert(2, 10);
   gutters.Insert(2, 11);
@@ -36,39 +50,43 @@ TEST(LeafGuttersTest, EmitsBatchWhenFull) {
   gutters.Insert(2, 12);
   EXPECT_EQ(q.ApproxSize(), 1u);
 
-  NodeBatch batch;
-  ASSERT_TRUE(q.Pop(&batch));
-  EXPECT_EQ(batch.node, 2u);
-  EXPECT_EQ(batch.edge_indices, (std::vector<uint64_t>{10, 11, 12}));
+  UpdateBatch* batch = q.Pop();
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->node, 2u);
+  EXPECT_EQ(Payload(batch), (std::vector<uint64_t>{10, 11, 12}));
+  pool.Release(batch);
 }
 
 TEST(LeafGuttersTest, SeparateGuttersPerNode) {
   WorkQueue q(100);
+  BatchPool pool(2);
   LeafGuttersParams p;
   p.num_nodes = 3;
   p.gutter_capacity = 2;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
   gutters.Insert(0, 1);
   gutters.Insert(1, 2);
   gutters.Insert(2, 3);
   EXPECT_EQ(q.ApproxSize(), 0u);  // Each gutter holds one update.
   gutters.Insert(1, 4);
   EXPECT_EQ(q.ApproxSize(), 1u);
-  NodeBatch batch;
-  ASSERT_TRUE(q.Pop(&batch));
-  EXPECT_EQ(batch.node, 1u);
+  UpdateBatch* batch = q.Pop();
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->node, 1u);
+  pool.Release(batch);
 }
 
 TEST(LeafGuttersTest, ForceFlushEmitsPartialGutters) {
   WorkQueue q(100);
+  BatchPool pool(10);
   LeafGuttersParams p;
   p.num_nodes = 5;
   p.gutter_capacity = 10;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
   gutters.Insert(0, 7);
   gutters.Insert(4, 8);
   gutters.ForceFlush();
-  const auto got = DrainQueue(&q);
+  const auto got = DrainQueue(&q, &pool);
   EXPECT_EQ(got.size(), 2u);
   EXPECT_EQ(got.at(0).count(7), 1u);
   EXPECT_EQ(got.at(4).count(8), 1u);
@@ -76,21 +94,69 @@ TEST(LeafGuttersTest, ForceFlushEmitsPartialGutters) {
 
 TEST(LeafGuttersTest, ForceFlushOnEmptyIsNoop) {
   WorkQueue q(10);
+  BatchPool pool(4);
   LeafGuttersParams p;
   p.num_nodes = 3;
   p.gutter_capacity = 4;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
   gutters.ForceFlush();
   EXPECT_EQ(q.ApproxSize(), 0u);
 }
 
 TEST(LeafGuttersTest, OutOfRangeNodeAborts) {
   WorkQueue q(10);
+  BatchPool pool(4);
   LeafGuttersParams p;
   p.num_nodes = 3;
   p.gutter_capacity = 4;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
   EXPECT_DEATH(gutters.Insert(3, 0), "node < params_.num_nodes");
+}
+
+TEST(LeafGuttersTest, DestructorReturnsHeldSlabsToPool) {
+  WorkQueue q(10);
+  BatchPool pool(8);
+  {
+    LeafGuttersParams p;
+    p.num_nodes = 4;
+    p.gutter_capacity = 8;
+    LeafGutters gutters(p, &pool, &q);
+    gutters.Insert(0, 1);
+    gutters.Insert(2, 2);
+    EXPECT_EQ(pool.outstanding(), 2);  // Two gutters hold slabs.
+  }
+  EXPECT_EQ(pool.outstanding(), 0);
+}
+
+TEST(LeafGuttersTest, InsertBatchMatchesPerUpdateInserts) {
+  // The bulk path must buffer exactly what two Insert calls per edge
+  // would.
+  WorkQueue q(1 << 10);
+  BatchPool pool(4);
+  LeafGuttersParams p;
+  p.num_nodes = 16;
+  p.gutter_capacity = 4;
+  LeafGutters gutters(p, &pool, &q);
+
+  std::vector<GraphUpdate> updates;
+  SplitMix64 rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBelow(16));
+    NodeId b = static_cast<NodeId>(rng.NextBelow(16));
+    if (a == b) b = (b + 1) % 16;
+    updates.push_back({Edge(a, b), UpdateType::kInsert});
+  }
+  gutters.InsertBatch(updates.data(), updates.size());
+  gutters.ForceFlush();
+  const auto got = DrainQueue(&q, &pool);
+
+  std::map<NodeId, std::multiset<uint64_t>> want;
+  for (const GraphUpdate& u : updates) {
+    const uint64_t idx = EdgeToIndex(u.edge, 16);
+    want[u.edge.u].insert(idx);
+    want[u.edge.v].insert(idx);
+  }
+  EXPECT_EQ(got, want);
 }
 
 class LeafGuttersDeliveryTest : public ::testing::TestWithParam<size_t> {};
@@ -98,10 +164,11 @@ class LeafGuttersDeliveryTest : public ::testing::TestWithParam<size_t> {};
 TEST_P(LeafGuttersDeliveryTest, DeliversEveryUpdateExactlyOnce) {
   const size_t capacity = GetParam();
   WorkQueue q(1 << 16);
+  BatchPool pool(static_cast<uint32_t>(capacity));
   LeafGuttersParams p;
   p.num_nodes = 50;
   p.gutter_capacity = capacity;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
 
   SplitMix64 rng(capacity * 1009 + 1);
   std::map<NodeId, std::multiset<uint64_t>> sent;
@@ -112,7 +179,7 @@ TEST_P(LeafGuttersDeliveryTest, DeliversEveryUpdateExactlyOnce) {
     sent[node].insert(idx);
   }
   gutters.ForceFlush();
-  const auto got = DrainQueue(&q);
+  const auto got = DrainQueue(&q, &pool);
   EXPECT_EQ(got, sent);
 }
 
@@ -123,21 +190,23 @@ INSTANTIATE_TEST_SUITE_P(Capacities, LeafGuttersDeliveryTest,
 
 TEST(LeafGuttersGroupTest, GroupCountRoundsUp) {
   WorkQueue q(100);
+  BatchPool pool(4);
   LeafGuttersParams p;
   p.num_nodes = 10;
   p.gutter_capacity = 4;
   p.nodes_per_group = 3;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
   EXPECT_EQ(gutters.num_groups(), 4u);  // ceil(10 / 3).
 }
 
 TEST(LeafGuttersGroupTest, GroupFlushSplitsPerNode) {
   WorkQueue q(100);
+  BatchPool pool(4);
   LeafGuttersParams p;
   p.num_nodes = 8;
   p.gutter_capacity = 4;
   p.nodes_per_group = 4;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
   // Nodes 0..3 share group 0; fill it with a mix.
   gutters.Insert(1, 10);
   gutters.Insert(3, 30);
@@ -146,9 +215,11 @@ TEST(LeafGuttersGroupTest, GroupFlushSplitsPerNode) {
   EXPECT_EQ(q.ApproxSize(), 3u);  // One batch per node present.
 
   std::map<NodeId, std::vector<uint64_t>> got;
-  NodeBatch batch;
-  while (q.ApproxSize() > 0 && q.Pop(&batch)) {
-    got[batch.node] = batch.edge_indices;
+  while (q.ApproxSize() > 0) {
+    UpdateBatch* batch = q.Pop();
+    ASSERT_NE(batch, nullptr);
+    got[batch->node] = Payload(batch);
+    pool.Release(batch);
     q.MarkDone();
   }
   EXPECT_EQ(got.at(1), (std::vector<uint64_t>{10, 11}));  // Order kept.
@@ -162,11 +233,12 @@ class LeafGuttersGroupedDeliveryTest
 TEST_P(LeafGuttersGroupedDeliveryTest, DeliversEverythingExactlyOnce) {
   const uint64_t group_size = GetParam();
   WorkQueue q(1 << 16);
+  BatchPool pool(16);
   LeafGuttersParams p;
   p.num_nodes = 50;
   p.gutter_capacity = 16;
   p.nodes_per_group = group_size;
-  LeafGutters gutters(p, &q);
+  LeafGutters gutters(p, &pool, &q);
 
   SplitMix64 rng(group_size * 31 + 5);
   std::map<NodeId, std::multiset<uint64_t>> sent;
@@ -177,21 +249,24 @@ TEST_P(LeafGuttersGroupedDeliveryTest, DeliversEverythingExactlyOnce) {
     sent[node].insert(idx);
   }
   gutters.ForceFlush();
-  EXPECT_EQ(DrainQueue(&q), sent);
+  EXPECT_EQ(DrainQueue(&q, &pool), sent);
 }
 
 INSTANTIATE_TEST_SUITE_P(GroupSizes, LeafGuttersGroupedDeliveryTest,
                          ::testing::Values(1, 2, 7, 50, 64));
 
-TEST(LeafGuttersTest, RamByteSizeTracksReservedGutters) {
+TEST(LeafGuttersTest, PoolGrowsOnlyWithHeldGutters) {
   WorkQueue q(1000);
+  BatchPool pool(100);
   LeafGuttersParams p;
   p.num_nodes = 10;
   p.gutter_capacity = 100;
-  LeafGutters gutters(p, &q);
-  const size_t before = gutters.RamByteSize();
-  gutters.Insert(0, 1);  // Triggers reserve of one gutter.
-  EXPECT_GT(gutters.RamByteSize(), before);
+  LeafGutters gutters(p, &pool, &q);
+  EXPECT_EQ(pool.slabs_allocated(), 0u);  // Gutters acquire lazily.
+  gutters.Insert(0, 1);
+  EXPECT_EQ(pool.slabs_allocated(), 1u);
+  gutters.Insert(0, 2);  // Same gutter: no new slab.
+  EXPECT_EQ(pool.slabs_allocated(), 1u);
 }
 
 }  // namespace

@@ -1,124 +1,179 @@
-// Tests for the bounded MPMC work queue.
+// Tests for the bounded MPMC work queue (ring of pooled UpdateBatch
+// pointers) and its in-flight lifecycle accounting.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 #include <vector>
 
+#include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 
 namespace gz {
 namespace {
 
-NodeBatch MakeBatch(NodeId node, std::vector<uint64_t> indices) {
-  NodeBatch b;
-  b.node = node;
-  b.edge_indices = std::move(indices);
+UpdateBatch* MakeBatch(BatchPool* pool, NodeId node,
+                       std::vector<uint64_t> indices) {
+  UpdateBatch* b = pool->Acquire();
+  b->node = node;
+  for (uint64_t idx : indices) b->Append(idx);
   return b;
 }
 
+std::vector<uint64_t> Payload(const UpdateBatch* b) {
+  return std::vector<uint64_t>(b->edge_indices(),
+                               b->edge_indices() + b->count);
+}
+
 TEST(WorkQueueTest, FifoSingleThread) {
+  BatchPool pool(8);
   WorkQueue q(10);
-  ASSERT_TRUE(q.Push(MakeBatch(1, {10})));
-  ASSERT_TRUE(q.Push(MakeBatch(2, {20})));
-  NodeBatch out;
-  ASSERT_TRUE(q.Pop(&out));
-  EXPECT_EQ(out.node, 1u);
-  ASSERT_TRUE(q.Pop(&out));
-  EXPECT_EQ(out.node, 2u);
+  ASSERT_TRUE(q.Push(MakeBatch(&pool, 1, {10})));
+  ASSERT_TRUE(q.Push(MakeBatch(&pool, 2, {20})));
+  UpdateBatch* out = q.Pop();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->node, 1u);
+  pool.Release(out);
+  out = q.Pop();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->node, 2u);
+  pool.Release(out);
 }
 
 TEST(WorkQueueTest, InFlightAccounting) {
+  BatchPool pool(8);
   WorkQueue q(4);
   EXPECT_EQ(q.InFlight(), 0);
-  q.Push(MakeBatch(1, {}));
-  q.Push(MakeBatch(2, {}));
+  q.Push(MakeBatch(&pool, 1, {}));
+  q.Push(MakeBatch(&pool, 2, {}));
   EXPECT_EQ(q.InFlight(), 2);
-  NodeBatch out;
-  q.Pop(&out);
+  pool.Release(q.Pop());
   EXPECT_EQ(q.InFlight(), 2);  // Popped but not done.
   q.MarkDone();
   EXPECT_EQ(q.InFlight(), 1);
-  q.Pop(&out);
+  pool.Release(q.Pop());
   q.MarkDone();
   EXPECT_EQ(q.InFlight(), 0);
 }
 
 TEST(WorkQueueTest, CloseUnblocksConsumers) {
+  BatchPool pool(8);
   WorkQueue q(4);
   std::atomic<int> popped{0};
   std::thread consumer([&] {
-    NodeBatch out;
-    while (q.Pop(&out)) ++popped;
+    UpdateBatch* out = nullptr;
+    while ((out = q.Pop()) != nullptr) {
+      pool.Release(out);
+      ++popped;
+    }
   });
-  q.Push(MakeBatch(1, {}));
-  q.Push(MakeBatch(2, {}));
+  q.Push(MakeBatch(&pool, 1, {}));
+  q.Push(MakeBatch(&pool, 2, {}));
   q.Close();
   consumer.join();
   EXPECT_EQ(popped.load(), 2);  // Drains remaining batches, then exits.
 }
 
 TEST(WorkQueueTest, PushAfterCloseFails) {
+  BatchPool pool(8);
   WorkQueue q(4);
   q.Close();
-  EXPECT_FALSE(q.Push(MakeBatch(1, {})));
+  UpdateBatch* b = MakeBatch(&pool, 1, {});
+  EXPECT_FALSE(q.Push(b));
+  pool.Release(b);  // Ownership stayed with the caller.
 }
 
-TEST(WorkQueueTest, ReopenAllowsAnotherPhase) {
-  WorkQueue q(4);
-  q.Push(MakeBatch(1, {}));
-  NodeBatch out;
-  q.Pop(&out);
-  q.Close();
-  q.Reopen();
-  EXPECT_TRUE(q.Push(MakeBatch(2, {})));
-  ASSERT_TRUE(q.Pop(&out));
-  EXPECT_EQ(out.node, 2u);
-}
-
-TEST(WorkQueueTest, BoundedCapacityBlocksProducer) {
+// Regression (lifecycle accounting): a Push that fails because the
+// queue is closed must NOT bump the in-flight counter — the batch was
+// never enqueued, so counting it would make a later Drain barrier wait
+// forever for a MarkDone that can't come.
+TEST(WorkQueueTest, RejectedPushLeavesInFlightUntouched) {
+  BatchPool pool(8);
   WorkQueue q(2);
-  ASSERT_TRUE(q.Push(MakeBatch(1, {})));
-  ASSERT_TRUE(q.Push(MakeBatch(2, {})));
-  std::atomic<bool> third_pushed{false};
-  std::thread producer([&] {
-    q.Push(MakeBatch(3, {}));
-    third_pushed = true;
-  });
-  // Give the producer a moment: it must be blocked on the full queue.
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_FALSE(third_pushed.load());
-  NodeBatch out;
-  q.Pop(&out);
-  producer.join();
-  EXPECT_TRUE(third_pushed.load());
+  q.Push(MakeBatch(&pool, 1, {}));
+  EXPECT_EQ(q.InFlight(), 1);
+  q.Close();
+  UpdateBatch* rejected = MakeBatch(&pool, 2, {});
+  EXPECT_FALSE(q.Push(rejected));
+  EXPECT_EQ(q.InFlight(), 1);  // Unchanged: only the enqueued batch.
+  pool.Release(rejected);
+  // Drain the one real batch; in-flight must reach exactly zero.
+  pool.Release(q.Pop());
+  q.MarkDone();
+  EXPECT_EQ(q.InFlight(), 0);
 }
 
-TEST(WorkQueueTest, CloseUnblocksBlockedProducer) {
+// Same regression for a producer that was *blocked on a full queue*
+// when Close() arrived: it must give up, return false, and leave the
+// counter at the number of actually-enqueued batches.
+TEST(WorkQueueTest, BlockedPushRejectedByCloseDoesNotLeakInFlight) {
+  BatchPool pool(8);
   WorkQueue q(1);
-  ASSERT_TRUE(q.Push(MakeBatch(1, {})));
+  ASSERT_TRUE(q.Push(MakeBatch(&pool, 1, {})));
   std::atomic<int> push_result{-1};
+  UpdateBatch* blocked = MakeBatch(&pool, 2, {});
   std::thread producer([&] {
-    push_result = q.Push(MakeBatch(2, {})) ? 1 : 0;  // Blocks: queue full.
+    push_result = q.Push(blocked) ? 1 : 0;  // Blocks: queue full.
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_EQ(push_result.load(), -1);
   q.Close();
   producer.join();
-  EXPECT_EQ(push_result.load(), 0);  // Rejected after close.
+  EXPECT_EQ(push_result.load(), 0);
+  EXPECT_EQ(q.InFlight(), 1);  // Only the first batch counts.
+  pool.Release(blocked);
+  pool.Release(q.Pop());
+  q.MarkDone();
+  EXPECT_EQ(q.InFlight(), 0);
+}
+
+TEST(WorkQueueTest, ReopenAllowsAnotherPhase) {
+  BatchPool pool(8);
+  WorkQueue q(4);
+  q.Push(MakeBatch(&pool, 1, {}));
+  pool.Release(q.Pop());
+  q.Close();
+  q.Reopen();
+  EXPECT_TRUE(q.Push(MakeBatch(&pool, 2, {})));
+  UpdateBatch* out = q.Pop();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->node, 2u);
+  pool.Release(out);
+}
+
+TEST(WorkQueueTest, BoundedCapacityBlocksProducer) {
+  BatchPool pool(8);
+  WorkQueue q(2);
+  ASSERT_TRUE(q.Push(MakeBatch(&pool, 1, {})));
+  ASSERT_TRUE(q.Push(MakeBatch(&pool, 2, {})));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.Push(MakeBatch(&pool, 3, {}));
+    third_pushed = true;
+  });
+  // Give the producer a moment: it must be blocked on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  pool.Release(q.Pop());
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  while (q.ApproxSize() > 0) pool.Release(q.Pop());
 }
 
 TEST(WorkQueueTest, BatchContentSurvivesTransit) {
+  BatchPool pool(8);
   WorkQueue q(4);
-  std::vector<uint64_t> payload = {7, 8, 9, 1ULL << 40};
-  q.Push(MakeBatch(3, payload));
-  NodeBatch out;
-  ASSERT_TRUE(q.Pop(&out));
-  EXPECT_EQ(out.node, 3u);
-  EXPECT_EQ(out.edge_indices, payload);
+  const std::vector<uint64_t> payload = {7, 8, 9, 1ULL << 40};
+  q.Push(MakeBatch(&pool, 3, payload));
+  UpdateBatch* out = q.Pop();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->node, 3u);
+  EXPECT_EQ(Payload(out), payload);
+  pool.Release(out);
 }
 
 TEST(WorkQueueTest, ManyProducersManyConsumers) {
+  BatchPool pool(8);
   WorkQueue q(8);
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 500;
@@ -128,10 +183,11 @@ TEST(WorkQueueTest, ManyProducersManyConsumers) {
   std::vector<std::thread> consumers;
   for (int c = 0; c < 3; ++c) {
     consumers.emplace_back([&] {
-      NodeBatch out;
-      while (q.Pop(&out)) {
-        sum_consumed += out.edge_indices[0];
+      UpdateBatch* out = nullptr;
+      while ((out = q.Pop()) != nullptr) {
+        sum_consumed += out->edge_indices()[0];
         ++count_consumed;
+        pool.Release(out);
         q.MarkDone();
       }
     });
@@ -142,7 +198,7 @@ TEST(WorkQueueTest, ManyProducersManyConsumers) {
     producers.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
         const uint64_t value = static_cast<uint64_t>(p) * 10000 + i;
-        q.Push(MakeBatch(static_cast<NodeId>(p), {value}));
+        q.Push(MakeBatch(&pool, static_cast<NodeId>(p), {value}));
         sum_produced += value;
       }
     });
@@ -153,6 +209,7 @@ TEST(WorkQueueTest, ManyProducersManyConsumers) {
   EXPECT_EQ(count_consumed.load(), kProducers * kPerProducer);
   EXPECT_EQ(sum_consumed.load(), sum_produced.load());
   EXPECT_EQ(q.InFlight(), 0);
+  EXPECT_EQ(pool.outstanding(), 0);  // Every slab came back.
 }
 
 }  // namespace

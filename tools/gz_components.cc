@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/graph_zeppelin.h"
+#include "core/stream_ingestor.h"
 #include "stream/stream_file.h"
 #include "tools/flags.h"
 #include "util/mem_usage.h"
@@ -57,15 +58,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  reader.Close();  // Only needed it for the node count.
+
+  // Bulk chunked ingestion (including the final flush) via the shared
+  // stream driver.
   WallTimer timer;
-  GraphUpdate update;
-  while (reader.Next(&update)) gz.Update(update);
-  if (!reader.status().ok()) {
+  const Result<uint64_t> ingested = IngestStreamFile(&gz, stream_path);
+  if (!ingested.ok()) {
     std::fprintf(stderr, "stream read failed: %s\n",
-                 reader.status().ToString().c_str());
+                 ingested.status().ToString().c_str());
     return 1;
   }
-  gz.Flush();
   const double ingest_seconds = timer.Seconds();
 
   WallTimer query_timer;
