@@ -1,0 +1,101 @@
+// Query-layer benchmark: parallel vs single-thread Boruvka, plus the
+// GraphSnapshot lifecycle costs (capture, XOR merge, serialize,
+// deserialize). Emits one JSON object per vertex scale so BENCH_*.json
+// trajectories can track the query path across builds.
+//
+// Sizes: V = 2^GZ_BENCH_QUERY_LOGV_MIN .. 2^GZ_BENCH_QUERY_LOGV_MAX
+// (defaults 12..14; raise to 17 on many-core hardware to reproduce the
+// headline "parallel Boruvka >= 1.5x at V = 2^17" point — the pool
+// auto-sizes via GZ_BENCH_QUERY_THREADS=0). Every parallel result is
+// GZ_CHECK'd bitwise-identical to the single-thread result.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/graph_snapshot.h"
+
+int main() {
+  using namespace gz;
+  const int logv_min = bench::GetEnvInt("GZ_BENCH_QUERY_LOGV_MIN", 12);
+  const int logv_max = bench::GetEnvInt("GZ_BENCH_QUERY_LOGV_MAX", 14);
+  const int par_threads = ResolveQueryThreads(
+      bench::GetEnvInt("GZ_BENCH_QUERY_THREADS", 0));
+
+  std::fprintf(stderr,
+               "query bench: V = 2^%d..2^%d, parallel pool = %d threads\n",
+               logv_min, logv_max, par_threads);
+  std::printf("[\n");
+  for (int logv = logv_min; logv <= logv_max; ++logv) {
+    const uint64_t n = 1ULL << logv;
+    // Sparse random graph, avg degree ~8: forces Boruvka through many
+    // rounds with a large live-component population (the parallel
+    // engine's target regime).
+    const EdgeList edges = RandomConnectedGraph(n, 4 * n, 1000 + logv);
+
+    GraphZeppelinConfig config = bench::DefaultGzConfig();
+    config.num_nodes = n;
+    // Halves of the stream land in two same-seed instances so the
+    // merge measurement below folds two genuinely different snapshots.
+    GraphZeppelin a(config), b(config);
+    GZ_CHECK_OK(a.Init());
+    GZ_CHECK_OK(b.Init());
+    std::vector<GraphUpdate> updates;
+    updates.reserve(edges.size());
+    for (const Edge& e : edges) updates.push_back({e, UpdateType::kInsert});
+    const size_t half = updates.size() / 2;
+    a.Update(updates.data(), half);
+    b.Update(updates.data() + half, updates.size() - half);
+
+    WallTimer snap_timer;
+    GraphSnapshot snapshot = a.Snapshot();
+    const double snapshot_s = snap_timer.Seconds();
+
+    WallTimer merge_timer;
+    GZ_CHECK_OK(b.MergeSnapshotInto(&snapshot));
+    const double merge_s = merge_timer.Seconds();
+    GZ_CHECK(snapshot.num_updates() == updates.size());
+
+    WallTimer ser_timer;
+    const std::vector<uint8_t> bytes = snapshot.Serialize();
+    const double serialize_s = ser_timer.Seconds();
+    WallTimer deser_timer;
+    Result<GraphSnapshot> thawed =
+        GraphSnapshot::Deserialize(bytes.data(), bytes.size());
+    const double deserialize_s = deser_timer.Seconds();
+    GZ_CHECK(thawed.ok() && thawed.value() == snapshot);
+
+    // Untimed warmup: the first query after a capture pays first-touch
+    // page faults for its scratch copy; without this the second timed
+    // run would win on warm pages, not on algorithm.
+    GZ_CHECK(!Connectivity(snapshot, 1).failed);
+
+    WallTimer seq_timer;
+    const ConnectivityResult seq = Connectivity(snapshot, 1);
+    const double boruvka_1t_s = seq_timer.Seconds();
+    GZ_CHECK(!seq.failed);
+
+    WallTimer par_timer;
+    const ConnectivityResult par = Connectivity(snapshot, par_threads);
+    const double boruvka_par_s = par_timer.Seconds();
+    // Determinism contract: identical spanning forest, bit for bit.
+    GZ_CHECK(!par.failed);
+    GZ_CHECK(par.spanning_forest == seq.spanning_forest);
+    GZ_CHECK(par.component_of == seq.component_of);
+
+    const double mb = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+    std::printf(
+        "  {\"v\": %llu, \"edges\": %zu, \"rounds\": %d,\n"
+        "   \"snapshot_s\": %.4f, \"merge_s\": %.4f,\n"
+        "   \"serialize_s\": %.4f, \"deserialize_s\": %.4f,\n"
+        "   \"snapshot_mb\": %.1f, \"serialize_mb_per_s\": %.0f,\n"
+        "   \"boruvka_1t_s\": %.4f, \"boruvka_par_s\": %.4f,\n"
+        "   \"par_threads\": %d, \"speedup\": %.2f}%s\n",
+        static_cast<unsigned long long>(n), edges.size(), snapshot.rounds(),
+        snapshot_s, merge_s, serialize_s, deserialize_s, mb,
+        serialize_s > 0 ? mb / serialize_s : 0.0, boruvka_1t_s,
+        boruvka_par_s, par_threads,
+        boruvka_par_s > 0 ? boruvka_1t_s / boruvka_par_s : 0.0,
+        logv < logv_max ? "," : "");
+  }
+  std::printf("]\n");
+  return 0;
+}

@@ -59,11 +59,11 @@ int main() {
               static_cast<unsigned long long>(kRouters),
               static_cast<unsigned long long>(links + 2));
 
-  // Extract a 2-edge-connectivity certificate from the sketches and
-  // find the bridges on it.
-  std::vector<NodeSketch> snapshot = gz.SnapshotSketches();
+  // Extract a 2-edge-connectivity certificate from a snapshot of the
+  // sketches and find the bridges on it (the temporary snapshot is
+  // consumed in place — no second copy of the sketch state).
   const ForestDecomposition decomposition =
-      ExtractSpanningForests(&snapshot, 2);
+      ExtractSpanningForests(gz.Snapshot(), 2);
   if (decomposition.failed) {
     std::fprintf(stderr, "forest extraction failed\n");
     return 1;

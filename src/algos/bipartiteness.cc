@@ -35,8 +35,14 @@ void BipartitenessSketch::Update(const GraphUpdate& update) {
 
 BipartitenessResult BipartitenessSketch::Query() {
   BipartitenessResult result;
-  const ConnectivityResult primal_cc = primal_->ListSpanningForest();
-  const ConnectivityResult doubled_cc = doubled_->ListSpanningForest();
+  // Both instances are queried through their snapshots; the doubled
+  // graph's snapshot could equally be shipped elsewhere and queried
+  // there, since GraphSnapshot is self-describing.
+  const int threads = primal_->config().query_threads;
+  const ConnectivityResult primal_cc =
+      Connectivity(primal_->Snapshot(), threads);
+  const ConnectivityResult doubled_cc =
+      Connectivity(doubled_->Snapshot(), threads);
   if (primal_cc.failed || doubled_cc.failed) {
     result.failed = true;
     return result;

@@ -37,10 +37,12 @@ void MsfWeightSketch::Update(const Edge& e, uint32_t weight,
 
 MsfWeightResult MsfWeightSketch::Query() {
   MsfWeightResult result;
-  // cc(G_i) for i = 1..W; G_0 is empty so cc(G_0) = V.
+  // cc(G_i) for i = 1..W; G_0 is empty so cc(G_0) = V. Each level is
+  // queried through its snapshot.
   std::vector<size_t> level_components(max_weight_);
   for (uint32_t i = 0; i < max_weight_; ++i) {
-    const ConnectivityResult cc = levels_[i]->ListSpanningForest();
+    const ConnectivityResult cc = Connectivity(
+        levels_[i]->Snapshot(), levels_[i]->config().query_threads);
     if (cc.failed) {
       result.failed = true;
       return result;

@@ -18,6 +18,19 @@ int RoundsForForests(uint64_t num_nodes, int k) {
   return k * NodeSketch::DefaultRounds(num_nodes);
 }
 
+ForestDecomposition ExtractSpanningForests(const GraphSnapshot& snapshot,
+                                           int k) {
+  GZ_CHECK_MSG(snapshot.valid(), "decomposing an empty snapshot");
+  std::vector<NodeSketch> scratch = snapshot.CopySketches();
+  return ExtractSpanningForests(&scratch, k);
+}
+
+ForestDecomposition ExtractSpanningForests(GraphSnapshot&& snapshot, int k) {
+  GZ_CHECK_MSG(snapshot.valid(), "decomposing an empty snapshot");
+  std::vector<NodeSketch> scratch = snapshot.ReleaseSketches();
+  return ExtractSpanningForests(&scratch, k);
+}
+
 ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* snapshot,
                                            int k) {
   GZ_CHECK(snapshot != nullptr && !snapshot->empty());

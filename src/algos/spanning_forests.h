@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "core/graph_snapshot.h"
 #include "sketch/node_sketch.h"
 #include "stream/stream_types.h"
 
@@ -37,10 +38,21 @@ struct ForestDecomposition {
 // decomposition of a graph on `num_nodes` vertices.
 int RoundsForForests(uint64_t num_nodes, int k);
 
-// Extracts up to `k` edge-disjoint spanning forests from the snapshot
-// (consumed destructively). The snapshot must hold one sketch per
-// vertex with at least RoundsForForests(V, k) rounds.
-ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* snapshot,
+// Extracts up to `k` edge-disjoint spanning forests from the snapshot,
+// which must carry at least RoundsForForests(V, k) rounds (configure
+// the producing instance with `rounds = RoundsForForests(V, k)`). The
+// snapshot itself is untouched: the destructive working copy is taken
+// internally, once.
+ForestDecomposition ExtractSpanningForests(const GraphSnapshot& snapshot,
+                                           int k);
+
+// Rvalue form: consumes a temporary snapshot's sketches as the pristine
+// working set directly (no extra full copy of the sketch state).
+ForestDecomposition ExtractSpanningForests(GraphSnapshot&& snapshot, int k);
+
+// Raw-sketch form used by the engine and by tests that build sketches
+// directly; `sketches` is consumed destructively.
+ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* sketches,
                                            int k);
 
 }  // namespace gz

@@ -1,15 +1,147 @@
 #include "core/connectivity.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 #include "dsu/dsu.h"
 #include "stream/stream_file.h"
 #include "util/check.h"
 
 namespace gz {
+namespace {
+
+// Work-size floors below which a round's phase runs inline even when a
+// pool exists: late Boruvka rounds are tiny and cost less than the pool
+// barrier.
+constexpr uint64_t kMinParallelSampleRoots = 1024;
+constexpr size_t kMinParallelFoldGroups = 16;
+constexpr uint64_t kSampleBlockNodes = 1024;
+
+// A minimal fixed-size pool for query-time parallelism. One pool lives
+// for the duration of a BoruvkaConnectivity call; each Run() is a
+// barriered parallel-for over block indices with dynamic chunking
+// (atomic grab), so imbalanced blocks spread across threads. Callers
+// must keep distinct blocks data-disjoint; determinism comes from
+// writing block results into per-block slots, never from run order.
+class QueryThreadPool {
+ public:
+  explicit QueryThreadPool(int num_workers) {
+    workers_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~QueryThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  // Runs body(block) for every block in [0, num_blocks), returning once
+  // all blocks are done. The calling thread participates.
+  void Run(size_t num_blocks, const std::function<void(size_t)>& body) {
+    if (workers_.empty() || num_blocks <= 1) {
+      for (size_t b = 0; b < num_blocks; ++b) body(b);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      num_blocks_ = num_blocks;
+      next_block_.store(0, std::memory_order_relaxed);
+      busy_ = static_cast<int>(workers_.size());
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    size_t b;
+    while ((b = next_block_.fetch_add(1, std::memory_order_relaxed)) <
+           num_blocks) {
+      body(b);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return busy_ == 0; });
+    body_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop() {
+    uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(size_t)>* body;
+      size_t num_blocks;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        body = body_;
+        num_blocks = num_blocks_;
+      }
+      size_t b;
+      while ((b = next_block_.fetch_add(1, std::memory_order_relaxed)) <
+             num_blocks) {
+        (*body)(b);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--busy_ == 0) done_cv_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_, done_cv_;
+  const std::function<void(size_t)>* body_ = nullptr;
+  std::atomic<size_t> next_block_{0};
+  size_t num_blocks_ = 0;
+  int busy_ = 0;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+// Per-block output slot of the sampling phase.
+struct SampleBlock {
+  EdgeList candidates;
+  bool any_fail = false;
+};
+
+}  // namespace
+
+int ResolveQueryThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
+}
+
+ConnectivityResult Connectivity(const GraphSnapshot& snapshot,
+                                int num_threads) {
+  GZ_CHECK_MSG(snapshot.valid(), "querying an empty snapshot");
+  // The one place the destructive scratch copy is made.
+  std::vector<NodeSketch> scratch = snapshot.CopySketches();
+  return BoruvkaConnectivity(&scratch, /*first_round=*/0, /*num_rounds=*/-1,
+                             ResolveQueryThreads(num_threads));
+}
+
+ConnectivityResult Connectivity(GraphSnapshot&& snapshot, int num_threads) {
+  GZ_CHECK_MSG(snapshot.valid(), "querying an empty snapshot");
+  std::vector<NodeSketch> scratch = snapshot.ReleaseSketches();
+  return BoruvkaConnectivity(&scratch, /*first_round=*/0, /*num_rounds=*/-1,
+                             ResolveQueryThreads(num_threads));
+}
 
 ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
-                                       int first_round, int num_rounds) {
+                                       int first_round, int num_rounds,
+                                       int num_threads) {
   GZ_CHECK(sketches != nullptr && !sketches->empty());
   std::vector<NodeSketch>& sk = *sketches;
   const uint64_t num_nodes = sk[0].params().num_nodes;
@@ -21,45 +153,123 @@ ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
                              : std::min(sk[0].rounds(),
                                         first_round + num_rounds);
 
+  // Spawn the pool only when a parallel gate can actually fire: below
+  // the sampling floor neither phase ever goes parallel, and thread
+  // create/join would dominate the whole query on small graphs.
+  const int threads = std::max(1, num_threads);
+  std::unique_ptr<QueryThreadPool> pool;
+  if (threads > 1 && num_nodes >= kMinParallelSampleRoots) {
+    pool = std::make_unique<QueryThreadPool>(threads - 1);
+  }
+
   ConnectivityResult result;
   Dsu dsu(num_nodes);
+  // root_of freezes each node's representative at the top of the round;
+  // the parallel phases read it instead of calling Dsu::Find, whose
+  // path compression is not safe under concurrency.
+  std::vector<NodeId> root_of(num_nodes);
+  std::vector<int64_t> group_slot(num_nodes, -1);
+  const size_t num_blocks =
+      (num_nodes + kSampleBlockNodes - 1) / kSampleBlockNodes;
+  std::vector<SampleBlock> blocks(num_blocks);
   bool complete = false;
 
   for (int round = first_round; round < last_round && !complete; ++round) {
     result.rounds_used = round - first_round + 1;
-    // Phase 1: sample one cut edge per current component.
-    EdgeList candidates;
-    bool any_fail = false;
     for (uint64_t i = 0; i < num_nodes; ++i) {
-      if (dsu.Find(i) != i) continue;  // Only component representatives.
-      const SketchSample sample = sk[i].Query(round);
-      switch (sample.kind) {
-        case SampleKind::kGood:
-          candidates.push_back(IndexToEdge(sample.index, num_nodes));
-          break;
-        case SampleKind::kZero:
-          break;  // Empty cut: this component is finished.
-        case SampleKind::kFail:
-          any_fail = true;
-          break;
+      root_of[i] = static_cast<NodeId>(dsu.Find(i));
+    }
+    const uint64_t live_roots = dsu.num_sets();
+
+    // Phase 1: sample one candidate cut edge per live component, in
+    // parallel over contiguous node-id blocks. Per-block result slots
+    // keep the gathered candidate order equal to the sequential
+    // ascending-id order regardless of which thread ran which block.
+    auto sample_block = [&](size_t b) {
+      SampleBlock& out = blocks[b];
+      out.candidates.clear();
+      out.any_fail = false;
+      const uint64_t begin = b * kSampleBlockNodes;
+      const uint64_t end = std::min(begin + kSampleBlockNodes, num_nodes);
+      for (uint64_t i = begin; i < end; ++i) {
+        if (root_of[i] != i) continue;  // Only component representatives.
+        const SketchSample sample = sk[i].Query(round);
+        switch (sample.kind) {
+          case SampleKind::kGood:
+            out.candidates.push_back(IndexToEdge(sample.index, num_nodes));
+            break;
+          case SampleKind::kZero:
+            break;  // Empty cut: this component is finished.
+          case SampleKind::kFail:
+            out.any_fail = true;
+            break;
+        }
+      }
+    };
+    if (pool != nullptr && live_roots >= kMinParallelSampleRoots) {
+      pool->Run(num_blocks, sample_block);
+    } else {
+      for (size_t b = 0; b < num_blocks; ++b) sample_block(b);
+    }
+
+    // Phase 2 (sequential): drive the DSU over the candidates in
+    // ascending-representative order, recording forest edges. No sketch
+    // is touched here, so the merge structure this induces is identical
+    // for every thread count.
+    bool any_fail = false;
+    bool found_edge = false;
+    for (const SampleBlock& block : blocks) {
+      any_fail |= block.any_fail;
+      for (const Edge& e : block.candidates) {
+        const size_t ra = dsu.Find(e.u);
+        const size_t rb = dsu.Find(e.v);
+        if (ra == rb) continue;  // Already merged transitively this round.
+        GZ_CHECK(dsu.Union(ra, rb));
+        result.spanning_forest.push_back(e);
+        found_edge = true;
       }
     }
-
-    // Phase 2 + 3: merge endpoint components and sum their sketches.
-    bool found_edge = false;
-    for (const Edge& e : candidates) {
-      const size_t ra = dsu.Find(e.u);
-      const size_t rb = dsu.Find(e.v);
-      if (ra == rb) continue;  // Already merged transitively this round.
-      GZ_CHECK(dsu.Union(ra, rb));
-      const size_t root = dsu.Find(ra);
-      const size_t other = (root == ra) ? rb : ra;
-      sk[root].Merge(sk[other]);
-      result.spanning_forest.push_back(e);
-      found_edge = true;
+    if (!found_edge && !any_fail) {
+      complete = true;  // All cuts empty.
+      break;
     }
+    // After the window's final round nothing is queried again, so the
+    // fold below would be dead work.
+    if (round + 1 >= last_round) continue;
 
-    if (!found_edge && !any_fail) complete = true;  // All cuts empty.
+    // Phase 3: XOR-fold each merged component's sketches into its new
+    // representative, in parallel over components. Groups touch
+    // disjoint sketches, and a XOR sum is order-independent, so the
+    // folded state is bitwise identical for any schedule. Rounds at or
+    // before `round` are never queried again and are skipped.
+    struct FoldGroup {
+      NodeId root;
+      std::vector<NodeId> members;
+    };
+    std::vector<FoldGroup> groups;
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      if (root_of[i] != i) continue;  // This round's roots only.
+      const NodeId new_root = static_cast<NodeId>(dsu.Find(i));
+      if (new_root == i) continue;    // Still its own representative.
+      if (group_slot[new_root] < 0) {
+        group_slot[new_root] = static_cast<int64_t>(groups.size());
+        groups.push_back({new_root, {}});
+      }
+      groups[group_slot[new_root]].members.push_back(
+          static_cast<NodeId>(i));
+    }
+    auto fold_group = [&](size_t g) {
+      NodeSketch& target = sk[groups[g].root];
+      for (const NodeId member : groups[g].members) {
+        target.MergeRounds(sk[member], round + 1);
+      }
+    };
+    if (pool != nullptr && groups.size() >= kMinParallelFoldGroups) {
+      pool->Run(groups.size(), fold_group);
+    } else {
+      for (size_t g = 0; g < groups.size(); ++g) fold_group(g);
+    }
+    for (const FoldGroup& g : groups) group_slot[g.root] = -1;
   }
 
   result.failed = !complete;

@@ -5,6 +5,12 @@
 // merged components' sketches (linearity makes the sum a sketch of the
 // merged component's cut vector). Rounds use independent subsketches
 // because query answers feed back into later merges (adaptivity).
+//
+// The engine parallelizes each round's two heavy phases across a small
+// thread pool — per-component cut sampling, and the XOR fold of merged
+// components' sketches — while keeping the round barrier and a
+// deterministic merge order, so the result is bitwise identical for any
+// thread count.
 #ifndef GZ_CORE_CONNECTIVITY_H_
 #define GZ_CORE_CONNECTIVITY_H_
 
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/graph_snapshot.h"
 #include "sketch/node_sketch.h"
 #include "stream/stream_types.h"
 #include "util/status.h"
@@ -31,11 +38,34 @@ struct ConnectivityResult {
   // Boruvka rounds actually executed.
   int rounds_used = 0;
 
-  // Point connectivity query against this result.
+  // Point connectivity query against this result. Out-of-range node ids
+  // are simply not connected to anything.
   bool Connected(NodeId u, NodeId v) const {
+    if (u >= component_of.size() || v >= component_of.size()) return false;
     return component_of[u] == component_of[v];
   }
 };
+
+// The snapshot-facing query: computes the connected components and a
+// spanning forest of the sketched graph. The destructive Boruvka
+// scratch copy is taken internally; the snapshot is untouched and can
+// be queried again, merged, or serialized afterwards.
+//
+// `num_threads`: 0 picks a small pool automatically (bounded by the
+// hardware), 1 forces the sequential path, N uses N threads. Results
+// are identical for every value.
+ConnectivityResult Connectivity(const GraphSnapshot& snapshot,
+                                int num_threads = 0);
+
+// Rvalue form: consumes the snapshot's sketches as the Boruvka scratch
+// directly, so querying a temporary (e.g. Connectivity(gz.Snapshot()))
+// holds one copy of the sketch state, not two.
+ConnectivityResult Connectivity(GraphSnapshot&& snapshot,
+                                int num_threads = 0);
+
+// Resolution of num_threads = 0 ("auto"): min(hardware_concurrency, 8),
+// at least 1. Exposed so benchmarks can report the pool size.
+int ResolveQueryThreads(int num_threads);
 
 // Destructively computes a spanning forest from the given node sketches
 // (they are merged in place; pass copies/snapshots). `sketches[i]` must
@@ -45,10 +75,11 @@ struct ConnectivityResult {
 // rounds (default: all of them) so that multi-phase algorithms — e.g.
 // the spanning-forest decomposition in algos/ — can give each phase
 // fresh, adaptivity-safe rounds. num_rounds < 0 means "through the
-// last round".
+// last round". `num_threads` as in Connectivity().
 ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
                                        int first_round = 0,
-                                       int num_rounds = -1);
+                                       int num_rounds = -1,
+                                       int num_threads = 1);
 
 // Groups nodes by component id. Helper for callers that want explicit
 // component membership lists.

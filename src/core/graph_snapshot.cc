@@ -1,0 +1,319 @@
+#include "core/graph_snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace gz {
+namespace {
+
+// Shared by checkpoint files and network frames; bump the trailing
+// version digits on layout changes.
+constexpr char kSnapshotMagic[8] = {'G', 'Z', 'S', 'N', 'A', 'P', '0', '1'};
+// Pre-GraphSnapshot checkpoints: identical byte layout under a
+// different magic. Accepted on read so old checkpoints stay restorable.
+constexpr char kLegacyCheckpointMagic[8] = {'G', 'Z', 'C', 'K',
+                                            'P', 'T', '0', '1'};
+
+constexpr size_t kHeaderBytes = sizeof(kSnapshotMagic) +
+                                sizeof(uint64_t) +  // num_nodes
+                                sizeof(uint64_t) +  // seed
+                                sizeof(int32_t) +   // cols
+                                sizeof(int32_t) +   // rounds
+                                sizeof(uint64_t);   // num_updates
+
+struct SnapshotHeader {
+  NodeSketchParams params;
+  uint64_t num_updates = 0;
+};
+
+void WriteHeader(const NodeSketchParams& params, uint64_t num_updates,
+                 uint8_t* out) {
+  std::memcpy(out, kSnapshotMagic, sizeof(kSnapshotMagic));
+  out += sizeof(kSnapshotMagic);
+  const uint64_t num_nodes = params.num_nodes;
+  const uint64_t seed = params.seed;
+  const int32_t cols = params.cols;
+  const int32_t rounds = params.rounds;
+  std::memcpy(out, &num_nodes, sizeof(num_nodes));
+  out += sizeof(num_nodes);
+  std::memcpy(out, &seed, sizeof(seed));
+  out += sizeof(seed);
+  std::memcpy(out, &cols, sizeof(cols));
+  out += sizeof(cols);
+  std::memcpy(out, &rounds, sizeof(rounds));
+  out += sizeof(rounds);
+  std::memcpy(out, &num_updates, sizeof(num_updates));
+}
+
+// Parses and sanity-checks the fixed-size header. The bounds are
+// generous but keep a garbage header from driving a huge allocation.
+Status ParseHeader(const uint8_t* in, SnapshotHeader* header) {
+  if (std::memcmp(in, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0 &&
+      std::memcmp(in, kLegacyCheckpointMagic,
+                  sizeof(kLegacyCheckpointMagic)) != 0) {
+    return Status::InvalidArgument("not a GraphSnapshot: bad magic");
+  }
+  in += sizeof(kSnapshotMagic);
+  uint64_t num_nodes = 0, seed = 0, num_updates = 0;
+  int32_t cols = 0, rounds = 0;
+  std::memcpy(&num_nodes, in, sizeof(num_nodes));
+  in += sizeof(num_nodes);
+  std::memcpy(&seed, in, sizeof(seed));
+  in += sizeof(seed);
+  std::memcpy(&cols, in, sizeof(cols));
+  in += sizeof(cols);
+  std::memcpy(&rounds, in, sizeof(rounds));
+  in += sizeof(rounds);
+  std::memcpy(&num_updates, in, sizeof(num_updates));
+  // num_nodes is capped at the NodeId (uint32) range; the geometry caps
+  // keep one record's size sane. Together with the overflow guard below
+  // they make a garbage header an error, never a huge allocation.
+  if (num_nodes < 2 || num_nodes > (1ULL << 32) || cols < 1 ||
+      cols > 1024 || rounds < 1 || rounds > 4096) {
+    return Status::InvalidArgument("malformed GraphSnapshot header");
+  }
+  header->params.num_nodes = num_nodes;
+  header->params.seed = seed;
+  header->params.cols = cols;
+  header->params.rounds = rounds;
+  header->num_updates = num_updates;
+  const size_t record = NodeSketch::SerializedSizeFor(header->params);
+  if (num_nodes > (SIZE_MAX - kHeaderBytes) / record) {
+    return Status::InvalidArgument("malformed GraphSnapshot header");
+  }
+  return Status::Ok();
+}
+
+// Expected total byte size of the snapshot `header` describes.
+size_t ExpectedBytes(const SnapshotHeader& header) {
+  return kHeaderBytes + header.params.num_nodes *
+                            NodeSketch::SerializedSizeFor(header.params);
+}
+
+// Opens `path` and parses the snapshot header. On success the stream is
+// positioned at the first node record and the body length has been
+// verified to cover every record (trailing bytes are tolerated).
+Status OpenSnapshotFile(const std::string& path, FILE** out,
+                        SnapshotHeader* header) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open snapshot file: " + path);
+  }
+  uint8_t header_buf[kHeaderBytes];
+  if (std::fread(header_buf, 1, kHeaderBytes, f) != kHeaderBytes) {
+    std::fclose(f);
+    return Status::InvalidArgument("malformed snapshot header: " + path);
+  }
+  Status s = ParseHeader(header_buf, header);
+  if (!s.ok()) {
+    std::fclose(f);
+    return s;
+  }
+  // Size check up front: a corrupt node count must not drive the
+  // caller's allocations past what the file can actually back.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek snapshot file: " + path);
+  }
+  const long file_bytes = std::ftell(f);
+  if (file_bytes < 0 ||
+      static_cast<size_t>(file_bytes) < ExpectedBytes(*header)) {
+    std::fclose(f);
+    return Status::IoError("truncated snapshot file: " + path);
+  }
+  if (std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek snapshot file: " + path);
+  }
+  *out = f;
+  return Status::Ok();
+}
+
+}  // namespace
+
+GraphSnapshot::GraphSnapshot(std::vector<NodeSketch> sketches,
+                             uint64_t num_updates)
+    : num_updates_(num_updates), sketches_(std::move(sketches)) {
+  GZ_CHECK_MSG(!sketches_.empty(), "snapshot needs at least one sketch");
+  GZ_CHECK_MSG(sketches_.size() == sketches_[0].params().num_nodes,
+               "need one node sketch per vertex");
+  for (const NodeSketch& s : sketches_) {
+    GZ_CHECK_MSG(s.params() == sketches_[0].params(),
+                 "snapshot sketches must share params");
+  }
+}
+
+const NodeSketchParams& GraphSnapshot::params() const {
+  GZ_CHECK_MSG(valid(), "empty snapshot");
+  return sketches_[0].params();
+}
+
+const NodeSketch& GraphSnapshot::sketch(NodeId node) const {
+  GZ_CHECK_MSG(node < sketches_.size(), "node id out of range");
+  return sketches_[node];
+}
+
+Status GraphSnapshot::Merge(const GraphSnapshot& other) {
+  if (!valid() || !other.valid()) {
+    return Status::InvalidArgument("cannot merge an empty snapshot");
+  }
+  if (!(params() == other.params())) {
+    return Status::InvalidArgument(
+        "snapshot params mismatch: merge requires identical seed, node "
+        "bound and sketch geometry");
+  }
+  for (uint64_t i = 0; i < sketches_.size(); ++i) {
+    sketches_[i].Merge(other.sketches_[i]);
+  }
+  num_updates_ += other.num_updates_;
+  return Status::Ok();
+}
+
+Status GraphSnapshot::MergeNodeDelta(NodeId node, const NodeSketch& delta) {
+  if (!valid()) return Status::InvalidArgument("empty snapshot");
+  if (node >= sketches_.size()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  if (!(delta.params() == params())) {
+    return Status::InvalidArgument(
+        "delta sketch params do not match this snapshot");
+  }
+  sketches_[node].Merge(delta);
+  return Status::Ok();
+}
+
+size_t GraphSnapshot::SerializedSize() const {
+  GZ_CHECK_MSG(valid(), "empty snapshot");
+  return kHeaderBytes + sketches_.size() * sketches_[0].SerializedSize();
+}
+
+std::vector<uint8_t> GraphSnapshot::Serialize() const {
+  std::vector<uint8_t> out(SerializedSize());
+  WriteHeader(params(), num_updates_, out.data());
+  uint8_t* cursor = out.data() + kHeaderBytes;
+  const size_t record = sketches_[0].SerializedSize();
+  for (const NodeSketch& s : sketches_) {
+    s.SerializeTo(cursor);
+    cursor += record;
+  }
+  return out;
+}
+
+Result<GraphSnapshot> GraphSnapshot::Deserialize(const uint8_t* data,
+                                                 size_t size) {
+  if (data == nullptr || size < kHeaderBytes) {
+    return Status::InvalidArgument("GraphSnapshot buffer too short");
+  }
+  SnapshotHeader header;
+  Status s = ParseHeader(data, &header);
+  if (!s.ok()) return s;
+  // Size check before any allocation: a corrupt node count must fail,
+  // not drive a huge reserve.
+  if (size != ExpectedBytes(header)) {
+    return Status::InvalidArgument(
+        "GraphSnapshot buffer size does not match its header");
+  }
+  const size_t record = NodeSketch::SerializedSizeFor(header.params);
+  std::vector<NodeSketch> sketches;
+  sketches.reserve(header.params.num_nodes);
+  const uint8_t* cursor = data + kHeaderBytes;
+  for (uint64_t i = 0; i < header.params.num_nodes; ++i) {
+    sketches.emplace_back(header.params);
+    sketches.back().DeserializeFrom(cursor);
+    cursor += record;
+  }
+  return GraphSnapshot(std::move(sketches), header.num_updates);
+}
+
+std::vector<NodeSketch> GraphSnapshot::ReleaseSketches() {
+  std::vector<NodeSketch> out = std::move(sketches_);
+  sketches_.clear();
+  num_updates_ = 0;
+  return out;
+}
+
+Status GraphSnapshot::SaveToFile(const std::string& path) const {
+  GZ_CHECK_MSG(valid(), "empty snapshot");
+  return SaveStream(path, params(), num_updates_,
+                    [this](NodeId i) -> const NodeSketch& {
+                      return sketches_[i];
+                    });
+}
+
+Status GraphSnapshot::SaveStream(
+    const std::string& path, const NodeSketchParams& params,
+    uint64_t num_updates,
+    const std::function<const NodeSketch&(NodeId)>& load) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create snapshot file: " + path);
+  }
+  uint8_t header[kHeaderBytes];
+  WriteHeader(params, num_updates, header);
+  bool ok = std::fwrite(header, 1, kHeaderBytes, f) == kHeaderBytes;
+  // One record in flight: file writes never need the doubled footprint
+  // of a full Serialize() buffer.
+  std::vector<uint8_t> buf(NodeSketch::SerializedSizeFor(params));
+  for (uint64_t i = 0; ok && i < params.num_nodes; ++i) {
+    const NodeSketch& sketch = load(static_cast<NodeId>(i));
+    GZ_CHECK_MSG(sketch.params() == params, "loader returned wrong params");
+    sketch.SerializeTo(buf.data());
+    ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  }
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write to snapshot file: " + path);
+  return Status::Ok();
+}
+
+Result<GraphSnapshot> GraphSnapshot::LoadFromFile(const std::string& path) {
+  FILE* f = nullptr;
+  SnapshotHeader header;
+  Status s = OpenSnapshotFile(path, &f, &header);
+  if (!s.ok()) return s;
+  const size_t record = NodeSketch::SerializedSizeFor(header.params);
+  std::vector<NodeSketch> sketches;
+  sketches.reserve(header.params.num_nodes);
+  std::vector<uint8_t> buf(record);
+  for (uint64_t i = 0; i < header.params.num_nodes; ++i) {
+    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      return Status::IoError("truncated snapshot file: " + path);
+    }
+    sketches.emplace_back(header.params);
+    sketches.back().DeserializeFrom(buf.data());
+  }
+  std::fclose(f);
+  return GraphSnapshot(std::move(sketches), header.num_updates);
+}
+
+Status GraphSnapshot::LoadStream(
+    const std::string& path, const NodeSketchParams& expect_params,
+    uint64_t* num_updates,
+    const std::function<void(NodeId, const NodeSketch&)>& store) {
+  FILE* f = nullptr;
+  SnapshotHeader header;
+  Status s = OpenSnapshotFile(path, &f, &header);
+  if (!s.ok()) return s;
+  if (!(header.params == expect_params)) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "snapshot sketch parameters do not match this instance");
+  }
+  NodeSketch scratch(header.params);
+  std::vector<uint8_t> buf(scratch.SerializedSize());
+  for (uint64_t i = 0; i < header.params.num_nodes; ++i) {
+    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      std::fclose(f);
+      return Status::IoError("truncated snapshot file: " + path);
+    }
+    scratch.DeserializeFrom(buf.data());
+    store(static_cast<NodeId>(i), scratch);
+  }
+  std::fclose(f);
+  if (num_updates != nullptr) *num_updates = header.num_updates;
+  return Status::Ok();
+}
+
+}  // namespace gz

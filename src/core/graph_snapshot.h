@@ -1,0 +1,124 @@
+// GraphSnapshot: the first-class, immutable query surface of the
+// system — one node sketch per vertex captured at a flush barrier,
+// together with the metadata (sketch params, seed, update count) that
+// makes the capture self-describing.
+//
+// Sketch linearity (paper Section 3.1) is what makes this type more
+// than a container: snapshots taken from *any* instances built with the
+// same seed and geometry can be XOR-merged with Merge(), and the result
+// is exactly the snapshot a single instance would have produced for the
+// combined stream. That algebra is the sharded coordinator's
+// aggregation step, and — via Serialize()/Deserialize() — the natural
+// network frame for a multi-process split. Checkpointing is snapshot
+// serialization to a file.
+//
+// All query algorithms (connectivity, spanning-forest decomposition,
+// bipartiteness, MSF weight) consume `const GraphSnapshot&`; the
+// destructive Boruvka scratch copy happens once inside the query
+// engine, never at call sites.
+#ifndef GZ_CORE_GRAPH_SNAPSHOT_H_
+#define GZ_CORE_GRAPH_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sketch/node_sketch.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+class GraphSnapshot {
+ public:
+  // Empty snapshot; valid() is false and every other accessor is
+  // off-limits until one is move-assigned in.
+  GraphSnapshot() = default;
+
+  // Takes ownership of `sketches` (one per vertex, all built with
+  // identical params). `num_updates` is the stream position the capture
+  // represents.
+  GraphSnapshot(std::vector<NodeSketch> sketches, uint64_t num_updates);
+
+  GraphSnapshot(GraphSnapshot&&) = default;
+  GraphSnapshot& operator=(GraphSnapshot&&) = default;
+  GraphSnapshot(const GraphSnapshot&) = default;
+  GraphSnapshot& operator=(const GraphSnapshot&) = default;
+
+  bool valid() const { return !sketches_.empty(); }
+  const NodeSketchParams& params() const;
+  uint64_t num_nodes() const { return sketches_.size(); }
+  uint64_t seed() const { return params().seed; }
+  int rounds() const { return params().rounds; }
+  uint64_t num_updates() const { return num_updates_; }
+
+  const NodeSketch& sketch(NodeId node) const;
+  const std::vector<NodeSketch>& sketches() const { return sketches_; }
+
+  // Mutable copy of the sketch vector — the scratch the destructive
+  // Boruvka engine consumes. Query entry points call this internally;
+  // external callers rarely need it.
+  std::vector<NodeSketch> CopySketches() const { return sketches_; }
+
+  // Moves the sketches out, leaving this snapshot empty (valid() ==
+  // false). Lets a query consume a temporary snapshot without a second
+  // full copy of the sketch state.
+  std::vector<NodeSketch> ReleaseSketches();
+
+  // XOR-merges `other` into this snapshot (node-wise sketch sum, update
+  // counts add). Fails with InvalidArgument unless both snapshots were
+  // built with identical params — same seed, node bound and geometry —
+  // since only then is the merge a sketch of the combined stream.
+  Status Merge(const GraphSnapshot& other);
+
+  // Node-granular merge: XORs `delta` (a sketch of some update subset
+  // for `node`) into that node's sketch. This is the unit a sharded
+  // coordinator uses to fold a shard in while materializing only one
+  // scratch sketch at a time; call AddUpdates() once per folded source.
+  Status MergeNodeDelta(NodeId node, const NodeSketch& delta);
+  void AddUpdates(uint64_t count) { num_updates_ += count; }
+
+  // --- Serialization -----------------------------------------------------
+  // Byte layout: 8-byte magic, params (num_nodes, seed, cols, rounds),
+  // update count, then num_nodes fixed-size node-sketch records.
+  size_t SerializedSize() const;
+  std::vector<uint8_t> Serialize() const;
+  static Result<GraphSnapshot> Deserialize(const uint8_t* data, size_t size);
+
+  // File forms, used by checkpointing. LoadFromFile distinguishes a
+  // missing file (NotFound), a malformed header (InvalidArgument) and a
+  // short body (IoError).
+  Status SaveToFile(const std::string& path) const;
+  static Result<GraphSnapshot> LoadFromFile(const std::string& path);
+
+  // Streaming file forms: identical file format, but only one node
+  // record is in flight, for producers/consumers that cannot afford a
+  // materialized snapshot (e.g. checkpointing an out-of-core sketch
+  // store). SaveStream pulls each node's sketch from `load` (the
+  // returned reference only needs to stay valid until the next call);
+  // LoadStream validates the header against `expect_params`
+  // (InvalidArgument on mismatch), hands each record to `store`, and
+  // returns the saved update count.
+  static Status SaveStream(
+      const std::string& path, const NodeSketchParams& params,
+      uint64_t num_updates,
+      const std::function<const NodeSketch&(NodeId)>& load);
+  static Status LoadStream(
+      const std::string& path, const NodeSketchParams& expect_params,
+      uint64_t* num_updates,
+      const std::function<void(NodeId, const NodeSketch&)>& store);
+
+  friend bool operator==(const GraphSnapshot& a, const GraphSnapshot& b) {
+    return a.num_updates_ == b.num_updates_ && a.sketches_ == b.sketches_;
+  }
+
+ private:
+  uint64_t num_updates_ = 0;
+  std::vector<NodeSketch> sketches_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_CORE_GRAPH_SNAPSHOT_H_

@@ -151,92 +151,81 @@ void GraphZeppelin::Flush() {
   pool_->Drain();
 }
 
-std::vector<NodeSketch> GraphZeppelin::SnapshotSketches() {
+GraphSnapshot GraphZeppelin::Snapshot() {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  // cleanup(): force updates out of buffers and wait for the workers,
+  // so the capture is a consistent stream position.
   Flush();
-  std::vector<NodeSketch> snapshot;
-  snapshot.reserve(config_.num_nodes);
+  std::vector<NodeSketch> sketches;
+  sketches.reserve(config_.num_nodes);
   for (NodeId i = 0; i < config_.num_nodes; ++i) {
-    snapshot.emplace_back(store_->params());
-    store_->Load(i, &snapshot.back());
+    sketches.emplace_back(store_->params());
+    store_->Load(i, &sketches.back());
   }
-  return snapshot;
+  return GraphSnapshot(std::move(sketches), num_updates_);
+}
+
+Status GraphZeppelin::MergeSnapshotInto(GraphSnapshot* snapshot) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  GZ_CHECK(snapshot != nullptr);
+  if (!snapshot->valid() || !(snapshot->params() == store_->params())) {
+    return Status::InvalidArgument(
+        "snapshot params do not match this instance");
+  }
+  Flush();
+  NodeSketch scratch(store_->params());
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    store_->Load(i, &scratch);
+    Status s = snapshot->MergeNodeDelta(i, scratch);
+    if (!s.ok()) return s;
+  }
+  snapshot->AddUpdates(num_updates_);
+  return Status::Ok();
+}
+
+Status GraphZeppelin::LoadSnapshot(const GraphSnapshot& snapshot) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  if (!snapshot.valid() || !(snapshot.params() == store_->params())) {
+    return Status::InvalidArgument(
+        "snapshot sketch parameters do not match this instance");
+  }
+  for (NodeId i = 0; i < config_.num_nodes; ++i) {
+    store_->Store(i, snapshot.sketch(i));
+  }
+  num_updates_ = snapshot.num_updates();
+  return Status::Ok();
 }
 
 ConnectivityResult GraphZeppelin::ListSpanningForest() {
-  // cleanup(): force updates out of buffers and wait for the workers.
-  // Boruvka merges the snapshot copies in place.
-  std::vector<NodeSketch> snapshot = SnapshotSketches();
-  return BoruvkaConnectivity(&snapshot);
+  return Connectivity(Snapshot(), config_.query_threads);
 }
-
-namespace {
-constexpr char kCheckpointMagic[8] = {'G', 'Z', 'C', 'K', 'P', 'T', '0', '1'};
-}  // namespace
 
 Status GraphZeppelin::SaveCheckpoint(const std::string& path) {
   GZ_CHECK_MSG(initialized_, "Init() not called");
+  // Streaming form of Snapshot().SaveToFile(path): same file format
+  // (checkpoints ARE snapshots), but only one record in flight, so a
+  // disk-backed store larger than RAM can still checkpoint.
   Flush();
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot create checkpoint file: " + path);
-  }
-  const NodeSketchParams& sp = store_->params();
-  bool ok = std::fwrite(kCheckpointMagic, 1, 8, f) == 8;
-  ok = ok && std::fwrite(&sp.num_nodes, sizeof(sp.num_nodes), 1, f) == 1;
-  ok = ok && std::fwrite(&sp.seed, sizeof(sp.seed), 1, f) == 1;
-  ok = ok && std::fwrite(&sp.cols, sizeof(sp.cols), 1, f) == 1;
-  ok = ok && std::fwrite(&sp.rounds, sizeof(sp.rounds), 1, f) == 1;
-  ok = ok && std::fwrite(&num_updates_, sizeof(num_updates_), 1, f) == 1;
-
-  NodeSketch scratch(sp);
-  std::vector<uint8_t> buf(scratch.SerializedSize());
-  for (NodeId i = 0; ok && i < config_.num_nodes; ++i) {
-    store_->Load(i, &scratch);
-    scratch.SerializeTo(buf.data());
-    ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
-  }
-  std::fclose(f);
-  if (!ok) return Status::IoError("short write to checkpoint: " + path);
-  return Status::Ok();
+  NodeSketch scratch(store_->params());
+  return GraphSnapshot::SaveStream(
+      path, store_->params(), num_updates_,
+      [this, &scratch](NodeId i) -> const NodeSketch& {
+        store_->Load(i, &scratch);
+        return scratch;
+      });
 }
 
 Status GraphZeppelin::LoadCheckpoint(const std::string& path) {
   GZ_CHECK_MSG(initialized_, "Init() not called");
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("cannot open checkpoint file: " + path);
-  }
-  char magic[8];
-  NodeSketchParams saved;
+  // Streaming counterpart of LoadFromFile + LoadSnapshot: records go
+  // straight into the store without materializing a snapshot.
   uint64_t saved_updates = 0;
-  bool ok = std::fread(magic, 1, 8, f) == 8 &&
-            std::memcmp(magic, kCheckpointMagic, 8) == 0;
-  ok = ok && std::fread(&saved.num_nodes, sizeof(saved.num_nodes), 1, f) == 1;
-  ok = ok && std::fread(&saved.seed, sizeof(saved.seed), 1, f) == 1;
-  ok = ok && std::fread(&saved.cols, sizeof(saved.cols), 1, f) == 1;
-  ok = ok && std::fread(&saved.rounds, sizeof(saved.rounds), 1, f) == 1;
-  ok = ok && std::fread(&saved_updates, sizeof(saved_updates), 1, f) == 1;
-  if (!ok) {
-    std::fclose(f);
-    return Status::InvalidArgument("malformed checkpoint header: " + path);
-  }
-  if (!(saved == store_->params())) {
-    std::fclose(f);
-    return Status::InvalidArgument(
-        "checkpoint sketch parameters do not match this instance");
-  }
-
-  NodeSketch scratch(saved);
-  std::vector<uint8_t> buf(scratch.SerializedSize());
-  for (NodeId i = 0; i < config_.num_nodes; ++i) {
-    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
-      std::fclose(f);
-      return Status::IoError("truncated checkpoint: " + path);
-    }
-    scratch.DeserializeFrom(buf.data());
-    store_->Store(i, scratch);
-  }
-  std::fclose(f);
+  Status s = GraphSnapshot::LoadStream(
+      path, store_->params(), &saved_updates,
+      [this](NodeId i, const NodeSketch& sketch) {
+        store_->Store(i, sketch);
+      });
+  if (!s.ok()) return s;
   num_updates_ = saved_updates;
   return Status::Ok();
 }

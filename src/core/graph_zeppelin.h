@@ -5,9 +5,11 @@
 // running Boruvka's algorithm over snapshot sketches.
 //
 // User-facing API mirrors the paper: Update() (edge_update) ingests one
-// stream element; ListSpanningForest() / Query() flushes buffers and
-// returns the connected components. Queries may be issued mid-stream;
-// ingestion can continue afterwards.
+// stream element; Snapshot() flushes buffers and captures the sketch
+// state as an immutable GraphSnapshot, the query surface every
+// downstream consumer (Connectivity, forest decomposition, sharded
+// aggregation, checkpointing) operates on. Queries may be issued
+// mid-stream; ingestion can continue afterwards.
 #ifndef GZ_CORE_GRAPH_ZEPPELIN_H_
 #define GZ_CORE_GRAPH_ZEPPELIN_H_
 
@@ -20,6 +22,7 @@
 #include "buffer/update_batch.h"
 #include "buffer/work_queue.h"
 #include "core/connectivity.h"
+#include "core/graph_snapshot.h"
 #include "core/graph_worker.h"
 #include "core/sketch_store.h"
 #include "stream/stream_types.h"
@@ -64,6 +67,10 @@ struct GraphZeppelinConfig {
   // here are scaled to this environment but configurable back up).
   size_t gutter_tree_buffer_bytes = 1 << 22;
   size_t gutter_tree_fanout = 64;
+
+  // Query-time parallelism for Boruvka (0 = auto-size a small pool,
+  // 1 = sequential). Results are identical for every value.
+  int query_threads = 0;
 };
 
 class GraphZeppelin {
@@ -96,25 +103,35 @@ class GraphZeppelin {
   void Flush();
 
   // Flushes all buffered updates and computes the connected components
-  // from sketch snapshots. Ingestion may continue afterwards.
+  // from a snapshot (equivalent to Connectivity(Snapshot())). Ingestion
+  // may continue afterwards.
   ConnectivityResult ListSpanningForest();
 
-  // Flushes and returns a copy of every node sketch (one per vertex).
-  // The snapshot is the input to the extended sketch algorithms
-  // (spanning-forest decomposition, bipartiteness, sharded merging);
-  // linearity makes snapshots from different instances with the same
-  // seed mergeable.
-  std::vector<NodeSketch> SnapshotSketches();
+  // Flushes and captures the sketch state as an immutable GraphSnapshot
+  // (move-based: the sketches are loaded once and handed to the
+  // snapshot, never re-copied). The snapshot is the system's query
+  // surface — every query algorithm, the sharded coordinator's
+  // aggregation, and checkpointing consume it; linearity makes
+  // snapshots from same-seed instances XOR-mergeable.
+  GraphSnapshot Snapshot();
+
+  // Coordinator-side fold: flushes, then XOR-merges this instance's
+  // sketch state into `snapshot` node by node, materializing only one
+  // scratch sketch (not a second full snapshot). InvalidArgument if the
+  // snapshot's params don't match this instance.
+  Status MergeSnapshotInto(GraphSnapshot* snapshot);
+
+  // Overwrites this instance's sketch state with `snapshot` (e.g. one
+  // received from a peer or loaded from a file) and adopts its update
+  // count. Params must match; fails with InvalidArgument otherwise.
+  Status LoadSnapshot(const GraphSnapshot& snapshot);
 
   // --- Checkpointing -----------------------------------------------------
-  // Saves the flushed sketch state to `path`. The checkpoint encodes
-  // the sketch parameters and the update count; buffered-but-unflushed
-  // updates are flushed first, so a restore resumes exactly here.
+  // Thin wrappers over snapshot serialization: SaveCheckpoint is
+  // Snapshot().SaveToFile(path) — buffered updates are flushed first,
+  // so a restore resumes exactly here — and LoadCheckpoint is
+  // GraphSnapshot::LoadFromFile + LoadSnapshot.
   Status SaveCheckpoint(const std::string& path);
-
-  // Restores sketch state saved by SaveCheckpoint into this
-  // (initialized) instance. Sketch parameters must match the saved
-  // ones; fails with InvalidArgument otherwise.
   Status LoadCheckpoint(const std::string& path);
 
   // ----- Introspection ---------------------------------------------------

@@ -53,22 +53,19 @@ void ShardedGraphZeppelin::Flush() {
   for (auto& shard : shards_) shard->Flush();
 }
 
-std::vector<NodeSketch> ShardedGraphZeppelin::SnapshotSketches() {
+GraphSnapshot ShardedGraphZeppelin::Snapshot() {
   // All shards share hash seeds, so the node-wise XOR of their
-  // snapshots is the sketch of the whole graph.
-  std::vector<NodeSketch> merged = shards_[0]->SnapshotSketches();
+  // snapshots is the sketch of the whole graph. Shards past the first
+  // are folded in place, one scratch sketch at a time.
+  GraphSnapshot merged = shards_[0]->Snapshot();
   for (size_t s = 1; s < shards_.size(); ++s) {
-    std::vector<NodeSketch> snapshot = shards_[s]->SnapshotSketches();
-    for (uint64_t i = 0; i < merged.size(); ++i) {
-      merged[i].Merge(snapshot[i]);
-    }
+    GZ_CHECK_OK(shards_[s]->MergeSnapshotInto(&merged));
   }
   return merged;
 }
 
 ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
-  std::vector<NodeSketch> merged = SnapshotSketches();
-  return BoruvkaConnectivity(&merged);
+  return Connectivity(Snapshot(), base_.query_threads);
 }
 
 size_t ShardedGraphZeppelin::RamByteSize() const {

@@ -45,13 +45,16 @@ class ShardedGraphZeppelin {
   // Flushes every shard's buffers and waits for their workers.
   void Flush();
 
-  // Coordinator aggregation: flushes all shards and XOR-merges their
-  // snapshots node-wise, yielding sketches of the whole graph. The
-  // extended algorithms (spanning-forest decomposition etc.) consume
-  // this directly.
-  std::vector<NodeSketch> SnapshotSketches();
+  // Coordinator aggregation: captures shard 0's snapshot, then folds
+  // every other shard in node-by-node (GraphZeppelin::MergeSnapshotInto)
+  // — peak memory is one snapshot plus one scratch sketch, never a
+  // second per-shard snapshot. Linearity makes the result exactly the
+  // whole graph's snapshot; the extended algorithms consume it
+  // directly, and its serialized bytes are what a multi-process
+  // deployment would ship to the coordinator.
+  GraphSnapshot Snapshot();
 
-  // Merges shard snapshots node-wise and runs Boruvka.
+  // Aggregates the shard snapshots and runs Boruvka.
   ConnectivityResult ListSpanningForest();
 
   int num_shards() const { return static_cast<int>(shards_.size()); }

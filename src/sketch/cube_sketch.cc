@@ -114,6 +114,12 @@ size_t CubeSketch::ByteSize() const {
   return (alphas_.size() + 1) * (sizeof(uint64_t) + sizeof(uint32_t));
 }
 
+size_t CubeSketch::SerializedSizeFor(const CubeSketchParams& params) {
+  const size_t buckets =
+      static_cast<size_t>(params.cols) * RowsForLength(params.vector_len) + 1;
+  return buckets * (sizeof(uint64_t) + sizeof(uint32_t));
+}
+
 void CubeSketch::SerializeTo(uint8_t* out) const {
   std::memcpy(out, alphas_.data(), alphas_.size() * sizeof(uint64_t));
   out += alphas_.size() * sizeof(uint64_t);

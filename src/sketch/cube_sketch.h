@@ -68,6 +68,9 @@ class CubeSketch {
 
   // --- Flat serialization (used by the on-disk sketch store) -----------
   size_t SerializedSize() const { return ByteSize(); }
+  // Record size for the given params without constructing a sketch;
+  // lets deserializers validate a buffer length before allocating.
+  static size_t SerializedSizeFor(const CubeSketchParams& params);
   void SerializeTo(uint8_t* out) const;
   void DeserializeFrom(const uint8_t* in);
 

@@ -50,10 +50,13 @@ SketchSample NodeSketch::Query(int round) const {
   return subsketches_[round].Query();
 }
 
-void NodeSketch::Merge(const NodeSketch& other) {
+void NodeSketch::Merge(const NodeSketch& other) { MergeRounds(other, 0); }
+
+void NodeSketch::MergeRounds(const NodeSketch& other, int first_round) {
   GZ_CHECK_MSG(params_ == other.params_,
                "merging node sketches with different parameters");
-  for (int r = 0; r < rounds(); ++r) {
+  GZ_CHECK(first_round >= 0 && first_round <= rounds());
+  for (int r = first_round; r < rounds(); ++r) {
     subsketches_[r].Merge(other.subsketches_[r]);
   }
 }
@@ -72,6 +75,16 @@ size_t NodeSketch::SerializedSize() const {
   size_t total = 0;
   for (const CubeSketch& s : subsketches_) total += s.SerializedSize();
   return total;
+}
+
+size_t NodeSketch::SerializedSizeFor(const NodeSketchParams& params) {
+  GZ_CHECK(params.num_nodes >= 2);
+  const int rounds = params.rounds > 0 ? params.rounds
+                                       : DefaultRounds(params.num_nodes);
+  CubeSketchParams cp;
+  cp.vector_len = NumPossibleEdges(params.num_nodes);
+  cp.cols = params.cols;
+  return static_cast<size_t>(rounds) * CubeSketch::SerializedSizeFor(cp);
 }
 
 void NodeSketch::SerializeTo(uint8_t* out) const {

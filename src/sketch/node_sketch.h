@@ -55,6 +55,12 @@ class NodeSketch {
   // Elementwise merge; both sketches must share params (and hence seeds).
   void Merge(const NodeSketch& other);
 
+  // Merges only the subsketches of rounds [first_round, rounds()).
+  // Boruvka's component fold uses this: rounds at or before the current
+  // one are never queried again, so merging them is wasted memory
+  // traffic. first_round == rounds() is a no-op.
+  void MergeRounds(const NodeSketch& other, int first_round);
+
   void Clear();
 
   int rounds() const { return static_cast<int>(subsketches_.size()); }
@@ -67,6 +73,9 @@ class NodeSketch {
   // Flat serialization for the on-disk sketch store. Size depends only
   // on params, so every node's record has identical length.
   size_t SerializedSize() const;
+  // Same, computed from params alone (no sketch construction); lets
+  // deserializers validate sizes before allocating anything.
+  static size_t SerializedSizeFor(const NodeSketchParams& params);
   void SerializeTo(uint8_t* out) const;
   void DeserializeFrom(const uint8_t* in);
 

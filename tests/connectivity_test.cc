@@ -187,6 +187,24 @@ TEST(ConnectivityTest, ConnectedPointQuery) {
   EXPECT_TRUE(r.Connected(7, 7));
 }
 
+TEST(ConnectivityTest, ConnectedOutOfRangeNodeIsFalse) {
+  // Regression: out-of-range node ids used to index component_of
+  // unchecked (UB); they must simply report "not connected".
+  auto sketches = SketchGraph(8, 9, {Edge(0, 1)});
+  const ConnectivityResult r = BoruvkaConnectivity(&sketches);
+  ASSERT_FALSE(r.failed);
+  EXPECT_FALSE(r.Connected(0, 8));
+  EXPECT_FALSE(r.Connected(8, 0));
+  EXPECT_FALSE(r.Connected(12345, 67890));
+  EXPECT_FALSE(r.Connected(0, static_cast<NodeId>(-1)));
+  // In-range behavior is unchanged.
+  EXPECT_TRUE(r.Connected(0, 1));
+
+  // An empty (default) result connects nothing, in range or not.
+  const ConnectivityResult empty;
+  EXPECT_FALSE(empty.Connected(0, 0));
+}
+
 TEST(ConnectivityTest, SpanningForestStreamOutput) {
   // Problem 1: the answer is itself an insert-only edge stream.
   const uint64_t n = 16;

@@ -143,12 +143,39 @@ TEST(ShardedTest, ForestDecompositionOverShardedSnapshot) {
   for (const Edge& e : edges) {
     sharded.Update({e, UpdateType::kInsert});
   }
-  std::vector<NodeSketch> snapshot = sharded.SnapshotSketches();
-  const ForestDecomposition d = ExtractSpanningForests(&snapshot, 2);
+  const GraphSnapshot snapshot = sharded.Snapshot();
+  const ForestDecomposition d = ExtractSpanningForests(snapshot, 2);
   ASSERT_FALSE(d.failed);
   const EdgeList bridges = FindBridges(n, d.CertificateEdges());
   ASSERT_EQ(bridges.size(), 1u);
   EXPECT_EQ(bridges[0], Edge(2, 3));
+}
+
+TEST(ShardedTest, SnapshotFoldMatchesSingleInstanceBitwise) {
+  // The coordinator's in-place fold (one scratch sketch at a time, no
+  // second materialized per-shard snapshot) must produce exactly the
+  // snapshot a single instance ingesting the whole stream would: the
+  // shard partition of the stream is invisible after aggregation.
+  const uint64_t n = 48;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.1;
+  ep.seed = 6;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+
+  ShardedGraphZeppelin sharded(BaseConfig(n, 31), 3);
+  ASSERT_TRUE(sharded.Init().ok());
+  GraphZeppelin single(BaseConfig(n, 31));
+  ASSERT_TRUE(single.Init().ok());
+  for (const Edge& e : edges) {
+    sharded.Update({e, UpdateType::kInsert});
+    single.Update({e, UpdateType::kInsert});
+  }
+
+  const GraphSnapshot folded = sharded.Snapshot();
+  const GraphSnapshot expect = single.Snapshot();
+  EXPECT_TRUE(folded == expect);
+  EXPECT_EQ(folded.num_updates(), edges.size());
 }
 
 TEST(ShardedTest, DiskShardsDoNotCollide) {

@@ -5,7 +5,11 @@
 //   gz_components --stream stream.gzst
 //     [--buffering leaf|tree] [--storage ram|disk] [--workers N]
 //     [--gutter-fraction F] [--seed N] [--checkpoint out.ckpt]
+//     [--query-threads N] (Boruvka pool; 0 = auto)
 //     [--top K]   (print the K largest components)
+//
+// The checkpoint file is a serialized GraphSnapshot: gz_snapshot can
+// re-query it or merge it with snapshots from same-seed instances.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -28,7 +32,7 @@ int main(int argc, char** argv) {
                  "usage: gz_components --stream FILE [--buffering leaf|tree]"
                  " [--storage ram|disk] [--workers N]\n"
                  "       [--gutter-fraction F] [--seed N] "
-                 "[--checkpoint FILE] [--top K]\n");
+                 "[--checkpoint FILE] [--query-threads N] [--top K]\n");
     return 2;
   }
 
@@ -50,6 +54,7 @@ int main(int argc, char** argv) {
   if (flags.GetString("storage", "ram") == "disk") {
     config.storage = GraphZeppelinConfig::Storage::kDisk;
   }
+  config.query_threads = static_cast<int>(flags.GetInt("query-threads", 0));
 
   GraphZeppelin gz(config);
   s = gz.Init();
