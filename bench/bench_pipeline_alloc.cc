@@ -7,8 +7,11 @@
 // Method: global operator new/delete are overridden with a counting
 // hook (the C++ analogue of malloc_count). Phase 1 ingests the whole
 // stream once to warm the BatchPool, gutters and worker deltas; phase 2
-// re-ingests with the counter armed. Pool recycling means phase 2
-// should allocate nothing on the leaf+RAM path.
+// re-ingests with the counter armed. Pool recycling means phase 2 must
+// allocate nothing — on the leaf+RAM path AND the gutter-tree path,
+// whose internal flush buffers are recycled per level the way leaf
+// gutters recycle slabs. Enforced with GZ_CHECK, so a regression fails
+// the run, not just a JSON field.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -120,6 +123,7 @@ int main() {
         static_cast<double>(n_updates) / seconds,
         allocs == 0 ? "true" : "false");
     first = false;
+    GZ_CHECK_MSG(allocs == 0, "steady-state ingestion allocated");
   }
   std::printf("\n]\n");
   return 0;

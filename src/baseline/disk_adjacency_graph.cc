@@ -28,7 +28,7 @@ DiskAdjacencyGraph::~DiskAdjacencyGraph() {
 
 Status DiskAdjacencyGraph::Init() {
   if (fd_ >= 0) return Status::FailedPrecondition("already initialized");
-  fd_ = ::open(params_.file_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  fd_ = ::open(params_.file_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     return Status::IoError("cannot create adjacency file: " +
                            params_.file_path);

@@ -28,15 +28,17 @@ GutterTree::~GutterTree() {
 
 // The tree is built over *node groups*: [lo, hi) ranges below are in
 // group units and each leaf is one group's gutter.
-uint32_t GutterTree::BuildVertex(uint64_t lo, uint64_t hi) {
+uint32_t GutterTree::BuildVertex(uint64_t lo, uint64_t hi, uint32_t depth) {
   const uint32_t id = static_cast<uint32_t>(internals_.size());
   internals_.emplace_back();
   {
     Internal& v = internals_[id];
     v.lo = lo;
     v.hi = hi;
+    v.depth = depth;
     v.capacity_bytes = params_.buffer_bytes;
   }
+  max_depth_ = std::max(max_depth_, depth);
   const uint64_t range = hi - lo;
   if (range <= params_.fanout) {
     Internal& v = internals_[id];
@@ -49,7 +51,7 @@ uint32_t GutterTree::BuildVertex(uint64_t lo, uint64_t hi) {
   std::vector<uint32_t> children;
   for (uint64_t start = lo; start < hi; start += span) {
     const uint64_t end = std::min(hi, start + span);
-    children.push_back(BuildVertex(start, end));  // may reallocate
+    children.push_back(BuildVertex(start, end, depth + 1));  // may realloc
   }
   Internal& v = internals_[id];  // re-fetch after child recursion
   v.span = span;
@@ -59,7 +61,14 @@ uint32_t GutterTree::BuildVertex(uint64_t lo, uint64_t hi) {
 
 Status GutterTree::Init() {
   if (initialized_) return Status::FailedPrecondition("already initialized");
-  BuildVertex(0, NumGroups());
+  BuildVertex(0, NumGroups(), 0);
+  // Flushes recurse strictly downward, so one scratch set per level
+  // serves every vertex at that level; a vertex has at most `fanout`
+  // children (and a leaf-parent at most `fanout` gutter groups).
+  scratch_.resize(max_depth_ + 1);
+  for (LevelScratch& level : scratch_) {
+    level.buckets.resize(params_.fanout);
+  }
 
   // Assign file regions to every internal vertex except the RAM root.
   uint64_t offset = 0;
@@ -75,7 +84,7 @@ Status GutterTree::Init() {
   root_buffer_.reserve(root_capacity_records_);
   leaf_fill_.assign(NumGroups(), 0);
 
-  fd_ = ::open(params_.file_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  fd_ = ::open(params_.file_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     return Status::IoError("cannot create gutter tree file: " +
                            params_.file_path);
@@ -97,10 +106,12 @@ void GutterTree::InsertRecord(NodeId node, uint64_t edge_index) {
   GZ_CHECK(node < params_.num_nodes);
   root_buffer_.push_back(Record{node, edge_index});
   if (root_buffer_.size() >= root_capacity_records_) {
-    std::vector<Record> records;
-    records.swap(root_buffer_);
-    root_buffer_.reserve(root_capacity_records_);
-    Partition(internals_[0], records);
+    // Partition copies into per-level scratch and nothing on the flush
+    // path appends to the root, so the buffer can be partitioned in
+    // place and cleared (keeping its capacity) — no swap-and-reserve
+    // allocation per root flush.
+    Partition(internals_[0], root_buffer_);
+    root_buffer_.clear();
   }
 }
 
@@ -122,24 +133,32 @@ void GutterTree::InsertBatch(const GraphUpdate* updates, size_t count) {
 
 void GutterTree::Partition(const Internal& v,
                            const std::vector<Record>& records) {
+  // This level's recycled buckets; delivery below only recurses into
+  // deeper levels, which have their own. Each used bucket is cleared
+  // after delivery (keeping capacity), restoring the all-empty
+  // invariant for the next flush at this level.
+  std::vector<std::vector<Record>>& buckets = scratch_[v.depth].buckets;
   if (v.children_are_leaves) {
     // Group records per leaf gutter within [lo, hi).
-    std::vector<std::vector<Record>> per_group(v.hi - v.lo);
+    const uint64_t groups = v.hi - v.lo;
     for (const Record& r : records) {
-      per_group[GroupOf(r.node) - v.lo].push_back(r);
+      buckets[GroupOf(r.node) - v.lo].push_back(r);
     }
-    for (uint64_t i = 0; i < per_group.size(); ++i) {
-      if (!per_group[i].empty()) DeliverToLeaf(v.lo + i, per_group[i]);
+    for (uint64_t i = 0; i < groups; ++i) {
+      if (!buckets[i].empty()) {
+        DeliverToLeaf(v.lo + i, buckets[i]);
+        buckets[i].clear();
+      }
     }
     return;
   }
-  std::vector<std::vector<Record>> per_child(v.children.size());
   for (const Record& r : records) {
-    per_child[ChildIndexFor(v, r.node)].push_back(r);
+    buckets[ChildIndexFor(v, r.node)].push_back(r);
   }
-  for (size_t i = 0; i < per_child.size(); ++i) {
-    if (!per_child[i].empty()) {
-      DeliverToInternal(v.children[i], per_child[i]);
+  for (size_t i = 0; i < v.children.size(); ++i) {
+    if (!buckets[i].empty()) {
+      DeliverToInternal(v.children[i], buckets[i]);
+      buckets[i].clear();
     }
   }
 }
@@ -168,7 +187,10 @@ void GutterTree::DeliverToInternal(uint32_t id,
 void GutterTree::FlushInternal(uint32_t id) {
   Internal& v = internals_[id];
   if (v.fill_bytes == 0) return;
-  std::vector<Record> records = ReadRecords(v.file_offset, v.fill_bytes);
+  // The level's read scratch stays live across the recursive Partition;
+  // deeper flushes read into their own level's scratch.
+  std::vector<Record>& records = scratch_[v.depth].read_records;
+  ReadRecordsInto(v.file_offset, v.fill_bytes, &records);
   v.fill_bytes = 0;
   Partition(v, records);
 }
@@ -188,20 +210,28 @@ void GutterTree::DeliverToLeaf(uint64_t group,
 
 void GutterTree::EmitLeaf(uint64_t group, const std::vector<Record>& extra) {
   const uint32_t fill = leaf_fill_[group];
-  std::vector<Record> records;
+  std::vector<Record>& records = emit_records_;  // Recycled accumulator.
+  records.clear();
   if (fill > 0) {
     const uint64_t offset = leaf_region_offset_ + group * leaf_gutter_bytes_;
-    records = ReadRecords(offset, static_cast<size_t>(fill) * kRecordBytes);
+    ReadRecordsInto(offset, static_cast<size_t>(fill) * kRecordBytes,
+                    &records);
   }
   records.insert(records.end(), extra.begin(), extra.end());
   leaf_fill_[group] = 0;
 
-  // One run per node present (stable: per-node update order is the
-  // arrival order), chunked into pooled slabs.
-  std::stable_sort(records.begin(), records.end(),
-                   [](const Record& a, const Record& b) {
-                     return a.node < b.node;
-                   });
+  // One run per node present, chunked into pooled slabs. For the
+  // common single-node groups the gutter already is one run; larger
+  // groups sort in place (std::sort, not stable_sort, whose hidden
+  // temporary buffer would cost an allocation per emission — the
+  // per-node order it preserved is immaterial, sketch updates are
+  // commutative XOR toggles).
+  if (params_.nodes_per_group > 1) {
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) {
+                return a.node < b.node;
+              });
+  }
   size_t i = 0;
   while (i < records.size()) {
     const NodeId node = records[i].node;
@@ -223,10 +253,8 @@ void GutterTree::EmitLeaf(uint64_t group, const std::vector<Record>& extra) {
 void GutterTree::ForceFlush() {
   GZ_CHECK_MSG(initialized_, "Init() not called");
   if (!root_buffer_.empty()) {
-    std::vector<Record> records;
-    records.swap(root_buffer_);
-    root_buffer_.reserve(root_capacity_records_);
-    Partition(internals_[0], records);
+    Partition(internals_[0], root_buffer_);
+    root_buffer_.clear();
   }
   // Internal ids are assigned parent-before-child, so ascending order
   // flushes top-down and nothing is left stranded.
@@ -237,40 +265,51 @@ void GutterTree::ForceFlush() {
   }
 }
 
+// Both I/O helpers stage through io_buf_: neither holds it across a
+// call that could re-enter them, and the capacity persists, so encode/
+// decode staging costs no allocations in steady state.
 void GutterTree::WriteRecords(uint64_t offset, const Record* records,
                               size_t count) {
-  std::vector<uint8_t> buf(count * kRecordBytes);
+  io_buf_.resize(count * kRecordBytes);
   for (size_t i = 0; i < count; ++i) {
-    std::memcpy(&buf[i * kRecordBytes], &records[i].node, 4);
-    std::memcpy(&buf[i * kRecordBytes + 4], &records[i].edge_index, 8);
+    std::memcpy(&io_buf_[i * kRecordBytes], &records[i].node, 4);
+    std::memcpy(&io_buf_[i * kRecordBytes + 4], &records[i].edge_index, 8);
   }
   const ssize_t wrote =
-      ::pwrite(fd_, buf.data(), buf.size(), static_cast<off_t>(offset));
-  GZ_CHECK_MSG(wrote == static_cast<ssize_t>(buf.size()),
+      ::pwrite(fd_, io_buf_.data(), io_buf_.size(),
+               static_cast<off_t>(offset));
+  GZ_CHECK_MSG(wrote == static_cast<ssize_t>(io_buf_.size()),
                "gutter tree pwrite");
-  bytes_written_ += buf.size();
+  bytes_written_ += io_buf_.size();
 }
 
-std::vector<GutterTree::Record> GutterTree::ReadRecords(uint64_t offset,
-                                                        size_t bytes) {
+void GutterTree::ReadRecordsInto(uint64_t offset, size_t bytes,
+                                 std::vector<Record>* out) {
   GZ_CHECK(bytes % kRecordBytes == 0);
-  std::vector<uint8_t> buf(bytes);
+  io_buf_.resize(bytes);
   const ssize_t got =
-      ::pread(fd_, buf.data(), bytes, static_cast<off_t>(offset));
+      ::pread(fd_, io_buf_.data(), bytes, static_cast<off_t>(offset));
   GZ_CHECK_MSG(got == static_cast<ssize_t>(bytes), "gutter tree pread");
   bytes_read_ += bytes;
-  std::vector<Record> records(bytes / kRecordBytes);
-  for (size_t i = 0; i < records.size(); ++i) {
-    std::memcpy(&records[i].node, &buf[i * kRecordBytes], 4);
-    std::memcpy(&records[i].edge_index, &buf[i * kRecordBytes + 4], 8);
+  out->resize(bytes / kRecordBytes);
+  for (size_t i = 0; i < out->size(); ++i) {
+    std::memcpy(&(*out)[i].node, &io_buf_[i * kRecordBytes], 4);
+    std::memcpy(&(*out)[i].edge_index, &io_buf_[i * kRecordBytes + 4], 8);
   }
-  return records;
 }
 
 size_t GutterTree::RamByteSize() const {
+  size_t scratch_bytes = io_buf_.capacity() +
+                         emit_records_.capacity() * sizeof(Record);
+  for (const LevelScratch& level : scratch_) {
+    scratch_bytes += level.read_records.capacity() * sizeof(Record);
+    for (const std::vector<Record>& b : level.buckets) {
+      scratch_bytes += b.capacity() * sizeof(Record);
+    }
+  }
   return sizeof(*this) + root_buffer_.capacity() * sizeof(Record) +
          internals_.capacity() * sizeof(Internal) +
-         leaf_fill_.capacity() * sizeof(uint32_t);
+         leaf_fill_.capacity() * sizeof(uint32_t) + scratch_bytes;
 }
 
 }  // namespace gz

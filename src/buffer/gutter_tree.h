@@ -78,16 +78,27 @@ class GutterTree : public GutteringSystem {
     uint64_t span = 0;          // Graph nodes per child subrange.
     std::vector<uint32_t> children;  // Internal ids, unless leaves.
     bool children_are_leaves = false;
+    uint32_t depth = 0;         // Root = 0; indexes scratch_.
     uint64_t file_offset = 0;   // 0 for the RAM-resident root.
     size_t capacity_bytes = 0;
     size_t fill_bytes = 0;
+  };
+
+  // Flush-path scratch, one set per tree level. A flush only ever
+  // recurses downward (vertex at depth d partitions into children at
+  // d+1), so per-level reuse is safe and steady-state flushing
+  // allocates nothing once each level's buffers have grown to the
+  // level's working set.
+  struct LevelScratch {
+    std::vector<Record> read_records;            // FlushInternal target.
+    std::vector<std::vector<Record>> buckets;    // Partition output.
   };
 
   // Non-virtual insert body shared by Insert and InsertBatch.
   void InsertRecord(NodeId node, uint64_t edge_index);
 
   // Builds the vertex at [lo, hi) and returns its id in internals_.
-  uint32_t BuildVertex(uint64_t lo, uint64_t hi);
+  uint32_t BuildVertex(uint64_t lo, uint64_t hi, uint32_t depth);
 
   int ChildIndexFor(const Internal& v, NodeId node) const;
 
@@ -112,7 +123,9 @@ class GutterTree : public GutteringSystem {
   }
 
   void WriteRecords(uint64_t offset, const Record* records, size_t count);
-  std::vector<Record> ReadRecords(uint64_t offset, size_t bytes);
+  // Replaces `out` with the decoded records (capacity is reused).
+  void ReadRecordsInto(uint64_t offset, size_t bytes,
+                       std::vector<Record>* out);
 
   GutterTreeParams params_;
   BatchPool* pool_;   // Not owned.
@@ -126,6 +139,16 @@ class GutterTree : public GutteringSystem {
   std::vector<Record> root_buffer_;  // RAM buffer of the root.
   size_t root_capacity_records_ = 0;
   std::vector<uint32_t> leaf_fill_;  // Updates currently in each leaf.
+
+  // Recycled flush-path buffers (the leaf gutters' slab recycling,
+  // applied to the internal path): per-level partition/read scratch, a
+  // shared I/O staging buffer, and the leaf-emission accumulator. All
+  // keep their capacity across flushes, so steady-state internal-path
+  // work performs no heap allocations.
+  uint32_t max_depth_ = 0;
+  std::vector<LevelScratch> scratch_;
+  std::vector<uint8_t> io_buf_;
+  std::vector<Record> emit_records_;
 
   uint64_t bytes_written_ = 0;
   uint64_t bytes_read_ = 0;

@@ -189,6 +189,11 @@ size_t GraphSnapshot::SerializedSize() const {
   return kHeaderBytes + sketches_.size() * sketches_[0].SerializedSize();
 }
 
+size_t GraphSnapshot::SerializedSizeFor(const NodeSketchParams& params) {
+  return kHeaderBytes +
+         params.num_nodes * NodeSketch::SerializedSizeFor(params);
+}
+
 std::vector<uint8_t> GraphSnapshot::Serialize() const {
   std::vector<uint8_t> out(SerializedSize());
   WriteHeader(params(), num_updates_, out.data());
@@ -227,6 +232,37 @@ Result<GraphSnapshot> GraphSnapshot::Deserialize(const uint8_t* data,
   return GraphSnapshot(std::move(sketches), header.num_updates);
 }
 
+Status GraphSnapshot::MergeSerialized(const uint8_t* data, size_t size) {
+  if (!valid()) return Status::InvalidArgument("empty snapshot");
+  if (data == nullptr || size < kHeaderBytes) {
+    return Status::InvalidArgument("GraphSnapshot buffer too short");
+  }
+  SnapshotHeader header;
+  Status s = ParseHeader(data, &header);
+  if (!s.ok()) return s;
+  if (size != ExpectedBytes(header)) {
+    return Status::InvalidArgument(
+        "GraphSnapshot buffer size does not match its header");
+  }
+  if (!(header.params == params())) {
+    return Status::InvalidArgument(
+        "snapshot params mismatch: merge requires identical seed, node "
+        "bound and sketch geometry");
+  }
+  // Past this point nothing can fail, so the fold never leaves the
+  // snapshot half-merged.
+  NodeSketch scratch(header.params);
+  const size_t record = NodeSketch::SerializedSizeFor(header.params);
+  const uint8_t* cursor = data + kHeaderBytes;
+  for (uint64_t i = 0; i < header.params.num_nodes; ++i) {
+    scratch.DeserializeFrom(cursor);
+    sketches_[i].Merge(scratch);
+    cursor += record;
+  }
+  num_updates_ += header.num_updates;
+  return Status::Ok();
+}
+
 std::vector<NodeSketch> GraphSnapshot::ReleaseSketches() {
   std::vector<NodeSketch> out = std::move(sketches_);
   sketches_.clear();
@@ -242,6 +278,25 @@ Status GraphSnapshot::SaveToFile(const std::string& path) const {
                     });
 }
 
+Status GraphSnapshot::SaveToSink(
+    const std::function<Status(const void* data, size_t size)>& sink,
+    const NodeSketchParams& params, uint64_t num_updates,
+    const std::function<const NodeSketch&(NodeId)>& load) {
+  uint8_t header[kHeaderBytes];
+  WriteHeader(params, num_updates, header);
+  Status s = sink(header, kHeaderBytes);
+  // One record in flight: a sink (file or socket) never needs the
+  // doubled footprint of a full Serialize() buffer.
+  std::vector<uint8_t> buf(NodeSketch::SerializedSizeFor(params));
+  for (uint64_t i = 0; s.ok() && i < params.num_nodes; ++i) {
+    const NodeSketch& sketch = load(static_cast<NodeId>(i));
+    GZ_CHECK_MSG(sketch.params() == params, "loader returned wrong params");
+    sketch.SerializeTo(buf.data());
+    s = sink(buf.data(), buf.size());
+  }
+  return s;
+}
+
 Status GraphSnapshot::SaveStream(
     const std::string& path, const NodeSketchParams& params,
     uint64_t num_updates,
@@ -250,21 +305,16 @@ Status GraphSnapshot::SaveStream(
   if (f == nullptr) {
     return Status::IoError("cannot create snapshot file: " + path);
   }
-  uint8_t header[kHeaderBytes];
-  WriteHeader(params, num_updates, header);
-  bool ok = std::fwrite(header, 1, kHeaderBytes, f) == kHeaderBytes;
-  // One record in flight: file writes never need the doubled footprint
-  // of a full Serialize() buffer.
-  std::vector<uint8_t> buf(NodeSketch::SerializedSizeFor(params));
-  for (uint64_t i = 0; ok && i < params.num_nodes; ++i) {
-    const NodeSketch& sketch = load(static_cast<NodeId>(i));
-    GZ_CHECK_MSG(sketch.params() == params, "loader returned wrong params");
-    sketch.SerializeTo(buf.data());
-    ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
-  }
+  Status s = SaveToSink(
+      [f, &path](const void* data, size_t size) {
+        if (std::fwrite(data, 1, size, f) != size) {
+          return Status::IoError("short write to snapshot file: " + path);
+        }
+        return Status::Ok();
+      },
+      params, num_updates, load);
   std::fclose(f);
-  if (!ok) return Status::IoError("short write to snapshot file: " + path);
-  return Status::Ok();
+  return s;
 }
 
 Result<GraphSnapshot> GraphSnapshot::LoadFromFile(const std::string& path) {

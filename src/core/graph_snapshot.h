@@ -84,8 +84,30 @@ class GraphSnapshot {
   // Byte layout: 8-byte magic, params (num_nodes, seed, cols, rounds),
   // update count, then num_nodes fixed-size node-sketch records.
   size_t SerializedSize() const;
+  // Same, computed from params alone. A producer streaming records into
+  // a length-prefixed frame (e.g. a shard replying over a socket) needs
+  // the total before the first record exists.
+  static size_t SerializedSizeFor(const NodeSketchParams& params);
   std::vector<uint8_t> Serialize() const;
   static Result<GraphSnapshot> Deserialize(const uint8_t* data, size_t size);
+
+  // Streaming merge from serialized bytes: validates the header, checks
+  // params against this snapshot, then XOR-folds each node record in
+  // with one scratch sketch in flight — the coordinator's aggregation of
+  // a shard's snapshot reply without materializing a second snapshot.
+  // InvalidArgument on malformed bytes or a params mismatch; this
+  // snapshot is unchanged on any error.
+  Status MergeSerialized(const uint8_t* data, size_t size);
+
+  // Generalized streaming producer: writes the exact Serialize() byte
+  // stream through `sink` (header first, then one node record per call)
+  // with only one record materialized at a time. SaveStream is this with
+  // a file sink; a shard uses a socket sink to stream a snapshot into
+  // its reply frame.
+  static Status SaveToSink(
+      const std::function<Status(const void* data, size_t size)>& sink,
+      const NodeSketchParams& params, uint64_t num_updates,
+      const std::function<const NodeSketch&(NodeId)>& load);
 
   // File forms, used by checkpointing. LoadFromFile distinguishes a
   // missing file (NotFound), a malformed header (InvalidArgument) and a

@@ -165,6 +165,19 @@ GraphSnapshot GraphZeppelin::Snapshot() {
   return GraphSnapshot(std::move(sketches), num_updates_);
 }
 
+Status GraphZeppelin::WriteSnapshotTo(
+    const std::function<Status(const void* data, size_t size)>& write) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  Flush();
+  NodeSketch scratch(store_->params());
+  return GraphSnapshot::SaveToSink(
+      write, store_->params(), num_updates_,
+      [this, &scratch](NodeId i) -> const NodeSketch& {
+        store_->Load(i, &scratch);
+        return scratch;
+      });
+}
+
 Status GraphZeppelin::MergeSnapshotInto(GraphSnapshot* snapshot) {
   GZ_CHECK_MSG(initialized_, "Init() not called");
   GZ_CHECK(snapshot != nullptr);

@@ -14,6 +14,7 @@
 #define GZ_CORE_GRAPH_ZEPPELIN_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,6 +115,15 @@ class GraphZeppelin {
   // aggregation, and checkpointing consume it; linearity makes
   // snapshots from same-seed instances XOR-mergeable.
   GraphSnapshot Snapshot();
+
+  // Streaming form of Snapshot().Serialize(): flushes, then writes the
+  // serialized snapshot through `write` with one node record in flight
+  // — a shard streams its snapshot straight into a socket frame this
+  // way, so even an out-of-core sketch store never materializes the
+  // snapshot. The total byte count is GraphSnapshot::SerializedSizeFor
+  // (sketch_params()), known before the first call.
+  Status WriteSnapshotTo(
+      const std::function<Status(const void* data, size_t size)>& write);
 
   // Coordinator-side fold: flushes, then XOR-merges this instance's
   // sketch state into `snapshot` node by node, materializing only one

@@ -66,7 +66,7 @@ OnDiskSketchStore::~OnDiskSketchStore() {
 
 Status OnDiskSketchStore::Init() {
   if (fd_ >= 0) return Status::FailedPrecondition("already initialized");
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) {
     return Status::IoError("cannot create sketch store file: " + path_);
   }

@@ -1,0 +1,363 @@
+#include "distributed/shard_cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/check.h"
+
+namespace gz {
+namespace {
+
+// Replay and routing frames are chunked so a shard's receive buffer
+// stays bounded no matter how long an unacked log grows.
+constexpr size_t kMaxUpdatesPerFrame = 1 << 18;
+
+}  // namespace
+
+ShardCluster::ShardCluster(const GraphZeppelinConfig& base, int num_shards,
+                           ShardClusterOptions options)
+    : base_(base), options_(std::move(options)) {
+  GZ_CHECK(num_shards >= 1);
+  binary_ = options_.shard_binary.empty() ? DefaultShardBinary()
+                                          : options_.shard_binary;
+  if (options_.checkpoint_dir.empty()) options_.checkpoint_dir = base_.disk_dir;
+  const char* env_log_dir = std::getenv("GZ_SHARD_LOG_DIR");
+  log_dir_ = !options_.log_dir.empty() ? options_.log_dir
+             : (env_log_dir != nullptr && *env_log_dir != '\0')
+                 ? env_log_dir
+                 : base_.disk_dir;
+  ::mkdir(log_dir_.c_str(), 0755);  // Best-effort; EEXIST is the norm.
+
+  procs_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    procs_.push_back(std::make_unique<ShardProcess>());
+  }
+  down_.assign(num_shards, true);  // Up only after Start().
+  route_bufs_.resize(num_shards);
+  unacked_.resize(num_shards);
+  has_checkpoint_.assign(num_shards, false);
+  checkpoint_updates_.assign(num_shards, 0);
+}
+
+ShardCluster::~ShardCluster() {
+  if (started_) Shutdown();
+  for (int s = 0; s < num_shards(); ++s) {
+    // Unconditional: a checkpoint file can exist without an ack (shard
+    // crashed between publishing and replying).
+    ::unlink(CheckpointPath(s).c_str());
+    ::unlink((CheckpointPath(s) + ".tmp").c_str());
+  }
+}
+
+std::string ShardCluster::CheckpointPath(int shard) const {
+  // Coordinator pid + seed + shard index: concurrent clusters sharing
+  // one checkpoint_dir cannot clobber each other.
+  return options_.checkpoint_dir + "/gz_shard_ckpt_p" +
+         std::to_string(::getpid()) + "_s" + std::to_string(base_.seed) +
+         "_" + std::to_string(shard) + ".bin";
+}
+
+std::string ShardCluster::LogPath(int shard) const {
+  return log_dir_ + "/gz_shard_p" + std::to_string(::getpid()) + "_s" +
+         std::to_string(base_.seed) + "_shard" + std::to_string(shard) +
+         ".log";
+}
+
+GraphZeppelinConfig ShardCluster::ShardConfigFor(int shard) const {
+  GraphZeppelinConfig config = base_;
+  config.instance_tag = "shard" + std::to_string(shard);
+  return config;
+}
+
+Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
+                                       uint64_t* restored) {
+  ShardProcess& proc = *procs_[shard];
+  Status s = proc.Spawn(binary_, LogPath(shard));
+  if (!s.ok()) return s;
+  ShardConfig sc;
+  sc.config = ShardConfigFor(shard);
+  if (restore && has_checkpoint_[shard]) {
+    sc.restore_checkpoint = CheckpointPath(shard);
+  }
+  const std::vector<uint8_t> payload = EncodeShardConfig(sc);
+  ShardAck ack;
+  s = proc.CallAck(ShardMessageType::kConfig, payload.data(), payload.size(),
+                   &ack);
+  if (!s.ok()) {
+    proc.Kill();
+    return s;
+  }
+  if (restored != nullptr) *restored = ack.value0;
+  down_[shard] = false;
+  return Status::Ok();
+}
+
+Status ShardCluster::Start() {
+  if (started_) return Status::FailedPrecondition("cluster already started");
+  for (int s = 0; s < num_shards(); ++s) {
+    Status st = SpawnAndConfigure(s, /*restore=*/false, nullptr);
+    if (!st.ok()) return st;
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+Status ShardCluster::Update(const GraphUpdate* updates, size_t count) {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  for (size_t i = 0; i < count; ++i) {
+    // Fail-fast parity with the in-process mode's API boundary: a
+    // malformed edge already aborts inside ShardFor (EdgeToIndex), and
+    // a garbage type byte must abort HERE rather than make a shard
+    // drop the whole frame it rides in.
+    GZ_CHECK_MSG(static_cast<uint8_t>(updates[i].type) <= 1,
+                 "invalid GraphUpdate type byte");
+    route_bufs_[ShardFor(updates[i].edge)].push_back(updates[i]);
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    std::vector<GraphUpdate>& buf = route_bufs_[s];
+    if (buf.empty()) continue;
+    // Durability before transport: the log must already cover these
+    // updates when a mid-frame send failure strikes, so the restart
+    // replay can reconstruct the shard without loss.
+    unacked_[s].insert(unacked_[s].end(), buf.begin(), buf.end());
+    if (!down_[s]) {
+      for (size_t off = 0; off < buf.size(); off += kMaxUpdatesPerFrame) {
+        const size_t n = std::min(kMaxUpdatesPerFrame, buf.size() - off);
+        Status st = SendFrame2(procs_[s]->fd(),
+                               ShardMessageType::kUpdateBatch, buf.data() + off,
+                               n * sizeof(GraphUpdate), nullptr, 0);
+        if (!st.ok()) {
+          // Shard unreachable: fence it and keep buffering. Nothing is
+          // lost — the log holds everything since its last checkpoint.
+          down_[s] = true;
+          break;
+        }
+      }
+    }
+    buf.clear();  // Keeps capacity for the next span.
+  }
+  // Periodic auto-checkpoint bounds the unacked logs: without it the
+  // coordinator would retain the whole stream in RAM. Best-effort — a
+  // failure (down shard, unwritable checkpoint dir) defers truncation
+  // to the next interval; ingestion itself keeps going, so the error
+  // is logged rather than returned.
+  updates_since_checkpoint_ += count;
+  if (options_.checkpoint_interval_updates > 0 &&
+      updates_since_checkpoint_ >= options_.checkpoint_interval_updates) {
+    Status ckpt = Checkpoint();  // Resets the counter on success.
+    if (!ckpt.ok()) {
+      std::fprintf(stderr,
+                   "ShardCluster: auto-checkpoint failed (%s); durability "
+                   "logs keep growing until one succeeds\n",
+                   ckpt.ToString().c_str());
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardCluster::RequireAllHealthy() {
+  for (int s = 0; s < num_shards(); ++s) {
+    if (down_[s] || !procs_[s]->Running()) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(s) +
+          " is down; RestartShard() it before a cluster-wide barrier");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardCluster::PipelinedBarrier(
+    ShardMessageType type, ShardMessageType expected_reply,
+    const std::function<std::string(int shard)>& payload_for,
+    const std::function<Status(int shard, const ShardFrame& reply)>&
+        on_reply) {
+  Status s = RequireAllHealthy();
+  if (!s.ok()) return s;
+  std::vector<bool> sent(num_shards(), false);
+  Status first_error = Status::Ok();
+  for (int i = 0; i < num_shards(); ++i) {
+    const std::string payload = payload_for ? payload_for(i) : std::string();
+    s = SendFrame(procs_[i]->fd(), type, payload.data(), payload.size());
+    if (s.ok()) {
+      sent[i] = true;
+    } else {
+      down_[i] = true;
+      if (first_error.ok()) first_error = s;
+    }
+  }
+  for (int i = 0; i < num_shards(); ++i) {
+    if (!sent[i]) continue;
+    bool in_sync = false;
+    s = RecvReply(procs_[i]->fd(), expected_reply, &reply_buf_, &in_sync);
+    if (s.ok() && on_reply) s = on_reply(i, reply_buf_);
+    if (!s.ok()) {
+      if (!in_sync) down_[i] = true;
+      if (first_error.ok()) first_error = s;
+    }
+  }
+  return first_error;
+}
+
+Status ShardCluster::Flush() {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  return PipelinedBarrier(ShardMessageType::kFlush, ShardMessageType::kAck,
+                          nullptr, nullptr);
+}
+
+Result<GraphSnapshot> ShardCluster::Snapshot() {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  // Replies fold in arrival order: the first one materializes the
+  // snapshot, every later reply streams through MergeSerialized with
+  // one scratch sketch in flight. Peak memory is one snapshot + one
+  // reply buffer regardless of shard count. (On a barrier failure the
+  // helper still runs the fold for drained replies; the result is
+  // discarded with the error.)
+  GraphSnapshot merged;
+  Status s = PipelinedBarrier(
+      ShardMessageType::kSnapshot, ShardMessageType::kSnapshotBytes, nullptr,
+      [&merged](int, const ShardFrame& reply) {
+        if (!merged.valid()) {
+          Result<GraphSnapshot> r = GraphSnapshot::Deserialize(
+              reply.payload.data(), reply.payload.size());
+          if (!r.ok()) return r.status();
+          merged = std::move(r).value();
+          return Status::Ok();
+        }
+        return merged.MergeSerialized(reply.payload.data(),
+                                      reply.payload.size());
+      });
+  if (!s.ok()) return s;
+  return merged;
+}
+
+Status ShardCluster::Checkpoint() {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  // Per-shard commit as each ack arrives: a failure on one shard must
+  // not discard the commits of shards whose checkpoints already landed
+  // — their disk state has moved, and the coordinator's view has to
+  // move with it.
+  Status s = PipelinedBarrier(
+      ShardMessageType::kCheckpoint, ShardMessageType::kAck,
+      [this](int i) { return CheckpointPath(i); },
+      [this](int i, const ShardFrame& reply) {
+        ShardAck ack;
+        Status d = DecodeShardAck(reply.payload.data(), reply.payload.size(),
+                                  &ack);
+        if (!d.ok()) return d;
+        // The checkpoint covers everything sent before it (the socket
+        // is FIFO and the shard single-threaded), so the log restarts
+        // empty.
+        has_checkpoint_[i] = true;
+        checkpoint_updates_[i] = ack.value0;
+        unacked_[i].clear();
+        return Status::Ok();
+      });
+  if (s.ok()) updates_since_checkpoint_ = 0;
+  return s;
+}
+
+std::vector<bool> ShardCluster::HealthCheck() {
+  std::vector<bool> alive(num_shards(), false);
+  for (int s = 0; s < num_shards(); ++s) {
+    if (down_[s] || !procs_[s]->Running()) continue;
+    ShardAck ack;
+    if (procs_[s]->CallAck(ShardMessageType::kPing, nullptr, 0, &ack).ok()) {
+      alive[s] = true;
+    } else {
+      down_[s] = true;
+    }
+  }
+  return alive;
+}
+
+void ShardCluster::KillShard(int shard) {
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  procs_[shard]->Kill();
+  down_[shard] = true;
+}
+
+Status ShardCluster::RestartShard(int shard) {
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  procs_[shard]->Kill();  // Reaps; no-op if already dead.
+  uint64_t restored = 0;
+  Status s = SpawnAndConfigure(shard, /*restore=*/true, &restored);
+  if (!s.ok()) return s;
+  // Replay everything the restored checkpoint does not cover. The
+  // on-disk checkpoint may be AHEAD of the last acked one (the shard
+  // published it, then died before the ack): a checkpoint covers
+  // exactly the updates sent before its request — a prefix of the
+  // unacked log — so the restored position tells how much of the log
+  // to skip. Linearity makes the replayed shard bitwise-identical to
+  // one that never crashed either way.
+  const std::vector<GraphUpdate>& log = unacked_[shard];
+  const uint64_t acked = has_checkpoint_[shard] ? checkpoint_updates_[shard]
+                                                : 0;
+  if (restored < acked || restored - acked > log.size()) {
+    procs_[shard]->Kill();
+    down_[shard] = true;
+    return Status::Internal(
+        "restored shard position " + std::to_string(restored) +
+        " is outside what the checkpoint plus the unacked log can "
+        "explain");
+  }
+  const size_t skip = static_cast<size_t>(restored - acked);
+  for (size_t off = skip; off < log.size(); off += kMaxUpdatesPerFrame) {
+    const size_t n = std::min(kMaxUpdatesPerFrame, log.size() - off);
+    s = SendFrame2(procs_[shard]->fd(), ShardMessageType::kUpdateBatch,
+                   log.data() + off, n * sizeof(GraphUpdate), nullptr, 0);
+    if (!s.ok()) {
+      down_[shard] = true;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardCluster::Shutdown() {
+  if (!started_) return Status::Ok();
+  Status first_error = Status::Ok();
+  for (int s = 0; s < num_shards(); ++s) {
+    if (down_[s] || !procs_[s]->Running()) {
+      procs_[s]->Kill();  // Reap whatever is left.
+      continue;
+    }
+    ShardAck ack;
+    Status st =
+        procs_[s]->CallAck(ShardMessageType::kShutdown, nullptr, 0, &ack);
+    if (!st.ok() && first_error.ok()) first_error = st;
+    // Orderly exit follows the ack; Kill() degenerates to a reap (the
+    // SIGKILL lands on an exiting or exited process) and guarantees no
+    // zombie either way.
+    procs_[s]->Kill();
+    down_[s] = true;
+  }
+  started_ = false;
+  return first_error;
+}
+
+Result<ShardStats> ShardCluster::Stats(int shard) {
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  if (down_[shard]) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " is down");
+  }
+  ShardAck ack;
+  Status s =
+      procs_[shard]->CallAck(ShardMessageType::kStats, nullptr, 0, &ack);
+  if (!s.ok()) {
+    down_[shard] = true;
+    return s;
+  }
+  ShardStats stats;
+  stats.num_updates = ack.value0;
+  stats.ram_bytes = ack.value1;
+  return stats;
+}
+
+}  // namespace gz

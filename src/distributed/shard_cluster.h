@@ -1,0 +1,156 @@
+// ShardCluster: the multi-process coordinator. Owns N gz_shard worker
+// processes (one GraphZeppelin each, same seed/geometry), routes update
+// spans to them by the shared edge hash, aggregates query-time snapshot
+// replies with the GraphSnapshot merge algebra, and manages shard
+// lifecycle: spawn, health checks, checkpoints, orderly shutdown, and
+// restart-from-checkpoint of a crashed shard.
+//
+// Durability model: the coordinator retains every update sent to a
+// shard since that shard's last acknowledged checkpoint (its "unacked"
+// log). A shard that dies mid-stream is restarted from its checkpoint
+// and the log is replayed — sketch linearity makes the rebuilt state
+// bitwise-identical to a run that never crashed. Updates routed to a
+// down shard buffer in the same log, so ingestion never stalls on a
+// failure; only Flush/Snapshot/Checkpoint require every shard healthy.
+#ifndef GZ_DISTRIBUTED_SHARD_CLUSTER_H_
+#define GZ_DISTRIBUTED_SHARD_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph_snapshot.h"
+#include "core/graph_zeppelin.h"
+#include "distributed/shard_process.h"
+#include "distributed/shard_protocol.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct ShardClusterOptions {
+  // Path of the gz_shard binary; empty = DefaultShardBinary().
+  std::string shard_binary;
+  // Where shard checkpoints live; empty = the base config's disk_dir.
+  std::string checkpoint_dir;
+  // Where shard stderr logs go; empty = $GZ_SHARD_LOG_DIR, falling back
+  // to the base config's disk_dir. CI points this at an artifact dir.
+  std::string log_dir;
+  // Auto-checkpoint cadence: after this many routed updates the next
+  // Update() call checkpoints every shard (best-effort), truncating the
+  // unacked logs so coordinator memory stays bounded by the interval
+  // instead of growing with the stream. 0 = manual Checkpoint() only.
+  uint64_t checkpoint_interval_updates = 1 << 22;
+};
+
+struct ShardStats {
+  uint64_t num_updates = 0;
+  uint64_t ram_bytes = 0;
+};
+
+class ShardCluster {
+ public:
+  // `base` configures every shard (same num_nodes and sketch seed;
+  // per-shard instance tags are added automatically).
+  ShardCluster(const GraphZeppelinConfig& base, int num_shards,
+               ShardClusterOptions options = {});
+  // Best-effort orderly shutdown, then removes shard checkpoints.
+  ~ShardCluster();
+  ShardCluster(const ShardCluster&) = delete;
+  ShardCluster& operator=(const ShardCluster&) = delete;
+
+  // Spawns and configures every shard process.
+  Status Start();
+
+  // Shard an update routes to; identical to the in-process router.
+  int ShardFor(const Edge& e) const {
+    return RouteToShard(e, base_.num_nodes, num_shards());
+  }
+
+  // Routes the span: each shard's slice is appended to its unacked log,
+  // then framed (scatter-gather, no copy) onto its socket. A shard that
+  // fails mid-send is marked down and its updates stay buffered; the
+  // call still returns Ok because no update was lost. Restart the shard
+  // to drain its backlog.
+  Status Update(const GraphUpdate* updates, size_t count);
+  Status Update(const GraphUpdate& update) { return Update(&update, 1); }
+
+  // Barriers (all shards must be healthy).
+  Status Flush();
+  // Aggregated query surface: streams every shard's serialized snapshot
+  // back and XOR-folds the replies (one deserialized snapshot plus one
+  // scratch sketch in flight).
+  Result<GraphSnapshot> Snapshot();
+  // Checkpoints every shard. Each shard's unacked log is truncated as
+  // its ack arrives — commits are per-shard, so a failure on one shard
+  // leaves the others' coordinator state consistent with their disk
+  // checkpoints (a shard whose checkpoint landed but whose ack was
+  // lost is reconciled at restart; see RestartShard).
+  Status Checkpoint();
+
+  // Lifecycle.
+  // Liveness per shard: process running and answering pings.
+  std::vector<bool> HealthCheck();
+  // SIGKILL (fault injection / fencing); updates keep buffering.
+  void KillShard(int shard);
+  // Respawn `shard`, restore its last checkpoint (if any), replay its
+  // unacked log. Afterwards the shard is exactly where it would be had
+  // it never died.
+  Status RestartShard(int shard);
+  // Orderly shutdown of every live shard (kShutdown + reap).
+  Status Shutdown();
+
+  Result<ShardStats> Stats(int shard);
+
+  int num_shards() const { return static_cast<int>(procs_.size()); }
+  bool shard_down(int shard) const { return down_[shard]; }
+  uint64_t unacked_updates(int shard) const {
+    return unacked_[shard].size();
+  }
+
+ private:
+  // Spawns + configures; `restored` receives the shard's stream
+  // position after any checkpoint restore.
+  Status SpawnAndConfigure(int shard, bool restore, uint64_t* restored);
+  std::string CheckpointPath(int shard) const;
+  std::string LogPath(int shard) const;
+  GraphZeppelinConfig ShardConfigFor(int shard) const;
+  // The one pipelined-barrier implementation every cluster-wide
+  // operation shares: sends `type` (payload from `payload_for`, if
+  // given) to every shard, then collects a reply from EVERY shard that
+  // got a request — even after a failure, so no reply is ever left
+  // queued to desync a later barrier. A shard is fenced (down_) only
+  // when its connection lost sync, not on an application-level kError.
+  // `on_reply` (optional) runs per well-formed `expected_reply` frame;
+  // its error fails the barrier without fencing. Returns the first
+  // error encountered.
+  Status PipelinedBarrier(
+      ShardMessageType type, ShardMessageType expected_reply,
+      const std::function<std::string(int shard)>& payload_for,
+      const std::function<Status(int shard, const ShardFrame& reply)>&
+          on_reply);
+  Status RequireAllHealthy();
+
+  GraphZeppelinConfig base_;
+  ShardClusterOptions options_;
+  std::string binary_;
+  std::string log_dir_;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<ShardProcess>> procs_;
+  std::vector<bool> down_;
+  // Per-shard routing buffers (capacity persists across spans).
+  std::vector<std::vector<GraphUpdate>> route_bufs_;
+  // Per-shard updates sent since the last acked checkpoint.
+  std::vector<std::vector<GraphUpdate>> unacked_;
+  std::vector<bool> has_checkpoint_;
+  // Stream position of each shard's last ACKED checkpoint; the on-disk
+  // file may be newer if an ack was lost to a crash.
+  std::vector<uint64_t> checkpoint_updates_;
+  uint64_t updates_since_checkpoint_ = 0;  // Drives auto-checkpointing.
+  ShardFrame reply_buf_;  // Reused for pipelined replies.
+};
+
+}  // namespace gz
+
+#endif  // GZ_DISTRIBUTED_SHARD_CLUSTER_H_

@@ -1,0 +1,127 @@
+#include "distributed/shard_process.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/check.h"
+
+namespace gz {
+
+std::string DefaultShardBinary() {
+  const char* env = std::getenv("GZ_SHARD_BIN");
+  if (env != nullptr && *env != '\0') return env;
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  GZ_CHECK_MSG(n > 0, "cannot resolve /proc/self/exe");
+  self[n] = '\0';
+  std::string path(self);
+  const size_t slash = path.rfind('/');
+  GZ_CHECK(slash != std::string::npos);
+  return path.substr(0, slash + 1) + "gz_shard";
+}
+
+ShardProcess::~ShardProcess() {
+  Kill();
+  CloseSocket();
+}
+
+void ShardProcess::CloseSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ShardProcess::Spawn(const std::string& binary,
+                           const std::string& log_path) {
+  if (pid_ >= 0 && Running()) {
+    return Status::FailedPrecondition("shard process already running");
+  }
+  CloseSocket();
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    return Status::IoError(std::string("socketpair: ") +
+                           std::strerror(errno));
+  }
+  // Coordinator's end must not leak into later-spawned shards: a
+  // sibling holding a copy would keep the socket half-open after this
+  // shard dies.
+  ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
+  const std::string fd_arg = std::to_string(sv[1]);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls until execv. Keep sv[1] open
+    // for the server; route stderr to the log file so a crash leaves a
+    // readable trace.
+    ::close(sv[0]);
+    if (!log_path.empty()) {
+      const int log_fd =
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log_fd >= 0) {
+        ::dup2(log_fd, STDERR_FILENO);
+        if (log_fd != STDERR_FILENO) ::close(log_fd);
+      }
+    }
+    char* const argv[] = {const_cast<char*>(binary.c_str()),
+                          const_cast<char*>("--fd"),
+                          const_cast<char*>(fd_arg.c_str()), nullptr};
+    ::execv(binary.c_str(), argv);
+    // exec failed; report on (possibly redirected) stderr and die hard.
+    const char msg[] = "gz_shard exec failed\n";
+    const ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    (void)ignored;
+    ::_exit(127);
+  }
+  ::close(sv[1]);
+  pid_ = pid;
+  fd_ = sv[0];
+  reaped_ = false;
+  log_path_ = log_path;
+  return Status::Ok();
+}
+
+bool ShardProcess::Running() {
+  if (pid_ < 0 || reaped_) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    reaped_ = true;
+    return false;
+  }
+  return r == 0;
+}
+
+void ShardProcess::Kill() {
+  if (pid_ < 0 || reaped_) return;
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  reaped_ = true;
+}
+
+Status ShardProcess::CallAck(ShardMessageType type, const void* payload,
+                             size_t payload_bytes, ShardAck* ack) {
+  if (fd_ < 0) return Status::IoError("shard socket not open");
+  Status s = SendFrame(fd_, type, payload, payload_bytes);
+  if (!s.ok()) return s;
+  bool in_sync = false;
+  s = RecvReply(fd_, ShardMessageType::kAck, &reply_buf_, &in_sync);
+  if (!s.ok()) return s;
+  return DecodeShardAck(reply_buf_.payload.data(), reply_buf_.payload.size(),
+                        ack);
+}
+
+}  // namespace gz

@@ -1,0 +1,65 @@
+// Coordinator-side handle for one gz_shard worker process: owns the
+// child pid and the connected socket, and wraps the request/reply
+// half of the protocol. Lifecycle (spawn order, checkpoint paths,
+// replay) lives a layer up in ShardCluster.
+#ifndef GZ_DISTRIBUTED_SHARD_PROCESS_H_
+#define GZ_DISTRIBUTED_SHARD_PROCESS_H_
+
+#include <string>
+
+#include <sys/types.h>
+
+#include "distributed/shard_protocol.h"
+#include "util/status.h"
+
+namespace gz {
+
+// Absolute path of the gz_shard binary: $GZ_SHARD_BIN if set, else
+// next to the calling executable (all build targets share one bin dir).
+std::string DefaultShardBinary();
+
+class ShardProcess {
+ public:
+  ShardProcess() = default;
+  // Kills and reaps an still-running child; orderly shutdown is the
+  // cluster's job.
+  ~ShardProcess();
+  ShardProcess(const ShardProcess&) = delete;
+  ShardProcess& operator=(const ShardProcess&) = delete;
+
+  // fork/execs `binary --fd N` with one end of a fresh socketpair as fd
+  // N; the child's stderr is redirected (append) to `log_path` so shard
+  // logs survive a crash for post-mortem (CI uploads them on failure).
+  Status Spawn(const std::string& binary, const std::string& log_path);
+
+  // True while the child has neither exited nor been reaped.
+  bool Running();
+
+  // SIGKILL + reap; idempotent. The socket stays open so queued replies
+  // can be drained, but any further Call fails with IoError.
+  void Kill();
+
+  // Sends one request and awaits its kAck reply (via RecvReply, so a
+  // kError reply decodes into the shard's Status and transport
+  // failures are IoError). UPDATE_BATCH is fire-and-forget: use Send*
+  // directly, no reply.
+  Status CallAck(ShardMessageType type, const void* payload,
+                 size_t payload_bytes, ShardAck* ack);
+
+  int fd() const { return fd_; }
+  pid_t pid() const { return pid_; }
+  const std::string& log_path() const { return log_path_; }
+
+ private:
+  void CloseSocket();
+
+  pid_t pid_ = -1;
+  int fd_ = -1;
+  bool reaped_ = false;
+  std::string log_path_;
+  ShardFrame reply_buf_;  // Reused across Call()s.
+};
+
+}  // namespace gz
+
+#endif  // GZ_DISTRIBUTED_SHARD_PROCESS_H_

@@ -1,0 +1,370 @@
+#include "distributed/shard_protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include "util/xxhash.h"
+
+namespace gz {
+namespace {
+
+void EncodeHeader(ShardMessageType type, uint64_t payload_bytes,
+                  uint8_t out[ShardFrameHeader::kBytes]) {
+  const uint32_t magic = ShardFrameHeader::kMagic;
+  const uint16_t version = ShardFrameHeader::kVersion;
+  const uint16_t type16 = static_cast<uint16_t>(type);
+  std::memcpy(out, &magic, 4);
+  std::memcpy(out + 4, &version, 2);
+  std::memcpy(out + 6, &type16, 2);
+  std::memcpy(out + 8, &payload_bytes, 8);
+}
+
+Status DecodeHeader(const uint8_t in[ShardFrameHeader::kBytes],
+                    ShardFrameHeader* header) {
+  uint32_t magic = 0;
+  uint16_t version = 0, type16 = 0;
+  uint64_t payload_bytes = 0;
+  std::memcpy(&magic, in, 4);
+  std::memcpy(&version, in + 4, 2);
+  std::memcpy(&type16, in + 6, 2);
+  std::memcpy(&payload_bytes, in + 8, 8);
+  if (magic != ShardFrameHeader::kMagic) {
+    return Status::InvalidArgument("shard frame: bad magic");
+  }
+  if (version != ShardFrameHeader::kVersion) {
+    return Status::InvalidArgument(
+        "shard frame: protocol version mismatch (got " +
+        std::to_string(version) + ", speak " +
+        std::to_string(ShardFrameHeader::kVersion) + ")");
+  }
+  if (type16 < static_cast<uint16_t>(ShardMessageType::kConfig) ||
+      type16 > static_cast<uint16_t>(ShardMessageType::kError)) {
+    return Status::InvalidArgument("shard frame: unknown message type " +
+                                   std::to_string(type16));
+  }
+  if (payload_bytes > ShardFrameHeader::kMaxPayloadBytes) {
+    return Status::InvalidArgument("shard frame: payload length " +
+                                   std::to_string(payload_bytes) +
+                                   " exceeds protocol cap");
+  }
+  header->type = static_cast<ShardMessageType>(type16);
+  header->payload_bytes = payload_bytes;
+  return Status::Ok();
+}
+
+// Byte-cursor codecs for the variable-length payloads. Readers never
+// run past `size`: every Get checks the remaining length, so truncated
+// payloads decode to an error, not a crash.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+  void I32(int32_t v) { Raw(&v, 4); }
+  void F64(double v) { Raw(&v, 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  void Raw(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) { return Raw(v, 1); }
+  bool U32(uint32_t* v) { return Raw(v, 4); }
+  bool U64(uint64_t* v) { return Raw(v, 8); }
+  bool I32(int32_t* v) { return Raw(v, 4); }
+  bool F64(double* v) { return Raw(v, 8); }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len) || size_ - pos_ < len) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  bool Raw(void* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status WriteFull(int fd, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    // send() instead of write() for MSG_NOSIGNAL: a SIGKILLed shard
+    // must surface as an IoError the coordinator can recover from, not
+    // a SIGPIPE that kills the coordinator.
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("shard socket write: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadFull(int fd, void* data, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("shard socket read: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("shard socket closed mid-frame");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SendFrameHeader(int fd, ShardMessageType type,
+                       uint64_t payload_bytes) {
+  if (payload_bytes > ShardFrameHeader::kMaxPayloadBytes) {
+    return Status::InvalidArgument("shard frame: payload exceeds cap");
+  }
+  uint8_t header[ShardFrameHeader::kBytes];
+  EncodeHeader(type, payload_bytes, header);
+  return WriteFull(fd, header, sizeof(header));
+}
+
+Status SendFrame(int fd, ShardMessageType type, const void* payload,
+                 size_t payload_bytes) {
+  return SendFrame2(fd, type, payload, payload_bytes, nullptr, 0);
+}
+
+Status SendFrame2(int fd, ShardMessageType type, const void* a,
+                  size_t a_bytes, const void* b, size_t b_bytes) {
+  const uint64_t payload_bytes = a_bytes + b_bytes;
+  if (payload_bytes > ShardFrameHeader::kMaxPayloadBytes) {
+    return Status::InvalidArgument("shard frame: payload exceeds cap");
+  }
+  uint8_t header[ShardFrameHeader::kBytes];
+  EncodeHeader(type, payload_bytes, header);
+  // One sendmsg for header + payload spans: the routing buffer crosses
+  // into the kernel straight from where the router filled it.
+  struct iovec iov[3];
+  int iovcnt = 0;
+  iov[iovcnt].iov_base = header;
+  iov[iovcnt].iov_len = sizeof(header);
+  ++iovcnt;
+  if (a_bytes > 0) {
+    iov[iovcnt].iov_base = const_cast<void*>(a);
+    iov[iovcnt].iov_len = a_bytes;
+    ++iovcnt;
+  }
+  if (b_bytes > 0) {
+    iov[iovcnt].iov_base = const_cast<void*>(b);
+    iov[iovcnt].iov_len = b_bytes;
+    ++iovcnt;
+  }
+  struct msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = iov;
+  msg.msg_iovlen = iovcnt;
+  size_t sent = 0;
+  const size_t total = sizeof(header) + payload_bytes;
+  while (sent < total) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("shard socket write: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+    if (sent == total) break;
+    // Short write: advance the iovec cursor past the sent bytes.
+    size_t advance = static_cast<size_t>(n);
+    while (advance >= msg.msg_iov[0].iov_len) {
+      advance -= msg.msg_iov[0].iov_len;
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+    msg.msg_iov[0].iov_base =
+        static_cast<uint8_t*>(msg.msg_iov[0].iov_base) + advance;
+    msg.msg_iov[0].iov_len -= advance;
+  }
+  return Status::Ok();
+}
+
+Status RecvFrame(int fd, ShardFrame* frame) {
+  uint8_t header_buf[ShardFrameHeader::kBytes];
+  Status s = ReadFull(fd, header_buf, sizeof(header_buf));
+  if (!s.ok()) return s;
+  ShardFrameHeader header;
+  s = DecodeHeader(header_buf, &header);
+  if (!s.ok()) return s;
+  frame->type = header.type;
+  // The protocol cap is sized for legitimate big snapshots, so a
+  // corrupt-but-in-range length can still exceed this host's memory;
+  // the allocation failure must come back as a Status like every other
+  // malformed-frame outcome, not escape as bad_alloc and terminate.
+  try {
+    frame->payload.resize(header.payload_bytes);  // Capacity is reused.
+  } catch (const std::bad_alloc&) {
+    return Status(StatusCode::kResourceExhausted,
+                  "shard frame: cannot allocate " +
+                      std::to_string(header.payload_bytes) +
+                      "-byte payload");
+  }
+  if (header.payload_bytes > 0) {
+    s = ReadFull(fd, frame->payload.data(), header.payload_bytes);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
+                 bool* in_sync) {
+  Status s = RecvFrame(fd, frame);
+  if (!s.ok()) {
+    *in_sync = false;
+    return s;
+  }
+  if (frame->type == ShardMessageType::kError) {
+    bool decode_ok = false;
+    Status err = DecodeShardError(frame->payload.data(),
+                                  frame->payload.size(), &decode_ok);
+    *in_sync = decode_ok;
+    return err;
+  }
+  if (frame->type != expected) {
+    *in_sync = false;
+    return Status::Internal("shard replied with unexpected frame type");
+  }
+  *in_sync = true;
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeShardConfig(const ShardConfig& sc) {
+  const GraphZeppelinConfig& c = sc.config;
+  ByteWriter w;
+  w.U64(c.num_nodes);
+  w.U64(c.seed);
+  w.I32(c.cols);
+  w.I32(c.rounds);
+  w.I32(c.num_workers);
+  w.U8(static_cast<uint8_t>(c.buffering));
+  w.U8(static_cast<uint8_t>(c.storage));
+  w.F64(c.gutter_fraction);
+  w.U64(c.nodes_per_gutter_group);
+  w.U64(c.gutter_tree_buffer_bytes);
+  w.U64(c.gutter_tree_fanout);
+  w.I32(c.query_threads);
+  w.Str(c.disk_dir);
+  w.Str(c.instance_tag);
+  w.Str(sc.restore_checkpoint);
+  return w.Take();
+}
+
+Status DecodeShardConfig(const uint8_t* data, size_t size,
+                         ShardConfig* out) {
+  ByteReader r(data, size);
+  GraphZeppelinConfig& c = out->config;
+  uint8_t buffering = 0, storage = 0;
+  const bool ok =
+      r.U64(&c.num_nodes) && r.U64(&c.seed) && r.I32(&c.cols) &&
+      r.I32(&c.rounds) && r.I32(&c.num_workers) && r.U8(&buffering) &&
+      r.U8(&storage) && r.F64(&c.gutter_fraction) &&
+      r.U64(&c.nodes_per_gutter_group) &&
+      r.U64(&c.gutter_tree_buffer_bytes) && r.U64(&c.gutter_tree_fanout) &&
+      r.I32(&c.query_threads) && r.Str(&c.disk_dir) &&
+      r.Str(&c.instance_tag) && r.Str(&out->restore_checkpoint) && r.Done();
+  if (!ok) return Status::InvalidArgument("malformed shard config payload");
+  // Full range validation: every field a GraphZeppelin GZ_CHECK (or a
+  // sketch constructor, or an absurd allocation) would abort on must
+  // bounce here instead — the payload came off a socket, and a bad
+  // config must never take the worker process down. Geometry caps
+  // mirror the snapshot header's; the fanout/buffer caps are checked
+  // before the derived product so nothing overflows.
+  if (buffering > 1 || storage > 1 || c.num_nodes < 2 ||
+      c.num_nodes > (1ULL << 32) || c.num_workers < 1 ||
+      c.num_workers > 4096 || c.cols < 1 || c.cols > 1024 ||
+      c.rounds < 0 || c.rounds > 4096 ||
+      !std::isfinite(c.gutter_fraction) || !(c.gutter_fraction > 0.0) ||
+      c.gutter_fraction > 1024.0 || c.nodes_per_gutter_group < 1 ||
+      c.gutter_tree_fanout < 2 || c.gutter_tree_fanout > (1ULL << 20) ||
+      c.gutter_tree_buffer_bytes > (1ULL << 31) ||
+      c.gutter_tree_buffer_bytes < 12 * c.gutter_tree_fanout ||
+      c.query_threads < 0) {
+    return Status::InvalidArgument("shard config payload out of range");
+  }
+  c.buffering = static_cast<GraphZeppelinConfig::Buffering>(buffering);
+  c.storage = static_cast<GraphZeppelinConfig::Storage>(storage);
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeShardAck(const ShardAck& ack) {
+  ByteWriter w;
+  w.U64(ack.value0);
+  w.U64(ack.value1);
+  return w.Take();
+}
+
+Status DecodeShardAck(const uint8_t* data, size_t size, ShardAck* out) {
+  ByteReader r(data, size);
+  if (!r.U64(&out->value0) || !r.U64(&out->value1) || !r.Done()) {
+    return Status::InvalidArgument("malformed shard ack payload");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeShardError(const Status& status) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+Status DecodeShardError(const uint8_t* data, size_t size, bool* decode_ok) {
+  ByteReader r(data, size);
+  uint32_t code = 0;
+  std::string message;
+  if (!r.U32(&code) || !r.Str(&message) || !r.Done() ||
+      code > static_cast<uint32_t>(StatusCode::kResourceExhausted) ||
+      code == static_cast<uint32_t>(StatusCode::kOk)) {
+    *decode_ok = false;
+    return Status::InvalidArgument("malformed shard error payload");
+  }
+  *decode_ok = true;
+  return Status(static_cast<StatusCode>(code), "shard: " + message);
+}
+
+int RouteToShard(const Edge& e, uint64_t num_nodes, int num_shards) {
+  const uint64_t idx = EdgeToIndex(e, num_nodes);
+  return static_cast<int>(XxHash64Word(idx, 0x7368617264ULL) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+}  // namespace gz

@@ -1,0 +1,145 @@
+// Wire protocol between the ShardCluster coordinator and gz_shard
+// worker processes: length-prefixed binary frames over a local stream
+// socket (socketpair today; the layout is transport-agnostic).
+//
+// Frame = 16-byte header (magic, version, message type, payload bytes)
+// followed by the payload. Updates travel as flat GraphUpdate slabs —
+// the exact in-memory layout the PR 1 pooled-batch pipeline routes, so
+// the coordinator frames a routing buffer with scatter-gather I/O and
+// never copies it — and snapshots travel as GraphSnapshot::Serialize
+// bytes, the same self-describing format checkpoint files use.
+//
+// Everything here returns Status: a malformed, truncated or
+// version-mismatched frame is an error on whichever side read it, never
+// a crash. Once a header fails validation the byte stream has lost
+// framing, so the connection is considered dead.
+#ifndef GZ_DISTRIBUTED_SHARD_PROTOCOL_H_
+#define GZ_DISTRIBUTED_SHARD_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph_zeppelin.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+// GraphUpdate slabs cross the process boundary as raw bytes; pin the
+// layout the two sides must agree on.
+static_assert(sizeof(GraphUpdate) == 12, "wire layout of GraphUpdate");
+
+enum class ShardMessageType : uint16_t {
+  // Coordinator -> shard.
+  kConfig = 1,       // Config payload; shard Init()s (+ checkpoint restore).
+  kUpdateBatch = 2,  // Flat GraphUpdate slab. Fire-and-forget (no reply).
+  kFlush = 3,        // Drain gutters + workers.
+  kSnapshot = 4,     // Reply: kSnapshotBytes.
+  kCheckpoint = 5,   // Payload: file path. Shard saves a checkpoint.
+  kStats = 6,        // Reply: kAck{num_updates, ram_bytes}.
+  kPing = 7,         // Health probe.
+  kShutdown = 8,     // Orderly exit; shard acks, then terminates.
+  // Shard -> coordinator.
+  kAck = 9,            // Two u64 values; meaning depends on the request.
+  kSnapshotBytes = 10,  // GraphSnapshot::Serialize payload.
+  kError = 11,          // u32 StatusCode + message string.
+};
+
+struct ShardFrameHeader {
+  static constexpr uint32_t kMagic = 0x50535A47;  // "GZSP" little-endian.
+  static constexpr uint16_t kVersion = 1;
+  static constexpr size_t kBytes = 16;
+  // Caps a garbage length field. Sized for legitimate big snapshots,
+  // so it does not alone bound allocations — RecvFrame additionally
+  // converts an allocation failure into a Status instead of letting
+  // bad_alloc terminate the process.
+  static constexpr uint64_t kMaxPayloadBytes = 1ULL << 33;
+
+  ShardMessageType type = ShardMessageType::kPing;
+  uint64_t payload_bytes = 0;
+};
+
+// A received frame; `payload` is reused across RecvFrame calls.
+struct ShardFrame {
+  ShardMessageType type = ShardMessageType::kPing;
+  std::vector<uint8_t> payload;
+};
+
+// ---- Frame I/O ------------------------------------------------------------
+// All calls handle partial reads/writes and EINTR; writes suppress
+// SIGPIPE (a dead peer surfaces as an IoError, not a signal).
+
+// Sends one frame: header + optional payload.
+Status SendFrame(int fd, ShardMessageType type, const void* payload,
+                 size_t payload_bytes);
+
+// Scatter-gather send: header + two payload spans in one sendmsg, so a
+// routing buffer is framed without being copied (span b may be empty).
+Status SendFrame2(int fd, ShardMessageType type, const void* a,
+                  size_t a_bytes, const void* b, size_t b_bytes);
+
+// Sends just the header; the caller streams `payload_bytes` of payload
+// afterwards with WriteFull (how a shard streams a snapshot reply).
+Status SendFrameHeader(int fd, ShardMessageType type, uint64_t payload_bytes);
+
+// Receives one frame into `frame` (payload buffer reused). Fails with
+// InvalidArgument on bad magic / version / type / oversized length, and
+// IoError on EOF or a truncated payload.
+Status RecvFrame(int fd, ShardFrame* frame);
+
+// Receives one *reply* frame and classifies it — the one reply-handling
+// policy every coordinator-side call site shares. Returns Ok when the
+// reply is a well-formed `expected` frame. A well-formed kError reply
+// returns the shard's decoded Status with *in_sync = true: the request
+// failed but the 1:1 request/reply stream is intact, so the connection
+// stays usable. Transport failures, framing errors, malformed error
+// payloads and unexpected frame types return with *in_sync = false:
+// the connection can no longer be trusted.
+Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
+                 bool* in_sync);
+
+// Raw full-buffer I/O on the socket (EINTR-safe, SIGPIPE-suppressed).
+Status WriteFull(int fd, const void* data, size_t size);
+Status ReadFull(int fd, void* data, size_t size);
+
+// ---- Payload codecs -------------------------------------------------------
+
+// kConfig payload: the shard's GraphZeppelinConfig plus an optional
+// checkpoint path to restore from before serving.
+struct ShardConfig {
+  GraphZeppelinConfig config;
+  std::string restore_checkpoint;  // Empty = fresh start.
+};
+
+std::vector<uint8_t> EncodeShardConfig(const ShardConfig& config);
+// Tolerates no trailing garbage; InvalidArgument on any truncation.
+Status DecodeShardConfig(const uint8_t* data, size_t size, ShardConfig* out);
+
+// kAck payload: two u64s (request-specific meaning).
+struct ShardAck {
+  uint64_t value0 = 0;
+  uint64_t value1 = 0;
+};
+std::vector<uint8_t> EncodeShardAck(const ShardAck& ack);
+Status DecodeShardAck(const uint8_t* data, size_t size, ShardAck* out);
+
+// kError payload: StatusCode + message, so a shard-side Status crosses
+// the socket losslessly.
+std::vector<uint8_t> EncodeShardError(const Status& status);
+// Returns the *decoded* status (the shard's error); `decode_ok` reports
+// whether the payload itself was well-formed.
+Status DecodeShardError(const uint8_t* data, size_t size, bool* decode_ok);
+
+// ---- Routing --------------------------------------------------------------
+
+// The shard an update belongs to: deterministic by edge, shared by the
+// in-process and process-backed coordinators (and any external stream
+// partitioner), so the two modes produce bitwise-identical shard
+// streams.
+int RouteToShard(const Edge& e, uint64_t num_nodes, int num_shards);
+
+}  // namespace gz
+
+#endif  // GZ_DISTRIBUTED_SHARD_PROTOCOL_H_

@@ -1,0 +1,203 @@
+#include "distributed/shard_server.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "core/graph_snapshot.h"
+
+namespace gz {
+
+Status ShardServer::ReplyAck(uint64_t value0, uint64_t value1) {
+  ShardAck ack;
+  ack.value0 = value0;
+  ack.value1 = value1;
+  const std::vector<uint8_t> payload = EncodeShardAck(ack);
+  return SendFrame(fd_, ShardMessageType::kAck, payload.data(),
+                   payload.size());
+}
+
+Status ShardServer::ReplyError(const Status& error) {
+  const std::vector<uint8_t> payload = EncodeShardError(error);
+  return SendFrame(fd_, ShardMessageType::kError, payload.data(),
+                   payload.size());
+}
+
+Status ShardServer::HandleConfig(const ShardFrame& frame) {
+  if (gz_ != nullptr) {
+    return ReplyError(Status::FailedPrecondition("shard already configured"));
+  }
+  ShardConfig sc;
+  Status s = DecodeShardConfig(frame.payload.data(), frame.payload.size(),
+                               &sc);
+  if (!s.ok()) return ReplyError(s);
+  auto gz = std::make_unique<GraphZeppelin>(sc.config);
+  s = gz->Init();
+  if (!s.ok()) return ReplyError(s);
+  if (!sc.restore_checkpoint.empty()) {
+    s = gz->LoadCheckpoint(sc.restore_checkpoint);
+    if (!s.ok()) return ReplyError(s);
+  }
+  gz_ = std::move(gz);
+  return ReplyAck(gz_->num_updates_ingested());
+}
+
+Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
+  // UPDATE_BATCH is fire-and-forget, so a bad batch must NOT send an
+  // unsolicited error reply — the coordinator would read it as the
+  // reply to its next request and every reply after would be off by
+  // one. Instead the batch is dropped, logged, and the error deferred
+  // to the next barrier reply (see Serve()).
+  auto defer = [this](Status error) {
+    std::fprintf(stderr, "gz_shard: dropped update batch: %s\n",
+                 error.ToString().c_str());
+    if (async_error_.ok()) async_error_ = std::move(error);
+    return Status::Ok();
+  };
+  if (frame.payload.size() % sizeof(GraphUpdate) != 0) {
+    return defer(Status::InvalidArgument(
+        "update batch payload is not a whole number of updates"));
+  }
+  const size_t count = frame.payload.size() / sizeof(GraphUpdate);
+  const GraphUpdate* updates =
+      reinterpret_cast<const GraphUpdate*>(frame.payload.data());
+  // Validate before ingesting: GraphZeppelin treats a malformed update
+  // as a programmer error (GZ_CHECK), but here the bytes came off a
+  // socket and must bounce, not abort.
+  const uint64_t n = gz_->config().num_nodes;
+  for (size_t i = 0; i < count; ++i) {
+    const GraphUpdate& u = updates[i];
+    if (!(u.edge.u < u.edge.v && u.edge.v < n) ||
+        (u.type != UpdateType::kInsert && u.type != UpdateType::kDelete)) {
+      return defer(Status::InvalidArgument(
+          "update batch contains an out-of-range update"));
+    }
+  }
+  gz_->Update(updates, count);
+  return Status::Ok();
+}
+
+Status ShardServer::HandleSnapshot() {
+  // Stream the reply: frame length is known from the params alone, then
+  // records flow store -> scratch sketch -> socket one at a time, so
+  // even an out-of-core shard never materializes its snapshot.
+  const uint64_t bytes =
+      GraphSnapshot::SerializedSizeFor(gz_->sketch_params());
+  Status s = SendFrameHeader(fd_, ShardMessageType::kSnapshotBytes, bytes);
+  if (!s.ok()) return s;
+  return gz_->WriteSnapshotTo([this](const void* data, size_t size) {
+    return WriteFull(fd_, data, size);
+  });
+}
+
+Status ShardServer::HandleCheckpoint(const ShardFrame& frame) {
+  const std::string path(
+      reinterpret_cast<const char*>(frame.payload.data()),
+      frame.payload.size());
+  if (path.empty()) {
+    return ReplyError(Status::InvalidArgument("empty checkpoint path"));
+  }
+  // Write-then-rename: a crash mid-save (this system's whole fault
+  // model) must never destroy the previous good checkpoint, which the
+  // in-place truncation of a direct save would.
+  const std::string tmp = path + ".tmp";
+  Status s = gz_->SaveCheckpoint(tmp);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return ReplyError(s);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return ReplyError(
+        Status::IoError("cannot publish checkpoint: " + path));
+  }
+  return ReplyAck(gz_->num_updates_ingested());
+}
+
+Status ShardServer::Serve() {
+  ShardFrame frame;
+  while (true) {
+    Status s = RecvFrame(fd_, &frame);
+    if (!s.ok()) {
+      // Framing is gone (bad header) or the coordinator hung up.
+      // Best-effort error reply, then stop; the reply can only reach a
+      // peer that still shares framing, but costs nothing to try.
+      if (s.code() == StatusCode::kInvalidArgument) ReplyError(s);
+      return s;
+    }
+    // Every request except the config itself needs a configured shard.
+    if (gz_ == nullptr && frame.type != ShardMessageType::kConfig &&
+        frame.type != ShardMessageType::kPing &&
+        frame.type != ShardMessageType::kShutdown) {
+      // Fire-and-forget requests must not draw an unsolicited reply
+      // even here — defer, like every other UPDATE_BATCH problem.
+      if (frame.type == ShardMessageType::kUpdateBatch) {
+        std::fprintf(stderr,
+                     "gz_shard: dropped update batch: shard not "
+                     "configured\n");
+        if (async_error_.ok()) {
+          async_error_ =
+              Status::FailedPrecondition("shard not configured");
+        }
+        continue;
+      }
+      s = ReplyError(Status::FailedPrecondition("shard not configured"));
+      if (!s.ok()) return s;
+      continue;
+    }
+    // A deferred UPDATE_BATCH failure surfaces as the reply to every
+    // barrier from here on: a dropped batch means this shard's state
+    // has PERMANENTLY diverged from the stream, and the only repair is
+    // a restart + replay. The error is sticky on purpose — if one
+    // barrier consumed it, a retried CHECKPOINT would succeed, the
+    // coordinator would truncate its unacked log (the only copy of the
+    // dropped updates), and the divergence would become silently
+    // unrecoverable.
+    if (!async_error_.ok() &&
+        (frame.type == ShardMessageType::kFlush ||
+         frame.type == ShardMessageType::kSnapshot ||
+         frame.type == ShardMessageType::kCheckpoint ||
+         frame.type == ShardMessageType::kStats)) {
+      s = ReplyError(async_error_);
+      if (!s.ok()) return s;
+      continue;
+    }
+    switch (frame.type) {
+      case ShardMessageType::kConfig:
+        s = HandleConfig(frame);
+        break;
+      case ShardMessageType::kUpdateBatch:
+        s = HandleUpdateBatch(frame);
+        break;
+      case ShardMessageType::kFlush:
+        gz_->Flush();
+        s = ReplyAck(gz_->num_updates_ingested());
+        break;
+      case ShardMessageType::kSnapshot:
+        s = HandleSnapshot();
+        break;
+      case ShardMessageType::kCheckpoint:
+        s = HandleCheckpoint(frame);
+        break;
+      case ShardMessageType::kStats:
+        s = ReplyAck(gz_->num_updates_ingested(), gz_->RamByteSize());
+        break;
+      case ShardMessageType::kPing:
+        s = ReplyAck(0);
+        break;
+      case ShardMessageType::kShutdown:
+        // Ack first so the coordinator can reap without racing the exit.
+        ReplyAck(gz_ != nullptr ? gz_->num_updates_ingested() : 0);
+        return Status::Ok();
+      default:
+        // Reply frames are never valid requests.
+        s = ReplyError(Status::InvalidArgument(
+            "unexpected reply-type frame on the request stream"));
+        break;
+    }
+    if (!s.ok()) return s;  // Reply write failed: connection dead.
+  }
+}
+
+}  // namespace gz

@@ -1,0 +1,53 @@
+// Shard-side runtime: owns one GraphZeppelin instance and serves the
+// shard protocol over a stream socket until kShutdown or a fatal
+// framing error. The gz_shard tool is a thin main() around this class;
+// keeping the loop in the library lets conformance tests drive it over
+// an in-process socketpair, no fork required.
+#ifndef GZ_DISTRIBUTED_SHARD_SERVER_H_
+#define GZ_DISTRIBUTED_SHARD_SERVER_H_
+
+#include <memory>
+
+#include "core/graph_zeppelin.h"
+#include "distributed/shard_protocol.h"
+#include "util/status.h"
+
+namespace gz {
+
+class ShardServer {
+ public:
+  // `fd` is the connected coordinator socket; not owned.
+  explicit ShardServer(int fd) : fd_(fd) {}
+
+  // Serves frames until an orderly kShutdown (returns Ok) or the
+  // connection dies / loses framing (returns the error). Recoverable
+  // request problems — an out-of-range update, a checkpoint path that
+  // cannot be written, a request before kConfig — are answered with a
+  // kError frame and the loop continues: a bad request must never take
+  // the shard down.
+  Status Serve();
+
+ private:
+  // Handlers reply on fd_ and return false only when the connection is
+  // no longer usable.
+  Status HandleConfig(const ShardFrame& frame);
+  Status HandleUpdateBatch(const ShardFrame& frame);
+  Status HandleSnapshot();
+  Status HandleCheckpoint(const ShardFrame& frame);
+
+  Status ReplyAck(uint64_t value0, uint64_t value1 = 0);
+  Status ReplyError(const Status& error);
+
+  int fd_;
+  std::unique_ptr<GraphZeppelin> gz_;
+  // A problem in a fire-and-forget UPDATE_BATCH cannot be answered
+  // inline — an unsolicited reply would desynchronize the 1:1
+  // request/reply stream — so it is recorded here and surfaces as the
+  // kError reply to every later barrier. Sticky: a dropped batch is
+  // permanent divergence, curable only by restart + replay.
+  Status async_error_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_DISTRIBUTED_SHARD_SERVER_H_

@@ -1,25 +1,38 @@
 #include "distributed/sharded_graph_zeppelin.h"
 
 #include "core/connectivity.h"
+#include "distributed/shard_protocol.h"
 #include "util/check.h"
-#include "util/xxhash.h"
 
 namespace gz {
+namespace {
+
+// Single updates accumulate up to this many before one frame leaves
+// (mirrors GraphZeppelin's API-boundary span).
+constexpr size_t kPendingSpanUpdates = 1024;
+
+}  // namespace
 
 ShardedGraphZeppelin::ShardedGraphZeppelin(const GraphZeppelinConfig& base,
-                                           int num_shards)
-    : base_(base) {
+                                           int num_shards, Mode mode)
+    : base_(base), mode_(mode), num_shards_(num_shards) {
   GZ_CHECK(num_shards >= 1);
-  shards_.reserve(num_shards);
-  for (int s = 0; s < num_shards; ++s) {
-    GraphZeppelinConfig shard_config = base;
-    shard_config.instance_tag = "shard" + std::to_string(s);
-    shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
+  if (mode_ == Mode::kInProcess) {
+    shards_.reserve(num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      GraphZeppelinConfig shard_config = base;
+      shard_config.instance_tag = "shard" + std::to_string(s);
+      shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
+    }
+    route_bufs_.resize(num_shards);
+  } else {
+    cluster_ = std::make_unique<ShardCluster>(base, num_shards);
+    pending_.reserve(kPendingSpanUpdates);
   }
-  route_bufs_.resize(num_shards);
 }
 
 Status ShardedGraphZeppelin::Init() {
+  if (mode_ == Mode::kProcess) return cluster_->Start();
   for (auto& shard : shards_) {
     Status s = shard->Init();
     if (!s.ok()) return s;
@@ -28,16 +41,30 @@ Status ShardedGraphZeppelin::Init() {
 }
 
 int ShardedGraphZeppelin::ShardFor(const Edge& e) const {
-  const uint64_t idx = EdgeToIndex(e, base_.num_nodes);
-  return static_cast<int>(XxHash64Word(idx, 0x7368617264ULL) %
-                          shards_.size());
+  return RouteToShard(e, base_.num_nodes, num_shards_);
+}
+
+void ShardedGraphZeppelin::DrainPending() {
+  if (pending_.empty()) return;
+  GZ_CHECK_OK(cluster_->Update(pending_.data(), pending_.size()));
+  pending_.clear();  // Keeps capacity.
 }
 
 void ShardedGraphZeppelin::Update(const GraphUpdate& update) {
+  if (mode_ == Mode::kProcess) {
+    pending_.push_back(update);
+    if (pending_.size() >= kPendingSpanUpdates) DrainPending();
+    return;
+  }
   shards_[ShardFor(update.edge)]->Update(update);
 }
 
 void ShardedGraphZeppelin::Update(const GraphUpdate* updates, size_t count) {
+  if (mode_ == Mode::kProcess) {
+    DrainPending();  // Preserve stream order with singly fed updates.
+    GZ_CHECK_OK(cluster_->Update(updates, count));
+    return;
+  }
   for (size_t i = 0; i < count; ++i) {
     route_bufs_[ShardFor(updates[i].edge)].push_back(updates[i]);
   }
@@ -50,10 +77,21 @@ void ShardedGraphZeppelin::Update(const GraphUpdate* updates, size_t count) {
 }
 
 void ShardedGraphZeppelin::Flush() {
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    GZ_CHECK_OK(cluster_->Flush());
+    return;
+  }
   for (auto& shard : shards_) shard->Flush();
 }
 
 GraphSnapshot ShardedGraphZeppelin::Snapshot() {
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    Result<GraphSnapshot> r = cluster_->Snapshot();
+    GZ_CHECK_MSG(r.ok(), r.status().message().c_str());
+    return std::move(r).value();
+  }
   // All shards share hash seeds, so the node-wise XOR of their
   // snapshots is the sketch of the whole graph. Shards past the first
   // are folded in place, one scratch sketch at a time.
@@ -68,7 +106,27 @@ ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
   return Connectivity(Snapshot(), base_.query_threads);
 }
 
-size_t ShardedGraphZeppelin::RamByteSize() const {
+uint64_t ShardedGraphZeppelin::updates_in_shard(int shard) {
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    Result<ShardStats> r = cluster_->Stats(shard);
+    GZ_CHECK_MSG(r.ok(), r.status().message().c_str());
+    return r.value().num_updates;
+  }
+  return shards_[shard]->num_updates_ingested();
+}
+
+size_t ShardedGraphZeppelin::RamByteSize() {
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    size_t total = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      Result<ShardStats> r = cluster_->Stats(s);
+      GZ_CHECK_MSG(r.ok(), r.status().message().c_str());
+      total += r.value().ram_bytes;
+    }
+    return total;
+  }
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->RamByteSize();
   return total;

@@ -8,8 +8,16 @@
 // so no coordination is needed during ingestion. Because sketches are
 // linear, the true node sketch is the XOR of the per-shard node
 // sketches, and a query merges shard snapshots node-wise before running
-// Boruvka — exactly the aggregation a distributed deployment would do
-// at a coordinator.
+// Boruvka — exactly the aggregation a distributed deployment does at a
+// coordinator.
+//
+// Two execution modes behind one API:
+//   kInProcess — every shard is an in-process instance (the original
+//     mode): zero transport cost, useful as the ground truth.
+//   kProcess — every shard is a real OS process (gz_shard) fed over a
+//     socket by a ShardCluster; queries aggregate serialized
+//     GraphSnapshot bytes. The routing hash and merge algebra are
+//     shared, so both modes produce bitwise-identical snapshots.
 #ifndef GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_
 #define GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_
 
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "core/graph_zeppelin.h"
+#include "distributed/shard_cluster.h"
 #include "stream/stream_types.h"
 #include "util/status.h"
 
@@ -24,51 +33,76 @@ namespace gz {
 
 class ShardedGraphZeppelin {
  public:
+  enum class Mode {
+    kInProcess,  // Shards are in-process GraphZeppelin instances.
+    kProcess,    // Shards are gz_shard worker processes.
+  };
+
   // `base` configures every shard (same num_nodes and sketch seed;
   // backing files get per-shard tags automatically).
-  ShardedGraphZeppelin(const GraphZeppelinConfig& base, int num_shards);
+  ShardedGraphZeppelin(const GraphZeppelinConfig& base, int num_shards,
+                       Mode mode = Mode::kInProcess);
 
   Status Init();
 
-  // Routes the update to its shard (deterministic by edge).
+  // Routes the update to its shard (deterministic by edge). In process
+  // mode single updates batch at this API boundary — one socket frame
+  // per span, not per update — and drain before any barrier.
   void Update(const GraphUpdate& update);
 
   // Bulk ingestion: partitions the span by shard, then hands each shard
-  // its updates through the flat batch pipeline. This is what a stream
+  // its updates through the flat batch pipeline (in-process) or as one
+  // UPDATE_BATCH frame per shard (process mode). This is what a stream
   // partitioner in front of real machines would do per network buffer.
   void Update(const GraphUpdate* updates, size_t count);
 
   // Shard an update would go to; exposed for tests and for external
   // routers (e.g. a stream partitioner in front of real machines).
+  // Identical across modes.
   int ShardFor(const Edge& e) const;
 
   // Flushes every shard's buffers and waits for their workers.
   void Flush();
 
   // Coordinator aggregation: captures shard 0's snapshot, then folds
-  // every other shard in node-by-node (GraphZeppelin::MergeSnapshotInto)
-  // — peak memory is one snapshot plus one scratch sketch, never a
-  // second per-shard snapshot. Linearity makes the result exactly the
-  // whole graph's snapshot; the extended algorithms consume it
-  // directly, and its serialized bytes are what a multi-process
-  // deployment would ship to the coordinator.
+  // every other shard in node-by-node — in-process via
+  // GraphZeppelin::MergeSnapshotInto, in process mode via serialized
+  // snapshot frames and GraphSnapshot::MergeSerialized. Linearity makes
+  // the result exactly the whole graph's snapshot either way.
   GraphSnapshot Snapshot();
 
   // Aggregates the shard snapshots and runs Boruvka.
   ConnectivityResult ListSpanningForest();
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  uint64_t updates_in_shard(int shard) const {
-    return shards_[shard]->num_updates_ingested();
-  }
-  size_t RamByteSize() const;
+  Mode mode() const { return mode_; }
+  int num_shards() const { return num_shards_; }
+  // Stream position of one shard (an RPC in process mode; drains the
+  // pending single-update span first, hence non-const).
+  uint64_t updates_in_shard(int shard);
+  size_t RamByteSize();
+
+  // The process-mode cluster, for lifecycle operations the thin facade
+  // does not wrap (checkpoints, fault injection, restart). Null in
+  // in-process mode.
+  ShardCluster* cluster() { return cluster_.get(); }
 
  private:
+  void DrainPending();
+
   GraphZeppelinConfig base_;
+  Mode mode_;
+  int num_shards_;
+  // In-process mode state.
   std::vector<std::unique_ptr<GraphZeppelin>> shards_;
   // Per-shard routing buffers for the bulk path (capacity persists
   // across calls, so steady-state routing does not allocate).
   std::vector<std::vector<GraphUpdate>> route_bufs_;
+  // Process mode state.
+  std::unique_ptr<ShardCluster> cluster_;
+  // Single updates batched at the API boundary before a bulk hand-off
+  // to the cluster (process mode only; in-process shards have their own
+  // span buffering).
+  std::vector<GraphUpdate> pending_;
 };
 
 }  // namespace gz

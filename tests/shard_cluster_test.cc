@@ -1,0 +1,327 @@
+// Multi-process sharded ingestion: real gz_shard worker processes fed
+// over sockets, queried via serialized-snapshot aggregation, with fault
+// injection (SIGKILL mid-stream, restart from checkpoint, replay) that
+// must be invisible in the final result.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/graph_zeppelin.h"
+#include "distributed/shard_cluster.h"
+#include "stream/erdos_renyi_generator.h"
+#include "util/status.h"
+
+namespace gz {
+namespace {
+
+GraphZeppelinConfig BaseConfig(uint64_t n, uint64_t seed) {
+  GraphZeppelinConfig c;
+  c.num_nodes = n;
+  c.seed = seed;
+  c.num_workers = 1;
+  c.disk_dir = ::testing::TempDir();
+  return c;
+}
+
+// A long toggle stream over a fixed edge set: `reps` passes of inserts.
+// Sketch updates are XOR toggles, so an odd rep count leaves exactly
+// the base graph; this scales update volume without changing the
+// answer.
+std::vector<GraphUpdate> ToggleStream(const EdgeList& edges, int reps) {
+  std::vector<GraphUpdate> updates;
+  updates.reserve(edges.size() * reps);
+  for (int r = 0; r < reps; ++r) {
+    for (const Edge& e : edges) {
+      updates.push_back({e, UpdateType::kInsert});
+    }
+  }
+  return updates;
+}
+
+// Ground truth: one in-process GraphZeppelin ingesting the same stream.
+GraphSnapshot SingleProcessSnapshot(const GraphZeppelinConfig& base,
+                                    const std::vector<GraphUpdate>& updates) {
+  GraphZeppelin single(base);
+  GZ_CHECK_OK(single.Init());
+  single.Update(updates.data(), updates.size());
+  return single.Snapshot();
+}
+
+TEST(ShardClusterTest, MillionUpdatesAcrossThreeProcessesMatchBitwise) {
+  // Acceptance bar: >= 1M updates across >= 3 shard processes, queried
+  // via serialized-snapshot aggregation, bitwise-identical to one
+  // in-process instance ingesting the identical stream.
+  const uint64_t n = 512;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.02;
+  ep.seed = 11;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  ASSERT_GT(edges.size(), 1000u);
+  const int reps =
+      static_cast<int>(1'000'000 / edges.size()) | 1;  // Odd: graph stays.
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, reps);
+  ASSERT_GE(updates.size(), 1'000'000u);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 77);
+  ShardCluster cluster(base, 3);
+  ASSERT_TRUE(cluster.Start().ok());
+  // Feed in bursts, as a stream driver would.
+  const size_t burst = 100'000;
+  for (size_t off = 0; off < updates.size(); off += burst) {
+    const size_t count = std::min(burst, updates.size() - off);
+    ASSERT_TRUE(cluster.Update(updates.data() + off, count).ok());
+  }
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+
+  const GraphSnapshot expect = SingleProcessSnapshot(base, updates);
+  EXPECT_TRUE(folded.value() == expect);
+
+  const ConnectivityResult got = Connectivity(std::move(folded).value());
+  const ConnectivityResult want = Connectivity(expect);
+  ASSERT_FALSE(got.failed);
+  EXPECT_EQ(got.num_components, want.num_components);
+  EXPECT_EQ(got.component_of, want.component_of);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, KillRestartFromCheckpointReplaysToBitwiseIdentical) {
+  // The fault-injection drill: SIGKILL a shard mid-stream, restart it
+  // from its last checkpoint, replay the coordinator's unacked batches,
+  // and the final connectivity result must be bitwise-identical to a
+  // run that never crashed.
+  const uint64_t n = 128;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.05;
+  ep.seed = 21;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 5);
+  const size_t third = updates.size() / 3;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 91);
+  ShardCluster cluster(base, 3);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Phase 1: first third, then checkpoint every shard.
+  ASSERT_TRUE(cluster.Update(updates.data(), third).ok());
+  ASSERT_TRUE(cluster.Checkpoint().ok());
+  EXPECT_EQ(cluster.unacked_updates(1), 0u);
+
+  // Phase 2: second third, then murder shard 1 mid-stream.
+  ASSERT_TRUE(cluster.Update(updates.data() + third, third).ok());
+  cluster.KillShard(1);
+  std::vector<bool> alive = cluster.HealthCheck();
+  EXPECT_TRUE(alive[0]);
+  EXPECT_FALSE(alive[1]);
+  EXPECT_TRUE(alive[2]);
+
+  // Phase 3: ingestion continues while shard 1 is down — its slice
+  // buffers in the coordinator's unacked log. Barriers refuse until the
+  // shard is restored.
+  ASSERT_TRUE(
+      cluster.Update(updates.data() + 2 * third, updates.size() - 2 * third)
+          .ok());
+  EXPECT_GT(cluster.unacked_updates(1), 0u);
+  EXPECT_EQ(cluster.Flush().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(cluster.Snapshot().ok());
+
+  // Restart: restore the checkpoint, replay everything since.
+  ASSERT_TRUE(cluster.RestartShard(1).ok());
+  alive = cluster.HealthCheck();
+  EXPECT_TRUE(alive[1]);
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+
+  const GraphSnapshot expect = SingleProcessSnapshot(base, updates);
+  EXPECT_TRUE(folded.value() == expect);
+  const ConnectivityResult got = Connectivity(std::move(folded).value());
+  const ConnectivityResult want = Connectivity(expect);
+  ASSERT_FALSE(got.failed);
+  ASSERT_FALSE(want.failed);
+  EXPECT_EQ(got.num_components, want.num_components);
+  EXPECT_EQ(got.component_of, want.component_of);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, KillBeforeAnyCheckpointReplaysFromScratch) {
+  // No checkpoint yet: the unacked log covers the whole stream, so a
+  // restart rebuilds the shard from zero.
+  const uint64_t n = 64;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.08;
+  ep.seed = 31;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 1);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 17);
+  ShardCluster cluster(base, 3);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size() / 2).ok());
+  cluster.KillShard(2);
+  ASSERT_TRUE(cluster
+                  .Update(updates.data() + updates.size() / 2,
+                          updates.size() - updates.size() / 2)
+                  .ok());
+  ASSERT_TRUE(cluster.RestartShard(2).ok());
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  const GraphSnapshot expect = SingleProcessSnapshot(base, updates);
+  EXPECT_TRUE(folded.value() == expect);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, RepeatedKillsOfDifferentShards) {
+  // Every shard dies at least once; checkpoints interleave with kills.
+  const uint64_t n = 96;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.06;
+  ep.seed = 41;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+  const size_t chunk = updates.size() / 4;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 53);
+  ShardCluster cluster(base, 3);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ASSERT_TRUE(cluster.Update(updates.data(), chunk).ok());
+  cluster.KillShard(0);
+  ASSERT_TRUE(cluster.RestartShard(0).ok());
+
+  ASSERT_TRUE(cluster.Update(updates.data() + chunk, chunk).ok());
+  ASSERT_TRUE(cluster.Checkpoint().ok());
+  cluster.KillShard(1);
+  ASSERT_TRUE(cluster.Update(updates.data() + 2 * chunk, chunk).ok());
+  ASSERT_TRUE(cluster.RestartShard(1).ok());
+
+  cluster.KillShard(2);
+  ASSERT_TRUE(cluster
+                  .Update(updates.data() + 3 * chunk,
+                          updates.size() - 3 * chunk)
+                  .ok());
+  ASSERT_TRUE(cluster.RestartShard(2).ok());
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  const GraphSnapshot expect = SingleProcessSnapshot(base, updates);
+  EXPECT_TRUE(folded.value() == expect);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, AutoCheckpointBoundsTheUnackedLogs) {
+  // With a checkpoint interval set, ingestion alone must truncate the
+  // durability logs — coordinator memory is bounded by the interval,
+  // not the stream length.
+  const uint64_t n = 64;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.1;
+  ep.seed = 61;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 9);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 23);
+  ShardClusterOptions options;
+  options.checkpoint_interval_updates = 256;
+  ShardCluster cluster(base, 3, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  for (size_t off = 0; off < updates.size(); off += 100) {
+    const size_t count = std::min<size_t>(100, updates.size() - off);
+    ASSERT_TRUE(cluster.Update(updates.data() + off, count).ok());
+  }
+  // Every log was truncated along the way, never explicitly.
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_LT(cluster.unacked_updates(s), updates.size() / 2);
+  }
+  // Auto-checkpoints are real checkpoints: kill + restart recovers.
+  cluster.KillShard(0);
+  ASSERT_TRUE(cluster.RestartShard(0).ok());
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, UnwritableCheckpointDirFailsWithoutFencingShards) {
+  // An application-level checkpoint failure (every shard replies
+  // kError in sync) must surface as an error WITHOUT marking healthy
+  // shards down or leaving replies queued: the very next barrier and
+  // snapshot still work and are correct.
+  const uint64_t n = 64;
+  GraphZeppelinConfig base = BaseConfig(n, 67);
+  ShardClusterOptions options;
+  options.checkpoint_dir = "/nonexistent-checkpoint-dir";
+  ShardCluster cluster(base, 3, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  std::vector<GraphUpdate> updates;
+  for (NodeId u = 0; u + 1 < 40; ++u) {
+    updates.push_back({Edge(u, u + 1), UpdateType::kInsert});
+  }
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+
+  EXPECT_EQ(cluster.Checkpoint().code(), StatusCode::kIoError);
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_FALSE(cluster.shard_down(s)) << "shard " << s;
+    EXPECT_GT(cluster.unacked_updates(s), 0u);  // Nothing truncated.
+  }
+  ASSERT_TRUE(cluster.Flush().ok());  // Reply stream still 1:1.
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, StatsReportPerShardStreamPositions) {
+  const GraphZeppelinConfig base = BaseConfig(64, 3);
+  ShardCluster cluster(base, 3);
+  ASSERT_TRUE(cluster.Start().ok());
+  std::vector<GraphUpdate> updates;
+  for (NodeId u = 0; u + 1 < 40; ++u) {
+    updates.push_back({Edge(u, u + 1), UpdateType::kInsert});
+  }
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+  ASSERT_TRUE(cluster.Flush().ok());
+  uint64_t total = 0;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    Result<ShardStats> stats = cluster.Stats(s);
+    ASSERT_TRUE(stats.ok());
+    total += stats.value().num_updates;
+    EXPECT_GT(stats.value().ram_bytes, 0u);
+  }
+  EXPECT_EQ(total, updates.size());
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, DiskBackedShardProcessesWork) {
+  // Disk-backed gutter tree + on-disk sketch store inside each worker
+  // process; per-process pids keep backing files separate.
+  GraphZeppelinConfig base = BaseConfig(64, 7);
+  base.storage = GraphZeppelinConfig::Storage::kDisk;
+  base.buffering = GraphZeppelinConfig::Buffering::kGutterTree;
+  ShardCluster cluster(base, 2);
+  ASSERT_TRUE(cluster.Start().ok());
+  std::vector<GraphUpdate> updates;
+  for (NodeId u = 0; u + 1 < 32; ++u) {
+    updates.push_back({Edge(u, u + 1), UpdateType::kInsert});
+  }
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  const ConnectivityResult r = Connectivity(std::move(folded).value());
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.num_components, 64u - 32u + 1u);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace gz

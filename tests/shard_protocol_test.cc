@@ -1,0 +1,491 @@
+// Shard protocol conformance: every frame type must round-trip, and
+// malformed / truncated / version-mismatched input must surface as
+// Status errors — never a crash — on both the coordinator side
+// (RecvFrame and the payload codecs) and the shard side (ShardServer
+// over an in-process socketpair).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "distributed/shard_protocol.h"
+#include "distributed/shard_server.h"
+
+namespace gz {
+namespace {
+
+class SocketPair {
+ public:
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0); }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  int a() const { return fds_[0]; }
+  int b() const { return fds_[1]; }
+  void CloseA() {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    fds_[0] = -1;
+  }
+  void CloseB() {
+    if (fds_[1] >= 0) ::close(fds_[1]);
+    fds_[1] = -1;
+  }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
+
+// Hand-crafts a frame header; `magic`/`version` default to valid so a
+// test can corrupt exactly one field.
+void WriteRawHeader(int fd, uint16_t type, uint64_t payload_bytes,
+                    uint32_t magic = ShardFrameHeader::kMagic,
+                    uint16_t version = ShardFrameHeader::kVersion) {
+  uint8_t buf[ShardFrameHeader::kBytes];
+  std::memcpy(buf, &magic, 4);
+  std::memcpy(buf + 4, &version, 2);
+  std::memcpy(buf + 6, &type, 2);
+  std::memcpy(buf + 8, &payload_bytes, 8);
+  ASSERT_TRUE(WriteFull(fd, buf, sizeof(buf)).ok());
+}
+
+// ---- Frame round trips ----------------------------------------------------
+
+TEST(ShardProtocolTest, EveryMessageTypeRoundTrips) {
+  SocketPair sp;
+  const uint8_t payload[5] = {1, 2, 3, 4, 5};
+  ShardFrame frame;
+  for (uint16_t t = static_cast<uint16_t>(ShardMessageType::kConfig);
+       t <= static_cast<uint16_t>(ShardMessageType::kError); ++t) {
+    const ShardMessageType type = static_cast<ShardMessageType>(t);
+    ASSERT_TRUE(SendFrame(sp.a(), type, payload, sizeof(payload)).ok());
+    ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
+    EXPECT_EQ(frame.type, type);
+    ASSERT_EQ(frame.payload.size(), sizeof(payload));
+    EXPECT_EQ(std::memcmp(frame.payload.data(), payload, sizeof(payload)),
+              0);
+  }
+}
+
+TEST(ShardProtocolTest, EmptyPayloadRoundTrips) {
+  SocketPair sp;
+  ASSERT_TRUE(
+      SendFrame(sp.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(ShardProtocolTest, ScatterGatherSendMatchesPlainSend) {
+  SocketPair sp;
+  const uint8_t a[3] = {10, 11, 12};
+  const uint8_t b[4] = {20, 21, 22, 23};
+  ASSERT_TRUE(SendFrame2(sp.a(), ShardMessageType::kUpdateBatch, a,
+                         sizeof(a), b, sizeof(b))
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
+  ASSERT_EQ(frame.payload.size(), 7u);
+  EXPECT_EQ(frame.payload[0], 10);
+  EXPECT_EQ(frame.payload[3], 20);
+  EXPECT_EQ(frame.payload[6], 23);
+}
+
+TEST(ShardProtocolTest, HeaderThenStreamedPayloadRoundTrips) {
+  // The shard's snapshot reply path: header first, payload streamed in
+  // pieces afterwards.
+  SocketPair sp;
+  ASSERT_TRUE(
+      SendFrameHeader(sp.a(), ShardMessageType::kSnapshotBytes, 6).ok());
+  ASSERT_TRUE(WriteFull(sp.a(), "abc", 3).ok());
+  ASSERT_TRUE(WriteFull(sp.a(), "def", 3).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kSnapshotBytes);
+  EXPECT_EQ(std::string(frame.payload.begin(), frame.payload.end()),
+            "abcdef");
+}
+
+// ---- Malformed input on the receiving side --------------------------------
+
+TEST(ShardProtocolTest, BadMagicIsInvalidArgument) {
+  SocketPair sp;
+  WriteRawHeader(sp.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
+                 /*magic=*/0xDEADBEEF);
+  ShardFrame frame;
+  const Status s = RecvFrame(sp.b(), &frame);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, VersionMismatchIsInvalidArgument) {
+  SocketPair sp;
+  WriteRawHeader(sp.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
+                 ShardFrameHeader::kMagic, /*version=*/2);
+  ShardFrame frame;
+  const Status s = RecvFrame(sp.b(), &frame);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST(ShardProtocolTest, UnknownTypeIsInvalidArgument) {
+  SocketPair sp;
+  WriteRawHeader(sp.a(), /*type=*/999, 0);
+  ShardFrame frame;
+  EXPECT_EQ(RecvFrame(sp.b(), &frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, OversizedPayloadLengthIsInvalidArgument) {
+  // A garbage length field must be rejected before any allocation.
+  SocketPair sp;
+  WriteRawHeader(sp.a(), static_cast<uint16_t>(ShardMessageType::kPing),
+                 ShardFrameHeader::kMaxPayloadBytes + 1);
+  ShardFrame frame;
+  EXPECT_EQ(RecvFrame(sp.b(), &frame).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, TruncatedPayloadIsIoError) {
+  SocketPair sp;
+  WriteRawHeader(sp.a(), static_cast<uint16_t>(ShardMessageType::kPing),
+                 /*payload_bytes=*/100);
+  ASSERT_TRUE(WriteFull(sp.a(), "short", 5).ok());
+  sp.CloseA();  // EOF mid-payload.
+  ShardFrame frame;
+  EXPECT_EQ(RecvFrame(sp.b(), &frame).code(), StatusCode::kIoError);
+}
+
+TEST(ShardProtocolTest, TruncatedHeaderIsIoError) {
+  SocketPair sp;
+  ASSERT_TRUE(WriteFull(sp.a(), "GZ", 2).ok());
+  sp.CloseA();
+  ShardFrame frame;
+  EXPECT_EQ(RecvFrame(sp.b(), &frame).code(), StatusCode::kIoError);
+}
+
+TEST(ShardProtocolTest, WriteToClosedPeerIsIoErrorNotSignal) {
+  // A SIGKILLed shard must surface as IoError; SIGPIPE would kill the
+  // coordinator.
+  SocketPair sp;
+  sp.CloseB();
+  std::vector<uint8_t> big(1 << 20, 0xAB);
+  const Status s =
+      SendFrame(sp.a(), ShardMessageType::kUpdateBatch, big.data(),
+                big.size());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// ---- Payload codecs -------------------------------------------------------
+
+TEST(ShardProtocolTest, ConfigPayloadRoundTrips) {
+  ShardConfig in;
+  in.config.num_nodes = 1234;
+  in.config.seed = 99;
+  in.config.cols = 9;
+  in.config.rounds = 17;
+  in.config.num_workers = 3;
+  in.config.buffering = GraphZeppelinConfig::Buffering::kGutterTree;
+  in.config.storage = GraphZeppelinConfig::Storage::kDisk;
+  in.config.gutter_fraction = 0.25;
+  in.config.nodes_per_gutter_group = 4;
+  in.config.disk_dir = "/tmp/somewhere";
+  in.config.instance_tag = "shard7";
+  in.config.gutter_tree_buffer_bytes = 1 << 20;
+  in.config.gutter_tree_fanout = 32;
+  in.config.query_threads = 2;
+  in.restore_checkpoint = "/tmp/ckpt.bin";
+
+  const std::vector<uint8_t> bytes = EncodeShardConfig(in);
+  ShardConfig out;
+  ASSERT_TRUE(DecodeShardConfig(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_EQ(out.config.num_nodes, in.config.num_nodes);
+  EXPECT_EQ(out.config.seed, in.config.seed);
+  EXPECT_EQ(out.config.cols, in.config.cols);
+  EXPECT_EQ(out.config.rounds, in.config.rounds);
+  EXPECT_EQ(out.config.num_workers, in.config.num_workers);
+  EXPECT_EQ(out.config.buffering, in.config.buffering);
+  EXPECT_EQ(out.config.storage, in.config.storage);
+  EXPECT_EQ(out.config.gutter_fraction, in.config.gutter_fraction);
+  EXPECT_EQ(out.config.nodes_per_gutter_group,
+            in.config.nodes_per_gutter_group);
+  EXPECT_EQ(out.config.disk_dir, in.config.disk_dir);
+  EXPECT_EQ(out.config.instance_tag, in.config.instance_tag);
+  EXPECT_EQ(out.config.gutter_tree_buffer_bytes,
+            in.config.gutter_tree_buffer_bytes);
+  EXPECT_EQ(out.config.gutter_tree_fanout, in.config.gutter_tree_fanout);
+  EXPECT_EQ(out.config.query_threads, in.config.query_threads);
+  EXPECT_EQ(out.restore_checkpoint, in.restore_checkpoint);
+}
+
+TEST(ShardProtocolTest, TruncatedConfigPayloadIsInvalidArgument) {
+  ShardConfig in;
+  in.config.num_nodes = 64;
+  const std::vector<uint8_t> bytes = EncodeShardConfig(in);
+  ShardConfig out;
+  for (size_t cut : {0ul, 1ul, 8ul, bytes.size() - 1}) {
+    EXPECT_EQ(DecodeShardConfig(bytes.data(), cut, &out).code(),
+              StatusCode::kInvalidArgument)
+        << "cut at " << cut;
+  }
+  // Trailing garbage is rejected too (framing gave the exact length).
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_EQ(DecodeShardConfig(padded.data(), padded.size(), &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, AckAndErrorPayloadsRoundTrip) {
+  ShardAck ack;
+  ack.value0 = 42;
+  ack.value1 = 7;
+  const std::vector<uint8_t> ack_bytes = EncodeShardAck(ack);
+  ShardAck ack_out;
+  ASSERT_TRUE(DecodeShardAck(ack_bytes.data(), ack_bytes.size(), &ack_out)
+                  .ok());
+  EXPECT_EQ(ack_out.value0, 42u);
+  EXPECT_EQ(ack_out.value1, 7u);
+  EXPECT_EQ(DecodeShardAck(ack_bytes.data(), 3, &ack_out).code(),
+            StatusCode::kInvalidArgument);
+
+  const Status err = Status::NotFound("no such checkpoint");
+  const std::vector<uint8_t> err_bytes = EncodeShardError(err);
+  bool decode_ok = false;
+  const Status decoded =
+      DecodeShardError(err_bytes.data(), err_bytes.size(), &decode_ok);
+  EXPECT_TRUE(decode_ok);
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_NE(decoded.message().find("no such checkpoint"),
+            std::string::npos);
+  const Status bad = DecodeShardError(err_bytes.data(), 2, &decode_ok);
+  EXPECT_FALSE(decode_ok);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Shard-side conformance (ShardServer over a socketpair) ---------------
+
+class ShardServerFixture : public ::testing::Test {
+ protected:
+  void StartServer() {
+    server_thread_ = std::thread([this] {
+      serve_status_ = ShardServer(sp_.b()).Serve();
+    });
+  }
+  void StopServer() {
+    if (!stopped_) {
+      SendFrame(sp_.a(), ShardMessageType::kShutdown, nullptr, 0);
+      ShardFrame frame;
+      RecvFrame(sp_.a(), &frame);  // Drain the shutdown ack.
+    }
+    if (server_thread_.joinable()) server_thread_.join();
+    stopped_ = true;
+  }
+  void TearDown() override { StopServer(); }
+
+  // Sends a valid config; expects the ack.
+  void Configure(uint64_t num_nodes = 16) {
+    ShardConfig sc;
+    sc.config.num_nodes = num_nodes;
+    sc.config.seed = 5;
+    sc.config.num_workers = 1;
+    sc.config.disk_dir = ::testing::TempDir();
+    const std::vector<uint8_t> payload = EncodeShardConfig(sc);
+    ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kConfig,
+                          payload.data(), payload.size())
+                    .ok());
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  }
+
+  // Expects the next reply to be a kError decoding to `code`.
+  void ExpectErrorReply(StatusCode code) {
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kError);
+    bool decode_ok = false;
+    const Status s =
+        DecodeShardError(frame.payload.data(), frame.payload.size(),
+                         &decode_ok);
+    EXPECT_TRUE(decode_ok);
+    EXPECT_EQ(s.code(), code);
+  }
+
+  SocketPair sp_;
+  std::thread server_thread_;
+  Status serve_status_;
+  bool stopped_ = false;
+};
+
+TEST_F(ShardServerFixture, RequestBeforeConfigIsErrorNotCrash) {
+  StartServer();
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kFailedPrecondition);
+  // The server survived; configure and use it normally.
+  Configure();
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kStats, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);
+}
+
+TEST_F(ShardServerFixture, MalformedConfigPayloadIsErrorNotCrash) {
+  StartServer();
+  const uint8_t garbage[7] = {1, 2, 3, 4, 5, 6, 7};
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kConfig, garbage,
+                        sizeof(garbage))
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  Configure();  // Still serving.
+}
+
+TEST_F(ShardServerFixture, RaggedUpdateBatchErrorIsStickyAcrossBarriers) {
+  // UPDATE_BATCH is fire-and-forget: an unsolicited error reply would
+  // shift every later reply by one, so the failure surfaces as the
+  // reply to later barriers instead — and stays sticky, because a
+  // dropped batch is permanent divergence. If one barrier consumed the
+  // error, a retried CHECKPOINT would succeed and the coordinator
+  // would truncate the unacked log that is the only repair material.
+  StartServer();
+  Configure();
+  const uint8_t ragged[13] = {0};  // Not a multiple of sizeof(GraphUpdate).
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kUpdateBatch, ragged,
+                        sizeof(ragged))
+                  .ok());
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kCheckpoint, "x", 1).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);  // Still poisoned.
+  // Pings still ack (liveness is intact; only the data is suspect) and
+  // the reply stream stays 1:1.
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);
+}
+
+TEST_F(ShardServerFixture, OutOfRangeUpdateDropsBatchAndPoisonsBarriers) {
+  StartServer();
+  Configure(/*num_nodes=*/16);
+  GraphUpdate bad;
+  bad.edge.u = 3;
+  bad.edge.v = 99;  // >= num_nodes; would GZ_CHECK-abort if ingested.
+  bad.type = UpdateType::kInsert;
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kUpdateBatch, &bad,
+                        sizeof(bad))
+                  .ok());
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kStats, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kStats, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);  // Sticky.
+}
+
+TEST_F(ShardServerFixture, UpdateBatchBeforeConfigDefersErrorToo) {
+  // Even "shard not configured" must not draw an unsolicited reply to
+  // a fire-and-forget frame — the reply stream would shift by one.
+  StartServer();
+  GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kUpdateBatch, &u, sizeof(u))
+          .ok());
+  Configure();  // Acks normally: the drop above queued no reply.
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kFailedPrecondition);  // Deferred drop.
+}
+
+TEST_F(ShardServerFixture, OutOfRangeConfigIsErrorNotCrash) {
+  // Structurally valid payload, semantically impossible geometry: the
+  // decoder must bounce it before GraphZeppelin's GZ_CHECKs can abort
+  // the worker.
+  StartServer();
+  ShardConfig sc;
+  sc.config.num_nodes = 16;
+  sc.config.cols = 0;  // Would abort sketch construction.
+  sc.config.disk_dir = ::testing::TempDir();
+  const std::vector<uint8_t> payload = EncodeShardConfig(sc);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kConfig, payload.data(),
+                        payload.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  Configure();  // Still serving; a sane config succeeds.
+}
+
+TEST_F(ShardServerFixture, EmptyCheckpointPathIsErrorNotCrash) {
+  StartServer();
+  Configure();
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kCheckpoint, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, UnwritableCheckpointPathIsErrorNotCrash) {
+  StartServer();
+  Configure();
+  const char path[] = "/nonexistent-dir/ckpt.bin";
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kCheckpoint, path,
+                        sizeof(path) - 1)
+                  .ok());
+  ExpectErrorReply(StatusCode::kIoError);
+}
+
+TEST_F(ShardServerFixture, ReplyTypeFrameOnRequestStreamIsError) {
+  StartServer();
+  Configure();
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kAck, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, BadMagicTerminatesServeWithErrorReply) {
+  StartServer();
+  WriteRawHeader(sp_.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
+                 /*magic=*/0x12345678);
+  // Framing is lost: the shard sends a best-effort error and exits its
+  // loop with a non-OK status (a crash would be a test failure here).
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+TEST_F(ShardServerFixture, VersionMismatchTerminatesServeWithErrorReply) {
+  StartServer();
+  WriteRawHeader(sp_.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
+                 ShardFrameHeader::kMagic, /*version=*/7);
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+TEST_F(ShardServerFixture, CoordinatorHangupEndsServeCleanly) {
+  StartServer();
+  Configure();
+  sp_.CloseA();
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_EQ(serve_status_.code(), StatusCode::kIoError);
+  stopped_ = true;
+}
+
+// ---- Routing --------------------------------------------------------------
+
+TEST(ShardProtocolTest, RoutingIsDeterministicAndBounded) {
+  for (NodeId u = 0; u < 40; ++u) {
+    const Edge e(u, static_cast<NodeId>(u + 7));
+    const int shard = RouteToShard(e, 64, 5);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 5);
+    EXPECT_EQ(shard, RouteToShard(e, 64, 5));
+  }
+}
+
+}  // namespace
+}  // namespace gz

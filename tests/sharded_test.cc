@@ -1,7 +1,11 @@
 // Tests for sharded (distributed-style) ingestion: linearity makes
-// shard-merged queries exact.
+// shard-merged queries exact. Every correctness case runs in both
+// execution modes — in-process shard instances and real gz_shard
+// worker processes fed over sockets — against one shared ground-truth
+// check, since the two modes must be indistinguishable above the API.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "algos/bridges.h"
@@ -14,6 +18,8 @@
 namespace gz {
 namespace {
 
+using Mode = ShardedGraphZeppelin::Mode;
+
 GraphZeppelinConfig BaseConfig(uint64_t n, uint64_t seed) {
   GraphZeppelinConfig c;
   c.num_nodes = n;
@@ -21,6 +27,10 @@ GraphZeppelinConfig BaseConfig(uint64_t n, uint64_t seed) {
   c.num_workers = 2;
   c.disk_dir = ::testing::TempDir();
   return c;
+}
+
+std::string ModeName(Mode mode) {
+  return mode == Mode::kInProcess ? "InProcess" : "Process";
 }
 
 TEST(ShardedTest, ShardRoutingDeterministicAndBounded) {
@@ -49,9 +59,24 @@ TEST(ShardedTest, RoutingRoughlyBalanced) {
   }
 }
 
-TEST(ShardedTest, SingleShardMatchesPlainInstance) {
+TEST(ShardedTest, RoutingIdenticalAcrossModes) {
+  // An external stream partitioner must be able to pre-split a stream
+  // for either deployment; the hash may not depend on the mode.
+  ShardedGraphZeppelin in_process(BaseConfig(128, 5), 5, Mode::kInProcess);
+  ShardedGraphZeppelin process(BaseConfig(128, 5), 5, Mode::kProcess);
+  for (NodeId u = 0; u < 60; ++u) {
+    const Edge e(u, static_cast<NodeId>(u + 13));
+    EXPECT_EQ(in_process.ShardFor(e), process.ShardFor(e));
+  }
+}
+
+// ---- Dual-mode matrix -----------------------------------------------------
+
+class ShardedModeTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ShardedModeTest, SingleShardMatchesPlainInstance) {
   const uint64_t n = 32;
-  ShardedGraphZeppelin sharded(BaseConfig(n, 3), 1);
+  ShardedGraphZeppelin sharded(BaseConfig(n, 3), 1, GetParam());
   ASSERT_TRUE(sharded.Init().ok());
   GraphZeppelin plain(BaseConfig(n, 3));
   ASSERT_TRUE(plain.Init().ok());
@@ -68,8 +93,8 @@ TEST(ShardedTest, SingleShardMatchesPlainInstance) {
   EXPECT_EQ(a.num_components, b.num_components);
 }
 
-TEST(ShardedTest, UpdateCountsSumToTotal) {
-  ShardedGraphZeppelin sharded(BaseConfig(64, 4), 3);
+TEST_P(ShardedModeTest, UpdateCountsSumToTotal) {
+  ShardedGraphZeppelin sharded(BaseConfig(64, 4), 3, GetParam());
   ASSERT_TRUE(sharded.Init().ok());
   const int total = 200;
   int ingested = 0;
@@ -86,11 +111,109 @@ TEST(ShardedTest, UpdateCountsSumToTotal) {
   EXPECT_EQ(sum, static_cast<uint64_t>(ingested));
 }
 
+TEST_P(ShardedModeTest, ForestDecompositionOverShardedSnapshot) {
+  // Composition: the k-edge-connectivity certificate extracted from a
+  // *sharded* ingest must expose the same bridge as a single instance.
+  const uint64_t n = 16;
+  GraphZeppelinConfig base = BaseConfig(n, 8);
+  base.rounds = RoundsForForests(n, 2);
+  ShardedGraphZeppelin sharded(base, 3, GetParam());
+  ASSERT_TRUE(sharded.Init().ok());
+
+  // Two triangles joined by one bridge.
+  const Edge edges[] = {Edge(0, 1), Edge(1, 2), Edge(0, 2),
+                        Edge(3, 4), Edge(4, 5), Edge(3, 5),
+                        Edge(2, 3)};
+  for (const Edge& e : edges) {
+    sharded.Update({e, UpdateType::kInsert});
+  }
+  const GraphSnapshot snapshot = sharded.Snapshot();
+  const ForestDecomposition d = ExtractSpanningForests(snapshot, 2);
+  ASSERT_FALSE(d.failed);
+  const EdgeList bridges = FindBridges(n, d.CertificateEdges());
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], Edge(2, 3));
+}
+
+TEST_P(ShardedModeTest, SnapshotFoldMatchesSingleInstanceBitwise) {
+  // The coordinator's fold — in place for in-process shards, via
+  // serialized snapshot frames for worker processes — must produce
+  // exactly the snapshot a single instance ingesting the whole stream
+  // would: the shard partition of the stream (and the transport) is
+  // invisible after aggregation.
+  const uint64_t n = 48;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.1;
+  ep.seed = 6;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+
+  ShardedGraphZeppelin sharded(BaseConfig(n, 31), 3, GetParam());
+  ASSERT_TRUE(sharded.Init().ok());
+  GraphZeppelin single(BaseConfig(n, 31));
+  ASSERT_TRUE(single.Init().ok());
+  for (const Edge& e : edges) {
+    sharded.Update({e, UpdateType::kInsert});
+    single.Update({e, UpdateType::kInsert});
+  }
+
+  const GraphSnapshot folded = sharded.Snapshot();
+  const GraphSnapshot expect = single.Snapshot();
+  EXPECT_TRUE(folded == expect);
+  EXPECT_EQ(folded.num_updates(), edges.size());
+}
+
+TEST_P(ShardedModeTest, DiskShardsDoNotCollide) {
+  // Several disk-backed shards share a seed; per-shard instance tags
+  // (and, in process mode, per-process pids) must keep their backing
+  // files separate.
+  GraphZeppelinConfig base = BaseConfig(32, 7);
+  base.storage = GraphZeppelinConfig::Storage::kDisk;
+  ShardedGraphZeppelin sharded(base, 3, GetParam());
+  ASSERT_TRUE(sharded.Init().ok());
+  for (NodeId i = 0; i + 1 < 16; ++i) {
+    sharded.Update({Edge(i, i + 1), UpdateType::kInsert});
+  }
+  const ConnectivityResult r = sharded.ListSpanningForest();
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.num_components, 32u - 16u + 1u);
+}
+
+TEST_P(ShardedModeTest, BulkSpanIngestionMatchesSingleUpdates) {
+  const uint64_t n = 64;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.08;
+  ep.seed = 9;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  std::vector<GraphUpdate> updates;
+  for (const Edge& e : edges) updates.push_back({e, UpdateType::kInsert});
+
+  ShardedGraphZeppelin bulk(BaseConfig(n, 13), 3, GetParam());
+  ASSERT_TRUE(bulk.Init().ok());
+  bulk.Update(updates.data(), updates.size());
+
+  ShardedGraphZeppelin single(BaseConfig(n, 13), 3, GetParam());
+  ASSERT_TRUE(single.Init().ok());
+  for (const GraphUpdate& u : updates) single.Update(u);
+
+  EXPECT_TRUE(bulk.Snapshot() == single.Snapshot());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ShardedModeTest,
+    ::testing::Values(Mode::kInProcess, Mode::kProcess),
+    [](const ::testing::TestParamInfo<Mode>& info) {
+      return ModeName(info.param);
+    });
+
+// ---- Randomized correctness sweep, both modes -----------------------------
+
 class ShardedCorrectnessTest
-    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, Mode>> {};
 
 TEST_P(ShardedCorrectnessTest, MatchesExactCheckerOnRandomStream) {
-  const auto [num_shards, seed] = GetParam();
+  const auto [num_shards, seed, mode] = GetParam();
   const uint64_t n = 48;
   ErdosRenyiParams ep;
   ep.num_nodes = n;
@@ -103,7 +226,7 @@ TEST_P(ShardedCorrectnessTest, MatchesExactCheckerOnRandomStream) {
   const StreamTransformResult stream =
       BuildStream(ErdosRenyiGenerator(ep).Generate(), tp);
 
-  ShardedGraphZeppelin sharded(BaseConfig(n, seed + 20), num_shards);
+  ShardedGraphZeppelin sharded(BaseConfig(n, seed + 20), num_shards, mode);
   ASSERT_TRUE(sharded.Init().ok());
   AdjacencyMatrixChecker checker(n);
   for (const GraphUpdate& u : stream.updates) {
@@ -125,73 +248,14 @@ TEST_P(ShardedCorrectnessTest, MatchesExactCheckerOnRandomStream) {
 INSTANTIATE_TEST_SUITE_P(
     ShardsAndSeeds, ShardedCorrectnessTest,
     ::testing::Combine(::testing::Values(2, 3, 5),
-                       ::testing::Values<uint64_t>(1, 2, 3)));
-
-TEST(ShardedTest, ForestDecompositionOverShardedSnapshot) {
-  // Composition: the k-edge-connectivity certificate extracted from a
-  // *sharded* ingest must expose the same bridge as a single instance.
-  const uint64_t n = 16;
-  GraphZeppelinConfig base = BaseConfig(n, 8);
-  base.rounds = RoundsForForests(n, 2);
-  ShardedGraphZeppelin sharded(base, 3);
-  ASSERT_TRUE(sharded.Init().ok());
-
-  // Two triangles joined by one bridge.
-  const Edge edges[] = {Edge(0, 1), Edge(1, 2), Edge(0, 2),
-                        Edge(3, 4), Edge(4, 5), Edge(3, 5),
-                        Edge(2, 3)};
-  for (const Edge& e : edges) {
-    sharded.Update({e, UpdateType::kInsert});
-  }
-  const GraphSnapshot snapshot = sharded.Snapshot();
-  const ForestDecomposition d = ExtractSpanningForests(snapshot, 2);
-  ASSERT_FALSE(d.failed);
-  const EdgeList bridges = FindBridges(n, d.CertificateEdges());
-  ASSERT_EQ(bridges.size(), 1u);
-  EXPECT_EQ(bridges[0], Edge(2, 3));
-}
-
-TEST(ShardedTest, SnapshotFoldMatchesSingleInstanceBitwise) {
-  // The coordinator's in-place fold (one scratch sketch at a time, no
-  // second materialized per-shard snapshot) must produce exactly the
-  // snapshot a single instance ingesting the whole stream would: the
-  // shard partition of the stream is invisible after aggregation.
-  const uint64_t n = 48;
-  ErdosRenyiParams ep;
-  ep.num_nodes = n;
-  ep.p = 0.1;
-  ep.seed = 6;
-  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
-
-  ShardedGraphZeppelin sharded(BaseConfig(n, 31), 3);
-  ASSERT_TRUE(sharded.Init().ok());
-  GraphZeppelin single(BaseConfig(n, 31));
-  ASSERT_TRUE(single.Init().ok());
-  for (const Edge& e : edges) {
-    sharded.Update({e, UpdateType::kInsert});
-    single.Update({e, UpdateType::kInsert});
-  }
-
-  const GraphSnapshot folded = sharded.Snapshot();
-  const GraphSnapshot expect = single.Snapshot();
-  EXPECT_TRUE(folded == expect);
-  EXPECT_EQ(folded.num_updates(), edges.size());
-}
-
-TEST(ShardedTest, DiskShardsDoNotCollide) {
-  // Several disk-backed shards share a seed; the per-shard instance
-  // tags must keep their backing files separate.
-  GraphZeppelinConfig base = BaseConfig(32, 7);
-  base.storage = GraphZeppelinConfig::Storage::kDisk;
-  ShardedGraphZeppelin sharded(base, 3);
-  ASSERT_TRUE(sharded.Init().ok());
-  for (NodeId i = 0; i + 1 < 16; ++i) {
-    sharded.Update({Edge(i, i + 1), UpdateType::kInsert});
-  }
-  const ConnectivityResult r = sharded.ListSpanningForest();
-  ASSERT_FALSE(r.failed);
-  EXPECT_EQ(r.num_components, 32u - 16u + 1u);
-}
+                       ::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Values(Mode::kInProcess, Mode::kProcess)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t, Mode>>&
+           info) {
+      return "Shards" + std::to_string(std::get<0>(info.param)) + "Seed" +
+             std::to_string(std::get<1>(info.param)) +
+             ModeName(std::get<2>(info.param));
+    });
 
 }  // namespace
 }  // namespace gz

@@ -1,0 +1,32 @@
+// gz_shard: one shard of a multi-process sharded deployment. Spawned
+// by ShardCluster (fork/exec) with a connected socket as --fd; receives
+// its GraphZeppelinConfig as the first protocol frame, then serves
+// UPDATE_BATCH / FLUSH / SNAPSHOT / CHECKPOINT / STATS / PING /
+// SHUTDOWN until told to exit. Everything interesting lives in
+// ShardServer; this is only argv plumbing.
+//
+// Standalone debugging: gz_shard --fd 0 speaks the protocol on stdin
+// (not useful interactively — frames are binary — but lets a recorded
+// frame stream replay against a real shard).
+#include <cstdio>
+
+#include "distributed/shard_server.h"
+#include "tools/flags.h"
+
+int main(int argc, char** argv) {
+  gz::tools::Flags flags(argc, argv);
+  const int fd = static_cast<int>(flags.GetInt("fd", -1));
+  if (fd < 0) {
+    std::fprintf(stderr,
+                 "usage: gz_shard --fd N\n"
+                 "  N: connected stream socket speaking the shard "
+                 "protocol\n");
+    return 2;
+  }
+  const gz::Status s = gz::ShardServer(fd).Serve();
+  if (!s.ok()) {
+    std::fprintf(stderr, "gz_shard: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
