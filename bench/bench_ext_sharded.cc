@@ -11,17 +11,118 @@
 // transport overhead directly. On this container's single core the
 // per-shard pipelines add overhead; with real cores/machines per shard,
 // rates multiply (paper Section 8).
+// With --rebalance, a second benchmark runs instead: elastic reshard
+// operations (split, then remove) fire while the stream is flowing,
+// and the JSON reports the migration wall time plus the worst
+// per-burst update latency during the migration vs the steady-state
+// baseline — the "rebalance under load" column. A stall-free reshard
+// keeps the two latencies in the same ballpark; a flush-barrier design
+// would spike the migration column by the whole shard drain time.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "distributed/sharded_graph_zeppelin.h"
 #include "util/timer.h"
 
-int main() {
+namespace {
+
+using gz::ShardedGraphZeppelin;
+using Mode = ShardedGraphZeppelin::Mode;
+
+int RunRebalanceBench(const gz::bench::Workload& w) {
   using namespace gz;
-  using Mode = ShardedGraphZeppelin::Mode;
+  std::printf("[\n");
+  bool first = true;
+  for (const Mode mode : {Mode::kInProcess, Mode::kProcess}) {
+    GraphZeppelinConfig base = bench::DefaultGzConfig();
+    base.num_nodes = w.num_nodes;
+    base.num_workers = 1;
+    ShardClusterOptions options;
+    options.migrate_nodes_per_chunk =
+        std::max<uint64_t>(1, w.num_nodes / 64);
+    ShardedGraphZeppelin sharded(base, 2, mode, options);
+    GZ_CHECK_OK(sharded.Init());
+
+    const std::vector<GraphUpdate>& updates = w.stream.updates;
+    const size_t burst = 4096;
+    size_t fed = 0;
+    double max_burst_baseline = 0, max_burst_migrating = 0;
+    uint64_t bursts_during_migration = 0;
+    auto feed_burst = [&](double* max_burst) {
+      if (fed >= updates.size()) return false;
+      const size_t count = std::min(burst, updates.size() - fed);
+      WallTimer t;
+      sharded.Update(updates.data() + fed, count);
+      *max_burst = std::max(*max_burst, t.Seconds());
+      fed += count;
+      return true;
+    };
+
+    // Phase 1: steady state over the first third (baseline latency).
+    while (fed < updates.size() / 3) feed_burst(&max_burst_baseline);
+
+    // Phase 2: split shard 0 under load.
+    WallTimer split_timer;
+    Result<int> split = sharded.BeginSplitShard(0);
+    GZ_CHECK_MSG(split.ok(), split.status().ToString().c_str());
+    while (sharded.migration_active()) {
+      bursts_during_migration += feed_burst(&max_burst_migrating);
+      GZ_CHECK_OK(sharded.PumpMigration());
+    }
+    const double split_seconds = split_timer.Seconds();
+
+    // Phase 3: more steady state, then remove the split child.
+    const size_t resume_at = fed;
+    while (fed < resume_at + updates.size() / 6) {
+      if (!feed_burst(&max_burst_baseline)) break;
+    }
+    WallTimer remove_timer;
+    GZ_CHECK_OK(sharded.BeginRemoveShard(split.value()));
+    while (sharded.migration_active()) {
+      bursts_during_migration += feed_burst(&max_burst_migrating);
+      GZ_CHECK_OK(sharded.PumpMigration());
+    }
+    const double remove_seconds = remove_timer.Seconds();
+
+    while (feed_burst(&max_burst_baseline)) {
+    }
+    sharded.Flush();
+
+    const ConnectivityResult r = sharded.ListSpanningForest();
+    GZ_CHECK(!r.failed);
+    std::printf(
+        "%s  {\"bench\": \"ext_sharded_rebalance\", \"workload\": \"%s\",\n"
+        "   \"mode\": \"%s\", \"updates\": %zu,\n"
+        "   \"split_seconds\": %.4f, \"remove_seconds\": %.4f,\n"
+        "   \"bursts_during_migration\": %llu,\n"
+        "   \"max_burst_ms_baseline\": %.3f,\n"
+        "   \"max_burst_ms_during_migration\": %.3f,\n"
+        "   \"components\": %zu}",
+        first ? "" : ",\n", w.name.c_str(),
+        mode == Mode::kInProcess ? "in_process" : "process",
+        updates.size(), split_seconds, remove_seconds,
+        static_cast<unsigned long long>(bursts_during_migration),
+        max_burst_baseline * 1e3, max_burst_migrating * 1e3,
+        r.num_components);
+    first = false;
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gz;
   const int scale = bench::GetEnvInt("GZ_BENCH_KRON_MAX", 10) - 1;
   const bench::Workload w = bench::MakeKronWorkload(scale);
+  if (argc > 1 && std::strcmp(argv[1], "--rebalance") == 0) {
+    std::fprintf(stderr, "sharded rebalance bench: %s, %zu updates\n",
+                 w.name.c_str(), w.stream.updates.size());
+    return RunRebalanceBench(w);
+  }
 
   std::fprintf(stderr, "sharded bench: %s, %zu updates\n", w.name.c_str(),
                w.stream.updates.size());

@@ -23,6 +23,18 @@ constexpr size_t kHeaderBytes = sizeof(kSnapshotMagic) +
                                 sizeof(int32_t) +   // rounds
                                 sizeof(uint64_t);   // num_updates
 
+// Node-range deltas (migration units) use their own magic: a range is
+// not a whole snapshot and must never be mistaken for one.
+constexpr char kRangeMagic[8] = {'G', 'Z', 'S', 'N', 'R', 'G', '0', '1'};
+
+constexpr size_t kRangeHeaderBytes = sizeof(kRangeMagic) +
+                                     sizeof(uint64_t) +  // num_nodes
+                                     sizeof(uint64_t) +  // seed
+                                     sizeof(int32_t) +   // cols
+                                     sizeof(int32_t) +   // rounds
+                                     sizeof(uint64_t) +  // lo
+                                     sizeof(uint64_t);   // hi
+
 struct SnapshotHeader {
   NodeSketchParams params;
   uint64_t num_updates = 0;
@@ -92,14 +104,21 @@ size_t ExpectedBytes(const SnapshotHeader& header) {
                             NodeSketch::SerializedSizeFor(header.params);
 }
 
-// Opens `path` and parses the snapshot header. On success the stream is
-// positioned at the first node record and the body length has been
-// verified to cover every record (trailing bytes are tolerated).
+// Opens `path` and parses the snapshot header found at `offset` bytes
+// in (callers embedding a snapshot stream after their own prefix pass
+// its size). On success the stream is positioned at the first node
+// record and the body length has been verified to cover every record
+// (trailing bytes are tolerated).
 Status OpenSnapshotFile(const std::string& path, FILE** out,
-                        SnapshotHeader* header) {
+                        SnapshotHeader* header, size_t offset = 0) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open snapshot file: " + path);
+  }
+  if (offset != 0 &&
+      std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek snapshot file: " + path);
   }
   uint8_t header_buf[kHeaderBytes];
   if (std::fread(header_buf, 1, kHeaderBytes, f) != kHeaderBytes) {
@@ -118,12 +137,13 @@ Status OpenSnapshotFile(const std::string& path, FILE** out,
     return Status::IoError("cannot seek snapshot file: " + path);
   }
   const long file_bytes = std::ftell(f);
-  if (file_bytes < 0 ||
-      static_cast<size_t>(file_bytes) < ExpectedBytes(*header)) {
+  if (file_bytes < 0 || static_cast<size_t>(file_bytes) <
+                            offset + ExpectedBytes(*header)) {
     std::fclose(f);
     return Status::IoError("truncated snapshot file: " + path);
   }
-  if (std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) != 0) {
+  if (std::fseek(f, static_cast<long>(offset + kHeaderBytes), SEEK_SET) !=
+      0) {
     std::fclose(f);
     return Status::IoError("cannot seek snapshot file: " + path);
   }
@@ -263,6 +283,134 @@ Status GraphSnapshot::MergeSerialized(const uint8_t* data, size_t size) {
   return Status::Ok();
 }
 
+size_t GraphSnapshot::SerializedRangeSizeFor(const NodeSketchParams& params,
+                                             uint64_t lo, uint64_t hi) {
+  GZ_CHECK_MSG(lo < hi && hi <= params.num_nodes, "bad node range");
+  return kRangeHeaderBytes +
+         (hi - lo) * NodeSketch::SerializedSizeFor(params);
+}
+
+namespace {
+
+void WriteRangeHeader(const NodeSketchParams& params, uint64_t lo,
+                      uint64_t hi, uint8_t* out) {
+  std::memcpy(out, kRangeMagic, sizeof(kRangeMagic));
+  out += sizeof(kRangeMagic);
+  const uint64_t num_nodes = params.num_nodes;
+  const uint64_t seed = params.seed;
+  const int32_t cols = params.cols;
+  const int32_t rounds = params.rounds;
+  std::memcpy(out, &num_nodes, sizeof(num_nodes));
+  out += sizeof(num_nodes);
+  std::memcpy(out, &seed, sizeof(seed));
+  out += sizeof(seed);
+  std::memcpy(out, &cols, sizeof(cols));
+  out += sizeof(cols);
+  std::memcpy(out, &rounds, sizeof(rounds));
+  out += sizeof(rounds);
+  std::memcpy(out, &lo, sizeof(lo));
+  out += sizeof(lo);
+  std::memcpy(out, &hi, sizeof(hi));
+}
+
+}  // namespace
+
+Status GraphSnapshot::ParseSerializedNodeRange(
+    const uint8_t* data, size_t size, const NodeSketchParams& expect_params,
+    uint64_t* lo, uint64_t* hi, size_t* payload_offset) {
+  if (data == nullptr || size < kRangeHeaderBytes) {
+    return Status::InvalidArgument("node-range delta buffer too short");
+  }
+  if (std::memcmp(data, kRangeMagic, sizeof(kRangeMagic)) != 0) {
+    return Status::InvalidArgument("not a node-range delta: bad magic");
+  }
+  const uint8_t* in = data + sizeof(kRangeMagic);
+  uint64_t num_nodes = 0, seed = 0, range_lo = 0, range_hi = 0;
+  int32_t cols = 0, rounds = 0;
+  std::memcpy(&num_nodes, in, sizeof(num_nodes));
+  in += sizeof(num_nodes);
+  std::memcpy(&seed, in, sizeof(seed));
+  in += sizeof(seed);
+  std::memcpy(&cols, in, sizeof(cols));
+  in += sizeof(cols);
+  std::memcpy(&rounds, in, sizeof(rounds));
+  in += sizeof(rounds);
+  std::memcpy(&range_lo, in, sizeof(range_lo));
+  in += sizeof(range_lo);
+  std::memcpy(&range_hi, in, sizeof(range_hi));
+  if (num_nodes != expect_params.num_nodes || seed != expect_params.seed ||
+      cols != expect_params.cols || rounds != expect_params.rounds) {
+    return Status::InvalidArgument(
+        "node-range delta params mismatch: fold requires identical seed, "
+        "node bound and sketch geometry");
+  }
+  if (!(range_lo < range_hi && range_hi <= num_nodes)) {
+    return Status::InvalidArgument("node-range delta has a bad range");
+  }
+  const size_t record = NodeSketch::SerializedSizeFor(expect_params);
+  if (size != kRangeHeaderBytes + (range_hi - range_lo) * record) {
+    return Status::InvalidArgument(
+        "node-range delta size does not match its header");
+  }
+  *lo = range_lo;
+  *hi = range_hi;
+  if (payload_offset != nullptr) *payload_offset = kRangeHeaderBytes;
+  return Status::Ok();
+}
+
+Status GraphSnapshot::SaveRangeToSink(
+    const std::function<Status(const void* data, size_t size)>& sink,
+    const NodeSketchParams& params, uint64_t lo, uint64_t hi,
+    const std::function<const NodeSketch&(NodeId)>& load) {
+  GZ_CHECK_MSG(lo < hi && hi <= params.num_nodes, "bad node range");
+  uint8_t header[kRangeHeaderBytes];
+  WriteRangeHeader(params, lo, hi, header);
+  Status s = sink(header, kRangeHeaderBytes);
+  std::vector<uint8_t> buf(NodeSketch::SerializedSizeFor(params));
+  for (uint64_t i = lo; s.ok() && i < hi; ++i) {
+    const NodeSketch& sketch = load(static_cast<NodeId>(i));
+    GZ_CHECK_MSG(sketch.params() == params, "loader returned wrong params");
+    sketch.SerializeTo(buf.data());
+    s = sink(buf.data(), buf.size());
+  }
+  return s;
+}
+
+std::vector<uint8_t> GraphSnapshot::ExtractNodeRange(uint64_t lo,
+                                                     uint64_t hi) const {
+  GZ_CHECK_MSG(valid(), "empty snapshot");
+  std::vector<uint8_t> out;
+  out.reserve(SerializedRangeSizeFor(params(), lo, hi));
+  GZ_CHECK_OK(SaveRangeToSink(
+      [&out](const void* data, size_t size) {
+        const uint8_t* p = static_cast<const uint8_t*>(data);
+        out.insert(out.end(), p, p + size);
+        return Status::Ok();
+      },
+      params(), lo, hi,
+      [this](NodeId i) -> const NodeSketch& { return sketches_[i]; }));
+  return out;
+}
+
+Status GraphSnapshot::MergeSerializedNodeRange(const uint8_t* data,
+                                               size_t size) {
+  if (!valid()) return Status::InvalidArgument("empty snapshot");
+  uint64_t lo = 0, hi = 0;
+  Status s = ParseSerializedNodeRange(data, size, params(), &lo, &hi);
+  if (!s.ok()) return s;
+  // Past this point nothing can fail, so the fold never leaves the
+  // snapshot half-merged.
+  NodeSketch scratch(params());
+  const size_t record = NodeSketch::SerializedSizeFor(params());
+  const uint8_t* cursor = data + kRangeHeaderBytes;
+  for (uint64_t i = lo; i < hi; ++i) {
+    scratch.DeserializeFrom(cursor);
+    sketches_[i].Merge(scratch);
+    cursor += record;
+  }
+  return Status::Ok();
+}
+
 std::vector<NodeSketch> GraphSnapshot::ReleaseSketches() {
   std::vector<NodeSketch> out = std::move(sketches_);
   sketches_.clear();
@@ -341,10 +489,11 @@ Result<GraphSnapshot> GraphSnapshot::LoadFromFile(const std::string& path) {
 Status GraphSnapshot::LoadStream(
     const std::string& path, const NodeSketchParams& expect_params,
     uint64_t* num_updates,
-    const std::function<void(NodeId, const NodeSketch&)>& store) {
+    const std::function<void(NodeId, const NodeSketch&)>& store,
+    size_t offset) {
   FILE* f = nullptr;
   SnapshotHeader header;
-  Status s = OpenSnapshotFile(path, &f, &header);
+  Status s = OpenSnapshotFile(path, &f, &header, offset);
   if (!s.ok()) return s;
   if (!(header.params == expect_params)) {
     std::fclose(f);

@@ -99,6 +99,44 @@ class GraphSnapshot {
   // snapshot is unchanged on any error.
   Status MergeSerialized(const uint8_t* data, size_t size);
 
+  // --- Node-range deltas ---------------------------------------------------
+  // A serialized node-range delta is the sketch content of nodes
+  // [lo, hi) under its own magic: 8-byte magic, params, the range
+  // bounds, then hi-lo fixed-size node records. It is the unit of
+  // elastic shard migration — a departing or splitting shard extracts
+  // ranges of its state, the coordinator XOR-folds them into the
+  // successor (and XOR-folds the same bytes back into the source to
+  // cancel them there, which is how linearity expresses "move").
+  //
+  // Deltas deliberately carry NO update count: stream positions stay
+  // with the shard that ingested the updates, and the coordinator
+  // accounts for removed shards separately, so folding a delta never
+  // perturbs replay reconciliation.
+  static size_t SerializedRangeSizeFor(const NodeSketchParams& params,
+                                       uint64_t lo, uint64_t hi);
+  // Serializes this snapshot's nodes [lo, hi) as a range delta.
+  std::vector<uint8_t> ExtractNodeRange(uint64_t lo, uint64_t hi) const;
+  // XOR-folds a serialized range delta into this snapshot (one scratch
+  // sketch in flight). InvalidArgument on malformed bytes or a params
+  // mismatch; this snapshot is unchanged on any error. num_updates() is
+  // never affected.
+  Status MergeSerializedNodeRange(const uint8_t* data, size_t size);
+  // Streaming producer of the ExtractNodeRange byte stream (header
+  // first, then one record per `load` call) — how a shard streams a
+  // migration delta into a socket frame without materializing it.
+  static Status SaveRangeToSink(
+      const std::function<Status(const void* data, size_t size)>& sink,
+      const NodeSketchParams& params, uint64_t lo, uint64_t hi,
+      const std::function<const NodeSketch&(NodeId)>& load);
+  // Validates a range delta's header against `expect_params` and
+  // returns its bounds; the payload must cover exactly hi-lo records.
+  // `payload_offset` (optional) receives where the records start, so
+  // consumers never re-derive the header size.
+  static Status ParseSerializedNodeRange(const uint8_t* data, size_t size,
+                                         const NodeSketchParams& expect_params,
+                                         uint64_t* lo, uint64_t* hi,
+                                         size_t* payload_offset = nullptr);
+
   // Generalized streaming producer: writes the exact Serialize() byte
   // stream through `sink` (header first, then one node record per call)
   // with only one record materialized at a time. SaveStream is this with
@@ -122,7 +160,9 @@ class GraphSnapshot {
   // returned reference only needs to stay valid until the next call);
   // LoadStream validates the header against `expect_params`
   // (InvalidArgument on mismatch), hands each record to `store`, and
-  // returns the saved update count.
+  // returns the saved update count. `offset` skips a caller-owned
+  // prefix first — how a shard checkpoint embeds a snapshot stream
+  // after its own header.
   static Status SaveStream(
       const std::string& path, const NodeSketchParams& params,
       uint64_t num_updates,
@@ -130,7 +170,8 @@ class GraphSnapshot {
   static Status LoadStream(
       const std::string& path, const NodeSketchParams& expect_params,
       uint64_t* num_updates,
-      const std::function<void(NodeId, const NodeSketch&)>& store);
+      const std::function<void(NodeId, const NodeSketch&)>& store,
+      size_t offset = 0);
 
   friend bool operator==(const GraphSnapshot& a, const GraphSnapshot& b) {
     return a.num_updates_ == b.num_updates_ && a.sketches_ == b.sketches_;

@@ -196,6 +196,45 @@ Status GraphZeppelin::MergeSnapshotInto(GraphSnapshot* snapshot) {
   return Status::Ok();
 }
 
+Status GraphZeppelin::WriteNodeRangeTo(
+    uint64_t lo, uint64_t hi,
+    const std::function<Status(const void* data, size_t size)>& write) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  if (!(lo < hi && hi <= config_.num_nodes)) {
+    return Status::InvalidArgument("bad node range");
+  }
+  Flush();
+  NodeSketch scratch(store_->params());
+  return GraphSnapshot::SaveRangeToSink(
+      write, store_->params(), lo, hi,
+      [this, &scratch](NodeId i) -> const NodeSketch& {
+        store_->Load(i, &scratch);
+        return scratch;
+      });
+}
+
+Status GraphZeppelin::MergeSerializedNodeRange(const uint8_t* data,
+                                               size_t size) {
+  GZ_CHECK_MSG(initialized_, "Init() not called");
+  uint64_t lo = 0, hi = 0;
+  size_t payload_offset = 0;
+  Status s = GraphSnapshot::ParseSerializedNodeRange(
+      data, size, store_->params(), &lo, &hi, &payload_offset);
+  if (!s.ok()) return s;
+  Flush();
+  // The store's MergeDelta is the ingestion-path XOR; a migration delta
+  // folds in exactly like a worker's batch delta.
+  NodeSketch scratch(store_->params());
+  const size_t record = NodeSketch::SerializedSizeFor(store_->params());
+  const uint8_t* cursor = data + payload_offset;
+  for (uint64_t i = lo; i < hi; ++i) {
+    scratch.DeserializeFrom(cursor);
+    store_->MergeDelta(static_cast<NodeId>(i), scratch);
+    cursor += record;
+  }
+  return Status::Ok();
+}
+
 Status GraphZeppelin::LoadSnapshot(const GraphSnapshot& snapshot) {
   GZ_CHECK_MSG(initialized_, "Init() not called");
   if (!snapshot.valid() || !(snapshot.params() == store_->params())) {
@@ -228,7 +267,8 @@ Status GraphZeppelin::SaveCheckpoint(const std::string& path) {
       });
 }
 
-Status GraphZeppelin::LoadCheckpoint(const std::string& path) {
+Status GraphZeppelin::LoadCheckpoint(const std::string& path,
+                                     size_t offset) {
   GZ_CHECK_MSG(initialized_, "Init() not called");
   // Streaming counterpart of LoadFromFile + LoadSnapshot: records go
   // straight into the store without materializing a snapshot.
@@ -237,7 +277,8 @@ Status GraphZeppelin::LoadCheckpoint(const std::string& path) {
       path, store_->params(), &saved_updates,
       [this](NodeId i, const NodeSketch& sketch) {
         store_->Store(i, sketch);
-      });
+      },
+      offset);
   if (!s.ok()) return s;
   num_updates_ = saved_updates;
   return Status::Ok();

@@ -131,6 +131,26 @@ class GraphZeppelin {
   // snapshot's params don't match this instance.
   Status MergeSnapshotInto(GraphSnapshot* snapshot);
 
+  // --- Elastic-migration primitives ---------------------------------------
+  // Streams the serialized node-range delta [lo, hi) of this instance's
+  // current state through `write` (flushes first; one record in flight)
+  // — how a shard answers a MIGRATE_EXTRACT request straight into a
+  // socket frame. The range comes off the wire, so a bad one is an
+  // InvalidArgument, not a check failure.
+  Status WriteNodeRangeTo(
+      uint64_t lo, uint64_t hi,
+      const std::function<Status(const void* data, size_t size)>& write);
+
+  // XOR-folds a serialized node-range delta into this instance's sketch
+  // store (flushes first so the fold lands on a consistent state). The
+  // same call installs migrated state on a successor and cancels it on
+  // the source — XORing a shard's own extracted bytes back into it
+  // zeroes that range, which is how linearity expresses "move" without
+  // a destructive (and replay-order-sensitive) clear operation.
+  // num_updates_ingested() is never affected: stream positions stay
+  // with the shard that ingested the updates.
+  Status MergeSerializedNodeRange(const uint8_t* data, size_t size);
+
   // Overwrites this instance's sketch state with `snapshot` (e.g. one
   // received from a peer or loaded from a file) and adopts its update
   // count. Params must match; fails with InvalidArgument otherwise.
@@ -140,9 +160,11 @@ class GraphZeppelin {
   // Thin wrappers over snapshot serialization: SaveCheckpoint is
   // Snapshot().SaveToFile(path) — buffered updates are flushed first,
   // so a restore resumes exactly here — and LoadCheckpoint is
-  // GraphSnapshot::LoadFromFile + LoadSnapshot.
+  // GraphSnapshot::LoadFromFile + LoadSnapshot. `offset` skips a
+  // caller-owned file prefix (e.g. a shard checkpoint's epoch header)
+  // before the snapshot stream.
   Status SaveCheckpoint(const std::string& path);
-  Status LoadCheckpoint(const std::string& path);
+  Status LoadCheckpoint(const std::string& path, size_t offset = 0);
 
   // ----- Introspection ---------------------------------------------------
   uint64_t num_updates_ingested() const { return num_updates_; }

@@ -22,6 +22,7 @@ ShardCluster::ShardCluster(const GraphZeppelinConfig& base, int num_shards,
                            ShardClusterOptions options)
     : base_(base), options_(std::move(options)) {
   GZ_CHECK(num_shards >= 1);
+  GZ_CHECK(options_.migrate_nodes_per_chunk >= 1);
   binary_ = options_.shard_binary.empty() ? DefaultShardBinary()
                                           : options_.shard_binary;
   if (options_.checkpoint_dir.empty()) options_.checkpoint_dir = base_.disk_dir;
@@ -32,25 +33,68 @@ ShardCluster::ShardCluster(const GraphZeppelinConfig& base, int num_shards,
                  : base_.disk_dir;
   ::mkdir(log_dir_.c_str(), 0755);  // Best-effort; EEXIST is the norm.
 
-  procs_.reserve(num_shards);
+  table_ = MakeRoutingTable(num_shards);
   for (int s = 0; s < num_shards; ++s) {
-    procs_.push_back(std::make_unique<ShardProcess>());
+    const int id = AllocateShardSlot();
+    GZ_CHECK(id == s);
+    procs_[id] = std::make_unique<ShardProcess>();
   }
-  down_.assign(num_shards, true);  // Up only after Start().
-  route_bufs_.resize(num_shards);
-  unacked_.resize(num_shards);
-  has_checkpoint_.assign(num_shards, false);
-  checkpoint_updates_.assign(num_shards, 0);
 }
 
 ShardCluster::~ShardCluster() {
   if (started_) Shutdown();
   for (int s = 0; s < num_shards(); ++s) {
     // Unconditional: a checkpoint file can exist without an ack (shard
-    // crashed between publishing and replying).
+    // crashed between publishing and replying), and a removed shard's
+    // may linger if its final unlink raced a crash.
     ::unlink(CheckpointPath(s).c_str());
     ::unlink((CheckpointPath(s) + ".tmp").c_str());
   }
+}
+
+int ShardCluster::AllocateShardSlot() {
+  const int id = static_cast<int>(procs_.size());
+  procs_.emplace_back(nullptr);
+  down_.push_back(true);  // Up only once configured.
+  route_bufs_.emplace_back();
+  unacked_.emplace_back();
+  pending_deltas_.emplace_back();
+  delta_seq_sent_.push_back(0);
+  checkpoint_delta_seq_.push_back(0);
+  has_checkpoint_.push_back(false);
+  checkpoint_updates_.push_back(0);
+  return id;
+}
+
+void ShardCluster::ReleaseLastShardSlot(int id) {
+  // Full rollback of a just-allocated id whose spawn failed, so the id
+  // space stays in lockstep with the in-process mode (a burned id
+  // would make identical op sequences hand out different ids — and
+  // different tables — across the two modes).
+  GZ_CHECK(id == static_cast<int>(procs_.size()) - 1);
+  procs_.pop_back();
+  down_.pop_back();
+  route_bufs_.pop_back();
+  unacked_.pop_back();
+  pending_deltas_.pop_back();
+  delta_seq_sent_.pop_back();
+  checkpoint_delta_seq_.pop_back();
+  has_checkpoint_.pop_back();
+  checkpoint_updates_.pop_back();
+}
+
+std::vector<int> ShardCluster::ActiveShards() const {
+  std::vector<int> ids;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (procs_[s] != nullptr) ids.push_back(s);
+  }
+  return ids;
+}
+
+int ShardCluster::num_active_shards() const {
+  int n = 0;
+  for (const auto& p : procs_) n += (p != nullptr);
+  return n;
 }
 
 std::string ShardCluster::CheckpointPath(int shard) const {
@@ -74,12 +118,15 @@ GraphZeppelinConfig ShardCluster::ShardConfigFor(int shard) const {
 }
 
 Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
-                                       uint64_t* restored) {
+                                       uint64_t* restored,
+                                       uint64_t* restored_delta_seq) {
   ShardProcess& proc = *procs_[shard];
   Status s = proc.Spawn(binary_, LogPath(shard));
   if (!s.ok()) return s;
   ShardConfig sc;
   sc.config = ShardConfigFor(shard);
+  sc.shard_id = shard;
+  sc.table = table_;
   if (restore && has_checkpoint_[shard]) {
     sc.restore_checkpoint = CheckpointPath(shard);
   }
@@ -92,6 +139,7 @@ Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
     return s;
   }
   if (restored != nullptr) *restored = ack.value0;
+  if (restored_delta_seq != nullptr) *restored_delta_seq = ack.value1;
   down_[shard] = false;
   return Status::Ok();
 }
@@ -99,10 +147,28 @@ Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
 Status ShardCluster::Start() {
   if (started_) return Status::FailedPrecondition("cluster already started");
   for (int s = 0; s < num_shards(); ++s) {
-    Status st = SpawnAndConfigure(s, /*restore=*/false, nullptr);
+    Status st = SpawnAndConfigure(s, /*restore=*/false, nullptr, nullptr);
     if (!st.ok()) return st;
   }
   started_ = true;
+  return Status::Ok();
+}
+
+Status ShardCluster::SendUpdateFrames(int shard, const GraphUpdate* updates,
+                                      size_t count) {
+  // Every frame is stamped with the epoch it is sent (not originally
+  // routed) under: the stamp asserts "coordinator and shard agree on
+  // the current table", and the durability log — not the table — owns
+  // the placement of already-routed updates, so replays re-stamp.
+  const uint64_t epoch = table_.epoch;
+  for (size_t off = 0; off < count; off += kMaxUpdatesPerFrame) {
+    const size_t n = std::min(kMaxUpdatesPerFrame, count - off);
+    Status s = SendFrame2(procs_[shard]->fd(),
+                          ShardMessageType::kUpdateBatch, &epoch,
+                          sizeof(epoch), updates + off,
+                          n * sizeof(GraphUpdate));
+    if (!s.ok()) return s;
+  }
   return Status::Ok();
 }
 
@@ -120,22 +186,18 @@ Status ShardCluster::Update(const GraphUpdate* updates, size_t count) {
   for (int s = 0; s < num_shards(); ++s) {
     std::vector<GraphUpdate>& buf = route_bufs_[s];
     if (buf.empty()) continue;
+    GZ_CHECK_MSG(procs_[s] != nullptr,
+                 "table routed an update to a removed shard");
     // Durability before transport: the log must already cover these
     // updates when a mid-frame send failure strikes, so the restart
     // replay can reconstruct the shard without loss.
     unacked_[s].insert(unacked_[s].end(), buf.begin(), buf.end());
     if (!down_[s]) {
-      for (size_t off = 0; off < buf.size(); off += kMaxUpdatesPerFrame) {
-        const size_t n = std::min(kMaxUpdatesPerFrame, buf.size() - off);
-        Status st = SendFrame2(procs_[s]->fd(),
-                               ShardMessageType::kUpdateBatch, buf.data() + off,
-                               n * sizeof(GraphUpdate), nullptr, 0);
-        if (!st.ok()) {
-          // Shard unreachable: fence it and keep buffering. Nothing is
-          // lost — the log holds everything since its last checkpoint.
-          down_[s] = true;
-          break;
-        }
+      Status st = SendUpdateFrames(s, buf.data(), buf.size());
+      if (!st.ok()) {
+        // Shard unreachable: fence it and keep buffering. Nothing is
+        // lost — the log holds everything since its last checkpoint.
+        down_[s] = true;
       }
     }
     buf.clear();  // Keeps capacity for the next span.
@@ -161,6 +223,7 @@ Status ShardCluster::Update(const GraphUpdate* updates, size_t count) {
 
 Status ShardCluster::RequireAllHealthy() {
   for (int s = 0; s < num_shards(); ++s) {
+    if (procs_[s] == nullptr) continue;  // Removed ids are not shards.
     if (down_[s] || !procs_[s]->Running()) {
       return Status::FailedPrecondition(
           "shard " + std::to_string(s) +
@@ -180,6 +243,7 @@ Status ShardCluster::PipelinedBarrier(
   std::vector<bool> sent(num_shards(), false);
   Status first_error = Status::Ok();
   for (int i = 0; i < num_shards(); ++i) {
+    if (procs_[i] == nullptr) continue;
     const std::string payload = payload_for ? payload_for(i) : std::string();
     s = SendFrame(procs_[i]->fd(), type, payload.data(), payload.size());
     if (s.ok()) {
@@ -231,6 +295,10 @@ Result<GraphSnapshot> ShardCluster::Snapshot() {
                                       reply.payload.size());
       });
   if (!s.ok()) return s;
+  // Removed shards' ingested counts live on here: their sketch content
+  // migrated to survivors (count-free deltas), so the aggregate count
+  // is survivors' positions plus this adjustment.
+  merged.AddUpdates(migrated_updates_);
   return merged;
 }
 
@@ -249,21 +317,281 @@ Status ShardCluster::Checkpoint() {
                                   &ack);
         if (!d.ok()) return d;
         // The checkpoint covers everything sent before it (the socket
-        // is FIFO and the shard single-threaded), so the log restarts
-        // empty.
+        // is FIFO and the shard single-threaded): all unacked updates
+        // AND all pending deltas, so both logs restart empty.
         has_checkpoint_[i] = true;
         checkpoint_updates_[i] = ack.value0;
+        checkpoint_delta_seq_[i] = ack.value1;
         unacked_[i].clear();
+        std::vector<PendingDelta>& deltas = pending_deltas_[i];
+        deltas.erase(std::remove_if(deltas.begin(), deltas.end(),
+                                    [&ack](const PendingDelta& d) {
+                                      return d.seq <= ack.value1;
+                                    }),
+                     deltas.end());
         return Status::Ok();
       });
   if (s.ok()) updates_since_checkpoint_ = 0;
   return s;
 }
 
+// ---- Elastic resharding ----------------------------------------------------
+
+Status ShardCluster::BroadcastTable() {
+  const std::vector<uint8_t> payload = EncodeRoutingTable(table_);
+  const std::string payload_str(payload.begin(), payload.end());
+  return PipelinedBarrier(
+      ShardMessageType::kEpoch, ShardMessageType::kAck,
+      [&payload_str](int) { return payload_str; }, nullptr);
+}
+
+Status ShardCluster::SendDelta(int shard, const std::vector<uint8_t>& bytes) {
+  ShardAck ack;
+  Status s = procs_[shard]->CallAck(ShardMessageType::kMergeDelta,
+                                    bytes.data(), bytes.size(), &ack);
+  if (!s.ok()) {
+    // Transport loss or a diverged shard; either way restart + replay
+    // (which re-delivers this delta) is the repair.
+    down_[shard] = true;
+  }
+  return s;
+}
+
+Result<int> ShardCluster::AddShard() {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  if (migration_.has_value()) {
+    return Status::FailedPrecondition(
+        "a migration is active; pump it to completion first");
+  }
+  if (num_active_shards() >=
+      static_cast<int>(RoutingTable::kNumSlots)) {
+    return Status::FailedPrecondition(
+        "slot table is full; cannot add another shard");
+  }
+  Status s = RequireAllHealthy();
+  if (!s.ok()) return s;
+  const RoutingTable old_table = table_;
+  const int id = AllocateShardSlot();
+  procs_[id] = std::make_unique<ShardProcess>();
+  table_ = TableWithShardAdded(old_table, id);
+  // The new shard's CONFIG already carries the new table, so it comes
+  // up at the current epoch; everyone else learns it from the
+  // broadcast. No state migrates: an empty shard is a zero sketch, and
+  // zero is the XOR identity.
+  s = SpawnAndConfigure(id, /*restore=*/false, nullptr, nullptr);
+  if (!s.ok()) {
+    procs_[id]->Kill();
+    ReleaseLastShardSlot(id);
+    table_ = old_table;
+    return s;
+  }
+  s = BroadcastTable();
+  if (!s.ok()) return s;
+  return id;
+}
+
+Status ShardCluster::BeginRemoveShard(int shard) {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  if (procs_[shard] == nullptr) {
+    return Status::FailedPrecondition("shard already removed");
+  }
+  if (migration_.has_value()) {
+    return Status::FailedPrecondition(
+        "a migration is active; pump it to completion first");
+  }
+  if (num_active_shards() < 2) {
+    return Status::FailedPrecondition("cannot remove the last shard");
+  }
+  Status s = RequireAllHealthy();
+  if (!s.ok()) return s;
+  table_ = TableWithShardRemoved(table_, shard);
+  s = BroadcastTable();
+  if (!s.ok()) return s;
+  // From this epoch on nothing routes to `shard`; its accumulated state
+  // drains into the smallest surviving shard. Any single survivor is a
+  // correct fold target — the global XOR is what queries see.
+  Migration m;
+  m.kind = Migration::Kind::kRemove;
+  m.source = shard;
+  for (const int id : ActiveShards()) {
+    if (id != shard) {
+      m.target = id;
+      break;
+    }
+  }
+  m.next_node = 0;
+  m.end_node = base_.num_nodes;
+  migration_ = m;
+  return Status::Ok();
+}
+
+Result<int> ShardCluster::BeginSplitShard(int shard) {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  if (procs_[shard] == nullptr) {
+    return Status::FailedPrecondition("shard already removed");
+  }
+  if (migration_.has_value()) {
+    return Status::FailedPrecondition(
+        "a migration is active; pump it to completion first");
+  }
+  // Keeps the every-live-shard-owns-a-slot invariant: the child takes
+  // half the source's slots, so the source needs at least two.
+  if (TableSlotCount(table_, shard) < 2) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " owns too few routing slots to split");
+  }
+  Status s = RequireAllHealthy();
+  if (!s.ok()) return s;
+  const RoutingTable old_table = table_;
+  const int id = AllocateShardSlot();
+  procs_[id] = std::make_unique<ShardProcess>();
+  table_ = TableWithShardSplit(old_table, shard, id);
+  s = SpawnAndConfigure(id, /*restore=*/false, nullptr, nullptr);
+  if (!s.ok()) {
+    procs_[id]->Kill();
+    ReleaseLastShardSlot(id);
+    table_ = old_table;
+    return s;
+  }
+  s = BroadcastTable();
+  if (!s.ok()) return s;
+  // Balance memory too, not just routing: the upper half of the node
+  // range of the source's accumulated state moves to the new shard.
+  // (Any fixed range is exact under the XOR fold; half keeps the two
+  // sides' footprints comparable.)
+  Migration m;
+  m.kind = Migration::Kind::kSplit;
+  m.source = shard;
+  m.target = id;
+  m.next_node = base_.num_nodes / 2;
+  m.end_node = base_.num_nodes;
+  migration_ = m;
+  return id;
+}
+
+int ShardCluster::migration_source() const {
+  GZ_CHECK(migration_.has_value());
+  return migration_->source;
+}
+
+int ShardCluster::migration_target() const {
+  GZ_CHECK(migration_.has_value());
+  return migration_->target;
+}
+
+Status ShardCluster::PumpMigration() {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  if (!migration_.has_value()) {
+    return Status::FailedPrecondition("no active migration");
+  }
+  Migration& m = *migration_;
+  if (down_[m.source] || down_[m.target]) {
+    return Status::FailedPrecondition(
+        "migration shard is down; RestartShard() it, then keep pumping");
+  }
+  if (m.next_node < m.end_node) {
+    const uint64_t lo = m.next_node;
+    const uint64_t hi =
+        std::min(m.end_node, lo + options_.migrate_nodes_per_chunk);
+    // Extract is read-only on the source (its internal flush makes the
+    // chunk cover everything framed to it so far), so a failure here
+    // mutates nothing and the chunk is simply retried after repair.
+    const std::vector<uint8_t> req = EncodeMigrateExtract(lo, hi);
+    Status s = SendFrame(procs_[m.source]->fd(),
+                         ShardMessageType::kMigrateExtract, req.data(),
+                         req.size());
+    if (!s.ok()) {
+      down_[m.source] = true;
+      return s;
+    }
+    bool in_sync = false;
+    s = RecvReply(procs_[m.source]->fd(), ShardMessageType::kMigrateData,
+                  &reply_buf_, &in_sync);
+    if (!s.ok()) {
+      if (!in_sync) down_[m.source] = true;
+      return s;
+    }
+    // Durability before transport, as with the update logs: both folds
+    // — install on the target, XOR-cancel on the source — enter the
+    // pending-delta logs and the cursor advances BEFORE either frame
+    // is sent. Whatever dies after this point, restart replay (with
+    // the checkpoint's delta sequence number skipping what a published
+    // checkpoint already covers) re-delivers exactly the missing
+    // folds, and the migration resumes at the next chunk.
+    pending_deltas_[m.target].push_back(
+        {++delta_seq_sent_[m.target], reply_buf_.payload});
+    pending_deltas_[m.source].push_back(
+        {++delta_seq_sent_[m.source], std::move(reply_buf_.payload)});
+    m.next_node = hi;
+    // BOTH sends must be attempted even if the first fails: a logged
+    // delta must either reach its shard now or leave that shard fenced
+    // (SendDelta fences on failure) so restart replay delivers it.
+    // Returning between the sends would strand the source's cancel on
+    // a HEALTHY shard — nothing would ever deliver it, later deltas
+    // would close the sequence gap, and a checkpoint would truncate
+    // the one unsent fold, silently cancelling the chunk out of the
+    // global XOR.
+    const Status install =
+        SendDelta(m.target, pending_deltas_[m.target].back().bytes);
+    const Status cancel =
+        SendDelta(m.source, pending_deltas_[m.source].back().bytes);
+    return install.ok() ? cancel : install;
+  }
+  // Final step. For a split there is nothing left to do; for a removal
+  // the source — now a zero sketch holding no routed slots — retires.
+  if (m.kind == Migration::Kind::kRemove) {
+    ShardAck ack;
+    // The source is quiescent (no slots since the epoch bump, flushed
+    // by every extract), so its position is final; it must survive in
+    // the aggregate update count after the process goes away. A sticky
+    // divergence error surfaces here and blocks the removal.
+    Status s = procs_[m.source]->CallAck(ShardMessageType::kStats, nullptr,
+                                         0, &ack);
+    if (!s.ok()) {
+      down_[m.source] = true;
+      return s;
+    }
+    migrated_updates_ += ack.value0;
+    ShardAck ignored;
+    procs_[m.source]->CallAck(ShardMessageType::kShutdown, nullptr, 0,
+                              &ignored);  // Best-effort orderly exit.
+    procs_[m.source]->Kill();             // Degenerates to a reap.
+    ::unlink(CheckpointPath(m.source).c_str());
+    ::unlink((CheckpointPath(m.source) + ".tmp").c_str());
+    procs_[m.source].reset();
+    down_[m.source] = true;
+    unacked_[m.source].clear();
+    pending_deltas_[m.source].clear();
+    has_checkpoint_[m.source] = false;
+  }
+  migration_.reset();
+  return Status::Ok();
+}
+
+Status ShardCluster::RemoveShard(int shard) {
+  Status s = BeginRemoveShard(shard);
+  while (s.ok() && migration_.has_value()) s = PumpMigration();
+  return s;
+}
+
+Result<int> ShardCluster::SplitShard(int shard) {
+  Result<int> id = BeginSplitShard(shard);
+  if (!id.ok()) return id;
+  Status s = Status::Ok();
+  while (s.ok() && migration_.has_value()) s = PumpMigration();
+  if (!s.ok()) return s;
+  return id;
+}
+
+// ---- Lifecycle -------------------------------------------------------------
+
 std::vector<bool> ShardCluster::HealthCheck() {
   std::vector<bool> alive(num_shards(), false);
   for (int s = 0; s < num_shards(); ++s) {
-    if (down_[s] || !procs_[s]->Running()) continue;
+    if (procs_[s] == nullptr || down_[s] || !procs_[s]->Running()) continue;
     ShardAck ack;
     if (procs_[s]->CallAck(ShardMessageType::kPing, nullptr, 0, &ack).ok()) {
       alive[s] = true;
@@ -274,26 +602,32 @@ std::vector<bool> ShardCluster::HealthCheck() {
   return alive;
 }
 
-void ShardCluster::KillShard(int shard) {
+void ShardCluster::KillShard(int shard, bool observed) {
   GZ_CHECK(shard >= 0 && shard < num_shards());
+  GZ_CHECK_MSG(procs_[shard] != nullptr, "shard already removed");
   procs_[shard]->Kill();
-  down_[shard] = true;
+  if (observed) down_[shard] = true;
 }
 
 Status ShardCluster::RestartShard(int shard) {
   GZ_CHECK(shard >= 0 && shard < num_shards());
   if (!started_) return Status::FailedPrecondition("cluster not started");
+  if (procs_[shard] == nullptr) {
+    return Status::FailedPrecondition("shard was removed");
+  }
   procs_[shard]->Kill();  // Reaps; no-op if already dead.
-  uint64_t restored = 0;
-  Status s = SpawnAndConfigure(shard, /*restore=*/true, &restored);
+  uint64_t restored = 0, restored_seq = 0;
+  Status s = SpawnAndConfigure(shard, /*restore=*/true, &restored,
+                               &restored_seq);
   if (!s.ok()) return s;
   // Replay everything the restored checkpoint does not cover. The
   // on-disk checkpoint may be AHEAD of the last acked one (the shard
   // published it, then died before the ack): a checkpoint covers
   // exactly the updates sent before its request — a prefix of the
   // unacked log — so the restored position tells how much of the log
-  // to skip. Linearity makes the replayed shard bitwise-identical to
-  // one that never crashed either way.
+  // to skip. The same reconciliation runs for migration deltas via the
+  // checkpoint's delta sequence number. Linearity makes the replayed
+  // shard bitwise-identical to one that never crashed either way.
   const std::vector<GraphUpdate>& log = unacked_[shard];
   const uint64_t acked = has_checkpoint_[shard] ? checkpoint_updates_[shard]
                                                 : 0;
@@ -305,15 +639,29 @@ Status ShardCluster::RestartShard(int shard) {
         " is outside what the checkpoint plus the unacked log can "
         "explain");
   }
+  if (restored_seq < checkpoint_delta_seq_[shard] ||
+      restored_seq > delta_seq_sent_[shard]) {
+    procs_[shard]->Kill();
+    down_[shard] = true;
+    return Status::Internal(
+        "restored shard delta sequence " + std::to_string(restored_seq) +
+        " is outside what the checkpoint plus the pending deltas can "
+        "explain");
+  }
   const size_t skip = static_cast<size_t>(restored - acked);
-  for (size_t off = skip; off < log.size(); off += kMaxUpdatesPerFrame) {
-    const size_t n = std::min(kMaxUpdatesPerFrame, log.size() - off);
-    s = SendFrame2(procs_[shard]->fd(), ShardMessageType::kUpdateBatch,
-                   log.data() + off, n * sizeof(GraphUpdate), nullptr, 0);
+  if (skip < log.size()) {
+    s = SendUpdateFrames(shard, log.data() + skip, log.size() - skip);
     if (!s.ok()) {
       down_[shard] = true;
       return s;
     }
+  }
+  // Replay order between updates and deltas does not matter — all XOR
+  // folds commute — so deltas go second wholesale.
+  for (const PendingDelta& delta : pending_deltas_[shard]) {
+    if (delta.seq <= restored_seq) continue;  // Checkpoint covers it.
+    s = SendDelta(shard, delta.bytes);
+    if (!s.ok()) return s;
   }
   return Status::Ok();
 }
@@ -322,6 +670,7 @@ Status ShardCluster::Shutdown() {
   if (!started_) return Status::Ok();
   Status first_error = Status::Ok();
   for (int s = 0; s < num_shards(); ++s) {
+    if (procs_[s] == nullptr) continue;
     if (down_[s] || !procs_[s]->Running()) {
       procs_[s]->Kill();  // Reap whatever is left.
       continue;
@@ -343,6 +692,10 @@ Status ShardCluster::Shutdown() {
 Result<ShardStats> ShardCluster::Stats(int shard) {
   GZ_CHECK(shard >= 0 && shard < num_shards());
   if (!started_) return Status::FailedPrecondition("cluster not started");
+  if (procs_[shard] == nullptr) {
+    return Status::FailedPrecondition("shard " + std::to_string(shard) +
+                                      " was removed");
+  }
   if (down_[shard]) {
     return Status::FailedPrecondition("shard " + std::to_string(shard) +
                                       " is down");

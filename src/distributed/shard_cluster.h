@@ -1,22 +1,39 @@
 // ShardCluster: the multi-process coordinator. Owns N gz_shard worker
 // processes (one GraphZeppelin each, same seed/geometry), routes update
-// spans to them by the shared edge hash, aggregates query-time snapshot
-// replies with the GraphSnapshot merge algebra, and manages shard
-// lifecycle: spawn, health checks, checkpoints, orderly shutdown, and
-// restart-from-checkpoint of a crashed shard.
+// spans to them through a versioned slot table, aggregates query-time
+// snapshot replies with the GraphSnapshot merge algebra, and manages
+// shard lifecycle: spawn, health checks, checkpoints, orderly shutdown,
+// restart-from-checkpoint of a crashed shard — and elastic resharding:
+// shards can be added, removed or split WITHOUT pausing the stream.
 //
 // Durability model: the coordinator retains every update sent to a
 // shard since that shard's last acknowledged checkpoint (its "unacked"
-// log). A shard that dies mid-stream is restarted from its checkpoint
-// and the log is replayed — sketch linearity makes the rebuilt state
-// bitwise-identical to a run that never crashed. Updates routed to a
-// down shard buffer in the same log, so ingestion never stalls on a
-// failure; only Flush/Snapshot/Checkpoint require every shard healthy.
+// log), plus every migration delta sent since then (its "pending
+// delta" log, with a per-shard sequence number the shard persists in
+// its checkpoint header). A shard that dies mid-stream is restarted
+// from its checkpoint and both logs are replayed — sketch linearity
+// makes replay order irrelevant and the rebuilt state bitwise-identical
+// to a run that never crashed. Updates routed to a down shard buffer in
+// the same log, so ingestion never stalls on a failure; only
+// Flush/Snapshot/Checkpoint require every shard healthy.
+//
+// Elasticity model: routing is a pure function of (edge, table); see
+// RoutingTable. A reshard bumps the table's epoch, broadcasts it, and
+// then — for RemoveShard/SplitShard — migrates sketch state in
+// node-range chunks: each chunk is extracted from the source (read-only
+// RPC), XOR-folded into the target, and XOR-folded BACK into the source
+// to cancel it there. Because every step is a linear XOR, a chunk
+// "move" commutes with concurrent ingestion and with crash-replay;
+// there is no flush barrier, no destructive clear, and the global
+// folded snapshot is exact at every chunk boundary. Migration advances
+// one chunk per PumpMigration() call, so the caller interleaves
+// Update() freely — zero stream pause.
 #ifndef GZ_DISTRIBUTED_SHARD_CLUSTER_H_
 #define GZ_DISTRIBUTED_SHARD_CLUSTER_H_
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +58,10 @@ struct ShardClusterOptions {
   // unacked logs so coordinator memory stays bounded by the interval
   // instead of growing with the stream. 0 = manual Checkpoint() only.
   uint64_t checkpoint_interval_updates = 1 << 22;
+  // Node-range granularity of one PumpMigration() step. Smaller chunks
+  // mean more interleaving opportunities for Update() during a
+  // migration (and finer kill points in fault tests) at more RPCs.
+  uint64_t migrate_nodes_per_chunk = 1 << 16;
 };
 
 struct ShardStats {
@@ -62,16 +83,19 @@ class ShardCluster {
   // Spawns and configures every shard process.
   Status Start();
 
-  // Shard an update routes to; identical to the in-process router.
+  // Shard an update routes to under the current table; identical to the
+  // in-process router and to any external partitioner holding the same
+  // table.
   int ShardFor(const Edge& e) const {
-    return RouteToShard(e, base_.num_nodes, num_shards());
+    return RouteToShard(e, base_.num_nodes, table_);
   }
+  const RoutingTable& routing_table() const { return table_; }
 
   // Routes the span: each shard's slice is appended to its unacked log,
-  // then framed (scatter-gather, no copy) onto its socket. A shard that
-  // fails mid-send is marked down and its updates stay buffered; the
-  // call still returns Ok because no update was lost. Restart the shard
-  // to drain its backlog.
+  // then framed (scatter-gather, no copy, stamped with the routing
+  // epoch) onto its socket. A shard that fails mid-send is marked down
+  // and its updates stay buffered; the call still returns Ok because no
+  // update was lost. Restart the shard to drain its backlog.
   Status Update(const GraphUpdate* updates, size_t count);
   Status Update(const GraphUpdate& update) { return Update(&update, 1); }
 
@@ -79,51 +103,123 @@ class ShardCluster {
   Status Flush();
   // Aggregated query surface: streams every shard's serialized snapshot
   // back and XOR-folds the replies (one deserialized snapshot plus one
-  // scratch sketch in flight).
+  // scratch sketch in flight). Exact even mid-migration: chunk moves
+  // are install+cancel pairs, so the global XOR never double-counts.
   Result<GraphSnapshot> Snapshot();
-  // Checkpoints every shard. Each shard's unacked log is truncated as
-  // its ack arrives — commits are per-shard, so a failure on one shard
-  // leaves the others' coordinator state consistent with their disk
-  // checkpoints (a shard whose checkpoint landed but whose ack was
-  // lost is reconciled at restart; see RestartShard).
+  // Checkpoints every shard. Each shard's unacked log and pending-delta
+  // log are truncated as its ack arrives — commits are per-shard, so a
+  // failure on one shard leaves the others' coordinator state
+  // consistent with their disk checkpoints (a shard whose checkpoint
+  // landed but whose ack was lost is reconciled at restart; see
+  // RestartShard).
   Status Checkpoint();
 
+  // --- Elastic resharding --------------------------------------------------
+  // Adds a fresh shard (new highest id): spawns it, rebalances slots to
+  // it, bumps + broadcasts the epoch. No state migrates — the new shard
+  // starts empty and linearity makes that exact. Returns the new id.
+  Result<int> AddShard();
+  // Starts removing `shard`: its slots are dealt to the remaining
+  // shards (epoch bump, broadcast), then PumpMigration() drains its
+  // state chunk-by-chunk into a successor and finally shuts it down.
+  Status BeginRemoveShard(int shard);
+  // Starts splitting `shard`: a fresh shard (new highest id) takes half
+  // its slots (epoch bump, broadcast), then PumpMigration() moves the
+  // upper half of the node range of its accumulated state across.
+  // Returns the new shard's id.
+  Result<int> BeginSplitShard(int shard);
+  // Advances the active migration by one step (one node-range chunk,
+  // or the final shutdown/bookkeeping step). Interleave with Update()
+  // at will. On a shard failure the step's effects are already in the
+  // durability logs: RestartShard() the fenced shard, then keep
+  // pumping — the migration converges to the same bytes.
+  Status PumpMigration();
+  bool migration_active() const { return migration_.has_value(); }
+  int migration_source() const;
+  int migration_target() const;
+  // Synchronous conveniences: Begin* + pump to completion.
+  Status RemoveShard(int shard);
+  Result<int> SplitShard(int shard);
+
   // Lifecycle.
-  // Liveness per shard: process running and answering pings.
+  // Liveness per shard id: process running and answering pings
+  // (removed ids report false).
   std::vector<bool> HealthCheck();
-  // SIGKILL (fault injection / fencing); updates keep buffering.
-  void KillShard(int shard);
+  // SIGKILL (fault injection / fencing); updates keep buffering. With
+  // observed=false the coordinator does NOT fence the shard — modeling
+  // a spontaneous crash it has not detected yet, so tests can drive
+  // the paths that must self-fence on a failed send.
+  void KillShard(int shard, bool observed = true);
   // Respawn `shard`, restore its last checkpoint (if any), replay its
-  // unacked log. Afterwards the shard is exactly where it would be had
-  // it never died.
+  // unacked updates and its pending migration deltas (the checkpoint's
+  // stream position and delta sequence number say exactly which are
+  // already covered). Afterwards the shard is exactly where it would be
+  // had it never died.
   Status RestartShard(int shard);
   // Orderly shutdown of every live shard (kShutdown + reap).
   Status Shutdown();
 
   Result<ShardStats> Stats(int shard);
 
+  // Size of the shard-id space (ids are never reused; removed ids stay
+  // allocated). Equals the active count until the first RemoveShard.
   int num_shards() const { return static_cast<int>(procs_.size()); }
+  // Ids of shards that currently exist, ascending.
+  std::vector<int> ActiveShards() const;
+  int num_active_shards() const;
+  bool shard_removed(int shard) const { return procs_[shard] == nullptr; }
   bool shard_down(int shard) const { return down_[shard]; }
   uint64_t unacked_updates(int shard) const {
     return unacked_[shard].size();
   }
+  uint64_t pending_delta_count(int shard) const {
+    return pending_deltas_[shard].size();
+  }
 
  private:
-  // Spawns + configures; `restored` receives the shard's stream
-  // position after any checkpoint restore.
-  Status SpawnAndConfigure(int shard, bool restore, uint64_t* restored);
+  struct PendingDelta {
+    uint64_t seq = 0;  // 1-based per-shard kMergeDelta sequence number.
+    std::vector<uint8_t> bytes;
+  };
+  struct Migration {
+    enum class Kind { kRemove, kSplit };
+    Kind kind = Kind::kRemove;
+    int source = -1;
+    int target = -1;
+    uint64_t next_node = 0;  // First node of the next chunk.
+    uint64_t end_node = 0;   // One past the last node to migrate.
+  };
+
+  // Spawns + configures; `restored` / `restored_delta_seq` receive the
+  // shard's stream position and delta sequence number after any
+  // checkpoint restore.
+  Status SpawnAndConfigure(int shard, bool restore, uint64_t* restored,
+                           uint64_t* restored_delta_seq);
   std::string CheckpointPath(int shard) const;
   std::string LogPath(int shard) const;
   GraphZeppelinConfig ShardConfigFor(int shard) const;
+  // Grows every per-shard vector for a freshly allocated id.
+  int AllocateShardSlot();
+  // Rolls a just-allocated (still-last) id back out after a failed
+  // spawn, keeping id assignment in lockstep with the in-process mode.
+  void ReleaseLastShardSlot(int id);
+  // Sends the current table to every active shard (kEpoch barrier).
+  Status BroadcastTable();
+  // kMergeDelta RPC; fences the shard on failure (transport loss or a
+  // diverged shard — either way restart + replay is the repair).
+  Status SendDelta(int shard, const std::vector<uint8_t>& bytes);
+  // Sends one epoch-stamped update frame chain for `buf[off..)`.
+  Status SendUpdateFrames(int shard, const GraphUpdate* updates,
+                          size_t count);
   // The one pipelined-barrier implementation every cluster-wide
   // operation shares: sends `type` (payload from `payload_for`, if
-  // given) to every shard, then collects a reply from EVERY shard that
-  // got a request — even after a failure, so no reply is ever left
-  // queued to desync a later barrier. A shard is fenced (down_) only
-  // when its connection lost sync, not on an application-level kError.
-  // `on_reply` (optional) runs per well-formed `expected_reply` frame;
-  // its error fails the barrier without fencing. Returns the first
-  // error encountered.
+  // given) to every active shard, then collects a reply from EVERY
+  // shard that got a request — even after a failure, so no reply is
+  // ever left queued to desync a later barrier. A shard is fenced
+  // (down_) only when its connection lost sync, not on an
+  // application-level kError. `on_reply` (optional) runs per
+  // well-formed `expected_reply` frame; its error fails the barrier
+  // without fencing. Returns the first error encountered.
   Status PipelinedBarrier(
       ShardMessageType type, ShardMessageType expected_reply,
       const std::function<std::string(int shard)>& payload_for,
@@ -137,16 +233,28 @@ class ShardCluster {
   std::string log_dir_;
   bool started_ = false;
 
+  RoutingTable table_;
+  // Index = shard id; nullptr marks a removed id (never reused).
   std::vector<std::unique_ptr<ShardProcess>> procs_;
   std::vector<bool> down_;
   // Per-shard routing buffers (capacity persists across spans).
   std::vector<std::vector<GraphUpdate>> route_bufs_;
   // Per-shard updates sent since the last acked checkpoint.
   std::vector<std::vector<GraphUpdate>> unacked_;
+  // Per-shard migration deltas sent since the last acked checkpoint,
+  // with the sequence numbers the shard's checkpoint header reconciles
+  // against on restart.
+  std::vector<std::vector<PendingDelta>> pending_deltas_;
+  std::vector<uint64_t> delta_seq_sent_;        // Total ever sent.
+  std::vector<uint64_t> checkpoint_delta_seq_;  // At last acked ckpt.
   std::vector<bool> has_checkpoint_;
   // Stream position of each shard's last ACKED checkpoint; the on-disk
   // file may be newer if an ack was lost to a crash.
   std::vector<uint64_t> checkpoint_updates_;
+  // Stream positions of removed shards: their ingested counts fold into
+  // every Snapshot() so the aggregate update count survives removal.
+  uint64_t migrated_updates_ = 0;
+  std::optional<Migration> migration_;
   uint64_t updates_since_checkpoint_ = 0;  // Drives auto-checkpointing.
   ShardFrame reply_buf_;  // Reused for pipelined replies.
 };

@@ -1,5 +1,6 @@
 #include "distributed/shard_protocol.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstring>
@@ -8,6 +9,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include "util/check.h"
 #include "util/xxhash.h"
 
 namespace gz {
@@ -43,7 +45,7 @@ Status DecodeHeader(const uint8_t in[ShardFrameHeader::kBytes],
         std::to_string(ShardFrameHeader::kVersion) + ")");
   }
   if (type16 < static_cast<uint16_t>(ShardMessageType::kConfig) ||
-      type16 > static_cast<uint16_t>(ShardMessageType::kError)) {
+      type16 > static_cast<uint16_t>(ShardMessageType::kMigrateData)) {
     return Status::InvalidArgument("shard frame: unknown message type " +
                                    std::to_string(type16));
   }
@@ -267,6 +269,52 @@ Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
   return Status::Ok();
 }
 
+namespace {
+
+// Routing-table fields shared by the standalone kEpoch payload and the
+// embedded copy inside kConfig.
+void WriteTable(const RoutingTable& table, ByteWriter* w) {
+  GZ_CHECK(table.owners.size() == RoutingTable::kNumSlots);
+  w->U64(table.epoch);
+  w->U32(RoutingTable::kNumSlots);
+  for (const int32_t owner : table.owners) w->I32(owner);
+}
+
+// Structural + range validation in one place: a table off the wire must
+// be directly usable (every slot owned by a sane shard id, real epoch).
+bool ReadTable(ByteReader* r, RoutingTable* table) {
+  uint32_t num_slots = 0;
+  if (!r->U64(&table->epoch) || !r->U32(&num_slots) ||
+      num_slots != RoutingTable::kNumSlots || table->epoch == 0) {
+    return false;
+  }
+  table->owners.assign(RoutingTable::kNumSlots, 0);
+  for (int32_t& owner : table->owners) {
+    if (!r->I32(&owner) || owner < 0 ||
+        owner >= RoutingTable::kMaxShardId) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRoutingTable(const RoutingTable& table) {
+  ByteWriter w;
+  WriteTable(table, &w);
+  return w.Take();
+}
+
+Status DecodeRoutingTable(const uint8_t* data, size_t size,
+                          RoutingTable* out) {
+  ByteReader r(data, size);
+  if (!ReadTable(&r, out) || !r.Done()) {
+    return Status::InvalidArgument("malformed routing table payload");
+  }
+  return Status::Ok();
+}
+
 std::vector<uint8_t> EncodeShardConfig(const ShardConfig& sc) {
   const GraphZeppelinConfig& c = sc.config;
   ByteWriter w;
@@ -284,6 +332,8 @@ std::vector<uint8_t> EncodeShardConfig(const ShardConfig& sc) {
   w.I32(c.query_threads);
   w.Str(c.disk_dir);
   w.Str(c.instance_tag);
+  w.I32(sc.shard_id);
+  WriteTable(sc.table, &w);
   w.Str(sc.restore_checkpoint);
   return w.Take();
 }
@@ -300,8 +350,13 @@ Status DecodeShardConfig(const uint8_t* data, size_t size,
       r.U64(&c.nodes_per_gutter_group) &&
       r.U64(&c.gutter_tree_buffer_bytes) && r.U64(&c.gutter_tree_fanout) &&
       r.I32(&c.query_threads) && r.Str(&c.disk_dir) &&
-      r.Str(&c.instance_tag) && r.Str(&out->restore_checkpoint) && r.Done();
+      r.Str(&c.instance_tag) && r.I32(&out->shard_id) &&
+      ReadTable(&r, &out->table) && r.Str(&out->restore_checkpoint) &&
+      r.Done();
   if (!ok) return Status::InvalidArgument("malformed shard config payload");
+  if (out->shard_id < 0 || out->shard_id >= RoutingTable::kMaxShardId) {
+    return Status::InvalidArgument("shard config payload out of range");
+  }
   // Full range validation: every field a GraphZeppelin GZ_CHECK (or a
   // sketch constructor, or an absurd allocation) would abort on must
   // bounce here instead — the payload came off a socket, and a bad
@@ -361,10 +416,166 @@ Status DecodeShardError(const uint8_t* data, size_t size, bool* decode_ok) {
   return Status(static_cast<StatusCode>(code), "shard: " + message);
 }
 
-int RouteToShard(const Edge& e, uint64_t num_nodes, int num_shards) {
+std::vector<uint8_t> EncodeMigrateExtract(uint64_t lo, uint64_t hi) {
+  ByteWriter w;
+  w.U64(lo);
+  w.U64(hi);
+  return w.Take();
+}
+
+Status DecodeMigrateExtract(const uint8_t* data, size_t size, uint64_t* lo,
+                            uint64_t* hi) {
+  ByteReader r(data, size);
+  if (!r.U64(lo) || !r.U64(hi) || !r.Done()) {
+    return Status::InvalidArgument("malformed migrate-extract payload");
+  }
+  return Status::Ok();
+}
+
+uint32_t RouteSlot(const Edge& e, uint64_t num_nodes) {
   const uint64_t idx = EdgeToIndex(e, num_nodes);
-  return static_cast<int>(XxHash64Word(idx, 0x7368617264ULL) %
-                          static_cast<uint64_t>(num_shards));
+  // kNumSlots is a power of two, so the mask takes the hash's low bits
+  // uniformly — no modulo bias for any downstream shard count (the old
+  // hash % num_shards was biased whenever num_shards was not a power
+  // of two; slot ownership is balanced by construction instead).
+  static_assert((RoutingTable::kNumSlots &
+                 (RoutingTable::kNumSlots - 1)) == 0,
+                "slot reduction must be a mask");
+  return static_cast<uint32_t>(XxHash64Word(idx, 0x7368617264ULL) &
+                               (RoutingTable::kNumSlots - 1));
+}
+
+int RouteToShard(const Edge& e, uint64_t num_nodes,
+                 const RoutingTable& table) {
+  GZ_CHECK_MSG(table.owners.size() == RoutingTable::kNumSlots,
+               "routing with an unset table");
+  return table.owners[RouteSlot(e, num_nodes)];
+}
+
+RoutingTable MakeRoutingTable(int num_shards) {
+  GZ_CHECK(num_shards >= 1 && num_shards < RoutingTable::kMaxShardId);
+  RoutingTable table;
+  table.epoch = 1;
+  table.owners.resize(RoutingTable::kNumSlots);
+  for (uint32_t s = 0; s < RoutingTable::kNumSlots; ++s) {
+    table.owners[s] = static_cast<int32_t>(s % num_shards);
+  }
+  return table;
+}
+
+std::vector<int> TableOwners(const RoutingTable& table) {
+  std::vector<int> owners(table.owners.begin(), table.owners.end());
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+namespace {
+
+// Slots owned per shard id, over the ids present in `table` plus
+// `extra` (so a brand-new shard shows up with count 0).
+std::vector<std::pair<int, int>> OwnershipCounts(const RoutingTable& table,
+                                                 int extra) {
+  std::vector<int> ids = TableOwners(table);
+  if (extra >= 0 &&
+      std::find(ids.begin(), ids.end(), extra) == ids.end()) {
+    ids.push_back(extra);
+    std::sort(ids.begin(), ids.end());
+  }
+  std::vector<std::pair<int, int>> counts;
+  for (const int id : ids) {
+    int n = 0;
+    for (const int32_t owner : table.owners) n += (owner == id);
+    counts.push_back({id, n});
+  }
+  return counts;
+}
+
+}  // namespace
+
+int TableSlotCount(const RoutingTable& table, int shard) {
+  int n = 0;
+  for (const int32_t owner : table.owners) n += (owner == shard);
+  return n;
+}
+
+RoutingTable TableWithShardAdded(const RoutingTable& table, int new_shard) {
+  GZ_CHECK(new_shard >= 0 && new_shard < RoutingTable::kMaxShardId);
+  GZ_CHECK_MSG(TableOwners(table).size() < RoutingTable::kNumSlots,
+               "slot table is full; cannot add another owner");
+  RoutingTable out = table;
+  out.epoch = table.epoch + 1;
+  auto counts = OwnershipCounts(out, new_shard);
+  const int target =
+      static_cast<int>(RoutingTable::kNumSlots / counts.size());
+  int own = 0;
+  for (const auto& [id, n] : counts) {
+    if (id == new_shard) own = n;
+  }
+  while (own < target) {
+    // Steal one slot from the current largest owner (ties: smallest
+    // id), taking its lowest-index slot — fully deterministic, so the
+    // in-process and process-backed coordinators derive identical
+    // tables.
+    counts = OwnershipCounts(out, new_shard);
+    int victim = -1, victim_count = -1;
+    for (const auto& [id, n] : counts) {
+      if (id != new_shard && n > victim_count) {
+        victim = id;
+        victim_count = n;
+      }
+    }
+    GZ_CHECK(victim >= 0);
+    for (uint32_t s = 0; s < RoutingTable::kNumSlots; ++s) {
+      if (out.owners[s] == victim) {
+        out.owners[s] = new_shard;
+        break;
+      }
+    }
+    ++own;
+  }
+  return out;
+}
+
+RoutingTable TableWithShardRemoved(const RoutingTable& table, int removed) {
+  RoutingTable out = table;
+  out.epoch = table.epoch + 1;
+  for (uint32_t s = 0; s < RoutingTable::kNumSlots; ++s) {
+    if (out.owners[s] != removed) continue;
+    // Deal to the remaining owner with the fewest slots (ties:
+    // smallest id).
+    auto counts = OwnershipCounts(out, -1);
+    int heir = -1, heir_count = -1;
+    for (const auto& [id, n] : counts) {
+      if (id != removed && (heir < 0 || n < heir_count)) {
+        heir = id;
+        heir_count = n;
+      }
+    }
+    GZ_CHECK_MSG(heir >= 0, "cannot remove the last shard");
+    out.owners[s] = heir;
+  }
+  return out;
+}
+
+RoutingTable TableWithShardSplit(const RoutingTable& table, int source,
+                                 int new_shard) {
+  GZ_CHECK(new_shard >= 0 && new_shard < RoutingTable::kMaxShardId);
+  // A 1-slot source would leave the child with nothing: a live shard
+  // no table row points at, invisible to every owner-derived walk
+  // (including the heir search a later removal runs). Callers guard
+  // this with a Status; here it is a programmer error.
+  GZ_CHECK_MSG(TableSlotCount(table, source) >= 2,
+               "split source owns fewer than two slots");
+  RoutingTable out = table;
+  out.epoch = table.epoch + 1;
+  bool take = false;
+  for (uint32_t s = 0; s < RoutingTable::kNumSlots; ++s) {
+    if (out.owners[s] != source) continue;
+    if (take) out.owners[s] = new_shard;
+    take = !take;
+  }
+  return out;
 }
 
 }  // namespace gz

@@ -34,7 +34,8 @@ static_assert(sizeof(GraphUpdate) == 12, "wire layout of GraphUpdate");
 enum class ShardMessageType : uint16_t {
   // Coordinator -> shard.
   kConfig = 1,       // Config payload; shard Init()s (+ checkpoint restore).
-  kUpdateBatch = 2,  // Flat GraphUpdate slab. Fire-and-forget (no reply).
+  kUpdateBatch = 2,  // u64 routing epoch + flat GraphUpdate slab.
+                     // Fire-and-forget (no reply).
   kFlush = 3,        // Drain gutters + workers.
   kSnapshot = 4,     // Reply: kSnapshotBytes.
   kCheckpoint = 5,   // Payload: file path. Shard saves a checkpoint.
@@ -45,11 +46,20 @@ enum class ShardMessageType : uint16_t {
   kAck = 9,            // Two u64 values; meaning depends on the request.
   kSnapshotBytes = 10,  // GraphSnapshot::Serialize payload.
   kError = 11,          // u32 StatusCode + message string.
+  // Elastic resharding (coordinator -> shard, except kMigrateData).
+  kEpoch = 12,           // RoutingTable payload; shard adopts the new
+                         // epoch. Reply: kAck{num_updates, delta_seq}.
+  kMigrateExtract = 13,  // Two u64s [lo, hi): serialize that node range
+                         // of the shard's state. Reply: kMigrateData.
+  kMergeDelta = 14,      // Node-range delta payload; shard XOR-folds it
+                         // in. Reply: kAck{num_updates, delta_seq}.
+  kMigrateData = 15,     // Shard -> coordinator: serialized node-range
+                         // delta (GraphSnapshot range format).
 };
 
 struct ShardFrameHeader {
   static constexpr uint32_t kMagic = 0x50535A47;  // "GZSP" little-endian.
-  static constexpr uint16_t kVersion = 1;
+  static constexpr uint16_t kVersion = 2;  // v2: epochs + migration frames.
   static constexpr size_t kBytes = 16;
   // Caps a garbage length field. Sized for legitimate big snapshots,
   // so it does not alone bound allocations — RecvFrame additionally
@@ -104,12 +114,77 @@ Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
 Status WriteFull(int fd, const void* data, size_t size);
 Status ReadFull(int fd, void* data, size_t size);
 
+// ---- Routing --------------------------------------------------------------
+
+// The versioned routing table: the edge hash picks one of kNumSlots
+// virtual slots (a power of two, so the reduction is a mask — no
+// modulo bias for ANY shard count), and the table assigns each slot to
+// a shard id. Elastic operations reassign slots and bump the epoch;
+// the coordinator owns the table, ships it to shards in CONFIG/EPOCH
+// frames, and stamps the epoch on every UPDATE_BATCH so a frame routed
+// under a different table is detected, never silently ingested.
+struct RoutingTable {
+  static constexpr uint32_t kNumSlots = 256;
+  // Shard ids are small non-negative integers; this caps what a wire
+  // decode accepts (and what any deployment remotely needs).
+  static constexpr int32_t kMaxShardId = 4096;
+
+  uint64_t epoch = 0;  // 0 = unset; real tables start at 1.
+  std::vector<int32_t> owners;  // kNumSlots entries: slot -> shard id.
+
+  friend bool operator==(const RoutingTable& a, const RoutingTable& b) {
+    return a.epoch == b.epoch && a.owners == b.owners;
+  }
+};
+
+// Epoch-1 table for shards {0 .. num_shards-1}: slots dealt round-robin,
+// so every shard owns floor or ceil of kNumSlots/num_shards slots.
+RoutingTable MakeRoutingTable(int num_shards);
+
+// The slot an edge hashes to; pure in (edge, num_nodes).
+uint32_t RouteSlot(const Edge& e, uint64_t num_nodes);
+
+// The shard an update belongs to: a pure function of (edge, table),
+// shared by the in-process and process-backed coordinators, the shards
+// themselves, and any external stream partitioner — all parties with
+// the same table agree on every placement.
+int RouteToShard(const Edge& e, uint64_t num_nodes,
+                 const RoutingTable& table);
+
+// Pure rebalance steps; each returns a table with epoch + 1. Together
+// they maintain the invariant that EVERY live shard owns at least one
+// slot (so the active set always equals TableOwners()): Added requires
+// fewer than kNumSlots owners, Split requires the source to own at
+// least two slots (checked — the elastic entry points guard both with
+// Status errors first), and Removed therefore always finds an heir
+// while any other shard remains.
+// AddShard: the new shard takes slots from the current largest owners
+// until ownership is balanced.
+RoutingTable TableWithShardAdded(const RoutingTable& table, int new_shard);
+// RemoveShard: the removed shard's slots are dealt to the remaining
+// owners, smallest-ownership first.
+RoutingTable TableWithShardRemoved(const RoutingTable& table, int removed);
+// SplitShard: every second slot of `source` moves to `new_shard`.
+RoutingTable TableWithShardSplit(const RoutingTable& table, int source,
+                                 int new_shard);
+// Slots `shard` owns in `table`; the entry-point guards above use it.
+int TableSlotCount(const RoutingTable& table, int shard);
+// Distinct shard ids owning at least one slot, ascending.
+std::vector<int> TableOwners(const RoutingTable& table);
+
+std::vector<uint8_t> EncodeRoutingTable(const RoutingTable& table);
+Status DecodeRoutingTable(const uint8_t* data, size_t size,
+                          RoutingTable* out);
+
 // ---- Payload codecs -------------------------------------------------------
 
-// kConfig payload: the shard's GraphZeppelinConfig plus an optional
-// checkpoint path to restore from before serving.
+// kConfig payload: the shard's GraphZeppelinConfig, its shard id, the
+// current routing table, plus an optional checkpoint path to restore
+// from before serving.
 struct ShardConfig {
   GraphZeppelinConfig config;
+  int32_t shard_id = 0;
+  RoutingTable table;
   std::string restore_checkpoint;  // Empty = fresh start.
 };
 
@@ -132,13 +207,10 @@ std::vector<uint8_t> EncodeShardError(const Status& status);
 // whether the payload itself was well-formed.
 Status DecodeShardError(const uint8_t* data, size_t size, bool* decode_ok);
 
-// ---- Routing --------------------------------------------------------------
-
-// The shard an update belongs to: deterministic by edge, shared by the
-// in-process and process-backed coordinators (and any external stream
-// partitioner), so the two modes produce bitwise-identical shard
-// streams.
-int RouteToShard(const Edge& e, uint64_t num_nodes, int num_shards);
+// kMigrateExtract payload: the node range [lo, hi) to serialize.
+std::vector<uint8_t> EncodeMigrateExtract(uint64_t lo, uint64_t hi);
+Status DecodeMigrateExtract(const uint8_t* data, size_t size, uint64_t* lo,
+                            uint64_t* hi);
 
 }  // namespace gz
 

@@ -8,6 +8,36 @@
 #include "core/graph_snapshot.h"
 
 namespace gz {
+namespace {
+
+// fwrite/fread sinks for the checkpoint file forms.
+Status WriteTo(FILE* f, const void* data, size_t size,
+               const std::string& path) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::IoError("short write to shard checkpoint: " + path);
+  }
+  return Status::Ok();
+}
+
+void EncodeCheckpointHeader(const ShardCheckpointHeader& header,
+                            uint8_t out[ShardCheckpointHeader::kBytes]) {
+  std::memcpy(out, ShardCheckpointHeader::kMagic, 8);
+  std::memcpy(out + 8, &header.epoch, 8);
+  std::memcpy(out + 16, &header.delta_seq, 8);
+}
+
+Status DecodeCheckpointHeader(
+    const uint8_t in[ShardCheckpointHeader::kBytes],
+    ShardCheckpointHeader* header) {
+  if (std::memcmp(in, ShardCheckpointHeader::kMagic, 8) != 0) {
+    return Status::InvalidArgument("not a shard checkpoint: bad magic");
+  }
+  std::memcpy(&header->epoch, in + 8, 8);
+  std::memcpy(&header->delta_seq, in + 16, 8);
+  return Status::Ok();
+}
+
+}  // namespace
 
 Status ShardServer::ReplyAck(uint64_t value0, uint64_t value1) {
   ShardAck ack;
@@ -35,12 +65,45 @@ Status ShardServer::HandleConfig(const ShardFrame& frame) {
   auto gz = std::make_unique<GraphZeppelin>(sc.config);
   s = gz->Init();
   if (!s.ok()) return ReplyError(s);
+  uint64_t delta_seq = 0;
   if (!sc.restore_checkpoint.empty()) {
-    s = gz->LoadCheckpoint(sc.restore_checkpoint);
+    // The checkpoint's own epoch gates the restore: state saved under
+    // epoch E folded back under an OLDER table would silently disagree
+    // with the coordinator about every placement since E — that is an
+    // inconsistent hand-off, not a recovery.
+    FILE* f = std::fopen(sc.restore_checkpoint.c_str(), "rb");
+    if (f == nullptr) {
+      return ReplyError(Status::NotFound("cannot open shard checkpoint: " +
+                                         sc.restore_checkpoint));
+    }
+    uint8_t header_buf[ShardCheckpointHeader::kBytes];
+    if (std::fread(header_buf, 1, sizeof(header_buf), f) !=
+        sizeof(header_buf)) {
+      std::fclose(f);
+      return ReplyError(Status::InvalidArgument(
+          "truncated shard checkpoint header: " + sc.restore_checkpoint));
+    }
+    std::fclose(f);
+    ShardCheckpointHeader header;
+    s = DecodeCheckpointHeader(header_buf, &header);
     if (!s.ok()) return ReplyError(s);
+    if (header.epoch > sc.table.epoch) {
+      return ReplyError(Status::FailedPrecondition(
+          "checkpoint epoch " + std::to_string(header.epoch) +
+          " is newer than the config's routing epoch " +
+          std::to_string(sc.table.epoch) +
+          "; refusing an inconsistent restore"));
+    }
+    s = gz->LoadCheckpoint(sc.restore_checkpoint,
+                           ShardCheckpointHeader::kBytes);
+    if (!s.ok()) return ReplyError(s);
+    delta_seq = header.delta_seq;
   }
   gz_ = std::move(gz);
-  return ReplyAck(gz_->num_updates_ingested());
+  shard_id_ = sc.shard_id;
+  table_ = std::move(sc.table);
+  delta_seq_ = delta_seq;
+  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
 }
 
 Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
@@ -55,16 +118,36 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
     if (async_error_.ok()) async_error_ = std::move(error);
     return Status::Ok();
   };
-  if (frame.payload.size() % sizeof(GraphUpdate) != 0) {
+  if (frame.payload.size() < sizeof(uint64_t) ||
+      (frame.payload.size() - sizeof(uint64_t)) % sizeof(GraphUpdate) !=
+          0) {
     return defer(Status::InvalidArgument(
-        "update batch payload is not a whole number of updates"));
+        "update batch payload is not an epoch stamp plus a whole number "
+        "of updates"));
   }
-  const size_t count = frame.payload.size() / sizeof(GraphUpdate);
-  const GraphUpdate* updates =
-      reinterpret_cast<const GraphUpdate*>(frame.payload.data());
+  uint64_t epoch = 0;
+  std::memcpy(&epoch, frame.payload.data(), sizeof(epoch));
+  if (epoch != table_.epoch) {
+    // The stamp proves which table the batch was routed under; any
+    // mismatch means coordinator and shard disagree about placement.
+    // FIFO framing makes this impossible from a correct coordinator
+    // (EPOCH frames precede re-stamped traffic), so a mismatch is a
+    // dropped-frame-level fault, handled the same way.
+    return defer(Status::InvalidArgument(
+        "update batch stamped with routing epoch " + std::to_string(epoch) +
+        " but shard is at epoch " + std::to_string(table_.epoch)));
+  }
+  const size_t count =
+      (frame.payload.size() - sizeof(uint64_t)) / sizeof(GraphUpdate);
+  const GraphUpdate* updates = reinterpret_cast<const GraphUpdate*>(
+      frame.payload.data() + sizeof(uint64_t));
   // Validate before ingesting: GraphZeppelin treats a malformed update
   // as a programmer error (GZ_CHECK), but here the bytes came off a
-  // socket and must bounce, not abort.
+  // socket and must bounce, not abort. Note no per-update ownership
+  // check against the table: a replayed batch legitimately lands here
+  // even when the CURRENT table routes its edges elsewhere — the
+  // coordinator's durability log, not the table, owns placement of
+  // already-routed updates.
   const uint64_t n = gz_->config().num_nodes;
   for (size_t i = 0; i < count; ++i) {
     const GraphUpdate& u = updates[i];
@@ -102,7 +185,24 @@ Status ShardServer::HandleCheckpoint(const ShardFrame& frame) {
   // model) must never destroy the previous good checkpoint, which the
   // in-place truncation of a direct save would.
   const std::string tmp = path + ".tmp";
-  Status s = gz_->SaveCheckpoint(tmp);
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return ReplyError(Status::IoError("cannot create checkpoint: " + tmp));
+  }
+  ShardCheckpointHeader header;
+  header.epoch = table_.epoch;
+  header.delta_seq = delta_seq_;
+  uint8_t header_buf[ShardCheckpointHeader::kBytes];
+  EncodeCheckpointHeader(header, header_buf);
+  Status s = WriteTo(f, header_buf, sizeof(header_buf), tmp);
+  if (s.ok()) {
+    s = gz_->WriteSnapshotTo([f, &tmp](const void* data, size_t size) {
+      return WriteTo(f, data, size, tmp);
+    });
+  }
+  if (std::fclose(f) != 0 && s.ok()) {
+    s = Status::IoError("cannot finish checkpoint: " + tmp);
+  }
   if (!s.ok()) {
     ::unlink(tmp.c_str());
     return ReplyError(s);
@@ -112,7 +212,54 @@ Status ShardServer::HandleCheckpoint(const ShardFrame& frame) {
     return ReplyError(
         Status::IoError("cannot publish checkpoint: " + path));
   }
-  return ReplyAck(gz_->num_updates_ingested());
+  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
+}
+
+Status ShardServer::HandleEpoch(const ShardFrame& frame) {
+  RoutingTable table;
+  Status s = DecodeRoutingTable(frame.payload.data(), frame.payload.size(),
+                                &table);
+  if (!s.ok()) return ReplyError(s);
+  if (table.epoch < table_.epoch) {
+    // Epochs only move forward; a regression means a stale coordinator.
+    return ReplyError(Status::FailedPrecondition(
+        "routing epoch regression: shard at " +
+        std::to_string(table_.epoch) + ", offered " +
+        std::to_string(table.epoch)));
+  }
+  table_ = std::move(table);
+  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
+}
+
+Status ShardServer::HandleMigrateExtract(const ShardFrame& frame) {
+  uint64_t lo = 0, hi = 0;
+  Status s = DecodeMigrateExtract(frame.payload.data(),
+                                  frame.payload.size(), &lo, &hi);
+  if (!s.ok()) return ReplyError(s);
+  if (!(lo < hi && hi <= gz_->config().num_nodes)) {
+    return ReplyError(
+        Status::InvalidArgument("migrate-extract range out of bounds"));
+  }
+  // Read-only: extraction mutates nothing, so the coordinator can
+  // retry it freely after any failure. The flush inside
+  // WriteNodeRangeTo guarantees every update framed before this
+  // request is inside the extracted bytes.
+  const uint64_t bytes =
+      GraphSnapshot::SerializedRangeSizeFor(gz_->sketch_params(), lo, hi);
+  s = SendFrameHeader(fd_, ShardMessageType::kMigrateData, bytes);
+  if (!s.ok()) return s;
+  return gz_->WriteNodeRangeTo(lo, hi,
+                               [this](const void* data, size_t size) {
+                                 return WriteFull(fd_, data, size);
+                               });
+}
+
+Status ShardServer::HandleMergeDelta(const ShardFrame& frame) {
+  Status s = gz_->MergeSerializedNodeRange(frame.payload.data(),
+                                           frame.payload.size());
+  if (!s.ok()) return ReplyError(s);
+  ++delta_seq_;
+  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
 }
 
 Status ShardServer::Serve() {
@@ -153,12 +300,16 @@ Status ShardServer::Serve() {
     // barrier consumed it, a retried CHECKPOINT would succeed, the
     // coordinator would truncate its unacked log (the only copy of the
     // dropped updates), and the divergence would become silently
-    // unrecoverable.
+    // unrecoverable. Migration frames are gated too: a diverged shard
+    // must neither donate nor adopt state.
     if (!async_error_.ok() &&
         (frame.type == ShardMessageType::kFlush ||
          frame.type == ShardMessageType::kSnapshot ||
          frame.type == ShardMessageType::kCheckpoint ||
-         frame.type == ShardMessageType::kStats)) {
+         frame.type == ShardMessageType::kStats ||
+         frame.type == ShardMessageType::kEpoch ||
+         frame.type == ShardMessageType::kMigrateExtract ||
+         frame.type == ShardMessageType::kMergeDelta)) {
       s = ReplyError(async_error_);
       if (!s.ok()) return s;
       continue;
@@ -185,6 +336,15 @@ Status ShardServer::Serve() {
         break;
       case ShardMessageType::kPing:
         s = ReplyAck(0);
+        break;
+      case ShardMessageType::kEpoch:
+        s = HandleEpoch(frame);
+        break;
+      case ShardMessageType::kMigrateExtract:
+        s = HandleMigrateExtract(frame);
+        break;
+      case ShardMessageType::kMergeDelta:
+        s = HandleMergeDelta(frame);
         break;
       case ShardMessageType::kShutdown:
         // Ack first so the coordinator can reap without racing the exit.

@@ -7,12 +7,30 @@
 #define GZ_DISTRIBUTED_SHARD_SERVER_H_
 
 #include <memory>
+#include <string>
 
 #include "core/graph_zeppelin.h"
 #include "distributed/shard_protocol.h"
 #include "util/status.h"
 
 namespace gz {
+
+// Shard checkpoint file: a fixed 24-byte header — magic, the routing
+// epoch the shard was at, and its merge-delta sequence number — then
+// the standard GraphSnapshot byte stream. The epoch makes a checkpoint
+// self-describing across reshard operations (a restore under an OLDER
+// coordinator table is refused), and the delta sequence number lets
+// the coordinator reconcile which migration deltas the checkpoint
+// already covers, exactly as the snapshot's update count reconciles
+// the unacked update log.
+struct ShardCheckpointHeader {
+  static constexpr char kMagic[8] = {'G', 'Z', 'S', 'C', 'K', 'P', '0',
+                                     '1'};
+  static constexpr size_t kBytes = 24;
+
+  uint64_t epoch = 0;
+  uint64_t delta_seq = 0;
+};
 
 class ShardServer {
  public:
@@ -21,10 +39,11 @@ class ShardServer {
 
   // Serves frames until an orderly kShutdown (returns Ok) or the
   // connection dies / loses framing (returns the error). Recoverable
-  // request problems — an out-of-range update, a checkpoint path that
-  // cannot be written, a request before kConfig — are answered with a
-  // kError frame and the loop continues: a bad request must never take
-  // the shard down.
+  // request problems — an out-of-range update, a stale-epoch batch, a
+  // checkpoint path that cannot be written, a request before kConfig —
+  // are answered with a kError frame (or deferred, for fire-and-forget
+  // frames) and the loop continues: a bad request must never take the
+  // shard down.
   Status Serve();
 
  private:
@@ -34,17 +53,33 @@ class ShardServer {
   Status HandleUpdateBatch(const ShardFrame& frame);
   Status HandleSnapshot();
   Status HandleCheckpoint(const ShardFrame& frame);
+  Status HandleEpoch(const ShardFrame& frame);
+  Status HandleMigrateExtract(const ShardFrame& frame);
+  Status HandleMergeDelta(const ShardFrame& frame);
 
   Status ReplyAck(uint64_t value0, uint64_t value1 = 0);
   Status ReplyError(const Status& error);
 
   int fd_;
   std::unique_ptr<GraphZeppelin> gz_;
+  int32_t shard_id_ = -1;
+  // The routing table this shard last adopted (CONFIG or EPOCH frame).
+  // UPDATE_BATCH frames stamped with any other epoch are dropped: the
+  // stamp proves coordinator and shard agree on the table a batch was
+  // routed under. (Replayed batches are re-stamped by the coordinator
+  // at send time, so a correct coordinator never trips this.)
+  RoutingTable table_;
+  // Count of kMergeDelta frames applied since Init; persisted in the
+  // checkpoint header so the coordinator can skip already-covered
+  // deltas on restart replay.
+  uint64_t delta_seq_ = 0;
   // A problem in a fire-and-forget UPDATE_BATCH cannot be answered
   // inline — an unsolicited reply would desynchronize the 1:1
   // request/reply stream — so it is recorded here and surfaces as the
-  // kError reply to every later barrier. Sticky: a dropped batch is
-  // permanent divergence, curable only by restart + replay.
+  // kError reply to every later barrier (including migration
+  // requests: a diverged shard must not donate state). Sticky: a
+  // dropped batch is permanent divergence, curable only by restart +
+  // replay.
   Status async_error_;
 };
 

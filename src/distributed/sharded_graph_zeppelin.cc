@@ -1,5 +1,7 @@
 #include "distributed/sharded_graph_zeppelin.h"
 
+#include <algorithm>
+
 #include "core/connectivity.h"
 #include "distributed/shard_protocol.h"
 #include "util/check.h"
@@ -14,34 +16,53 @@ constexpr size_t kPendingSpanUpdates = 1024;
 }  // namespace
 
 ShardedGraphZeppelin::ShardedGraphZeppelin(const GraphZeppelinConfig& base,
-                                           int num_shards, Mode mode)
-    : base_(base), mode_(mode), num_shards_(num_shards) {
+                                           int num_shards, Mode mode,
+                                           ShardClusterOptions cluster_options)
+    : base_(base), mode_(mode), cluster_options_(std::move(cluster_options)) {
   GZ_CHECK(num_shards >= 1);
+  GZ_CHECK(cluster_options_.migrate_nodes_per_chunk >= 1);
   if (mode_ == Mode::kInProcess) {
-    shards_.reserve(num_shards);
+    table_ = MakeRoutingTable(num_shards);
     for (int s = 0; s < num_shards; ++s) {
-      GraphZeppelinConfig shard_config = base;
-      shard_config.instance_tag = "shard" + std::to_string(s);
-      shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
+      const int id = AllocateInProcessShard();
+      GZ_CHECK(id == s);
     }
-    route_bufs_.resize(num_shards);
   } else {
-    cluster_ = std::make_unique<ShardCluster>(base, num_shards);
+    cluster_ = std::make_unique<ShardCluster>(base, num_shards,
+                                              cluster_options_);
     pending_.reserve(kPendingSpanUpdates);
   }
 }
 
+int ShardedGraphZeppelin::AllocateInProcessShard() {
+  const int id = static_cast<int>(shards_.size());
+  GraphZeppelinConfig shard_config = base_;
+  shard_config.instance_tag = "shard" + std::to_string(id);
+  shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
+  route_bufs_.emplace_back();
+  return id;
+}
+
 Status ShardedGraphZeppelin::Init() {
-  if (mode_ == Mode::kProcess) return cluster_->Start();
+  if (mode_ == Mode::kProcess) {
+    Status s = cluster_->Start();
+    if (s.ok()) initialized_ = true;
+    return s;
+  }
   for (auto& shard : shards_) {
     Status s = shard->Init();
     if (!s.ok()) return s;
   }
+  initialized_ = true;
   return Status::Ok();
 }
 
 int ShardedGraphZeppelin::ShardFor(const Edge& e) const {
-  return RouteToShard(e, base_.num_nodes, num_shards_);
+  return RouteToShard(e, base_.num_nodes, routing_table());
+}
+
+const RoutingTable& ShardedGraphZeppelin::routing_table() const {
+  return mode_ == Mode::kProcess ? cluster_->routing_table() : table_;
 }
 
 void ShardedGraphZeppelin::DrainPending() {
@@ -71,6 +92,8 @@ void ShardedGraphZeppelin::Update(const GraphUpdate* updates, size_t count) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::vector<GraphUpdate>& buf = route_bufs_[s];
     if (buf.empty()) continue;
+    GZ_CHECK_MSG(shards_[s] != nullptr,
+                 "table routed an update to a removed shard");
     shards_[s]->Update(buf.data(), buf.size());
     buf.clear();  // Keeps capacity for the next span.
   }
@@ -82,7 +105,9 @@ void ShardedGraphZeppelin::Flush() {
     GZ_CHECK_OK(cluster_->Flush());
     return;
   }
-  for (auto& shard : shards_) shard->Flush();
+  for (auto& shard : shards_) {
+    if (shard != nullptr) shard->Flush();
+  }
 }
 
 GraphSnapshot ShardedGraphZeppelin::Snapshot() {
@@ -94,16 +119,209 @@ GraphSnapshot ShardedGraphZeppelin::Snapshot() {
   }
   // All shards share hash seeds, so the node-wise XOR of their
   // snapshots is the sketch of the whole graph. Shards past the first
-  // are folded in place, one scratch sketch at a time.
-  GraphSnapshot merged = shards_[0]->Snapshot();
-  for (size_t s = 1; s < shards_.size(); ++s) {
-    GZ_CHECK_OK(shards_[s]->MergeSnapshotInto(&merged));
+  // are folded in place, one scratch sketch at a time. Removed shards'
+  // ingested counts live on via migrated_updates_ (their sketch
+  // content migrated to survivors as count-free deltas).
+  GraphSnapshot merged;
+  for (auto& shard : shards_) {
+    if (shard == nullptr) continue;
+    if (!merged.valid()) {
+      merged = shard->Snapshot();
+    } else {
+      GZ_CHECK_OK(shard->MergeSnapshotInto(&merged));
+    }
   }
+  GZ_CHECK_MSG(merged.valid(), "no active shards");
+  merged.AddUpdates(migrated_updates_);
   return merged;
 }
 
 ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
   return Connectivity(Snapshot(), base_.query_threads);
+}
+
+// ---- Elastic resharding ----------------------------------------------------
+
+Result<int> ShardedGraphZeppelin::AddShard() {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->AddShard();
+  }
+  if (migration_.has_value()) {
+    return Status::FailedPrecondition(
+        "a migration is active; pump it to completion first");
+  }
+  if (ActiveShards().size() >= RoutingTable::kNumSlots) {
+    return Status::FailedPrecondition(
+        "slot table is full; cannot add another shard");
+  }
+  const int id = AllocateInProcessShard();
+  Status s = shards_[id]->Init();
+  if (!s.ok()) {
+    shards_.pop_back();
+    route_bufs_.pop_back();
+    return s;
+  }
+  table_ = TableWithShardAdded(table_, id);
+  return id;
+}
+
+Status ShardedGraphZeppelin::BeginRemoveShard(int shard) {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->BeginRemoveShard(shard);
+  }
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  if (shards_[shard] == nullptr) {
+    return Status::FailedPrecondition("shard already removed");
+  }
+  if (migration_.has_value()) {
+    return Status::FailedPrecondition(
+        "a migration is active; pump it to completion first");
+  }
+  if (ActiveShards().size() < 2) {
+    return Status::FailedPrecondition("cannot remove the last shard");
+  }
+  table_ = TableWithShardRemoved(table_, shard);
+  InProcessMigration m;
+  m.remove = true;
+  m.source = shard;
+  for (const int id : ActiveShards()) {
+    if (id != shard) {
+      m.target = id;
+      break;
+    }
+  }
+  m.next_node = 0;
+  m.end_node = base_.num_nodes;
+  migration_ = m;
+  return Status::Ok();
+}
+
+Result<int> ShardedGraphZeppelin::BeginSplitShard(int shard) {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->BeginSplitShard(shard);
+  }
+  GZ_CHECK(shard >= 0 && shard < num_shards());
+  if (shards_[shard] == nullptr) {
+    return Status::FailedPrecondition("shard already removed");
+  }
+  if (migration_.has_value()) {
+    return Status::FailedPrecondition(
+        "a migration is active; pump it to completion first");
+  }
+  // Keeps the every-live-shard-owns-a-slot invariant (see cluster).
+  if (TableSlotCount(table_, shard) < 2) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(shard) +
+        " owns too few routing slots to split");
+  }
+  const int id = AllocateInProcessShard();
+  Status s = shards_[id]->Init();
+  if (!s.ok()) {
+    shards_.pop_back();
+    route_bufs_.pop_back();
+    return s;
+  }
+  table_ = TableWithShardSplit(table_, shard, id);
+  InProcessMigration m;
+  m.remove = false;
+  m.source = shard;
+  m.target = id;
+  m.next_node = base_.num_nodes / 2;
+  m.end_node = base_.num_nodes;
+  migration_ = m;
+  return id;
+}
+
+Status ShardedGraphZeppelin::PumpMigration() {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->PumpMigration();
+  }
+  if (!migration_.has_value()) {
+    return Status::FailedPrecondition("no active migration");
+  }
+  InProcessMigration& m = *migration_;
+  if (m.next_node < m.end_node) {
+    const uint64_t lo = m.next_node;
+    const uint64_t hi = std::min(
+        m.end_node, lo + cluster_options_.migrate_nodes_per_chunk);
+    // Live extraction, exactly like a shard answering MIGRATE_EXTRACT:
+    // the chunk is whatever the source holds for [lo, hi) right now
+    // (WriteNodeRangeTo flushes), XOR-installed on the target and
+    // XOR-cancelled on the source. A KNOWN delta commutes with
+    // whatever ingestion lands between pump steps, so this is exact
+    // with no captured copy of the source's full state.
+    std::vector<uint8_t> delta;
+    delta.reserve(GraphSnapshot::SerializedRangeSizeFor(
+        shards_[m.source]->sketch_params(), lo, hi));
+    GZ_CHECK_OK(shards_[m.source]->WriteNodeRangeTo(
+        lo, hi, [&delta](const void* data, size_t size) {
+          const uint8_t* p = static_cast<const uint8_t*>(data);
+          delta.insert(delta.end(), p, p + size);
+          return Status::Ok();
+        }));
+    GZ_CHECK_OK(
+        shards_[m.target]->MergeSerializedNodeRange(delta.data(),
+                                                    delta.size()));
+    GZ_CHECK_OK(
+        shards_[m.source]->MergeSerializedNodeRange(delta.data(),
+                                                    delta.size()));
+    m.next_node = hi;
+    return Status::Ok();
+  }
+  if (m.remove) {
+    migrated_updates_ += shards_[m.source]->num_updates_ingested();
+    shards_[m.source].reset();
+  }
+  migration_.reset();
+  return Status::Ok();
+}
+
+bool ShardedGraphZeppelin::migration_active() const {
+  return mode_ == Mode::kProcess ? cluster_->migration_active()
+                                 : migration_.has_value();
+}
+
+int ShardedGraphZeppelin::migration_target() const {
+  if (mode_ == Mode::kProcess) return cluster_->migration_target();
+  GZ_CHECK(migration_.has_value());
+  return migration_->target;
+}
+
+Status ShardedGraphZeppelin::RemoveShard(int shard) {
+  Status s = BeginRemoveShard(shard);
+  while (s.ok() && migration_active()) s = PumpMigration();
+  return s;
+}
+
+Result<int> ShardedGraphZeppelin::SplitShard(int shard) {
+  Result<int> id = BeginSplitShard(shard);
+  if (!id.ok()) return id;
+  Status s = Status::Ok();
+  while (s.ok() && migration_active()) s = PumpMigration();
+  if (!s.ok()) return s;
+  return id;
+}
+
+int ShardedGraphZeppelin::num_shards() const {
+  return mode_ == Mode::kProcess ? cluster_->num_shards()
+                                 : static_cast<int>(shards_.size());
+}
+
+std::vector<int> ShardedGraphZeppelin::ActiveShards() const {
+  if (mode_ == Mode::kProcess) return cluster_->ActiveShards();
+  std::vector<int> ids;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] != nullptr) ids.push_back(static_cast<int>(s));
+  }
+  return ids;
 }
 
 uint64_t ShardedGraphZeppelin::updates_in_shard(int shard) {
@@ -113,6 +331,7 @@ uint64_t ShardedGraphZeppelin::updates_in_shard(int shard) {
     GZ_CHECK_MSG(r.ok(), r.status().message().c_str());
     return r.value().num_updates;
   }
+  GZ_CHECK_MSG(shards_[shard] != nullptr, "shard was removed");
   return shards_[shard]->num_updates_ingested();
 }
 
@@ -120,7 +339,7 @@ size_t ShardedGraphZeppelin::RamByteSize() {
   if (mode_ == Mode::kProcess) {
     DrainPending();
     size_t total = 0;
-    for (int s = 0; s < num_shards_; ++s) {
+    for (const int s : cluster_->ActiveShards()) {
       Result<ShardStats> r = cluster_->Stats(s);
       GZ_CHECK_MSG(r.ok(), r.status().message().c_str());
       total += r.value().ram_bytes;
@@ -128,7 +347,9 @@ size_t ShardedGraphZeppelin::RamByteSize() {
     return total;
   }
   size_t total = 0;
-  for (const auto& shard : shards_) total += shard->RamByteSize();
+  for (const auto& shard : shards_) {
+    if (shard != nullptr) total += shard->RamByteSize();
+  }
   return total;
 }
 

@@ -4,24 +4,33 @@
 // stream ingestion rate").
 //
 // Each shard is a complete GraphZeppelin instance sharing the same
-// sketch seed; stream updates are routed to shards by hashing the edge,
-// so no coordination is needed during ingestion. Because sketches are
-// linear, the true node sketch is the XOR of the per-shard node
-// sketches, and a query merges shard snapshots node-wise before running
-// Boruvka — exactly the aggregation a distributed deployment does at a
-// coordinator.
+// sketch seed; stream updates are routed to shards through a versioned
+// slot table (see RoutingTable), so no coordination is needed during
+// ingestion. Because sketches are linear, the true node sketch is the
+// XOR of the per-shard node sketches, and a query merges shard
+// snapshots node-wise before running Boruvka — exactly the aggregation
+// a distributed deployment does at a coordinator.
+//
+// Linearity also buys elasticity: shards can be added, removed or
+// split WITHOUT pausing the stream. A reshard bumps the routing epoch
+// and (for remove/split) moves sketch state in node-range chunks, each
+// chunk an XOR install on the target plus an XOR cancel on the source;
+// PumpMigration() advances one chunk at a time, so Update() interleaves
+// freely. See ShardCluster for the full model.
 //
 // Two execution modes behind one API:
 //   kInProcess — every shard is an in-process instance (the original
 //     mode): zero transport cost, useful as the ground truth.
 //   kProcess — every shard is a real OS process (gz_shard) fed over a
 //     socket by a ShardCluster; queries aggregate serialized
-//     GraphSnapshot bytes. The routing hash and merge algebra are
-//     shared, so both modes produce bitwise-identical snapshots.
+//     GraphSnapshot bytes. The routing table, migration steps and merge
+//     algebra are shared, so both modes produce bitwise-identical
+//     snapshots through every reshard schedule.
 #ifndef GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_
 #define GZ_DISTRIBUTED_SHARDED_GRAPH_ZEPPELIN_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/graph_zeppelin.h"
@@ -39,15 +48,19 @@ class ShardedGraphZeppelin {
   };
 
   // `base` configures every shard (same num_nodes and sketch seed;
-  // backing files get per-shard tags automatically).
+  // backing files get per-shard tags automatically). `cluster_options`
+  // configures the process-mode cluster; in-process mode honors its
+  // migrate_nodes_per_chunk so the two modes step migrations
+  // identically.
   ShardedGraphZeppelin(const GraphZeppelinConfig& base, int num_shards,
-                       Mode mode = Mode::kInProcess);
+                       Mode mode = Mode::kInProcess,
+                       ShardClusterOptions cluster_options = {});
 
   Status Init();
 
-  // Routes the update to its shard (deterministic by edge). In process
-  // mode single updates batch at this API boundary — one socket frame
-  // per span, not per update — and drain before any barrier.
+  // Routes the update to its shard (deterministic by edge + table). In
+  // process mode single updates batch at this API boundary — one socket
+  // frame per span, not per update — and drain before any barrier.
   void Update(const GraphUpdate& update);
 
   // Bulk ingestion: partitions the span by shard, then hands each shard
@@ -58,24 +71,44 @@ class ShardedGraphZeppelin {
 
   // Shard an update would go to; exposed for tests and for external
   // routers (e.g. a stream partitioner in front of real machines).
-  // Identical across modes.
+  // Identical across modes: a pure function of (edge, routing_table()).
   int ShardFor(const Edge& e) const;
+  const RoutingTable& routing_table() const;
 
   // Flushes every shard's buffers and waits for their workers.
   void Flush();
 
-  // Coordinator aggregation: captures shard 0's snapshot, then folds
-  // every other shard in node-by-node — in-process via
+  // Coordinator aggregation: captures one shard's snapshot, then folds
+  // every other active shard in node-by-node — in-process via
   // GraphZeppelin::MergeSnapshotInto, in process mode via serialized
   // snapshot frames and GraphSnapshot::MergeSerialized. Linearity makes
-  // the result exactly the whole graph's snapshot either way.
+  // the result exactly the whole graph's snapshot either way, through
+  // any history of reshards.
   GraphSnapshot Snapshot();
 
   // Aggregates the shard snapshots and runs Boruvka.
   ConnectivityResult ListSpanningForest();
 
+  // --- Elastic resharding --------------------------------------------------
+  // Same contract in both modes (see ShardCluster). Add returns the new
+  // shard's id; BeginSplitShard's new shard id is the returned value.
+  // Between Begin* and the last PumpMigration() the stream keeps
+  // flowing — Update() never blocks on a migration.
+  Result<int> AddShard();
+  Status BeginRemoveShard(int shard);
+  Result<int> BeginSplitShard(int shard);
+  Status PumpMigration();
+  bool migration_active() const;
+  int migration_target() const;
+  // Synchronous conveniences: Begin* + pump to completion.
+  Status RemoveShard(int shard);
+  Result<int> SplitShard(int shard);
+
   Mode mode() const { return mode_; }
-  int num_shards() const { return num_shards_; }
+  // Size of the shard-id space (ids are never reused).
+  int num_shards() const;
+  // Ids of shards that currently exist, ascending.
+  std::vector<int> ActiveShards() const;
   // Stream position of one shard (an RPC in process mode; drains the
   // pending single-update span first, hence non-const).
   uint64_t updates_in_shard(int shard);
@@ -87,16 +120,30 @@ class ShardedGraphZeppelin {
   ShardCluster* cluster() { return cluster_.get(); }
 
  private:
+  struct InProcessMigration {
+    bool remove = false;  // Else: split.
+    int source = -1;
+    int target = -1;
+    uint64_t next_node = 0;
+    uint64_t end_node = 0;
+  };
+
   void DrainPending();
+  int AllocateInProcessShard();
 
   GraphZeppelinConfig base_;
   Mode mode_;
-  int num_shards_;
-  // In-process mode state.
+  ShardClusterOptions cluster_options_;
+  bool initialized_ = false;
+  // In-process mode state. Index = shard id; nullptr = removed.
+  RoutingTable table_;
   std::vector<std::unique_ptr<GraphZeppelin>> shards_;
   // Per-shard routing buffers for the bulk path (capacity persists
   // across calls, so steady-state routing does not allocate).
   std::vector<std::vector<GraphUpdate>> route_bufs_;
+  // Stream positions of removed shards (mirrors the cluster's).
+  uint64_t migrated_updates_ = 0;
+  std::optional<InProcessMigration> migration_;
   // Process mode state.
   std::unique_ptr<ShardCluster> cluster_;
   // Single updates batched at the API boundary before a bulk hand-off

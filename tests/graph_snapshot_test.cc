@@ -269,6 +269,83 @@ TEST(GraphSnapshotTest, LegacyCheckpointMagicStillLoads) {
   std::remove(path.c_str());
 }
 
+TEST(GraphSnapshotTest, NodeRangeDeltasMoveStateExactly) {
+  // The elastic-migration algebra: extracting ranges of A and folding
+  // them into an empty snapshot rebuilds A's sketches; folding the same
+  // delta back into A cancels it there (XOR "move"). Deltas carry no
+  // update count by design.
+  const uint64_t n = 48;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.15;
+  ep.seed = 7;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const GraphSnapshot a = SnapshotOf(n, 21, edges);
+  const GraphSnapshot empty = SnapshotOf(n, 21, {});
+
+  GraphSnapshot rebuilt = empty;
+  GraphSnapshot drained = a;
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<uint64_t, uint64_t>>{{0, 17}, {17, 48}}) {
+    const std::vector<uint8_t> delta = a.ExtractNodeRange(lo, hi);
+    EXPECT_EQ(delta.size(),
+              GraphSnapshot::SerializedRangeSizeFor(a.params(), lo, hi));
+    ASSERT_TRUE(
+        rebuilt.MergeSerializedNodeRange(delta.data(), delta.size()).ok());
+    ASSERT_TRUE(
+        drained.MergeSerializedNodeRange(delta.data(), delta.size()).ok());
+  }
+  // Counts are untouched by deltas; align them before bitwise compare.
+  EXPECT_EQ(rebuilt.num_updates(), 0u);
+  rebuilt.AddUpdates(a.num_updates());
+  EXPECT_TRUE(rebuilt == a);
+  drained.AddUpdates(a.num_updates() - drained.num_updates());
+  // Every sketch in the drained snapshot is zeroed — it equals the
+  // empty instance's snapshot (after count alignment).
+  GraphSnapshot zero = empty;
+  zero.AddUpdates(a.num_updates());
+  EXPECT_TRUE(drained == zero);
+}
+
+TEST(GraphSnapshotTest, NodeRangeDeltaRejectsGarbage) {
+  const uint64_t n = 32;
+  EdgeList edges;
+  for (NodeId i = 0; i + 1 < 10; ++i) edges.emplace_back(i, i + 1);
+  GraphSnapshot snap = SnapshotOf(n, 3, edges);
+  const std::vector<uint8_t> delta = snap.ExtractNodeRange(4, 20);
+
+  // Truncation, trailing garbage, a bad magic and a params mismatch
+  // all bounce without touching the snapshot.
+  const GraphSnapshot before = snap;
+  EXPECT_EQ(snap.MergeSerializedNodeRange(delta.data(), delta.size() - 1)
+                .code(),
+            StatusCode::kInvalidArgument);
+  std::vector<uint8_t> padded = delta;
+  padded.push_back(0);
+  EXPECT_EQ(
+      snap.MergeSerializedNodeRange(padded.data(), padded.size()).code(),
+      StatusCode::kInvalidArgument);
+  std::vector<uint8_t> bad_magic = delta;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(
+      snap.MergeSerializedNodeRange(bad_magic.data(), bad_magic.size())
+          .code(),
+      StatusCode::kInvalidArgument);
+  GraphSnapshot other_seed = SnapshotOf(n, 4, edges);
+  EXPECT_EQ(
+      other_seed.MergeSerializedNodeRange(delta.data(), delta.size())
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(snap == before);
+
+  // A whole-snapshot byte stream is not a range delta and vice versa.
+  const std::vector<uint8_t> full = snap.Serialize();
+  EXPECT_EQ(snap.MergeSerializedNodeRange(full.data(), full.size()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(snap.MergeSerialized(delta.data(), delta.size()).code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(GraphSnapshotTest, ParallelBoruvkaMatchesSequentialBitwise) {
   // Large enough to cross the engine's parallel thresholds (sampling
   // needs >= 1024 live components in a round).

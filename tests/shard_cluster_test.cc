@@ -302,6 +302,292 @@ TEST(ShardClusterTest, StatsReportPerShardStreamPositions) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
+// ---- Elastic resharding ---------------------------------------------------
+
+TEST(ShardClusterTest, RemoveShardUnderLoadMatchesBitwise) {
+  // Updates must keep flowing between every migration step — zero
+  // stream pause — and the final fold must be bitwise-identical to a
+  // single instance that never sharded at all.
+  const uint64_t n = 128;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.05;
+  ep.seed = 71;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 5);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 111);
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = 16;  // Several pump steps.
+  ShardCluster cluster(base, 3, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const size_t burst = updates.size() / 24 + 1;
+  size_t fed = 0;
+  auto feed_burst = [&] {
+    if (fed >= updates.size()) return false;
+    const size_t count = std::min(burst, updates.size() - fed);
+    EXPECT_TRUE(cluster.Update(updates.data() + fed, count).ok());
+    fed += count;
+    return true;
+  };
+  for (int i = 0; i < 4; ++i) feed_burst();
+
+  ASSERT_TRUE(cluster.BeginRemoveShard(1).ok());
+  size_t bursts_during_migration = 0;
+  while (cluster.migration_active()) {
+    if (feed_burst()) ++bursts_during_migration;
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  EXPECT_GT(bursts_during_migration, 2u);  // The stream never paused.
+  EXPECT_TRUE(cluster.shard_removed(1));
+  EXPECT_EQ(cluster.num_active_shards(), 2);
+  while (feed_burst()) {
+  }
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, AddAndSplitShardsUnderLoadMatchBitwise) {
+  const uint64_t n = 96;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.06;
+  ep.seed = 81;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 131);
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 1, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const size_t third = updates.size() / 3;
+  ASSERT_TRUE(cluster.Update(updates.data(), third).ok());
+
+  // 1 -> 2 by AddShard: instant (an empty shard is the XOR identity).
+  Result<int> added = cluster.AddShard();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value(), 1);
+  ASSERT_TRUE(cluster.Update(updates.data() + third, third).ok());
+
+  // 2 -> 3 by splitting shard 0, feeding between pump steps.
+  Result<int> split = cluster.BeginSplitShard(0);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split.value(), 2);
+  size_t fed = 2 * third;
+  while (cluster.migration_active()) {
+    if (fed < updates.size()) {
+      const size_t count = std::min(third / 4 + 1, updates.size() - fed);
+      ASSERT_TRUE(cluster.Update(updates.data() + fed, count).ok());
+      fed += count;
+    }
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  while (fed < updates.size()) {
+    const size_t count = std::min(third / 4 + 1, updates.size() - fed);
+    ASSERT_TRUE(cluster.Update(updates.data() + fed, count).ok());
+    fed += count;
+  }
+  EXPECT_EQ(cluster.num_active_shards(), 3);
+  // The split moved real state: the new shard is not empty.
+  Result<ShardStats> stats = cluster.Stats(2);
+  ASSERT_TRUE(stats.ok());
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, KillSourceMidMigrationRestartReissueConverges) {
+  // The drill: SIGKILL the migration source after the epoch bump and
+  // mid-chunk-stream, before any checkpoint ack covers the migration
+  // deltas. Restart + unacked replay + pending-delta replay + the
+  // re-issued remaining chunks must converge to the same bytes.
+  const uint64_t n = 128;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.05;
+  ep.seed = 91;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 5);
+  const size_t quarter = updates.size() / 4;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 151);
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 3, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ASSERT_TRUE(cluster.Update(updates.data(), quarter).ok());
+  ASSERT_TRUE(cluster.Checkpoint().ok());
+  ASSERT_TRUE(cluster.Update(updates.data() + quarter, quarter).ok());
+
+  ASSERT_TRUE(cluster.BeginRemoveShard(1).ok());  // Epoch bump.
+  ASSERT_TRUE(cluster.PumpMigration().ok());      // A couple of chunks...
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  cluster.KillShard(1);  // ...then murder the source.
+  EXPECT_GT(cluster.pending_delta_count(1), 0u);  // Cancels in flight.
+
+  // The stream keeps flowing while the source is down.
+  ASSERT_TRUE(cluster.Update(updates.data() + 2 * quarter, quarter).ok());
+  // Pumping against a dead source refuses instead of corrupting.
+  EXPECT_EQ(cluster.PumpMigration().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(cluster.RestartShard(1).ok());
+  while (cluster.migration_active()) {
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  ASSERT_TRUE(cluster
+                  .Update(updates.data() + 3 * quarter,
+                          updates.size() - 3 * quarter)
+                  .ok());
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, KillTargetMidMigrationRestartConverges) {
+  const uint64_t n = 128;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.05;
+  ep.seed = 101;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+  const size_t third = updates.size() / 3;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 171);
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 3, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ASSERT_TRUE(cluster.Update(updates.data(), third).ok());
+  ASSERT_TRUE(cluster.Checkpoint().ok());
+
+  ASSERT_TRUE(cluster.BeginRemoveShard(2).ok());
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  const int target = cluster.migration_target();
+  cluster.KillShard(target);  // Installed chunks not yet checkpointed.
+  EXPECT_GT(cluster.pending_delta_count(target), 0u);
+
+  ASSERT_TRUE(cluster.Update(updates.data() + third, third).ok());
+  ASSERT_TRUE(cluster.RestartShard(target).ok());
+  while (cluster.migration_active()) {
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  ASSERT_TRUE(cluster
+                  .Update(updates.data() + 2 * third,
+                          updates.size() - 2 * third)
+                  .ok());
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, TargetDiesUndetectedMidSplitStillConverges) {
+  // The nastiest chunk-failure interleaving: the migration target dies
+  // WITHOUT the coordinator noticing (no KillShard fencing), so the
+  // next pump extracts fine and only the install send fails. The
+  // source's XOR-cancel for that chunk must still be delivered (or its
+  // shard fenced) — if it were silently stranded, later deltas would
+  // close the sequence gap and the chunk would cancel out of the
+  // global fold for good.
+  const uint64_t n = 128;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.05;
+  ep.seed = 107;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+  const size_t half = updates.size() / 2;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 211);
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 2, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.Update(updates.data(), half).ok());
+
+  Result<int> split = cluster.BeginSplitShard(0);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  cluster.KillShard(split.value(), /*observed=*/false);
+  // This pump extracts from the healthy source, then fails to install
+  // on the dead target; the coordinator must fence the target itself.
+  EXPECT_FALSE(cluster.PumpMigration().ok());
+  EXPECT_TRUE(cluster.shard_down(split.value()));
+
+  ASSERT_TRUE(cluster.RestartShard(split.value()).ok());
+  while (cluster.migration_active()) {
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  ASSERT_TRUE(cluster.Update(updates.data() + half, updates.size() - half)
+                  .ok());
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTest, CheckpointMidMigrationCoversDeltasExactly) {
+  // A checkpoint between pump steps truncates the pending-delta logs;
+  // a kill + restart AFTER it must replay only what the checkpoint
+  // does not cover — the delta-sequence reconciliation in action.
+  const uint64_t n = 96;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.07;
+  ep.seed = 113;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+  const size_t half = updates.size() / 2;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 191);
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 2, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.Update(updates.data(), half).ok());
+
+  ASSERT_TRUE(cluster.BeginRemoveShard(0).ok());
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  ASSERT_TRUE(cluster.Checkpoint().ok());  // Covers the chunks so far.
+  EXPECT_EQ(cluster.pending_delta_count(0), 0u);
+  EXPECT_EQ(cluster.pending_delta_count(1), 0u);
+
+  ASSERT_TRUE(cluster.PumpMigration().ok());  // One uncovered chunk...
+  cluster.KillShard(0);
+  ASSERT_TRUE(cluster.Update(updates.data() + half, updates.size() - half)
+                  .ok());
+  ASSERT_TRUE(cluster.RestartShard(0).ok());  // ...replayed here.
+  while (cluster.migration_active()) {
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  EXPECT_TRUE(cluster.shard_removed(0));
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
 TEST(ShardClusterTest, DiskBackedShardProcessesWork) {
   // Disk-backed gutter tree + on-disk sketch store inside each worker
   // process; per-process pids keep backing files separate.

@@ -5,6 +5,7 @@
 // over an in-process socketpair).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -26,6 +27,12 @@ class SocketPair {
   }
   int a() const { return fds_[0]; }
   int b() const { return fds_[1]; }
+  // Fresh pair (a test restarting a server needs a new connection).
+  void Reset() {
+    CloseA();
+    CloseB();
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
   void CloseA() {
     if (fds_[0] >= 0) ::close(fds_[0]);
     fds_[0] = -1;
@@ -124,7 +131,8 @@ TEST(ShardProtocolTest, BadMagicIsInvalidArgument) {
 TEST(ShardProtocolTest, VersionMismatchIsInvalidArgument) {
   SocketPair sp;
   WriteRawHeader(sp.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
-                 ShardFrameHeader::kMagic, /*version=*/2);
+                 ShardFrameHeader::kMagic,
+                 /*version=*/ShardFrameHeader::kVersion + 1);
   ShardFrame frame;
   const Status s = RecvFrame(sp.b(), &frame);
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
@@ -195,11 +203,16 @@ TEST(ShardProtocolTest, ConfigPayloadRoundTrips) {
   in.config.gutter_tree_buffer_bytes = 1 << 20;
   in.config.gutter_tree_fanout = 32;
   in.config.query_threads = 2;
+  in.shard_id = 7;
+  in.table = MakeRoutingTable(9);
+  in.table.epoch = 42;
   in.restore_checkpoint = "/tmp/ckpt.bin";
 
   const std::vector<uint8_t> bytes = EncodeShardConfig(in);
   ShardConfig out;
   ASSERT_TRUE(DecodeShardConfig(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_EQ(out.shard_id, 7);
+  EXPECT_TRUE(out.table == in.table);
   EXPECT_EQ(out.config.num_nodes, in.config.num_nodes);
   EXPECT_EQ(out.config.seed, in.config.seed);
   EXPECT_EQ(out.config.cols, in.config.cols);
@@ -222,6 +235,7 @@ TEST(ShardProtocolTest, ConfigPayloadRoundTrips) {
 TEST(ShardProtocolTest, TruncatedConfigPayloadIsInvalidArgument) {
   ShardConfig in;
   in.config.num_nodes = 64;
+  in.table = MakeRoutingTable(2);
   const std::vector<uint8_t> bytes = EncodeShardConfig(in);
   ShardConfig out;
   for (size_t cut : {0ul, 1ul, 8ul, bytes.size() - 1}) {
@@ -283,13 +297,19 @@ class ShardServerFixture : public ::testing::Test {
   }
   void TearDown() override { StopServer(); }
 
-  // Sends a valid config; expects the ack.
-  void Configure(uint64_t num_nodes = 16) {
+  // Sends a valid config; expects the ack. The shard comes up as shard
+  // 0 of a single-shard table at `epoch`.
+  void Configure(uint64_t num_nodes = 16, uint64_t epoch = 1,
+                 const std::string& restore_checkpoint = "") {
     ShardConfig sc;
     sc.config.num_nodes = num_nodes;
     sc.config.seed = 5;
     sc.config.num_workers = 1;
     sc.config.disk_dir = ::testing::TempDir();
+    sc.shard_id = 0;
+    sc.table = MakeRoutingTable(1);
+    sc.table.epoch = epoch;
+    sc.restore_checkpoint = restore_checkpoint;
     const std::vector<uint8_t> payload = EncodeShardConfig(sc);
     ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kConfig,
                           payload.data(), payload.size())
@@ -297,6 +317,14 @@ class ShardServerFixture : public ::testing::Test {
     ShardFrame frame;
     ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
     ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  }
+
+  // Frames `bytes` as an UPDATE_BATCH stamped with `epoch` (the wire
+  // prefix every batch carries).
+  void SendUpdateBatch(const void* bytes, size_t size, uint64_t epoch = 1) {
+    ASSERT_TRUE(SendFrame2(sp_.a(), ShardMessageType::kUpdateBatch, &epoch,
+                           sizeof(epoch), bytes, size)
+                    .ok());
   }
 
   // Expects the next reply to be a kError decoding to `code`.
@@ -352,9 +380,7 @@ TEST_F(ShardServerFixture, RaggedUpdateBatchErrorIsStickyAcrossBarriers) {
   StartServer();
   Configure();
   const uint8_t ragged[13] = {0};  // Not a multiple of sizeof(GraphUpdate).
-  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kUpdateBatch, ragged,
-                        sizeof(ragged))
-                  .ok());
+  SendUpdateBatch(ragged, sizeof(ragged));
   ASSERT_TRUE(
       SendFrame(sp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
   ExpectErrorReply(StatusCode::kInvalidArgument);
@@ -377,9 +403,7 @@ TEST_F(ShardServerFixture, OutOfRangeUpdateDropsBatchAndPoisonsBarriers) {
   bad.edge.u = 3;
   bad.edge.v = 99;  // >= num_nodes; would GZ_CHECK-abort if ingested.
   bad.type = UpdateType::kInsert;
-  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kUpdateBatch, &bad,
-                        sizeof(bad))
-                  .ok());
+  SendUpdateBatch(&bad, sizeof(bad));
   ASSERT_TRUE(
       SendFrame(sp_.a(), ShardMessageType::kStats, nullptr, 0).ok());
   ExpectErrorReply(StatusCode::kInvalidArgument);
@@ -393,9 +417,7 @@ TEST_F(ShardServerFixture, UpdateBatchBeforeConfigDefersErrorToo) {
   // a fire-and-forget frame — the reply stream would shift by one.
   StartServer();
   GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
-  ASSERT_TRUE(
-      SendFrame(sp_.a(), ShardMessageType::kUpdateBatch, &u, sizeof(u))
-          .ok());
+  SendUpdateBatch(&u, sizeof(u));
   Configure();  // Acks normally: the drop above queued no reply.
   ASSERT_TRUE(
       SendFrame(sp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
@@ -411,6 +433,7 @@ TEST_F(ShardServerFixture, OutOfRangeConfigIsErrorNotCrash) {
   sc.config.num_nodes = 16;
   sc.config.cols = 0;  // Would abort sketch construction.
   sc.config.disk_dir = ::testing::TempDir();
+  sc.table = MakeRoutingTable(1);
   const std::vector<uint8_t> payload = EncodeShardConfig(sc);
   ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kConfig, payload.data(),
                         payload.size())
@@ -475,15 +498,342 @@ TEST_F(ShardServerFixture, CoordinatorHangupEndsServeCleanly) {
   stopped_ = true;
 }
 
+// ---- Elastic-resharding conformance ---------------------------------------
+
+TEST_F(ShardServerFixture, StaleEpochUpdateBatchIsDeferredStatusError) {
+  // A batch stamped with any epoch other than the shard's current one
+  // must be dropped with a deferred Status error (fire-and-forget
+  // frames never draw unsolicited replies) — never ingested, never a
+  // crash.
+  StartServer();
+  Configure(/*num_nodes=*/16, /*epoch=*/3);
+  GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+  SendUpdateBatch(&u, sizeof(u), /*epoch=*/2);  // Stale.
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, FutureEpochUpdateBatchIsDeferredStatusError) {
+  StartServer();
+  Configure(/*num_nodes=*/16, /*epoch=*/3);
+  GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+  SendUpdateBatch(&u, sizeof(u), /*epoch=*/9);  // From the future.
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kStats, nullptr, 0).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, EpochFrameAdvancesWhatBatchesMustStamp) {
+  StartServer();
+  Configure(/*num_nodes=*/16, /*epoch=*/1);
+  // Advance to epoch 5; batches stamped 5 now ingest, batches stamped
+  // 1 now bounce.
+  RoutingTable table = MakeRoutingTable(1);
+  table.epoch = 5;
+  const std::vector<uint8_t> payload = EncodeRoutingTable(table);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kEpoch, payload.data(),
+                        payload.size())
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kAck);
+
+  GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+  SendUpdateBatch(&u, sizeof(u), /*epoch=*/5);
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kStats, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  ShardAck ack;
+  ASSERT_TRUE(
+      DecodeShardAck(frame.payload.data(), frame.payload.size(), &ack).ok());
+  EXPECT_EQ(ack.value0, 1u);  // The stamped-current batch was ingested.
+}
+
+TEST_F(ShardServerFixture, EpochRegressionIsErrorNotCrash) {
+  StartServer();
+  Configure(/*num_nodes=*/16, /*epoch=*/6);
+  RoutingTable stale = MakeRoutingTable(1);
+  stale.epoch = 2;
+  const std::vector<uint8_t> payload = EncodeRoutingTable(stale);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kEpoch, payload.data(),
+                        payload.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardServerFixture, TruncatedEpochTablePayloadIsErrorNotCrash) {
+  StartServer();
+  Configure();
+  const std::vector<uint8_t> payload =
+      EncodeRoutingTable(MakeRoutingTable(1));
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kEpoch, payload.data(),
+                        payload.size() / 2)
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, TruncatedMigrateExtractPayloadIsErrorNotCrash) {
+  StartServer();
+  Configure();
+  const uint8_t short_payload[7] = {0};  // Needs two u64s.
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kMigrateExtract,
+                        short_payload, sizeof(short_payload))
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, OutOfBoundsMigrateRangeIsErrorNotCrash) {
+  StartServer();
+  Configure(/*num_nodes=*/16);
+  const std::vector<uint8_t> req = EncodeMigrateExtract(4, 99);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kMigrateExtract,
+                        req.data(), req.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  const std::vector<uint8_t> empty = EncodeMigrateExtract(4, 4);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kMigrateExtract,
+                        empty.data(), empty.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, TruncatedMergeDeltaPayloadIsErrorNotCrash) {
+  StartServer();
+  Configure();
+  const uint8_t garbage[21] = {0};
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kMergeDelta, garbage,
+                        sizeof(garbage))
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+}
+
+TEST_F(ShardServerFixture, MigrateExtractRoundTripsThroughMergeDelta) {
+  // The migration algebra over the wire: extracting [0, k) and [k, n)
+  // and folding both deltas into an empty same-params instance must
+  // reproduce the source's snapshot exactly.
+  StartServer();
+  Configure(/*num_nodes=*/16);
+  GraphUpdate updates[3] = {{Edge(0, 1), UpdateType::kInsert},
+                            {Edge(1, 9), UpdateType::kInsert},
+                            {Edge(12, 15), UpdateType::kInsert}};
+  SendUpdateBatch(updates, sizeof(updates));
+
+  auto request_snapshot = [this](GraphSnapshot* out) {
+    ASSERT_TRUE(
+        SendFrame(sp_.a(), ShardMessageType::kSnapshot, nullptr, 0).ok());
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kSnapshotBytes);
+    Result<GraphSnapshot> r =
+        GraphSnapshot::Deserialize(frame.payload.data(),
+                                   frame.payload.size());
+    ASSERT_TRUE(r.ok());
+    *out = std::move(r).value();
+  };
+  GraphSnapshot source;
+  request_snapshot(&source);
+
+  GraphZeppelinConfig twin_config;
+  twin_config.num_nodes = 16;
+  twin_config.seed = 5;
+  twin_config.num_workers = 1;
+  twin_config.disk_dir = ::testing::TempDir();
+  GraphZeppelin twin(twin_config);
+  ASSERT_TRUE(twin.Init().ok());
+  for (const uint64_t range : {0u, 1u}) {
+    const std::vector<uint8_t> req =
+        range == 0 ? EncodeMigrateExtract(0, 7) : EncodeMigrateExtract(7, 16);
+    ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kMigrateExtract,
+                          req.data(), req.size())
+                    .ok());
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kMigrateData);
+    ASSERT_TRUE(
+        twin.MergeSerializedNodeRange(frame.payload.data(),
+                                      frame.payload.size())
+            .ok());
+  }
+  GraphSnapshot rebuilt = twin.Snapshot();
+  // Deltas carry no update counts by design; compare sketch content.
+  rebuilt.AddUpdates(source.num_updates());
+  EXPECT_TRUE(rebuilt == source);
+}
+
+TEST_F(ShardServerFixture, ConfigEpochOlderThanCheckpointIsErrorNotCrash) {
+  // Restore hand-off consistency: a checkpoint saved at epoch 7 must
+  // not come back under a config whose table says epoch 3 — that
+  // coordinator's view of placement predates the checkpoint.
+  StartServer();
+  Configure(/*num_nodes=*/16, /*epoch=*/1);
+  RoutingTable table = MakeRoutingTable(1);
+  table.epoch = 7;
+  const std::vector<uint8_t> epoch_payload = EncodeRoutingTable(table);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kEpoch,
+                        epoch_payload.data(), epoch_payload.size())
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  const std::string ckpt =
+      ::testing::TempDir() + "/gz_epoch_mismatch_ckpt.bin";
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kCheckpoint,
+                        ckpt.data(), ckpt.size())
+                  .ok());
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  StopServer();
+
+  // Fresh server, config at an OLDER epoch than the checkpoint.
+  sp_.Reset();
+  stopped_ = false;
+  StartServer();
+  ShardConfig sc;
+  sc.config.num_nodes = 16;
+  sc.config.seed = 5;
+  sc.config.num_workers = 1;
+  sc.config.disk_dir = ::testing::TempDir();
+  sc.table = MakeRoutingTable(1);
+  sc.table.epoch = 3;
+  sc.restore_checkpoint = ckpt;
+  const std::vector<uint8_t> payload = EncodeShardConfig(sc);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kConfig, payload.data(),
+                        payload.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kFailedPrecondition);
+  // Same checkpoint under epoch >= 7 restores fine (same server: the
+  // failed restore left it unconfigured).
+  Configure(/*num_nodes=*/16, /*epoch=*/8, /*restore_checkpoint=*/ckpt);
+  ::unlink(ckpt.c_str());
+}
+
 // ---- Routing --------------------------------------------------------------
 
 TEST(ShardProtocolTest, RoutingIsDeterministicAndBounded) {
+  const RoutingTable table = MakeRoutingTable(5);
   for (NodeId u = 0; u < 40; ++u) {
     const Edge e(u, static_cast<NodeId>(u + 7));
-    const int shard = RouteToShard(e, 64, 5);
+    const int shard = RouteToShard(e, 64, table);
     EXPECT_GE(shard, 0);
     EXPECT_LT(shard, 5);
-    EXPECT_EQ(shard, RouteToShard(e, 64, 5));
+    EXPECT_EQ(shard, RouteToShard(e, 64, table));
+  }
+}
+
+TEST(ShardProtocolTest, RoutingTablePayloadRoundTrips) {
+  RoutingTable table = MakeRoutingTable(7);
+  table.epoch = 19;
+  const std::vector<uint8_t> bytes = EncodeRoutingTable(table);
+  RoutingTable out;
+  ASSERT_TRUE(DecodeRoutingTable(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_TRUE(out == table);
+  // Truncation and trailing garbage are both rejected.
+  EXPECT_EQ(DecodeRoutingTable(bytes.data(), bytes.size() - 1, &out).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_EQ(DecodeRoutingTable(padded.data(), padded.size(), &out).code(),
+            StatusCode::kInvalidArgument);
+  // Epoch 0 (unset) and negative owners are structural errors.
+  RoutingTable zero = table;
+  zero.epoch = 0;
+  const std::vector<uint8_t> zero_bytes = EncodeRoutingTable(zero);
+  EXPECT_EQ(
+      DecodeRoutingTable(zero_bytes.data(), zero_bytes.size(), &out).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ShardProtocolTest, SlotOwnershipIsBalancedForAnyShardCount) {
+  // The old modulo router was biased for non-power-of-two shard
+  // counts. Slot routing is uniform over slots by construction (mask
+  // reduction); this pins the other half: every shard owns floor or
+  // ceil of kNumSlots/num_shards slots, for power-of-two and
+  // non-power-of-two counts alike.
+  for (const int shards : {1, 2, 3, 5, 6, 7, 8, 12}) {
+    const RoutingTable table = MakeRoutingTable(shards);
+    std::vector<int> counts(shards, 0);
+    for (const int32_t owner : table.owners) {
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, shards);
+      ++counts[owner];
+    }
+    const int floor_share =
+        static_cast<int>(RoutingTable::kNumSlots) / shards;
+    for (const int c : counts) {
+      EXPECT_GE(c, floor_share) << shards << " shards";
+      EXPECT_LE(c, floor_share + 1) << shards << " shards";
+    }
+  }
+}
+
+TEST(ShardProtocolTest, RebalanceHelpersKeepOwnershipBalancedAndVersioned) {
+  RoutingTable table = MakeRoutingTable(3);
+  const RoutingTable added = TableWithShardAdded(table, 3);
+  EXPECT_EQ(added.epoch, table.epoch + 1);
+  EXPECT_EQ(TableOwners(added), (std::vector<int>{0, 1, 2, 3}));
+  int new_count = 0;
+  for (const int32_t o : added.owners) new_count += (o == 3);
+  EXPECT_EQ(new_count,
+            static_cast<int>(RoutingTable::kNumSlots) / 4);
+
+  const RoutingTable removed = TableWithShardRemoved(added, 1);
+  EXPECT_EQ(removed.epoch, added.epoch + 1);
+  EXPECT_EQ(TableOwners(removed), (std::vector<int>{0, 2, 3}));
+
+  const RoutingTable split = TableWithShardSplit(removed, 0, 4);
+  EXPECT_EQ(split.epoch, removed.epoch + 1);
+  int source_count = 0, split_count = 0, before = 0;
+  for (const int32_t o : removed.owners) before += (o == 0);
+  for (const int32_t o : split.owners) {
+    source_count += (o == 0);
+    split_count += (o == 4);
+  }
+  EXPECT_EQ(source_count + split_count, before);
+  EXPECT_LE(std::abs(source_count - split_count), 1);
+  // Slots not owned by the split source are untouched.
+  for (uint32_t s = 0; s < RoutingTable::kNumSlots; ++s) {
+    if (removed.owners[s] != 0) {
+      EXPECT_EQ(split.owners[s], removed.owners[s]);
+    }
+  }
+}
+
+TEST(ShardProtocolTest, EveryLiveShardAlwaysOwnsAtLeastOneSlot) {
+  // The invariant the elastic entry points guard (split needs >= 2
+  // source slots, add needs a free owner column): no legal sequence of
+  // rebalance steps ever produces a zero-slot owner, so the active set
+  // always equals TableOwners() and a removal always finds an heir.
+  // Drive splits all the way down to 1-slot owners to pin the floor.
+  RoutingTable table = MakeRoutingTable(1);
+  int next_id = 1;
+  bool split_any = true;
+  while (split_any) {
+    split_any = false;
+    const std::vector<int> owners = TableOwners(table);
+    for (const int id : owners) {
+      if (TableSlotCount(table, id) < 2) continue;  // The entry guard.
+      table = TableWithShardSplit(table, id, next_id++);
+      split_any = true;
+    }
+    for (const int id : TableOwners(table)) {
+      ASSERT_GE(TableSlotCount(table, id), 1);
+    }
+  }
+  // Fully fragmented: every one of the kNumSlots owners holds exactly
+  // one slot, and removals still walk down to a single owner without
+  // ever losing a slot.
+  EXPECT_EQ(TableOwners(table).size(), RoutingTable::kNumSlots);
+  while (TableOwners(table).size() > 1) {
+    table = TableWithShardRemoved(table, TableOwners(table).front());
+    int total = 0;
+    for (const int id : TableOwners(table)) {
+      const int n = TableSlotCount(table, id);
+      ASSERT_GE(n, 1);
+      total += n;
+    }
+    ASSERT_EQ(total, static_cast<int>(RoutingTable::kNumSlots));
   }
 }
 

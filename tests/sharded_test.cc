@@ -70,9 +70,64 @@ TEST(ShardedTest, RoutingIdenticalAcrossModes) {
   }
 }
 
+TEST(ShardedTest, RoutingIsPureFunctionOfTableAcrossModesAndReshards) {
+  // The regression the epoch table exists for: routing must be a pure
+  // function of (edge, table) that coordinator, shards and any
+  // external partitioner share — in both modes, through elastic
+  // reshard operations, with no hidden mode- or history-dependent
+  // state. Both facades run the same reshard schedule; after every
+  // step their tables are identical and every edge routes identically
+  // (and identically to the raw pure function).
+  const uint64_t n = 128;
+  ShardedGraphZeppelin in_process(BaseConfig(n, 6), 2, Mode::kInProcess);
+  ShardedGraphZeppelin process(BaseConfig(n, 6), 2, Mode::kProcess);
+  ASSERT_TRUE(in_process.Init().ok());
+  ASSERT_TRUE(process.Init().ok());
+
+  auto check_agreement = [&](const char* step) {
+    ASSERT_TRUE(in_process.routing_table() == process.routing_table())
+        << step;
+    for (NodeId u = 0; u < 80; ++u) {
+      const Edge e(u, static_cast<NodeId>(u + 11));
+      const int expect =
+          RouteToShard(e, n, in_process.routing_table());
+      EXPECT_EQ(in_process.ShardFor(e), expect) << step;
+      EXPECT_EQ(process.ShardFor(e), expect) << step;
+    }
+  };
+  check_agreement("initial");
+
+  ASSERT_TRUE(in_process.AddShard().ok());
+  ASSERT_TRUE(process.AddShard().ok());
+  check_agreement("after add");
+
+  ASSERT_TRUE(in_process.SplitShard(0).ok());
+  ASSERT_TRUE(process.SplitShard(0).ok());
+  check_agreement("after split");
+
+  ASSERT_TRUE(in_process.RemoveShard(1).ok());
+  ASSERT_TRUE(process.RemoveShard(1).ok());
+  check_agreement("after remove");
+}
+
 // ---- Dual-mode matrix -----------------------------------------------------
 
 class ShardedModeTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ShardedModeTest, ElasticOpsBeforeInitAreErrorsNotCrashes) {
+  ShardedGraphZeppelin sharded(BaseConfig(32, 9), 2, GetParam());
+  EXPECT_EQ(sharded.AddShard().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.BeginRemoveShard(0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.BeginSplitShard(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sharded.PumpMigration().code(),
+            StatusCode::kFailedPrecondition);
+  // And Init() afterwards still brings the facade up normally.
+  ASSERT_TRUE(sharded.Init().ok());
+  ASSERT_TRUE(sharded.AddShard().ok());
+}
 
 TEST_P(ShardedModeTest, SingleShardMatchesPlainInstance) {
   const uint64_t n = 32;

@@ -1,9 +1,12 @@
 // gz_shard: one shard of a multi-process sharded deployment. Spawned
 // by ShardCluster (fork/exec) with a connected socket as --fd; receives
-// its GraphZeppelinConfig as the first protocol frame, then serves
-// UPDATE_BATCH / FLUSH / SNAPSHOT / CHECKPOINT / STATS / PING /
-// SHUTDOWN until told to exit. Everything interesting lives in
-// ShardServer; this is only argv plumbing.
+// its GraphZeppelinConfig (plus its shard id and the routing table) as
+// the first protocol frame, then serves UPDATE_BATCH / FLUSH /
+// SNAPSHOT / CHECKPOINT / STATS / PING / EPOCH / MIGRATE_EXTRACT /
+// MERGE_DELTA / SHUTDOWN until told to exit. Update batches are
+// epoch-stamped; the EPOCH and MIGRATE frames are how the coordinator
+// reshards elastically without pausing the stream. Everything
+// interesting lives in ShardServer; this is only argv plumbing.
 //
 // Standalone debugging: gz_shard --fd 0 speaks the protocol on stdin
 // (not useful interactively — frames are binary — but lets a recorded
