@@ -2,15 +2,21 @@
 // linearity lets shards ingest disjoint stream partitions with zero
 // coordination; a query XORs shard snapshots node-wise.
 //
-// Both execution modes run per shard count: in-process shard instances
-// (routing + per-shard pipelines + in-place merge) and real gz_shard
-// worker processes (the same routing, plus socket framing, and a
-// query-time aggregation of serialized GraphSnapshot bytes). One JSON
-// object per (shards, mode) reports ingestion rate and the
-// snapshot-aggregation latency, so BENCH trajectories can track the
-// transport overhead directly. On this container's single core the
-// per-shard pipelines add overhead; with real cores/machines per shard,
-// rates multiply (paper Section 8).
+// Three execution modes run per shard count: in-process shard
+// instances (routing + per-shard pipelines + in-place merge), real
+// gz_shard worker processes over socketpairs (the same routing, plus
+// socket framing, and a query-time aggregation of serialized
+// GraphSnapshot bytes), and listener-mode gz_shards dialed over
+// loopback TCP with an authenticated handshake — the full tcp://
+// transport column, so BENCH trajectories track the framing, checksum
+// AND network-stack overhead directly. Each process/tcp row also
+// reports the measured CRC32C throughput and the estimated share of
+// ingest wall time the v3 per-frame checksum costs over v2 framing
+// (v2 shipped the same bytes unchecksummed, so the delta is exactly
+// one CRC pass over the frame bytes on each side). GZ_BENCH_SHARDS_MAX
+// caps the shard-count sweep (CI smokes with 2). On this container's
+// single core the per-shard pipelines add overhead; with real
+// cores/machines per shard, rates multiply (paper Section 8).
 // With --rebalance, a second benchmark runs instead: elastic reshard
 // operations (split, then remove) fire while the stream is flowing,
 // and the JSON reports the migration wall time plus the worst
@@ -21,9 +27,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "distributed/shard_transport.h"
 #include "distributed/sharded_graph_zeppelin.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace {
@@ -31,18 +42,81 @@ namespace {
 using gz::ShardedGraphZeppelin;
 using Mode = ShardedGraphZeppelin::Mode;
 
+// The transport column: in-process, worker processes over socketpairs,
+// or listener-mode worker processes over loopback TCP (+ handshake).
+enum class BenchMode { kInProcess, kProcess, kProcessTcp };
+
+constexpr char kBenchSecret[] = "bench-secret";
+
+const char* BenchModeName(BenchMode mode) {
+  switch (mode) {
+    case BenchMode::kInProcess:
+      return "in_process";
+    case BenchMode::kProcess:
+      return "process";
+    default:
+      return "tcp";
+  }
+}
+
+Mode ExecMode(BenchMode mode) {
+  return mode == BenchMode::kInProcess ? Mode::kInProcess : Mode::kProcess;
+}
+
+// Stands up `shards` listener-mode gz_shards and returns options
+// dialing them (TCP mode), or leaves the options untouched.
+gz::ShardClusterOptions OptionsFor(
+    BenchMode mode, int shards,
+    std::vector<std::unique_ptr<gz::ListenerShard>>* listeners,
+    gz::ShardClusterOptions options = {}) {
+  if (mode != BenchMode::kProcessTcp) return options;
+  options.auth_secret = kBenchSecret;
+  GZ_CHECK_OK(gz::StartListenerShards(
+      gz::DefaultShardBinary(), shards, "/tmp", /*log_prefix=*/"",
+      options.auth_secret, listeners, &options.shard_endpoints));
+  return options;
+}
+
+// Measured CRC32C throughput on this machine (bytes/sec), over a
+// frame-sized buffer.
+double MeasureCrcBytesPerSec() {
+  std::vector<uint8_t> buf(1 << 20, 0xA7);
+  uint32_t sink = 0;
+  gz::WallTimer timer;
+  int reps = 0;
+  while (timer.Seconds() < 0.05) {
+    sink ^= gz::Crc32c(buf.data(), buf.size());
+    ++reps;
+  }
+  // Keep the sink alive so the loop cannot be discarded.
+  if (sink == 0xDEADBEEF) std::fprintf(stderr, "\n");
+  return static_cast<double>(buf.size()) * reps / timer.Seconds();
+}
+
+// v3-vs-v2 framing delta: v2 shipped identical bytes without the
+// trailer, so the added cost is one CRC pass over the update-frame
+// bytes on the send side and one on the receive side.
+double EstimatedChecksumSeconds(size_t updates, double crc_bytes_per_sec) {
+  const double frame_bytes =
+      static_cast<double>(updates) * sizeof(gz::GraphUpdate);
+  return 2.0 * frame_bytes / crc_bytes_per_sec;
+}
+
 int RunRebalanceBench(const gz::bench::Workload& w) {
   using namespace gz;
   std::printf("[\n");
   bool first = true;
-  for (const Mode mode : {Mode::kInProcess, Mode::kProcess}) {
+  for (const BenchMode mode :
+       {BenchMode::kInProcess, BenchMode::kProcess, BenchMode::kProcessTcp}) {
     GraphZeppelinConfig base = bench::DefaultGzConfig();
     base.num_nodes = w.num_nodes;
     base.num_workers = 1;
     ShardClusterOptions options;
     options.migrate_nodes_per_chunk =
         std::max<uint64_t>(1, w.num_nodes / 64);
-    ShardedGraphZeppelin sharded(base, 2, mode, options);
+    std::vector<std::unique_ptr<ListenerShard>> listeners;
+    options = OptionsFor(mode, 2, &listeners, std::move(options));
+    ShardedGraphZeppelin sharded(base, 2, ExecMode(mode), options);
     GZ_CHECK_OK(sharded.Init());
 
     const std::vector<GraphUpdate>& updates = w.stream.updates;
@@ -100,8 +174,7 @@ int RunRebalanceBench(const gz::bench::Workload& w) {
         "   \"max_burst_ms_baseline\": %.3f,\n"
         "   \"max_burst_ms_during_migration\": %.3f,\n"
         "   \"components\": %zu}",
-        first ? "" : ",\n", w.name.c_str(),
-        mode == Mode::kInProcess ? "in_process" : "process",
+        first ? "" : ",\n", w.name.c_str(), BenchModeName(mode),
         updates.size(), split_seconds, remove_seconds,
         static_cast<unsigned long long>(bursts_during_migration),
         max_burst_baseline * 1e3, max_burst_migrating * 1e3,
@@ -127,16 +200,23 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "sharded bench: %s, %zu updates\n", w.name.c_str(),
                w.stream.updates.size());
 
+  const int max_shards = bench::GetEnvInt("GZ_BENCH_SHARDS_MAX", 8);
+  const double crc_bytes_per_sec = MeasureCrcBytesPerSec();
   size_t expect_components = 0;
   bool have_expectation = false;
   std::printf("[\n");
   bool first = true;
   for (int shards : {1, 2, 4, 8}) {
-    for (const Mode mode : {Mode::kInProcess, Mode::kProcess}) {
+    if (shards > max_shards) continue;
+    for (const BenchMode mode :
+         {BenchMode::kInProcess, BenchMode::kProcess,
+          BenchMode::kProcessTcp}) {
       GraphZeppelinConfig base = bench::DefaultGzConfig();
       base.num_nodes = w.num_nodes;
       base.num_workers = 1;  // One worker per shard: shards ARE parallelism.
-      ShardedGraphZeppelin sharded(base, shards, mode);
+      std::vector<std::unique_ptr<ListenerShard>> listeners;
+      ShardedGraphZeppelin sharded(base, shards, ExecMode(mode),
+                                   OptionsFor(mode, shards, &listeners));
       GZ_CHECK_OK(sharded.Init());
 
       WallTimer timer;
@@ -163,17 +243,26 @@ int main(int argc, char** argv) {
         GZ_CHECK(r.num_components == expect_components);
       }
 
+      // The v3 checksum's share of this row's ingest wall time (zero
+      // for in-process: no frames, no checksums).
+      const double checksum_seconds =
+          mode == BenchMode::kInProcess
+              ? 0.0
+              : EstimatedChecksumSeconds(w.stream.updates.size(),
+                                         crc_bytes_per_sec);
       std::printf(
           "%s  {\"bench\": \"ext_sharded\", \"workload\": \"%s\",\n"
           "   \"shards\": %d, \"mode\": \"%s\",\n"
           "   \"updates\": %zu, \"updates_per_sec\": %.0f,\n"
           "   \"snapshot_agg_seconds\": %.4f, \"query_seconds\": %.4f,\n"
+          "   \"crc32c_gb_per_sec\": %.2f,\n"
+          "   \"checksum_overhead_vs_v2_pct\": %.3f,\n"
           "   \"components\": %zu}",
-          first ? "" : ",\n", w.name.c_str(), shards,
-          mode == Mode::kInProcess ? "in_process" : "process",
+          first ? "" : ",\n", w.name.c_str(), shards, BenchModeName(mode),
           w.stream.updates.size(),
           static_cast<double>(w.stream.updates.size()) / ingest_seconds,
-          agg_seconds, solve_seconds, r.num_components);
+          agg_seconds, solve_seconds, crc_bytes_per_sec / 1e9,
+          100.0 * checksum_seconds / ingest_seconds, r.num_components);
       first = false;
     }
   }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "dsu/dsu.h"
 #include "stream/stream_file.h"
@@ -19,7 +20,7 @@ namespace {
 // pool exists: late Boruvka rounds are tiny and cost less than the pool
 // barrier.
 constexpr uint64_t kMinParallelSampleRoots = 1024;
-constexpr size_t kMinParallelFoldGroups = 16;
+constexpr size_t kMinParallelFoldPairs = 16;
 constexpr uint64_t kSampleBlockNodes = 1024;
 
 // A minimal fixed-size pool for query-time parallelism. One pool lives
@@ -238,13 +239,21 @@ ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
     if (round + 1 >= last_round) continue;
 
     // Phase 3: XOR-fold each merged component's sketches into its new
-    // representative, in parallel over components. Groups touch
-    // disjoint sketches, and a XOR sum is order-independent, so the
-    // folded state is bitwise identical for any schedule. Rounds at or
-    // before `round` are never queried again and are skipped.
+    // representative, as a pairwise tree reduction levelled ACROSS all
+    // groups: every level folds disjoint (dst, src) pairs — dst keeps
+    // the running sum, src is dead afterwards — halving each group's
+    // survivor list until only its root remains. Parallelism therefore
+    // spans components AND the inside of one giant component: a
+    // star-like graph whose single group used to fold sequentially now
+    // spreads n/2 merges per level over the pool, log2(n) levels deep,
+    // with the same n-1 total merges. Every pair's sketches are
+    // disjoint within a level, and the XOR sum is bitwise
+    // order-independent, so the folded state is identical for any
+    // thread count and any tree shape. Rounds at or before `round` are
+    // never queried again and are skipped.
     struct FoldGroup {
-      NodeId root;
-      std::vector<NodeId> members;
+      // nodes[0] is the new representative; the rest fold into it.
+      std::vector<NodeId> nodes;
     };
     std::vector<FoldGroup> groups;
     for (uint64_t i = 0; i < num_nodes; ++i) {
@@ -253,23 +262,38 @@ ConnectivityResult BoruvkaConnectivity(std::vector<NodeSketch>* sketches,
       if (new_root == i) continue;    // Still its own representative.
       if (group_slot[new_root] < 0) {
         group_slot[new_root] = static_cast<int64_t>(groups.size());
-        groups.push_back({new_root, {}});
+        groups.push_back({{new_root}});
       }
-      groups[group_slot[new_root]].members.push_back(
-          static_cast<NodeId>(i));
+      groups[group_slot[new_root]].nodes.push_back(static_cast<NodeId>(i));
     }
-    auto fold_group = [&](size_t g) {
-      NodeSketch& target = sk[groups[g].root];
-      for (const NodeId member : groups[g].members) {
-        target.MergeRounds(sk[member], round + 1);
-      }
+    std::vector<std::pair<NodeId, NodeId>> fold_pairs;
+    auto fold_pair = [&](size_t p) {
+      sk[fold_pairs[p].first].MergeRounds(sk[fold_pairs[p].second],
+                                          round + 1);
     };
-    if (pool != nullptr && groups.size() >= kMinParallelFoldGroups) {
-      pool->Run(groups.size(), fold_group);
-    } else {
-      for (size_t g = 0; g < groups.size(); ++g) fold_group(g);
+    for (;;) {
+      fold_pairs.clear();
+      for (FoldGroup& g : groups) {
+        for (size_t k = 0; 2 * k + 1 < g.nodes.size(); ++k) {
+          fold_pairs.push_back({g.nodes[2 * k], g.nodes[2 * k + 1]});
+        }
+      }
+      if (fold_pairs.empty()) break;
+      if (pool != nullptr && fold_pairs.size() >= kMinParallelFoldPairs) {
+        pool->Run(fold_pairs.size(), fold_pair);
+      } else {
+        for (size_t p = 0; p < fold_pairs.size(); ++p) fold_pair(p);
+      }
+      for (FoldGroup& g : groups) {
+        // Survivors are the even indices; nodes[0] (the root) stays 0.
+        size_t keep = 0;
+        for (size_t k = 0; k < g.nodes.size(); k += 2) {
+          g.nodes[keep++] = g.nodes[k];
+        }
+        g.nodes.resize(keep);
+      }
     }
-    for (const FoldGroup& g : groups) group_slot[g.root] = -1;
+    for (const FoldGroup& g : groups) group_slot[g.nodes[0]] = -1;
   }
 
   result.failed = !complete;

@@ -23,6 +23,14 @@ ShardCluster::ShardCluster(const GraphZeppelinConfig& base, int num_shards,
     : base_(base), options_(std::move(options)) {
   GZ_CHECK(num_shards >= 1);
   GZ_CHECK(options_.migrate_nodes_per_chunk >= 1);
+  if (options_.shard_endpoints.size() > static_cast<size_t>(num_shards)) {
+    // A deployment-config error, reported from Start() like a
+    // malformed endpoint URI — not a programmer-error abort.
+    endpoint_error_ = Status::InvalidArgument(
+        std::to_string(options_.shard_endpoints.size()) +
+        " shard endpoints for " + std::to_string(num_shards) + " shards");
+    options_.shard_endpoints.resize(num_shards);
+  }
   binary_ = options_.shard_binary.empty() ? DefaultShardBinary()
                                           : options_.shard_binary;
   if (options_.checkpoint_dir.empty()) options_.checkpoint_dir = base_.disk_dir;
@@ -35,9 +43,22 @@ ShardCluster::ShardCluster(const GraphZeppelinConfig& base, int num_shards,
 
   table_ = MakeRoutingTable(num_shards);
   for (int s = 0; s < num_shards; ++s) {
-    const int id = AllocateShardSlot();
+    // A malformed endpoint URI surfaces from Start(); construction
+    // itself cannot return a Status (the slot still allocates, as a
+    // local placeholder, so the id space stays dense).
+    ShardEndpoint endpoint;
+    if (static_cast<size_t>(s) < options_.shard_endpoints.size()) {
+      Result<ShardEndpoint> parsed =
+          ParseShardEndpoint(options_.shard_endpoints[s]);
+      if (parsed.ok()) {
+        endpoint = std::move(parsed).value();
+      } else if (endpoint_error_.ok()) {
+        endpoint_error_ = parsed.status();
+      }
+    }
+    const int id = AllocateShardSlot(std::move(endpoint));
     GZ_CHECK(id == s);
-    procs_[id] = std::make_unique<ShardProcess>();
+    procs_[id] = MakeTransportFor(id);
   }
 }
 
@@ -52,9 +73,19 @@ ShardCluster::~ShardCluster() {
   }
 }
 
-int ShardCluster::AllocateShardSlot() {
+std::unique_ptr<ShardTransport> ShardCluster::MakeTransportFor(
+    int shard) const {
+  ShardTransportOptions topts;
+  topts.binary = binary_;
+  topts.log_path = LogPath(shard);
+  topts.auth_secret = options_.auth_secret;
+  return MakeShardTransport(endpoints_[shard], topts);
+}
+
+int ShardCluster::AllocateShardSlot(ShardEndpoint endpoint) {
   const int id = static_cast<int>(procs_.size());
   procs_.emplace_back(nullptr);
+  endpoints_.push_back(std::move(endpoint));
   down_.push_back(true);  // Up only once configured.
   route_bufs_.emplace_back();
   unacked_.emplace_back();
@@ -73,6 +104,7 @@ void ShardCluster::ReleaseLastShardSlot(int id) {
   // different tables — across the two modes).
   GZ_CHECK(id == static_cast<int>(procs_.size()) - 1);
   procs_.pop_back();
+  endpoints_.pop_back();
   down_.pop_back();
   route_bufs_.pop_back();
   unacked_.pop_back();
@@ -120,8 +152,8 @@ GraphZeppelinConfig ShardCluster::ShardConfigFor(int shard) const {
 Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
                                        uint64_t* restored,
                                        uint64_t* restored_delta_seq) {
-  ShardProcess& proc = *procs_[shard];
-  Status s = proc.Spawn(binary_, LogPath(shard));
+  ShardTransport& proc = *procs_[shard];
+  Status s = proc.Connect();
   if (!s.ok()) return s;
   ShardConfig sc;
   sc.config = ShardConfigFor(shard);
@@ -135,7 +167,7 @@ Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
   s = proc.CallAck(ShardMessageType::kConfig, payload.data(), payload.size(),
                    &ack);
   if (!s.ok()) {
-    proc.Kill();
+    proc.Terminate();
     return s;
   }
   if (restored != nullptr) *restored = ack.value0;
@@ -146,6 +178,7 @@ Status ShardCluster::SpawnAndConfigure(int shard, bool restore,
 
 Status ShardCluster::Start() {
   if (started_) return Status::FailedPrecondition("cluster already started");
+  if (!endpoint_error_.ok()) return endpoint_error_;
   for (int s = 0; s < num_shards(); ++s) {
     Status st = SpawnAndConfigure(s, /*restore=*/false, nullptr, nullptr);
     if (!st.ok()) return st;
@@ -224,7 +257,7 @@ Status ShardCluster::Update(const GraphUpdate* updates, size_t count) {
 Status ShardCluster::RequireAllHealthy() {
   for (int s = 0; s < num_shards(); ++s) {
     if (procs_[s] == nullptr) continue;  // Removed ids are not shards.
-    if (down_[s] || !procs_[s]->Running()) {
+    if (down_[s] || !procs_[s]->Alive()) {
       return Status::FailedPrecondition(
           "shard " + std::to_string(s) +
           " is down; RestartShard() it before a cluster-wide barrier");
@@ -357,7 +390,7 @@ Status ShardCluster::SendDelta(int shard, const std::vector<uint8_t>& bytes) {
   return s;
 }
 
-Result<int> ShardCluster::AddShard() {
+Result<int> ShardCluster::AddShard(const std::string& endpoint) {
   if (!started_) return Status::FailedPrecondition("cluster not started");
   if (migration_.has_value()) {
     return Status::FailedPrecondition(
@@ -368,11 +401,13 @@ Result<int> ShardCluster::AddShard() {
     return Status::FailedPrecondition(
         "slot table is full; cannot add another shard");
   }
+  Result<ShardEndpoint> parsed = ParseShardEndpoint(endpoint);
+  if (!parsed.ok()) return parsed.status();
   Status s = RequireAllHealthy();
   if (!s.ok()) return s;
   const RoutingTable old_table = table_;
-  const int id = AllocateShardSlot();
-  procs_[id] = std::make_unique<ShardProcess>();
+  const int id = AllocateShardSlot(std::move(parsed).value());
+  procs_[id] = MakeTransportFor(id);
   table_ = TableWithShardAdded(old_table, id);
   // The new shard's CONFIG already carries the new table, so it comes
   // up at the current epoch; everyone else learns it from the
@@ -380,7 +415,7 @@ Result<int> ShardCluster::AddShard() {
   // zero is the XOR identity.
   s = SpawnAndConfigure(id, /*restore=*/false, nullptr, nullptr);
   if (!s.ok()) {
-    procs_[id]->Kill();
+    procs_[id]->Terminate();
     ReleaseLastShardSlot(id);
     table_ = old_table;
     return s;
@@ -426,7 +461,8 @@ Status ShardCluster::BeginRemoveShard(int shard) {
   return Status::Ok();
 }
 
-Result<int> ShardCluster::BeginSplitShard(int shard) {
+Result<int> ShardCluster::BeginSplitShard(int shard,
+                                          const std::string& endpoint) {
   if (!started_) return Status::FailedPrecondition("cluster not started");
   GZ_CHECK(shard >= 0 && shard < num_shards());
   if (procs_[shard] == nullptr) {
@@ -443,15 +479,17 @@ Result<int> ShardCluster::BeginSplitShard(int shard) {
         "shard " + std::to_string(shard) +
         " owns too few routing slots to split");
   }
+  Result<ShardEndpoint> parsed = ParseShardEndpoint(endpoint);
+  if (!parsed.ok()) return parsed.status();
   Status s = RequireAllHealthy();
   if (!s.ok()) return s;
   const RoutingTable old_table = table_;
-  const int id = AllocateShardSlot();
-  procs_[id] = std::make_unique<ShardProcess>();
+  const int id = AllocateShardSlot(std::move(parsed).value());
+  procs_[id] = MakeTransportFor(id);
   table_ = TableWithShardSplit(old_table, shard, id);
   s = SpawnAndConfigure(id, /*restore=*/false, nullptr, nullptr);
   if (!s.ok()) {
-    procs_[id]->Kill();
+    procs_[id]->Terminate();
     ReleaseLastShardSlot(id);
     table_ = old_table;
     return s;
@@ -558,7 +596,7 @@ Status ShardCluster::PumpMigration() {
     ShardAck ignored;
     procs_[m.source]->CallAck(ShardMessageType::kShutdown, nullptr, 0,
                               &ignored);  // Best-effort orderly exit.
-    procs_[m.source]->Kill();             // Degenerates to a reap.
+    procs_[m.source]->Terminate();             // Degenerates to a reap.
     ::unlink(CheckpointPath(m.source).c_str());
     ::unlink((CheckpointPath(m.source) + ".tmp").c_str());
     procs_[m.source].reset();
@@ -577,8 +615,9 @@ Status ShardCluster::RemoveShard(int shard) {
   return s;
 }
 
-Result<int> ShardCluster::SplitShard(int shard) {
-  Result<int> id = BeginSplitShard(shard);
+Result<int> ShardCluster::SplitShard(int shard,
+                                     const std::string& endpoint) {
+  Result<int> id = BeginSplitShard(shard, endpoint);
   if (!id.ok()) return id;
   Status s = Status::Ok();
   while (s.ok() && migration_.has_value()) s = PumpMigration();
@@ -591,7 +630,7 @@ Result<int> ShardCluster::SplitShard(int shard) {
 std::vector<bool> ShardCluster::HealthCheck() {
   std::vector<bool> alive(num_shards(), false);
   for (int s = 0; s < num_shards(); ++s) {
-    if (procs_[s] == nullptr || down_[s] || !procs_[s]->Running()) continue;
+    if (procs_[s] == nullptr || down_[s] || !procs_[s]->Alive()) continue;
     ShardAck ack;
     if (procs_[s]->CallAck(ShardMessageType::kPing, nullptr, 0, &ack).ok()) {
       alive[s] = true;
@@ -605,7 +644,7 @@ std::vector<bool> ShardCluster::HealthCheck() {
 void ShardCluster::KillShard(int shard, bool observed) {
   GZ_CHECK(shard >= 0 && shard < num_shards());
   GZ_CHECK_MSG(procs_[shard] != nullptr, "shard already removed");
-  procs_[shard]->Kill();
+  procs_[shard]->Terminate();
   if (observed) down_[shard] = true;
 }
 
@@ -615,7 +654,7 @@ Status ShardCluster::RestartShard(int shard) {
   if (procs_[shard] == nullptr) {
     return Status::FailedPrecondition("shard was removed");
   }
-  procs_[shard]->Kill();  // Reaps; no-op if already dead.
+  procs_[shard]->Terminate();  // Reaps; no-op if already dead.
   uint64_t restored = 0, restored_seq = 0;
   Status s = SpawnAndConfigure(shard, /*restore=*/true, &restored,
                                &restored_seq);
@@ -632,7 +671,7 @@ Status ShardCluster::RestartShard(int shard) {
   const uint64_t acked = has_checkpoint_[shard] ? checkpoint_updates_[shard]
                                                 : 0;
   if (restored < acked || restored - acked > log.size()) {
-    procs_[shard]->Kill();
+    procs_[shard]->Terminate();
     down_[shard] = true;
     return Status::Internal(
         "restored shard position " + std::to_string(restored) +
@@ -641,7 +680,7 @@ Status ShardCluster::RestartShard(int shard) {
   }
   if (restored_seq < checkpoint_delta_seq_[shard] ||
       restored_seq > delta_seq_sent_[shard]) {
-    procs_[shard]->Kill();
+    procs_[shard]->Terminate();
     down_[shard] = true;
     return Status::Internal(
         "restored shard delta sequence " + std::to_string(restored_seq) +
@@ -671,8 +710,8 @@ Status ShardCluster::Shutdown() {
   Status first_error = Status::Ok();
   for (int s = 0; s < num_shards(); ++s) {
     if (procs_[s] == nullptr) continue;
-    if (down_[s] || !procs_[s]->Running()) {
-      procs_[s]->Kill();  // Reap whatever is left.
+    if (down_[s] || !procs_[s]->Alive()) {
+      procs_[s]->Terminate();  // Reap whatever is left.
       continue;
     }
     ShardAck ack;
@@ -682,7 +721,7 @@ Status ShardCluster::Shutdown() {
     // Orderly exit follows the ack; Kill() degenerates to a reap (the
     // SIGKILL lands on an exiting or exited process) and guarantees no
     // zombie either way.
-    procs_[s]->Kill();
+    procs_[s]->Terminate();
     down_[s] = true;
   }
   started_ = false;

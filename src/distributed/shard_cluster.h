@@ -39,8 +39,10 @@
 
 #include "core/graph_snapshot.h"
 #include "core/graph_zeppelin.h"
+#include "distributed/shard_endpoint.h"
 #include "distributed/shard_process.h"
 #include "distributed/shard_protocol.h"
+#include "distributed/shard_transport.h"
 #include "util/status.h"
 
 namespace gz {
@@ -48,6 +50,17 @@ namespace gz {
 struct ShardClusterOptions {
   // Path of the gz_shard binary; empty = DefaultShardBinary().
   std::string shard_binary;
+  // Where each shard lives, by initial shard id: "local:" (fork/exec,
+  // the default) or "tcp://host:port" (a running `gz_shard --listen`).
+  // Shorter than num_shards = the rest are local. See shard_endpoint.h
+  // for the grammar; a malformed entry fails Start().
+  std::vector<std::string> shard_endpoints;
+  // Shared handshake secret, proven by every connection in both
+  // directions (HMAC challenge–response; see shard_protocol.h). Local
+  // children receive it through their environment; tcp listeners must
+  // have been started with the same secret. "" = open (trusted
+  // transport).
+  std::string auth_secret;
   // Where shard checkpoints live; empty = the base config's disk_dir.
   std::string checkpoint_dir;
   // Where shard stderr logs go; empty = $GZ_SHARD_LOG_DIR, falling back
@@ -115,19 +128,22 @@ class ShardCluster {
   Status Checkpoint();
 
   // --- Elastic resharding --------------------------------------------------
-  // Adds a fresh shard (new highest id): spawns it, rebalances slots to
-  // it, bumps + broadcasts the epoch. No state migrates — the new shard
-  // starts empty and linearity makes that exact. Returns the new id.
-  Result<int> AddShard();
+  // Adds a fresh shard (new highest id) at `endpoint` ("" = local:, or
+  // any endpoint URI — this is how a cluster grows onto another
+  // machine): connects it, rebalances slots to it, bumps + broadcasts
+  // the epoch. No state migrates — the new shard starts empty and
+  // linearity makes that exact. Returns the new id.
+  Result<int> AddShard(const std::string& endpoint = std::string());
   // Starts removing `shard`: its slots are dealt to the remaining
   // shards (epoch bump, broadcast), then PumpMigration() drains its
   // state chunk-by-chunk into a successor and finally shuts it down.
   Status BeginRemoveShard(int shard);
-  // Starts splitting `shard`: a fresh shard (new highest id) takes half
-  // its slots (epoch bump, broadcast), then PumpMigration() moves the
-  // upper half of the node range of its accumulated state across.
-  // Returns the new shard's id.
-  Result<int> BeginSplitShard(int shard);
+  // Starts splitting `shard`: a fresh shard (new highest id, at
+  // `endpoint` like AddShard) takes half its slots (epoch bump,
+  // broadcast), then PumpMigration() moves the upper half of the node
+  // range of its accumulated state across. Returns the new shard's id.
+  Result<int> BeginSplitShard(int shard,
+                              const std::string& endpoint = std::string());
   // Advances the active migration by one step (one node-range chunk,
   // or the final shutdown/bookkeeping step). Interleave with Update()
   // at will. On a shard failure the step's effects are already in the
@@ -139,13 +155,16 @@ class ShardCluster {
   int migration_target() const;
   // Synchronous conveniences: Begin* + pump to completion.
   Status RemoveShard(int shard);
-  Result<int> SplitShard(int shard);
+  Result<int> SplitShard(int shard,
+                         const std::string& endpoint = std::string());
 
   // Lifecycle.
-  // Liveness per shard id: process running and answering pings
+  // Liveness per shard id: transport alive and answering pings
   // (removed ids report false).
   std::vector<bool> HealthCheck();
-  // SIGKILL (fault injection / fencing); updates keep buffering. With
+  // Hard-stop for fault injection / fencing — SIGKILL for a local
+  // shard, connection abort for a tcp one (the listener drops its
+  // instance, the same state loss); updates keep buffering. With
   // observed=false the coordinator does NOT fence the shard — modeling
   // a spontaneous crash it has not detected yet, so tests can drive
   // the paths that must self-fence on a failed send.
@@ -190,16 +209,20 @@ class ShardCluster {
     uint64_t end_node = 0;   // One past the last node to migrate.
   };
 
-  // Spawns + configures; `restored` / `restored_delta_seq` receive the
-  // shard's stream position and delta sequence number after any
+  // Connects + configures; `restored` / `restored_delta_seq` receive
+  // the shard's stream position and delta sequence number after any
   // checkpoint restore.
   Status SpawnAndConfigure(int shard, bool restore, uint64_t* restored,
                            uint64_t* restored_delta_seq);
   std::string CheckpointPath(int shard) const;
   std::string LogPath(int shard) const;
   GraphZeppelinConfig ShardConfigFor(int shard) const;
-  // Grows every per-shard vector for a freshly allocated id.
-  int AllocateShardSlot();
+  // Transport for `shard` from endpoints_[shard] (local -> fork/exec,
+  // tcp -> connect).
+  std::unique_ptr<ShardTransport> MakeTransportFor(int shard) const;
+  // Grows every per-shard vector for a freshly allocated id, recording
+  // its endpoint.
+  int AllocateShardSlot(ShardEndpoint endpoint);
   // Rolls a just-allocated (still-last) id back out after a failed
   // spawn, keeping id assignment in lockstep with the in-process mode.
   void ReleaseLastShardSlot(int id);
@@ -231,11 +254,17 @@ class ShardCluster {
   ShardClusterOptions options_;
   std::string binary_;
   std::string log_dir_;
+  // A malformed options_.shard_endpoints entry, reported by Start()
+  // (the constructor cannot return a Status).
+  Status endpoint_error_;
   bool started_ = false;
 
   RoutingTable table_;
   // Index = shard id; nullptr marks a removed id (never reused).
-  std::vector<std::unique_ptr<ShardProcess>> procs_;
+  std::vector<std::unique_ptr<ShardTransport>> procs_;
+  // Where each shard id lives (kept for removed ids too; the id space
+  // never shrinks).
+  std::vector<ShardEndpoint> endpoints_;
   std::vector<bool> down_;
   // Per-shard routing buffers (capacity persists across spans).
   std::vector<std::vector<GraphUpdate>> route_bufs_;

@@ -5,9 +5,7 @@
 #include <cstring>
 
 #include <fcntl.h>
-#include <signal.h>
 #include <sys/socket.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include "util/check.h"
@@ -27,8 +25,14 @@ std::string DefaultShardBinary() {
   return path.substr(0, slash + 1) + "gz_shard";
 }
 
+ShardProcess::ShardProcess(std::string binary, std::string log_path,
+                           std::string auth_secret)
+    : binary_(std::move(binary)),
+      log_path_(std::move(log_path)),
+      auth_secret_(std::move(auth_secret)) {}
+
 ShardProcess::~ShardProcess() {
-  Kill();
+  Terminate();
   CloseSocket();
 }
 
@@ -39,9 +43,8 @@ void ShardProcess::CloseSocket() {
   }
 }
 
-Status ShardProcess::Spawn(const std::string& binary,
-                           const std::string& log_path) {
-  if (pid_ >= 0 && Running()) {
+Status ShardProcess::Connect() {
+  if (pid_ >= 0 && Alive()) {
     return Status::FailedPrecondition("shard process already running");
   }
   CloseSocket();
@@ -52,76 +55,33 @@ Status ShardProcess::Spawn(const std::string& binary,
   }
   // Coordinator's end must not leak into later-spawned shards: a
   // sibling holding a copy would keep the socket half-open after this
-  // shard dies.
+  // shard dies. The child's end (sv[1]) stays inheritable.
   ::fcntl(sv[0], F_SETFD, FD_CLOEXEC);
-  const std::string fd_arg = std::to_string(sv[1]);
-  const pid_t pid = ::fork();
-  if (pid < 0) {
+  Result<pid_t> pid = SpawnShardChild(
+      binary_, {"--fd", std::to_string(sv[1])}, log_path_, auth_secret_,
+      /*inherit_fd=*/sv[1]);
+  if (!pid.ok()) {
     ::close(sv[0]);
     ::close(sv[1]);
-    return Status::IoError(std::string("fork: ") + std::strerror(errno));
-  }
-  if (pid == 0) {
-    // Child: only async-signal-safe calls until execv. Keep sv[1] open
-    // for the server; route stderr to the log file so a crash leaves a
-    // readable trace.
-    ::close(sv[0]);
-    if (!log_path.empty()) {
-      const int log_fd =
-          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-      if (log_fd >= 0) {
-        ::dup2(log_fd, STDERR_FILENO);
-        if (log_fd != STDERR_FILENO) ::close(log_fd);
-      }
-    }
-    char* const argv[] = {const_cast<char*>(binary.c_str()),
-                          const_cast<char*>("--fd"),
-                          const_cast<char*>(fd_arg.c_str()), nullptr};
-    ::execv(binary.c_str(), argv);
-    // exec failed; report on (possibly redirected) stderr and die hard.
-    const char msg[] = "gz_shard exec failed\n";
-    const ssize_t ignored = ::write(STDERR_FILENO, msg, sizeof(msg) - 1);
-    (void)ignored;
-    ::_exit(127);
+    return pid.status();
   }
   ::close(sv[1]);
-  pid_ = pid;
+  pid_ = pid.value();
   fd_ = sv[0];
   reaped_ = false;
-  log_path_ = log_path;
+  // The handshake runs even over the trusted socketpair: one frame
+  // flow, and a secret mismatch (a stale binary, a polluted child
+  // environment) surfaces at spawn, not mid-stream.
+  Status s = ClientHandshake(fd_, auth_secret_);
+  if (!s.ok()) {
+    Terminate();
+    return s;
+  }
   return Status::Ok();
 }
 
-bool ShardProcess::Running() {
-  if (pid_ < 0 || reaped_) return false;
-  int status = 0;
-  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
-  if (r == pid_) {
-    reaped_ = true;
-    return false;
-  }
-  return r == 0;
-}
+bool ShardProcess::Alive() { return ShardChildRunning(pid_, &reaped_); }
 
-void ShardProcess::Kill() {
-  if (pid_ < 0 || reaped_) return;
-  ::kill(pid_, SIGKILL);
-  int status = 0;
-  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
-  }
-  reaped_ = true;
-}
-
-Status ShardProcess::CallAck(ShardMessageType type, const void* payload,
-                             size_t payload_bytes, ShardAck* ack) {
-  if (fd_ < 0) return Status::IoError("shard socket not open");
-  Status s = SendFrame(fd_, type, payload, payload_bytes);
-  if (!s.ok()) return s;
-  bool in_sync = false;
-  s = RecvReply(fd_, ShardMessageType::kAck, &reply_buf_, &in_sync);
-  if (!s.ok()) return s;
-  return DecodeShardAck(reply_buf_.payload.data(), reply_buf_.payload.size(),
-                        ack);
-}
+void ShardProcess::Terminate() { KillShardChild(pid_, &reaped_); }
 
 }  // namespace gz

@@ -5,11 +5,19 @@
 #include <cmath>
 #include <cstring>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <random>
+
 #include "util/check.h"
+#include "util/crc32c.h"
+#include "util/sha256.h"
 #include "util/xxhash.h"
 
 namespace gz {
@@ -45,7 +53,7 @@ Status DecodeHeader(const uint8_t in[ShardFrameHeader::kBytes],
         std::to_string(ShardFrameHeader::kVersion) + ")");
   }
   if (type16 < static_cast<uint16_t>(ShardMessageType::kConfig) ||
-      type16 > static_cast<uint16_t>(ShardMessageType::kMigrateData)) {
+      type16 > static_cast<uint16_t>(ShardMessageType::kAuth)) {
     return Status::InvalidArgument("shard frame: unknown message type " +
                                    std::to_string(type16));
   }
@@ -133,6 +141,16 @@ Status WriteFull(int fd, const void* data, size_t size) {
   return Status::Ok();
 }
 
+void TuneShardSocket(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+  const int idle = 60, interval = 10, count = 6;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle, sizeof(idle));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &interval, sizeof(interval));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &count, sizeof(count));
+}
+
 Status ReadFull(int fd, void* data, size_t size) {
   uint8_t* p = static_cast<uint8_t*>(data);
   while (size > 0) {
@@ -151,14 +169,24 @@ Status ReadFull(int fd, void* data, size_t size) {
   return Status::Ok();
 }
 
-Status SendFrameHeader(int fd, ShardMessageType type,
-                       uint64_t payload_bytes) {
+void FrameCrc::Fold(const void* data, size_t size) {
+  crc_ = Crc32cExtend(crc_, data, size);
+}
+
+Status SendFrameHeader(int fd, ShardMessageType type, uint64_t payload_bytes,
+                       FrameCrc* crc) {
   if (payload_bytes > ShardFrameHeader::kMaxPayloadBytes) {
     return Status::InvalidArgument("shard frame: payload exceeds cap");
   }
   uint8_t header[ShardFrameHeader::kBytes];
   EncodeHeader(type, payload_bytes, header);
+  crc->Fold(header, sizeof(header));
   return WriteFull(fd, header, sizeof(header));
+}
+
+Status SendFrameTrailer(int fd, const FrameCrc& crc) {
+  const uint32_t value = crc.value();
+  return WriteFull(fd, &value, ShardFrameHeader::kCrcBytes);
 }
 
 Status SendFrame(int fd, ShardMessageType type, const void* payload,
@@ -174,9 +202,15 @@ Status SendFrame2(int fd, ShardMessageType type, const void* a,
   }
   uint8_t header[ShardFrameHeader::kBytes];
   EncodeHeader(type, payload_bytes, header);
-  // One sendmsg for header + payload spans: the routing buffer crosses
-  // into the kernel straight from where the router filled it.
-  struct iovec iov[3];
+  FrameCrc crc;
+  crc.Fold(header, sizeof(header));
+  crc.Fold(a, a_bytes);
+  crc.Fold(b, b_bytes);
+  const uint32_t trailer = crc.value();
+  // One sendmsg for header + payload spans + trailer: the routing
+  // buffer crosses into the kernel straight from where the router
+  // filled it.
+  struct iovec iov[4];
   int iovcnt = 0;
   iov[iovcnt].iov_base = header;
   iov[iovcnt].iov_len = sizeof(header);
@@ -191,12 +225,16 @@ Status SendFrame2(int fd, ShardMessageType type, const void* a,
     iov[iovcnt].iov_len = b_bytes;
     ++iovcnt;
   }
+  iov[iovcnt].iov_base = const_cast<uint32_t*>(&trailer);
+  iov[iovcnt].iov_len = ShardFrameHeader::kCrcBytes;
+  ++iovcnt;
   struct msghdr msg;
   std::memset(&msg, 0, sizeof(msg));
   msg.msg_iov = iov;
   msg.msg_iovlen = iovcnt;
   size_t sent = 0;
-  const size_t total = sizeof(header) + payload_bytes;
+  const size_t total =
+      sizeof(header) + payload_bytes + ShardFrameHeader::kCrcBytes;
   while (sent < total) {
     const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
@@ -220,13 +258,25 @@ Status SendFrame2(int fd, ShardMessageType type, const void* a,
   return Status::Ok();
 }
 
-Status RecvFrame(int fd, ShardFrame* frame) {
+namespace {
+
+// The real receive path, with an explicit allocation cap: the public
+// RecvFrame accepts up to the protocol cap, while the pre-auth
+// handshake path caps at a few KB — an unauthenticated peer must not
+// be able to command a multi-GB allocation with a length field.
+Status RecvFrameCapped(int fd, ShardFrame* frame, uint64_t max_payload) {
   uint8_t header_buf[ShardFrameHeader::kBytes];
   Status s = ReadFull(fd, header_buf, sizeof(header_buf));
   if (!s.ok()) return s;
   ShardFrameHeader header;
   s = DecodeHeader(header_buf, &header);
   if (!s.ok()) return s;
+  if (header.payload_bytes > max_payload) {
+    return Status::InvalidArgument(
+        "shard frame: payload length " +
+        std::to_string(header.payload_bytes) +
+        " exceeds this context's cap of " + std::to_string(max_payload));
+  }
   frame->type = header.type;
   // The protocol cap is sized for legitimate big snapshots, so a
   // corrupt-but-in-range length can still exceed this host's memory;
@@ -244,7 +294,26 @@ Status RecvFrame(int fd, ShardFrame* frame) {
     s = ReadFull(fd, frame->payload.data(), header.payload_bytes);
     if (!s.ok()) return s;
   }
+  // Verify the trailer BEFORE anything decodes the payload: a flipped
+  // bit anywhere in header or payload must surface here as a Status,
+  // never as a mis-ingested update or a decoder fed garbage. (A
+  // corrupted length field lands here too — the bytes read under the
+  // wrong length cannot carry a matching checksum.)
+  uint32_t trailer = 0;
+  s = ReadFull(fd, &trailer, ShardFrameHeader::kCrcBytes);
+  if (!s.ok()) return s;
+  uint32_t crc = Crc32c(header_buf, sizeof(header_buf));
+  crc = Crc32cExtend(crc, frame->payload.data(), frame->payload.size());
+  if (crc != trailer) {
+    return Status::InvalidArgument("shard frame: checksum mismatch");
+  }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status RecvFrame(int fd, ShardFrame* frame) {
+  return RecvFrameCapped(fd, frame, ShardFrameHeader::kMaxPayloadBytes);
 }
 
 Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
@@ -267,6 +336,179 @@ Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
   }
   *in_sync = true;
   return Status::Ok();
+}
+
+// ---- Authenticated handshake ----------------------------------------------
+
+namespace {
+
+constexpr size_t kProofBytes = kSha256Bytes;
+
+// Handshake frames are tiny and fixed-size (16/48/32 bytes, plus a
+// small kError with a message); nothing pre-auth may command a bigger
+// allocation than this.
+constexpr uint64_t kHandshakeMaxFrameBytes = 4096;
+
+// Best-effort pre-auth deadline on a listener socket: an
+// unauthenticated peer that connects and goes silent must not wedge a
+// one-connection-at-a-time server forever (its accept loop would
+// never run again, and a legitimate coordinator queued in the listen
+// backlog would hang with it). 0 clears the deadline — the
+// established session returns to blocking I/O, where long silences
+// are legitimate (a coordinator simply has nothing to send). Fails
+// silently on non-socket fds (gz_shard --fd on a pipe).
+void SetSocketTimeout(int fd, int seconds) {
+  struct timeval tv;
+  tv.tv_sec = seconds;
+  tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+constexpr int kHandshakeTimeoutSeconds = 10;
+// The client side waits out the server-side deadline plus a dead
+// session's drain with margin: a coordinator queued in a wedged
+// listener's backlog must eventually get an error, never hang
+// Start()/RestartShard forever.
+constexpr int kClientHandshakeTimeoutSeconds = 30;
+
+// RecvReply's classification with the pre-auth allocation cap.
+Status RecvHandshakeReply(int fd, ShardMessageType expected,
+                          ShardFrame* frame) {
+  Status s = RecvFrameCapped(fd, frame, kHandshakeMaxFrameBytes);
+  if (!s.ok()) return s;
+  if (frame->type == ShardMessageType::kError) {
+    bool decode_ok = false;
+    return DecodeShardError(frame->payload.data(), frame->payload.size(),
+                            &decode_ok);
+  }
+  if (frame->type != expected) {
+    return Status::Internal("peer sent an unexpected frame mid-handshake");
+  }
+  return Status::Ok();
+}
+
+// Fresh per-connection nonce. std::random_device is the entropy
+// backbone; pid and a clock reading are mixed in so even a degenerate
+// random_device cannot hand two processes the same nonce.
+void FillNonce(uint8_t out[kHandshakeNonceBytes]) {
+  std::random_device rd;
+  uint64_t words[2];
+  words[0] = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  words[1] = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  const uint64_t mix = XxHash64Word(
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()),
+      static_cast<uint64_t>(::getpid()));
+  words[0] ^= mix;
+  words[1] ^= XxHash64Word(mix, 0x68656c6c6fULL);
+  std::memcpy(out, words, kHandshakeNonceBytes);
+}
+
+// proof = HMAC(secret, domain || client_nonce || server_nonce). The
+// domain string separates the two directions, so a server proof can
+// never be replayed back as a client proof.
+void ComputeProof(const std::string& secret, const char* domain,
+                  const uint8_t client_nonce[kHandshakeNonceBytes],
+                  const uint8_t server_nonce[kHandshakeNonceBytes],
+                  uint8_t out[kProofBytes]) {
+  uint8_t message[16 + 2 * kHandshakeNonceBytes] = {0};
+  std::memcpy(message, domain, std::min<size_t>(std::strlen(domain), 16));
+  std::memcpy(message + 16, client_nonce, kHandshakeNonceBytes);
+  std::memcpy(message + 16 + kHandshakeNonceBytes, server_nonce,
+              kHandshakeNonceBytes);
+  HmacSha256(secret.data(), secret.size(), message, sizeof(message), out);
+}
+
+Status AuthFailed() {
+  return Status::FailedPrecondition(
+      "authentication failed: peer does not hold the shared secret");
+}
+
+}  // namespace
+
+Status ClientHandshake(int fd, const std::string& secret) {
+  SetSocketTimeout(fd, kClientHandshakeTimeoutSeconds);
+  uint8_t client_nonce[kHandshakeNonceBytes];
+  FillNonce(client_nonce);
+  Status s = SendFrame(fd, ShardMessageType::kHello, client_nonce,
+                       sizeof(client_nonce));
+  if (!s.ok()) return s;
+  ShardFrame frame;
+  s = RecvHandshakeReply(fd, ShardMessageType::kChallenge, &frame);
+  if (!s.ok()) return s;
+  if (frame.payload.size() != kHandshakeNonceBytes + kProofBytes) {
+    return Status::InvalidArgument("malformed handshake challenge");
+  }
+  const uint8_t* server_nonce = frame.payload.data();
+  // Mutual: an impostor shard must not be handed graph state (or a
+  // checkpoint path to scribble on), so the server proves first.
+  uint8_t expect[kProofBytes];
+  ComputeProof(secret, "gzsp3-server", client_nonce, server_nonce, expect);
+  if (!ConstantTimeEqual(frame.payload.data() + kHandshakeNonceBytes,
+                         expect, kProofBytes)) {
+    return AuthFailed();
+  }
+  uint8_t proof[kProofBytes];
+  ComputeProof(secret, "gzsp3-client", client_nonce, server_nonce, proof);
+  s = SendFrame(fd, ShardMessageType::kAuth, proof, sizeof(proof));
+  if (!s.ok()) return s;
+  s = RecvHandshakeReply(fd, ShardMessageType::kAck, &frame);
+  if (!s.ok()) return s;
+  SetSocketTimeout(fd, 0);  // Established: back to blocking I/O.
+  return Status::Ok();
+}
+
+Status ServerHandshake(int fd, const std::string& secret) {
+  // A best-effort error reply, then the non-OK return tells the caller
+  // to drop the connection. Nothing a peer sends before proving the
+  // secret reaches any other handler, commands more than a tiny
+  // allocation, or holds the connection open past the deadline.
+  SetSocketTimeout(fd, kHandshakeTimeoutSeconds);
+  const auto refuse = [fd](Status error) {
+    const std::vector<uint8_t> payload = EncodeShardError(error);
+    SendFrame(fd, ShardMessageType::kError, payload.data(), payload.size());
+    return error;
+  };
+  ShardFrame frame;
+  Status s = RecvFrameCapped(fd, &frame, kHandshakeMaxFrameBytes);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kInvalidArgument) refuse(s);
+    return s;
+  }
+  if (frame.type != ShardMessageType::kHello ||
+      frame.payload.size() != kHandshakeNonceBytes) {
+    return refuse(Status::FailedPrecondition(
+        "expected a HELLO handshake frame before any request"));
+  }
+  uint8_t client_nonce[kHandshakeNonceBytes];
+  std::memcpy(client_nonce, frame.payload.data(), kHandshakeNonceBytes);
+  uint8_t server_nonce[kHandshakeNonceBytes];
+  FillNonce(server_nonce);
+  uint8_t challenge[kHandshakeNonceBytes + kProofBytes];
+  std::memcpy(challenge, server_nonce, kHandshakeNonceBytes);
+  ComputeProof(secret, "gzsp3-server", client_nonce, server_nonce,
+               challenge + kHandshakeNonceBytes);
+  s = SendFrame(fd, ShardMessageType::kChallenge, challenge,
+                sizeof(challenge));
+  if (!s.ok()) return s;
+  s = RecvFrameCapped(fd, &frame, kHandshakeMaxFrameBytes);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kInvalidArgument) refuse(s);
+    return s;
+  }
+  uint8_t expect[kProofBytes];
+  ComputeProof(secret, "gzsp3-client", client_nonce, server_nonce, expect);
+  if (frame.type != ShardMessageType::kAuth ||
+      frame.payload.size() != kProofBytes ||
+      !ConstantTimeEqual(frame.payload.data(), expect, kProofBytes)) {
+    return refuse(AuthFailed());
+  }
+  const ShardAck ack;
+  const std::vector<uint8_t> payload = EncodeShardAck(ack);
+  s = SendFrame(fd, ShardMessageType::kAck, payload.data(), payload.size());
+  if (s.ok()) SetSocketTimeout(fd, 0);  // Established: back to blocking.
+  return s;
 }
 
 namespace {

@@ -1,15 +1,31 @@
 // Wire protocol between the ShardCluster coordinator and gz_shard
-// worker processes: length-prefixed binary frames over a local stream
-// socket (socketpair today; the layout is transport-agnostic).
+// worker processes: length-prefixed binary frames over any stream
+// socket — a socketpair to a forked child or a TCP connection to a
+// `gz_shard --listen` on another machine (see shard_endpoint.h /
+// shard_transport.h). The coordinator and server state machines never
+// learn where the bytes come from; everything transport-specific —
+// framing integrity, peer authentication — lives here.
 //
-// Frame = 16-byte header (magic, version, message type, payload bytes)
-// followed by the payload. Updates travel as flat GraphUpdate slabs —
-// the exact in-memory layout the PR 1 pooled-batch pipeline routes, so
-// the coordinator frames a routing buffer with scatter-gather I/O and
-// never copies it — and snapshots travel as GraphSnapshot::Serialize
-// bytes, the same self-describing format checkpoint files use.
+// Frame (v3) = 16-byte header (magic, version, message type, payload
+// bytes) + payload + a 4-byte CRC32C trailer over header AND payload.
+// The receiver verifies the checksum before any payload decode; a
+// mismatch is a Status error and, because the stream can no longer be
+// trusted byte-for-byte, the connection is fenced. Updates travel as
+// flat GraphUpdate slabs — the exact in-memory layout the PR 1
+// pooled-batch pipeline routes, so the coordinator frames a routing
+// buffer with scatter-gather I/O and never copies it — and snapshots
+// travel as GraphSnapshot::Serialize bytes, the same self-describing
+// format checkpoint files use.
 //
-// Everything here returns Status: a malformed, truncated or
+// Sessions open with a challenge–response HELLO handshake keyed by a
+// shared secret (HMAC-SHA256 over fresh nonces, mutual): an untrusted
+// network cannot inject UPDATE_BATCHes, and a coordinator cannot be
+// fed state by an impostor shard. The handshake runs on every
+// connection — an empty secret keeps the frame flow identical for
+// trusted socketpairs — and until it completes a server accepts no
+// other frame.
+//
+// Everything here returns Status: a malformed, truncated, corrupted or
 // version-mismatched frame is an error on whichever side read it, never
 // a crash. Once a header fails validation the byte stream has lost
 // framing, so the connection is considered dead.
@@ -55,12 +71,21 @@ enum class ShardMessageType : uint16_t {
                          // in. Reply: kAck{num_updates, delta_seq}.
   kMigrateData = 15,     // Shard -> coordinator: serialized node-range
                          // delta (GraphSnapshot range format).
+  // Handshake (first frames on every connection; see Client/Server
+  // Handshake below).
+  kHello = 16,      // Coordinator -> shard: 16-byte client nonce.
+  kChallenge = 17,  // Shard -> coordinator: 16-byte server nonce +
+                    // 32-byte server proof.
+  kAuth = 18,       // Coordinator -> shard: 32-byte client proof.
+                    // Reply: kAck on success, kError on mismatch.
 };
 
 struct ShardFrameHeader {
   static constexpr uint32_t kMagic = 0x50535A47;  // "GZSP" little-endian.
-  static constexpr uint16_t kVersion = 2;  // v2: epochs + migration frames.
+  static constexpr uint16_t kVersion = 3;  // v3: CRC32C trailer + auth.
   static constexpr size_t kBytes = 16;
+  // CRC32C over header + payload, appended after the payload.
+  static constexpr size_t kCrcBytes = 4;
   // Caps a garbage length field. Sized for legitimate big snapshots,
   // so it does not alone bound allocations — RecvFrame additionally
   // converts an allocation failure into a Status instead of letting
@@ -79,24 +104,44 @@ struct ShardFrame {
 
 // ---- Frame I/O ------------------------------------------------------------
 // All calls handle partial reads/writes and EINTR; writes suppress
-// SIGPIPE (a dead peer surfaces as an IoError, not a signal).
+// SIGPIPE (a dead peer surfaces as an IoError, not a signal). Every
+// send computes and appends the CRC32C trailer; RecvFrame verifies it
+// before the payload reaches any decoder.
 
-// Sends one frame: header + optional payload.
+// Sends one frame: header + optional payload (+ trailer).
 Status SendFrame(int fd, ShardMessageType type, const void* payload,
                  size_t payload_bytes);
 
-// Scatter-gather send: header + two payload spans in one sendmsg, so a
-// routing buffer is framed without being copied (span b may be empty).
+// Scatter-gather send: header + two payload spans + trailer in one
+// sendmsg, so a routing buffer is framed without being copied (span b
+// may be empty).
 Status SendFrame2(int fd, ShardMessageType type, const void* a,
                   size_t a_bytes, const void* b, size_t b_bytes);
 
-// Sends just the header; the caller streams `payload_bytes` of payload
-// afterwards with WriteFull (how a shard streams a snapshot reply).
-Status SendFrameHeader(int fd, ShardMessageType type, uint64_t payload_bytes);
+// Running checksum of a streamed frame. SendFrameHeader seeds it with
+// the header bytes; the caller folds every payload piece it writes,
+// then closes the frame with SendFrameTrailer.
+class FrameCrc {
+ public:
+  void Fold(const void* data, size_t size);
+  uint32_t value() const { return crc_; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
+// Sends just the header, seeding `crc`; the caller streams
+// `payload_bytes` of payload afterwards with WriteFull — folding each
+// piece into `crc` — and finishes with SendFrameTrailer (how a shard
+// streams a snapshot reply without materializing it).
+Status SendFrameHeader(int fd, ShardMessageType type, uint64_t payload_bytes,
+                       FrameCrc* crc);
+Status SendFrameTrailer(int fd, const FrameCrc& crc);
 
 // Receives one frame into `frame` (payload buffer reused). Fails with
-// InvalidArgument on bad magic / version / type / oversized length, and
-// IoError on EOF or a truncated payload.
+// InvalidArgument on bad magic / version / type / oversized length /
+// checksum mismatch — all before any payload decode — and IoError on
+// EOF or a truncated payload.
 Status RecvFrame(int fd, ShardFrame* frame);
 
 // Receives one *reply* frame and classifies it — the one reply-handling
@@ -113,6 +158,41 @@ Status RecvReply(int fd, ShardMessageType expected, ShardFrame* frame,
 // Raw full-buffer I/O on the socket (EINTR-safe, SIGPIPE-suppressed).
 Status WriteFull(int fd, const void* data, size_t size);
 Status ReadFull(int fd, void* data, size_t size);
+
+// Session-socket tuning, applied identically by BOTH ends of a tcp://
+// shard link (coordinator transport and listener): TCP_NODELAY (the
+// barrier RPCs are latency-bound) and keepalive probes tuned for ~2
+// minute detection, so a peer host that vanishes without a FIN cannot
+// wedge a blocking read forever. No-op on non-TCP fds.
+void TuneShardSocket(int fd);
+
+// ---- Authenticated handshake ----------------------------------------------
+// Challenge–response, mutual, keyed by a shared secret:
+//
+//   coordinator                          shard
+//     HELLO { c = nonce16 }      ──▶
+//                                ◀──    CHALLENGE { s = nonce16,
+//                                         HMAC(secret, "srv" | c | s) }
+//     verify server proof
+//     AUTH { HMAC(secret,
+//       "cli" | c | s) }         ──▶    verify client proof
+//                                ◀──    ACK  (or ERROR + connection end)
+//
+// Nonces are fresh per connection, so neither proof replays, and the
+// proofs bind both nonces, so they cannot be spliced across sessions.
+// Both sides run this before any other frame; a server refuses every
+// non-handshake frame until its peer has proven the secret.
+constexpr size_t kHandshakeNonceBytes = 16;
+
+// Coordinator side: returns Ok once the shard has proven the secret
+// and acked ours. FailedPrecondition("authentication failed") on a
+// proof mismatch; transport/framing errors pass through.
+Status ClientHandshake(int fd, const std::string& secret);
+
+// Shard side: serves one handshake. Replies kError and returns a
+// non-OK status on any deviation — wrong first frame, bad proof —
+// after which the caller must drop the connection.
+Status ServerHandshake(int fd, const std::string& secret);
 
 // ---- Routing --------------------------------------------------------------
 

@@ -164,14 +164,20 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
 Status ShardServer::HandleSnapshot() {
   // Stream the reply: frame length is known from the params alone, then
   // records flow store -> scratch sketch -> socket one at a time, so
-  // even an out-of-core shard never materializes its snapshot.
+  // even an out-of-core shard never materializes its snapshot. The
+  // checksum accumulates alongside the stream and closes the frame.
   const uint64_t bytes =
       GraphSnapshot::SerializedSizeFor(gz_->sketch_params());
-  Status s = SendFrameHeader(fd_, ShardMessageType::kSnapshotBytes, bytes);
+  FrameCrc crc;
+  Status s =
+      SendFrameHeader(fd_, ShardMessageType::kSnapshotBytes, bytes, &crc);
   if (!s.ok()) return s;
-  return gz_->WriteSnapshotTo([this](const void* data, size_t size) {
+  s = gz_->WriteSnapshotTo([this, &crc](const void* data, size_t size) {
+    crc.Fold(data, size);
     return WriteFull(fd_, data, size);
   });
+  if (!s.ok()) return s;
+  return SendFrameTrailer(fd_, crc);
 }
 
 Status ShardServer::HandleCheckpoint(const ShardFrame& frame) {
@@ -246,12 +252,16 @@ Status ShardServer::HandleMigrateExtract(const ShardFrame& frame) {
   // request is inside the extracted bytes.
   const uint64_t bytes =
       GraphSnapshot::SerializedRangeSizeFor(gz_->sketch_params(), lo, hi);
-  s = SendFrameHeader(fd_, ShardMessageType::kMigrateData, bytes);
+  FrameCrc crc;
+  s = SendFrameHeader(fd_, ShardMessageType::kMigrateData, bytes, &crc);
   if (!s.ok()) return s;
-  return gz_->WriteNodeRangeTo(lo, hi,
-                               [this](const void* data, size_t size) {
-                                 return WriteFull(fd_, data, size);
-                               });
+  s = gz_->WriteNodeRangeTo(lo, hi,
+                            [this, &crc](const void* data, size_t size) {
+                              crc.Fold(data, size);
+                              return WriteFull(fd_, data, size);
+                            });
+  if (!s.ok()) return s;
+  return SendFrameTrailer(fd_, crc);
 }
 
 Status ShardServer::HandleMergeDelta(const ShardFrame& frame) {
@@ -263,15 +273,31 @@ Status ShardServer::HandleMergeDelta(const ShardFrame& frame) {
 }
 
 Status ShardServer::Serve() {
+  // Authentication gates everything: until the peer proves the shared
+  // secret, no frame below — not even a fire-and-forget UPDATE_BATCH —
+  // is looked at. ServerHandshake already sent the kError reply.
+  Status hs = ServerHandshake(fd_, auth_secret_);
+  if (!hs.ok()) return hs;
   ShardFrame frame;
   while (true) {
     Status s = RecvFrame(fd_, &frame);
     if (!s.ok()) {
-      // Framing is gone (bad header) or the coordinator hung up.
-      // Best-effort error reply, then stop; the reply can only reach a
-      // peer that still shares framing, but costs nothing to try.
+      // Framing is gone (bad header / checksum) or the coordinator
+      // hung up. Best-effort error reply, then stop; the reply can
+      // only reach a peer that still shares framing, but costs nothing
+      // to try.
       if (s.code() == StatusCode::kInvalidArgument) ReplyError(s);
       return s;
+    }
+    // Handshake frames are single-use; one arriving mid-session is a
+    // request/reply violation from a confused peer.
+    if (frame.type == ShardMessageType::kHello ||
+        frame.type == ShardMessageType::kChallenge ||
+        frame.type == ShardMessageType::kAuth) {
+      s = ReplyError(Status::InvalidArgument(
+          "handshake frame after session establishment"));
+      if (!s.ok()) return s;
+      continue;
     }
     // Every request except the config itself needs a configured shard.
     if (gz_ == nullptr && frame.type != ShardMessageType::kConfig &&

@@ -34,16 +34,20 @@ struct ShardCheckpointHeader {
 
 class ShardServer {
  public:
-  // `fd` is the connected coordinator socket; not owned.
-  explicit ShardServer(int fd) : fd_(fd) {}
+  // `fd` is the connected coordinator socket; not owned. `auth_secret`
+  // keys the mandatory HELLO handshake — the peer must prove it before
+  // any other frame is served ("" = open, for trusted socketpairs).
+  explicit ShardServer(int fd, std::string auth_secret = "")
+      : fd_(fd), auth_secret_(std::move(auth_secret)) {}
 
-  // Serves frames until an orderly kShutdown (returns Ok) or the
-  // connection dies / loses framing (returns the error). Recoverable
-  // request problems — an out-of-range update, a stale-epoch batch, a
-  // checkpoint path that cannot be written, a request before kConfig —
-  // are answered with a kError frame (or deferred, for fire-and-forget
-  // frames) and the loop continues: a bad request must never take the
-  // shard down.
+  // Runs the server half of the authenticated handshake, then serves
+  // frames until an orderly kShutdown (returns Ok) or the connection
+  // dies / loses framing / fails authentication (returns the error).
+  // Recoverable request problems — an out-of-range update, a
+  // stale-epoch batch, a checkpoint path that cannot be written, a
+  // request before kConfig — are answered with a kError frame (or
+  // deferred, for fire-and-forget frames) and the loop continues: a
+  // bad request must never take the shard down.
   Status Serve();
 
  private:
@@ -61,6 +65,7 @@ class ShardServer {
   Status ReplyError(const Status& error);
 
   int fd_;
+  std::string auth_secret_;
   std::unique_ptr<GraphZeppelin> gz_;
   int32_t shard_id_ = -1;
   // The routing table this shard last adopted (CONFIG or EPOCH frame).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/connectivity.h"
+#include "distributed/shard_endpoint.h"
 #include "distributed/shard_protocol.h"
 #include "util/check.h"
 
@@ -12,6 +13,18 @@ namespace {
 // Single updates accumulate up to this many before one frame leaves
 // (mirrors GraphZeppelin's API-boundary span).
 constexpr size_t kPendingSpanUpdates = 1024;
+
+// In-process shards have nowhere remote to live; an elastic op naming
+// a non-local endpoint is a caller error, reported not silently bent.
+Status RequireLocalEndpoint(const std::string& endpoint) {
+  Result<ShardEndpoint> parsed = ParseShardEndpoint(endpoint);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().local()) {
+    return Status::FailedPrecondition(
+        "in-process mode cannot host shard endpoint '" + endpoint + "'");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -48,6 +61,13 @@ Status ShardedGraphZeppelin::Init() {
     Status s = cluster_->Start();
     if (s.ok()) initialized_ = true;
     return s;
+  }
+  // An endpoint list naming remote shards with in-process execution is
+  // a misconfiguration that must not silently run everything locally —
+  // the same refusal the elastic ops give a non-local endpoint.
+  for (const std::string& endpoint : cluster_options_.shard_endpoints) {
+    Status s = RequireLocalEndpoint(endpoint);
+    if (!s.ok()) return s;
   }
   for (auto& shard : shards_) {
     Status s = shard->Init();
@@ -142,12 +162,14 @@ ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
 
 // ---- Elastic resharding ----------------------------------------------------
 
-Result<int> ShardedGraphZeppelin::AddShard() {
+Result<int> ShardedGraphZeppelin::AddShard(const std::string& endpoint) {
   if (!initialized_) return Status::FailedPrecondition("not initialized");
   if (mode_ == Mode::kProcess) {
     DrainPending();
-    return cluster_->AddShard();
+    return cluster_->AddShard(endpoint);
   }
+  Status ep = RequireLocalEndpoint(endpoint);
+  if (!ep.ok()) return ep;
   if (migration_.has_value()) {
     return Status::FailedPrecondition(
         "a migration is active; pump it to completion first");
@@ -200,12 +222,15 @@ Status ShardedGraphZeppelin::BeginRemoveShard(int shard) {
   return Status::Ok();
 }
 
-Result<int> ShardedGraphZeppelin::BeginSplitShard(int shard) {
+Result<int> ShardedGraphZeppelin::BeginSplitShard(
+    int shard, const std::string& endpoint) {
   if (!initialized_) return Status::FailedPrecondition("not initialized");
   if (mode_ == Mode::kProcess) {
     DrainPending();
-    return cluster_->BeginSplitShard(shard);
+    return cluster_->BeginSplitShard(shard, endpoint);
   }
+  Status ep = RequireLocalEndpoint(endpoint);
+  if (!ep.ok()) return ep;
   GZ_CHECK(shard >= 0 && shard < num_shards());
   if (shards_[shard] == nullptr) {
     return Status::FailedPrecondition("shard already removed");
@@ -301,8 +326,9 @@ Status ShardedGraphZeppelin::RemoveShard(int shard) {
   return s;
 }
 
-Result<int> ShardedGraphZeppelin::SplitShard(int shard) {
-  Result<int> id = BeginSplitShard(shard);
+Result<int> ShardedGraphZeppelin::SplitShard(int shard,
+                                             const std::string& endpoint) {
+  Result<int> id = BeginSplitShard(shard, endpoint);
   if (!id.ok()) return id;
   Status s = Status::Ok();
   while (s.ok() && migration_active()) s = PumpMigration();

@@ -94,15 +94,23 @@ class ShardedGraphZeppelin {
   // shard's id; BeginSplitShard's new shard id is the returned value.
   // Between Begin* and the last PumpMigration() the stream keeps
   // flowing — Update() never blocks on a migration.
-  Result<int> AddShard();
+  //
+  // `endpoint` places the new shard ("" = local:, "tcp://host:port" =
+  // attach a running gz_shard --listen): elastic growth onto another
+  // machine is one call. Process mode only — in-process shards have
+  // nowhere remote to live, so a non-local endpoint there is a
+  // FailedPrecondition.
+  Result<int> AddShard(const std::string& endpoint = std::string());
   Status BeginRemoveShard(int shard);
-  Result<int> BeginSplitShard(int shard);
+  Result<int> BeginSplitShard(int shard,
+                              const std::string& endpoint = std::string());
   Status PumpMigration();
   bool migration_active() const;
   int migration_target() const;
   // Synchronous conveniences: Begin* + pump to completion.
   Status RemoveShard(int shard);
-  Result<int> SplitShard(int shard);
+  Result<int> SplitShard(int shard,
+                         const std::string& endpoint = std::string());
 
   Mode mode() const { return mode_; }
   // Size of the shard-id space (ids are never reused).

@@ -1,0 +1,109 @@
+#include "util/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace gz {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected.
+
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table,
+// table[k] advances a byte seen k positions earlier, so eight bytes
+// fold with eight independent lookups per iteration.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tables;
+  return tables;
+}
+
+uint32_t SoftExtend(uint32_t state, const uint8_t* p, size_t n) {
+  const Tables& tb = tables();
+  while (n >= 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    // The slicing below indexes bytes from the LOW end of `word`
+    // outward, i.e. it assumes p[0] sits in the low byte; on a
+    // big-endian host the load puts p[0] in the high byte, so swap
+    // (the byte-at-a-time tail is endian-neutral already).
+    if constexpr (std::endian::native == std::endian::big) {
+      word = __builtin_bswap64(word);
+    }
+    word ^= state;
+    state = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+            tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+            tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+            tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = (state >> 8) ^ tb.t[0][(state ^ *p) & 0xFF];
+    ++p;
+    --n;
+  }
+  return state;
+}
+
+#if defined(__x86_64__)
+// The dedicated instruction; only reached after a runtime CPUID check,
+// so the rest of the binary needs no -msse4.2.
+__attribute__((target("sse4.2"))) uint32_t HwExtend(uint32_t state,
+                                                    const uint8_t* p,
+                                                    size_t n) {
+  uint64_t s = state;
+  while (n >= 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, 8);
+    s = __builtin_ia32_crc32di(s, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t s32 = static_cast<uint32_t>(s);
+  while (n > 0) {
+    s32 = __builtin_ia32_crc32qi(s32, *p);
+    ++p;
+    --n;
+  }
+  return s32;
+}
+
+bool HaveHwCrc() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif  // __x86_64__
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint32_t state = crc ^ 0xFFFFFFFFu;  // Un-finalize.
+#if defined(__x86_64__)
+  if (HaveHwCrc()) return HwExtend(state, p, size) ^ 0xFFFFFFFFu;
+#endif
+  return SoftExtend(state, p, size) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace gz

@@ -1,0 +1,149 @@
+#include "util/sha256.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace gz {
+namespace {
+
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+struct Sha256State {
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+  void Compress(const uint8_t block[64]) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+             static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+             static_cast<uint32_t>(block[4 * i + 2]) << 8 |
+             static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const uint32_t s1 =
+          Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+      const uint32_t ch = (e & f) ^ (~e & g);
+      const uint32_t t1 = hh + s1 + ch + kK[i] + w[i];
+      const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+      const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const uint32_t t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+};
+
+// One-shot over a (possibly two-part) message: HMAC hashes key-pad
+// then data without wanting the concatenation materialized.
+void Sha256Parts(const void* a, size_t a_size, const void* b, size_t b_size,
+                 uint8_t out[kSha256Bytes]) {
+  Sha256State state;
+  uint8_t block[64];
+  size_t fill = 0;
+  const uint64_t total = a_size + b_size;
+  for (const auto& [data, size] :
+       {std::pair<const void*, size_t>{a, a_size}, {b, b_size}}) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    size_t n = size;
+    while (n > 0) {
+      const size_t take = std::min<size_t>(64 - fill, n);
+      std::memcpy(block + fill, p, take);
+      fill += take;
+      p += take;
+      n -= take;
+      if (fill == 64) {
+        state.Compress(block);
+        fill = 0;
+      }
+    }
+  }
+  // Padding: 0x80, zeros, 64-bit big-endian bit length.
+  block[fill++] = 0x80;
+  if (fill > 56) {
+    std::memset(block + fill, 0, 64 - fill);
+    state.Compress(block);
+    fill = 0;
+  }
+  std::memset(block + fill, 0, 56 - fill);
+  const uint64_t bits = total * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  state.Compress(block);
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<uint8_t>(state.h[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(state.h[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(state.h[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(state.h[i]);
+  }
+}
+
+}  // namespace
+
+void Sha256(const void* data, size_t size, uint8_t out[kSha256Bytes]) {
+  Sha256Parts(data, size, nullptr, 0, out);
+}
+
+void HmacSha256(const void* key, size_t key_size, const void* data,
+                size_t size, uint8_t out[kSha256Bytes]) {
+  constexpr size_t kBlock = 64;
+  uint8_t key_block[kBlock] = {0};
+  if (key_size > kBlock) {
+    Sha256(key, key_size, key_block);  // First 32 bytes; rest stays zero.
+  } else {
+    std::memcpy(key_block, key, key_size);
+  }
+  uint8_t pad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) pad[i] = key_block[i] ^ 0x36;
+  uint8_t inner[kSha256Bytes];
+  Sha256Parts(pad, kBlock, data, size, inner);
+  for (size_t i = 0; i < kBlock; ++i) pad[i] = key_block[i] ^ 0x5c;
+  Sha256Parts(pad, kBlock, inner, sizeof(inner), out);
+}
+
+bool ConstantTimeEqual(const void* a, const void* b, size_t size) {
+  const volatile uint8_t* pa = static_cast<const uint8_t*>(a);
+  const volatile uint8_t* pb = static_cast<const uint8_t*>(b);
+  uint8_t diff = 0;
+  for (size_t i = 0; i < size; ++i) diff |= pa[i] ^ pb[i];
+  return diff == 0;
+}
+
+}  // namespace gz

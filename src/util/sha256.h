@@ -1,0 +1,30 @@
+// SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104), dependency-free.
+// The shard transport's HELLO handshake authenticates both peers with
+// an HMAC over fresh nonces keyed by a shared secret; a real
+// cryptographic MAC is what makes that claim mean something — the
+// sketch-grade xxhash used elsewhere is trivially forgeable.
+#ifndef GZ_UTIL_SHA256_H_
+#define GZ_UTIL_SHA256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gz {
+
+constexpr size_t kSha256Bytes = 32;
+
+// out <- SHA-256(data).
+void Sha256(const void* data, size_t size, uint8_t out[kSha256Bytes]);
+
+// out <- HMAC-SHA256(key, data). Any key length (hashed down if longer
+// than the 64-byte block, zero-padded if shorter, per RFC 2104).
+void HmacSha256(const void* key, size_t key_size, const void* data,
+                size_t size, uint8_t out[kSha256Bytes]);
+
+// Constant-time equality of two `size`-byte buffers — MAC verification
+// must not leak how many leading bytes matched through its timing.
+bool ConstantTimeEqual(const void* a, const void* b, size_t size);
+
+}  // namespace gz
+
+#endif  // GZ_UTIL_SHA256_H_

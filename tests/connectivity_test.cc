@@ -104,6 +104,41 @@ TEST(ConnectivityTest, StarGraph) {
   CheckForest(r, n, edges);
 }
 
+TEST(ConnectivityTest, GiantStarFoldIsBitwiseIdenticalForAnyThreadCount) {
+  // A star is the worst case the tree-reduction fold exists for: after
+  // round one EVERYTHING merges into a single component, so the whole
+  // per-round XOR fold lands in one group. The pairwise reduction must
+  // spread that group over the pool AND stay bitwise-invisible: the
+  // result and the post-run scratch sketches (the folded bytes
+  // themselves) must be identical for every thread count.
+  EdgeList edges;
+  const uint64_t n = 4096;  // Above the pool-spawn floor.
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(0, i);
+
+  auto baseline = SketchGraph(n, 6, edges);
+  const ConnectivityResult want =
+      BoruvkaConnectivity(&baseline, 0, -1, /*num_threads=*/1);
+  EXPECT_FALSE(want.failed);
+  EXPECT_EQ(want.num_components, 1u);
+  CheckForest(want, n, edges);
+
+  for (const int threads : {2, 4, 8}) {
+    auto sketches = SketchGraph(n, 6, edges);
+    const ConnectivityResult got =
+        BoruvkaConnectivity(&sketches, 0, -1, threads);
+    EXPECT_EQ(got.failed, want.failed) << threads << " threads";
+    EXPECT_EQ(got.num_components, want.num_components);
+    EXPECT_EQ(got.rounds_used, want.rounds_used);
+    EXPECT_EQ(got.spanning_forest, want.spanning_forest)
+        << threads << " threads";
+    EXPECT_EQ(got.component_of, want.component_of);
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(sketches[i] == baseline[i])
+          << "sketch " << i << " diverged at " << threads << " threads";
+    }
+  }
+}
+
 TEST(ConnectivityTest, CompleteGraph) {
   EdgeList edges;
   const uint64_t n = 24;

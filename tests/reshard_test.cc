@@ -1,7 +1,10 @@
 // Randomized resharding chaos suite: a seeded random schedule of
 // insert/delete updates interleaved with AddShard / RemoveShard /
-// SplitShard operations at random points, in BOTH execution modes
-// (in-process shard instances and real gz_shard worker processes).
+// SplitShard operations at random points, in ALL execution modes:
+// in-process shard instances, real gz_shard worker processes over
+// socketpairs, and worker processes attached over loopback TCP
+// (`gz_shard --listen` + auth secret) — the full listener-mode
+// transport under every resharding drill.
 //
 // The property under test is the tentpole claim of elastic resharding:
 // through ANY reshard schedule the stream never pauses (updates are fed
@@ -14,12 +17,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <random>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/graph_zeppelin.h"
+#include "distributed/shard_transport.h"
 #include "distributed/sharded_graph_zeppelin.h"
 #include "stream/erdos_renyi_generator.h"
 #include "util/status.h"
@@ -28,6 +33,12 @@ namespace gz {
 namespace {
 
 using Mode = ShardedGraphZeppelin::Mode;
+
+// The execution substrate a schedule runs on; kProcessTcp is process
+// mode whose initial shards are listener-mode gz_shards dialed over
+// loopback TCP (elastic children spawn locally — a mixed cluster, the
+// harder case).
+enum class Substrate { kInProcess, kProcess, kProcessTcp };
 
 constexpr uint64_t kNumNodes = 96;
 constexpr int kMaxShards = 4;
@@ -116,16 +127,29 @@ struct Schedule {
 };
 
 class ReshardChaosTest
-    : public ::testing::TestWithParam<std::tuple<Schedule, Mode>> {};
+    : public ::testing::TestWithParam<std::tuple<Schedule, Substrate>> {};
 
 TEST_P(ReshardChaosTest, FoldedSnapshotBitwiseEqualsSingleInstance) {
-  const auto [schedule, mode] = GetParam();
+  const auto [schedule, substrate] = GetParam();
+  const Mode mode = substrate == Substrate::kInProcess ? Mode::kInProcess
+                                                       : Mode::kProcess;
   std::mt19937_64 rng(schedule.seed);
   const std::vector<GraphUpdate> updates = BuildChaosStream(schedule.seed);
   const GraphZeppelinConfig base = BaseConfig(schedule.seed + 5);
 
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 12;  // Many pump steps per reshard.
+  std::vector<std::unique_ptr<ListenerShard>> listeners;
+  if (substrate == Substrate::kProcessTcp) {
+    options.auth_secret = "reshard-chaos-secret";
+    ASSERT_TRUE(StartListenerShards(DefaultShardBinary(),
+                                    schedule.start_shards,
+                                    ::testing::TempDir(),
+                                    ::testing::TempDir() + "/gz_reshard_l",
+                                    options.auth_secret, &listeners,
+                                    &options.shard_endpoints)
+                    .ok());
+  }
   ShardedGraphZeppelin sharded(base, schedule.start_shards, mode, options);
   ASSERT_TRUE(sharded.Init().ok());
 
@@ -200,20 +224,24 @@ TEST_P(ReshardChaosTest, FoldedSnapshotBitwiseEqualsSingleInstance) {
   EXPECT_EQ(got.component_of, want.component_of);
 }
 
-// Four N -> M transitions covering both corners of {1..4}, each in both
-// modes: 8 randomized schedules total.
+// Four N -> M transitions covering both corners of {1..4}, each on all
+// three substrates: 12 randomized schedules total.
 INSTANTIATE_TEST_SUITE_P(
     Schedules, ReshardChaosTest,
     ::testing::Combine(
         ::testing::Values(Schedule{1, 4, 17}, Schedule{4, 1, 29},
                           Schedule{2, 3, 43}, Schedule{3, 2, 59}),
-        ::testing::Values(Mode::kInProcess, Mode::kProcess)),
-    [](const ::testing::TestParamInfo<std::tuple<Schedule, Mode>>& info) {
+        ::testing::Values(Substrate::kInProcess, Substrate::kProcess,
+                          Substrate::kProcessTcp)),
+    [](const ::testing::TestParamInfo<std::tuple<Schedule, Substrate>>&
+           info) {
       const Schedule& schedule = std::get<0>(info.param);
-      const Mode mode = std::get<1>(info.param);
+      const Substrate substrate = std::get<1>(info.param);
       return "From" + std::to_string(schedule.start_shards) + "To" +
              std::to_string(schedule.end_shards) +
-             (mode == Mode::kInProcess ? "InProcess" : "Process");
+             (substrate == Substrate::kInProcess  ? "InProcess"
+              : substrate == Substrate::kProcess ? "Process"
+                                                 : "ProcessTcp");
     });
 
 }  // namespace

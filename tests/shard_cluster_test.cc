@@ -2,14 +2,23 @@
 // over sockets, queried via serialized-snapshot aggregation, with fault
 // injection (SIGKILL mid-stream, restart from checkpoint, replay) that
 // must be invisible in the final result.
+//
+// Every drill runs over BOTH transports: local (fork/exec children
+// over socketpairs) and loopback TCP (real `gz_shard --listen`
+// processes dialed by endpoint, with an auth secret) — the transport
+// must be invisible in every result too. A TCP "SIGKILL" is a
+// connection abort: the listener discards its instance and re-accepts,
+// the same state loss recovered the same way.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/graph_zeppelin.h"
 #include "distributed/shard_cluster.h"
+#include "distributed/shard_transport.h"
 #include "stream/erdos_renyi_generator.h"
 #include "util/status.h"
 
@@ -24,6 +33,42 @@ GraphZeppelinConfig BaseConfig(uint64_t n, uint64_t seed) {
   c.disk_dir = ::testing::TempDir();
   return c;
 }
+
+enum class Transport { kLocal, kTcp };
+
+constexpr char kTestSecret[] = "cluster-test-secret";
+
+class ShardClusterTest : public ::testing::TestWithParam<Transport> {
+ protected:
+  // Options for an `num_shards`-shard cluster on the transport under
+  // test: local mode leaves `options` untouched; TCP mode stands up
+  // one listener-mode gz_shard per shard and points an endpoint at it.
+  ShardClusterOptions MakeOptions(int num_shards,
+                                  ShardClusterOptions options = {}) {
+    if (GetParam() == Transport::kTcp) {
+      options.auth_secret = kTestSecret;
+      GZ_CHECK_OK(StartListenerShards(
+          DefaultShardBinary(), num_shards, ::testing::TempDir(),
+          ::testing::TempDir() + "/gz_listener_", kTestSecret, &listeners_,
+          &options.shard_endpoints));
+    }
+    return options;
+  }
+
+  // One more listener (for AddShard-onto-a-new-machine drills). Harness
+  // failure aborts at the cause rather than surfacing as a confusing
+  // endpoint-parse error deep inside the drill.
+  std::string SpawnListener() {
+    std::vector<std::string> endpoints;
+    GZ_CHECK_OK(StartListenerShards(
+        DefaultShardBinary(), 1, ::testing::TempDir(),
+        ::testing::TempDir() + "/gz_listener_", kTestSecret, &listeners_,
+        &endpoints));
+    return endpoints.back();
+  }
+
+  std::vector<std::unique_ptr<ListenerShard>> listeners_;
+};
 
 // A long toggle stream over a fixed edge set: `reps` passes of inserts.
 // Sketch updates are XOR toggles, so an odd rep count leaves exactly
@@ -49,7 +94,7 @@ GraphSnapshot SingleProcessSnapshot(const GraphZeppelinConfig& base,
   return single.Snapshot();
 }
 
-TEST(ShardClusterTest, MillionUpdatesAcrossThreeProcessesMatchBitwise) {
+TEST_P(ShardClusterTest, MillionUpdatesAcrossThreeProcessesMatchBitwise) {
   // Acceptance bar: >= 1M updates across >= 3 shard processes, queried
   // via serialized-snapshot aggregation, bitwise-identical to one
   // in-process instance ingesting the identical stream.
@@ -66,7 +111,7 @@ TEST(ShardClusterTest, MillionUpdatesAcrossThreeProcessesMatchBitwise) {
   ASSERT_GE(updates.size(), 1'000'000u);
 
   const GraphZeppelinConfig base = BaseConfig(n, 77);
-  ShardCluster cluster(base, 3);
+  ShardCluster cluster(base, 3, MakeOptions(3));
   ASSERT_TRUE(cluster.Start().ok());
   // Feed in bursts, as a stream driver would.
   const size_t burst = 100'000;
@@ -89,7 +134,7 @@ TEST(ShardClusterTest, MillionUpdatesAcrossThreeProcessesMatchBitwise) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, KillRestartFromCheckpointReplaysToBitwiseIdentical) {
+TEST_P(ShardClusterTest, KillRestartFromCheckpointReplaysToBitwiseIdentical) {
   // The fault-injection drill: SIGKILL a shard mid-stream, restart it
   // from its last checkpoint, replay the coordinator's unacked batches,
   // and the final connectivity result must be bitwise-identical to a
@@ -104,7 +149,7 @@ TEST(ShardClusterTest, KillRestartFromCheckpointReplaysToBitwiseIdentical) {
   const size_t third = updates.size() / 3;
 
   const GraphZeppelinConfig base = BaseConfig(n, 91);
-  ShardCluster cluster(base, 3);
+  ShardCluster cluster(base, 3, MakeOptions(3));
   ASSERT_TRUE(cluster.Start().ok());
 
   // Phase 1: first third, then checkpoint every shard.
@@ -150,7 +195,7 @@ TEST(ShardClusterTest, KillRestartFromCheckpointReplaysToBitwiseIdentical) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, KillBeforeAnyCheckpointReplaysFromScratch) {
+TEST_P(ShardClusterTest, KillBeforeAnyCheckpointReplaysFromScratch) {
   // No checkpoint yet: the unacked log covers the whole stream, so a
   // restart rebuilds the shard from zero.
   const uint64_t n = 64;
@@ -162,7 +207,7 @@ TEST(ShardClusterTest, KillBeforeAnyCheckpointReplaysFromScratch) {
   const std::vector<GraphUpdate> updates = ToggleStream(edges, 1);
 
   const GraphZeppelinConfig base = BaseConfig(n, 17);
-  ShardCluster cluster(base, 3);
+  ShardCluster cluster(base, 3, MakeOptions(3));
   ASSERT_TRUE(cluster.Start().ok());
   ASSERT_TRUE(cluster.Update(updates.data(), updates.size() / 2).ok());
   cluster.KillShard(2);
@@ -179,7 +224,7 @@ TEST(ShardClusterTest, KillBeforeAnyCheckpointReplaysFromScratch) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, RepeatedKillsOfDifferentShards) {
+TEST_P(ShardClusterTest, RepeatedKillsOfDifferentShards) {
   // Every shard dies at least once; checkpoints interleave with kills.
   const uint64_t n = 96;
   ErdosRenyiParams ep;
@@ -191,7 +236,7 @@ TEST(ShardClusterTest, RepeatedKillsOfDifferentShards) {
   const size_t chunk = updates.size() / 4;
 
   const GraphZeppelinConfig base = BaseConfig(n, 53);
-  ShardCluster cluster(base, 3);
+  ShardCluster cluster(base, 3, MakeOptions(3));
   ASSERT_TRUE(cluster.Start().ok());
 
   ASSERT_TRUE(cluster.Update(updates.data(), chunk).ok());
@@ -218,7 +263,7 @@ TEST(ShardClusterTest, RepeatedKillsOfDifferentShards) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, AutoCheckpointBoundsTheUnackedLogs) {
+TEST_P(ShardClusterTest, AutoCheckpointBoundsTheUnackedLogs) {
   // With a checkpoint interval set, ingestion alone must truncate the
   // durability logs — coordinator memory is bounded by the interval,
   // not the stream length.
@@ -233,7 +278,7 @@ TEST(ShardClusterTest, AutoCheckpointBoundsTheUnackedLogs) {
   const GraphZeppelinConfig base = BaseConfig(n, 23);
   ShardClusterOptions options;
   options.checkpoint_interval_updates = 256;
-  ShardCluster cluster(base, 3, options);
+  ShardCluster cluster(base, 3, MakeOptions(3, options));
   ASSERT_TRUE(cluster.Start().ok());
   for (size_t off = 0; off < updates.size(); off += 100) {
     const size_t count = std::min<size_t>(100, updates.size() - off);
@@ -252,7 +297,7 @@ TEST(ShardClusterTest, AutoCheckpointBoundsTheUnackedLogs) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, UnwritableCheckpointDirFailsWithoutFencingShards) {
+TEST_P(ShardClusterTest, UnwritableCheckpointDirFailsWithoutFencingShards) {
   // An application-level checkpoint failure (every shard replies
   // kError in sync) must surface as an error WITHOUT marking healthy
   // shards down or leaving replies queued: the very next barrier and
@@ -261,7 +306,7 @@ TEST(ShardClusterTest, UnwritableCheckpointDirFailsWithoutFencingShards) {
   GraphZeppelinConfig base = BaseConfig(n, 67);
   ShardClusterOptions options;
   options.checkpoint_dir = "/nonexistent-checkpoint-dir";
-  ShardCluster cluster(base, 3, options);
+  ShardCluster cluster(base, 3, MakeOptions(3, options));
   ASSERT_TRUE(cluster.Start().ok());
   std::vector<GraphUpdate> updates;
   for (NodeId u = 0; u + 1 < 40; ++u) {
@@ -281,9 +326,9 @@ TEST(ShardClusterTest, UnwritableCheckpointDirFailsWithoutFencingShards) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, StatsReportPerShardStreamPositions) {
+TEST_P(ShardClusterTest, StatsReportPerShardStreamPositions) {
   const GraphZeppelinConfig base = BaseConfig(64, 3);
-  ShardCluster cluster(base, 3);
+  ShardCluster cluster(base, 3, MakeOptions(3));
   ASSERT_TRUE(cluster.Start().ok());
   std::vector<GraphUpdate> updates;
   for (NodeId u = 0; u + 1 < 40; ++u) {
@@ -304,7 +349,7 @@ TEST(ShardClusterTest, StatsReportPerShardStreamPositions) {
 
 // ---- Elastic resharding ---------------------------------------------------
 
-TEST(ShardClusterTest, RemoveShardUnderLoadMatchesBitwise) {
+TEST_P(ShardClusterTest, RemoveShardUnderLoadMatchesBitwise) {
   // Updates must keep flowing between every migration step — zero
   // stream pause — and the final fold must be bitwise-identical to a
   // single instance that never sharded at all.
@@ -319,7 +364,7 @@ TEST(ShardClusterTest, RemoveShardUnderLoadMatchesBitwise) {
   const GraphZeppelinConfig base = BaseConfig(n, 111);
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 16;  // Several pump steps.
-  ShardCluster cluster(base, 3, options);
+  ShardCluster cluster(base, 3, MakeOptions(3, options));
   ASSERT_TRUE(cluster.Start().ok());
 
   const size_t burst = updates.size() / 24 + 1;
@@ -352,7 +397,7 @@ TEST(ShardClusterTest, RemoveShardUnderLoadMatchesBitwise) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, AddAndSplitShardsUnderLoadMatchBitwise) {
+TEST_P(ShardClusterTest, AddAndSplitShardsUnderLoadMatchBitwise) {
   const uint64_t n = 96;
   ErdosRenyiParams ep;
   ep.num_nodes = n;
@@ -364,7 +409,7 @@ TEST(ShardClusterTest, AddAndSplitShardsUnderLoadMatchBitwise) {
   const GraphZeppelinConfig base = BaseConfig(n, 131);
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 16;
-  ShardCluster cluster(base, 1, options);
+  ShardCluster cluster(base, 1, MakeOptions(1, options));
   ASSERT_TRUE(cluster.Start().ok());
 
   const size_t third = updates.size() / 3;
@@ -406,7 +451,7 @@ TEST(ShardClusterTest, AddAndSplitShardsUnderLoadMatchBitwise) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, KillSourceMidMigrationRestartReissueConverges) {
+TEST_P(ShardClusterTest, KillSourceMidMigrationRestartReissueConverges) {
   // The drill: SIGKILL the migration source after the epoch bump and
   // mid-chunk-stream, before any checkpoint ack covers the migration
   // deltas. Restart + unacked replay + pending-delta replay + the
@@ -423,7 +468,7 @@ TEST(ShardClusterTest, KillSourceMidMigrationRestartReissueConverges) {
   const GraphZeppelinConfig base = BaseConfig(n, 151);
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 16;
-  ShardCluster cluster(base, 3, options);
+  ShardCluster cluster(base, 3, MakeOptions(3, options));
   ASSERT_TRUE(cluster.Start().ok());
 
   ASSERT_TRUE(cluster.Update(updates.data(), quarter).ok());
@@ -457,7 +502,7 @@ TEST(ShardClusterTest, KillSourceMidMigrationRestartReissueConverges) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, KillTargetMidMigrationRestartConverges) {
+TEST_P(ShardClusterTest, KillTargetMidMigrationRestartConverges) {
   const uint64_t n = 128;
   ErdosRenyiParams ep;
   ep.num_nodes = n;
@@ -470,7 +515,7 @@ TEST(ShardClusterTest, KillTargetMidMigrationRestartConverges) {
   const GraphZeppelinConfig base = BaseConfig(n, 171);
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 16;
-  ShardCluster cluster(base, 3, options);
+  ShardCluster cluster(base, 3, MakeOptions(3, options));
   ASSERT_TRUE(cluster.Start().ok());
 
   ASSERT_TRUE(cluster.Update(updates.data(), third).ok());
@@ -499,7 +544,7 @@ TEST(ShardClusterTest, KillTargetMidMigrationRestartConverges) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, TargetDiesUndetectedMidSplitStillConverges) {
+TEST_P(ShardClusterTest, TargetDiesUndetectedMidSplitStillConverges) {
   // The nastiest chunk-failure interleaving: the migration target dies
   // WITHOUT the coordinator noticing (no KillShard fencing), so the
   // next pump extracts fine and only the install send fails. The
@@ -519,7 +564,7 @@ TEST(ShardClusterTest, TargetDiesUndetectedMidSplitStillConverges) {
   const GraphZeppelinConfig base = BaseConfig(n, 211);
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 16;
-  ShardCluster cluster(base, 2, options);
+  ShardCluster cluster(base, 2, MakeOptions(2, options));
   ASSERT_TRUE(cluster.Start().ok());
   ASSERT_TRUE(cluster.Update(updates.data(), half).ok());
 
@@ -544,7 +589,7 @@ TEST(ShardClusterTest, TargetDiesUndetectedMidSplitStillConverges) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, CheckpointMidMigrationCoversDeltasExactly) {
+TEST_P(ShardClusterTest, CheckpointMidMigrationCoversDeltasExactly) {
   // A checkpoint between pump steps truncates the pending-delta logs;
   // a kill + restart AFTER it must replay only what the checkpoint
   // does not cover — the delta-sequence reconciliation in action.
@@ -560,7 +605,7 @@ TEST(ShardClusterTest, CheckpointMidMigrationCoversDeltasExactly) {
   const GraphZeppelinConfig base = BaseConfig(n, 191);
   ShardClusterOptions options;
   options.migrate_nodes_per_chunk = 16;
-  ShardCluster cluster(base, 2, options);
+  ShardCluster cluster(base, 2, MakeOptions(2, options));
   ASSERT_TRUE(cluster.Start().ok());
   ASSERT_TRUE(cluster.Update(updates.data(), half).ok());
 
@@ -588,13 +633,13 @@ TEST(ShardClusterTest, CheckpointMidMigrationCoversDeltasExactly) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
-TEST(ShardClusterTest, DiskBackedShardProcessesWork) {
+TEST_P(ShardClusterTest, DiskBackedShardProcessesWork) {
   // Disk-backed gutter tree + on-disk sketch store inside each worker
   // process; per-process pids keep backing files separate.
   GraphZeppelinConfig base = BaseConfig(64, 7);
   base.storage = GraphZeppelinConfig::Storage::kDisk;
   base.buffering = GraphZeppelinConfig::Buffering::kGutterTree;
-  ShardCluster cluster(base, 2);
+  ShardCluster cluster(base, 2, MakeOptions(2));
   ASSERT_TRUE(cluster.Start().ok());
   std::vector<GraphUpdate> updates;
   for (NodeId u = 0; u + 1 < 32; ++u) {
@@ -607,6 +652,104 @@ TEST(ShardClusterTest, DiskBackedShardProcessesWork) {
   ASSERT_FALSE(r.failed);
   EXPECT_EQ(r.num_components, 64u - 32u + 1u);
   ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST_P(ShardClusterTest, AddShardOnTcpEndpointGrowsAcrossMachines) {
+  // Elastic growth onto "another machine": AddShard with a tcp://
+  // endpoint attaches a listener-mode shard to a running cluster (a
+  // mixed local+tcp cluster when the base transport is local). The
+  // result must stay bitwise-identical to an unsharded instance.
+  const uint64_t n = 96;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.06;
+  ep.seed = 121;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+  const size_t half = updates.size() / 2;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 231);
+  ShardClusterOptions options = MakeOptions(2);
+  // TCP endpoints need the handshake secret even in local base mode.
+  options.auth_secret = kTestSecret;
+  ShardCluster cluster(base, 2, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.Update(updates.data(), half).ok());
+
+  Result<int> added = cluster.AddShard(SpawnListener());
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  ASSERT_TRUE(cluster.Update(updates.data() + half, updates.size() - half)
+                  .ok());
+  // The tcp shard really participates: it owns slots and took updates.
+  Result<ShardStats> stats = cluster.Stats(added.value());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats.value().num_updates, 0u);
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+
+  // And it can be drained back out (remove pumps its state to
+  // survivors over the same wire).
+  ASSERT_TRUE(cluster.RemoveShard(added.value()).ok());
+  Result<GraphSnapshot> after = cluster.Snapshot();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transports, ShardClusterTest,
+    ::testing::Values(Transport::kLocal, Transport::kTcp),
+    [](const ::testing::TestParamInfo<Transport>& info) {
+      return info.param == Transport::kLocal ? "Local" : "Tcp";
+    });
+
+TEST(ShardClusterTcpTest, WrongAuthSecretFailsStartWithoutCrash) {
+  // A coordinator holding the wrong secret must be told so at Start()
+  // — a clean FailedPrecondition, no crash on either side, and the
+  // listener survives to serve a correctly keyed coordinator next.
+  ListenerShard listener;
+  ASSERT_TRUE(listener
+                  .Start(DefaultShardBinary(), ::testing::TempDir(),
+                         ::testing::TempDir() + "/gz_wrong_secret.log",
+                         "right-secret")
+                  .ok());
+  const GraphZeppelinConfig base = BaseConfig(64, 3);
+  {
+    ShardClusterOptions options;
+    options.shard_endpoints = {listener.endpoint()};
+    options.auth_secret = "wrong-secret";
+    ShardCluster cluster(base, 1, options);
+    const Status s = cluster.Start();
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(s.message().find("authentication"), std::string::npos);
+  }
+  ASSERT_TRUE(listener.Running());
+  ShardClusterOptions options;
+  options.shard_endpoints = {listener.endpoint()};
+  options.auth_secret = "right-secret";
+  ShardCluster cluster(base, 1, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  std::vector<GraphUpdate> updates;
+  for (NodeId u = 0; u + 1 < 16; ++u) {
+    updates.push_back({Edge(u, u + 1), UpdateType::kInsert});
+  }
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST(ShardClusterTcpTest, MalformedEndpointFailsStartCleanly) {
+  const GraphZeppelinConfig base = BaseConfig(64, 5);
+  ShardClusterOptions options;
+  options.shard_endpoints = {"carrier-pigeon://coop:7"};
+  ShardCluster cluster(base, 1, options);
+  const Status s = cluster.Start();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // Shard protocol conformance: every frame type must round-trip, and
-// malformed / truncated / version-mismatched input must surface as
-// Status errors — never a crash — on both the coordinator side
-// (RecvFrame and the payload codecs) and the shard side (ShardServer
-// over an in-process socketpair).
+// malformed / truncated / corrupted / version-mismatched input must
+// surface as Status errors — never a crash, never an accepted frame —
+// on both the coordinator side (RecvFrame and the payload codecs) and
+// the shard side (ShardServer over an in-process socketpair). v3 adds
+// the CRC32C trailer (exhaustive byte-flip sweep below), the
+// authenticated HELLO handshake, and the ShardEndpoint grammar.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -12,8 +14,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "distributed/shard_endpoint.h"
 #include "distributed/shard_protocol.h"
 #include "distributed/shard_server.h"
+#include "util/crc32c.h"
+#include "util/sha256.h"
 
 namespace gz {
 namespace {
@@ -66,7 +71,7 @@ TEST(ShardProtocolTest, EveryMessageTypeRoundTrips) {
   const uint8_t payload[5] = {1, 2, 3, 4, 5};
   ShardFrame frame;
   for (uint16_t t = static_cast<uint16_t>(ShardMessageType::kConfig);
-       t <= static_cast<uint16_t>(ShardMessageType::kError); ++t) {
+       t <= static_cast<uint16_t>(ShardMessageType::kAuth); ++t) {
     const ShardMessageType type = static_cast<ShardMessageType>(t);
     ASSERT_TRUE(SendFrame(sp.a(), type, payload, sizeof(payload)).ok());
     ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
@@ -104,17 +109,39 @@ TEST(ShardProtocolTest, ScatterGatherSendMatchesPlainSend) {
 
 TEST(ShardProtocolTest, HeaderThenStreamedPayloadRoundTrips) {
   // The shard's snapshot reply path: header first, payload streamed in
-  // pieces afterwards.
+  // pieces afterwards, checksum accumulated alongside and sent last.
   SocketPair sp;
+  FrameCrc crc;
   ASSERT_TRUE(
-      SendFrameHeader(sp.a(), ShardMessageType::kSnapshotBytes, 6).ok());
+      SendFrameHeader(sp.a(), ShardMessageType::kSnapshotBytes, 6, &crc)
+          .ok());
+  crc.Fold("abc", 3);
   ASSERT_TRUE(WriteFull(sp.a(), "abc", 3).ok());
+  crc.Fold("def", 3);
   ASSERT_TRUE(WriteFull(sp.a(), "def", 3).ok());
+  ASSERT_TRUE(SendFrameTrailer(sp.a(), crc).ok());
   ShardFrame frame;
   ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
   EXPECT_EQ(frame.type, ShardMessageType::kSnapshotBytes);
   EXPECT_EQ(std::string(frame.payload.begin(), frame.payload.end()),
             "abcdef");
+}
+
+TEST(ShardProtocolTest, StreamedFrameWithWrongCrcIsRejected) {
+  // A streamed frame whose producer folded different bytes than it
+  // wrote must bounce exactly like a corrupted buffered frame.
+  SocketPair sp;
+  FrameCrc crc;
+  ASSERT_TRUE(
+      SendFrameHeader(sp.a(), ShardMessageType::kSnapshotBytes, 3, &crc)
+          .ok());
+  crc.Fold("abc", 3);
+  ASSERT_TRUE(WriteFull(sp.a(), "abX", 3).ok());  // Wrote differently.
+  ASSERT_TRUE(SendFrameTrailer(sp.a(), crc).ok());
+  ShardFrame frame;
+  const Status s = RecvFrame(sp.b(), &frame);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos);
 }
 
 // ---- Malformed input on the receiving side --------------------------------
@@ -281,10 +308,16 @@ TEST(ShardProtocolTest, AckAndErrorPayloadsRoundTrip) {
 
 class ShardServerFixture : public ::testing::Test {
  protected:
-  void StartServer() {
-    server_thread_ = std::thread([this] {
-      serve_status_ = ShardServer(sp_.b()).Serve();
+  // Launches Serve() on the b side and, by default, completes the
+  // client handshake on the a side so tests exercise an established
+  // session. Pass handshake=false to poke at the pre-auth state.
+  void StartServer(bool handshake = true, const std::string& secret = "") {
+    server_thread_ = std::thread([this, secret] {
+      serve_status_ = ShardServer(sp_.b(), secret).Serve();
     });
+    if (handshake) {
+      ASSERT_TRUE(ClientHandshake(sp_.a(), secret).ok());
+    }
   }
   void StopServer() {
     if (!stopped_) {
@@ -468,7 +501,7 @@ TEST_F(ShardServerFixture, ReplyTypeFrameOnRequestStreamIsError) {
 }
 
 TEST_F(ShardServerFixture, BadMagicTerminatesServeWithErrorReply) {
-  StartServer();
+  StartServer(/*handshake=*/false);
   WriteRawHeader(sp_.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
                  /*magic=*/0x12345678);
   // Framing is lost: the shard sends a best-effort error and exits its
@@ -480,7 +513,7 @@ TEST_F(ShardServerFixture, BadMagicTerminatesServeWithErrorReply) {
 }
 
 TEST_F(ShardServerFixture, VersionMismatchTerminatesServeWithErrorReply) {
-  StartServer();
+  StartServer(/*handshake=*/false);
   WriteRawHeader(sp_.a(), static_cast<uint16_t>(ShardMessageType::kPing), 0,
                  ShardFrameHeader::kMagic, /*version=*/7);
   ExpectErrorReply(StatusCode::kInvalidArgument);
@@ -707,6 +740,247 @@ TEST_F(ShardServerFixture, ConfigEpochOlderThanCheckpointIsErrorNotCrash) {
   // failed restore left it unconfigured).
   Configure(/*num_nodes=*/16, /*epoch=*/8, /*restore_checkpoint=*/ckpt);
   ::unlink(ckpt.c_str());
+}
+
+// ---- Frame-corruption conformance sweep -----------------------------------
+
+// Serializes one whole frame (header + payload + trailer) through the
+// real send path.
+std::vector<uint8_t> FrameBytes(ShardMessageType type,
+                                const std::vector<uint8_t>& payload) {
+  SocketPair sp;
+  EXPECT_TRUE(
+      SendFrame(sp.a(), type, payload.data(), payload.size()).ok());
+  std::vector<uint8_t> bytes(ShardFrameHeader::kBytes + payload.size() +
+                             ShardFrameHeader::kCrcBytes);
+  EXPECT_TRUE(ReadFull(sp.b(), bytes.data(), bytes.size()).ok());
+  return bytes;
+}
+
+// A representative payload per v3 frame type: real codec output where
+// one exists, so the sweep corrupts exactly the bytes production
+// frames carry.
+std::vector<uint8_t> RepresentativePayload(ShardMessageType type) {
+  switch (type) {
+    case ShardMessageType::kConfig: {
+      ShardConfig sc;
+      sc.config.num_nodes = 64;
+      sc.config.disk_dir = "/tmp/x";
+      sc.table = MakeRoutingTable(2);
+      return EncodeShardConfig(sc);
+    }
+    case ShardMessageType::kUpdateBatch: {
+      std::vector<uint8_t> payload(sizeof(uint64_t) + sizeof(GraphUpdate));
+      const uint64_t epoch = 1;
+      GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+      std::memcpy(payload.data(), &epoch, sizeof(epoch));
+      std::memcpy(payload.data() + sizeof(epoch), &u, sizeof(u));
+      return payload;
+    }
+    case ShardMessageType::kCheckpoint: {
+      const std::string path = "/tmp/ckpt.bin";
+      return std::vector<uint8_t>(path.begin(), path.end());
+    }
+    case ShardMessageType::kAck:
+      return EncodeShardAck(ShardAck{42, 7});
+    case ShardMessageType::kSnapshotBytes:
+    case ShardMessageType::kMigrateData:
+    case ShardMessageType::kMergeDelta:
+      return std::vector<uint8_t>(48, 0xA5);  // Opaque snapshot bytes.
+    case ShardMessageType::kError:
+      return EncodeShardError(Status::NotFound("x"));
+    case ShardMessageType::kEpoch:
+      return EncodeRoutingTable(MakeRoutingTable(3));
+    case ShardMessageType::kMigrateExtract:
+      return EncodeMigrateExtract(0, 32);
+    case ShardMessageType::kHello:
+      return std::vector<uint8_t>(kHandshakeNonceBytes, 0x11);
+    case ShardMessageType::kChallenge:
+      return std::vector<uint8_t>(kHandshakeNonceBytes + kSha256Bytes, 0x22);
+    case ShardMessageType::kAuth:
+      return std::vector<uint8_t>(kSha256Bytes, 0x33);
+    default:
+      return {};  // kFlush/kSnapshot/kStats/kPing/kShutdown: empty.
+  }
+}
+
+TEST(ShardProtocolTest, EveryByteFlipOfEveryFrameTypeIsACleanStatus) {
+  // The v3 integrity claim, pinned exhaustively: flip each byte of
+  // every frame type — header, payload, trailer — and the receiver
+  // must return a Status (checksum or decode error). Never a crash,
+  // and NEVER an accepted frame: any accepted flip would mean a
+  // corruption the protocol cannot see.
+  for (uint16_t t = static_cast<uint16_t>(ShardMessageType::kConfig);
+       t <= static_cast<uint16_t>(ShardMessageType::kAuth); ++t) {
+    const ShardMessageType type = static_cast<ShardMessageType>(t);
+    const std::vector<uint8_t> good = FrameBytes(type,
+                                                 RepresentativePayload(type));
+    // Sanity: the uncorrupted frame is accepted.
+    {
+      SocketPair sp;
+      ASSERT_TRUE(WriteFull(sp.a(), good.data(), good.size()).ok());
+      sp.CloseA();
+      ShardFrame frame;
+      ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok()) << "type " << t;
+      EXPECT_EQ(frame.type, type);
+    }
+    for (size_t i = 0; i < good.size(); ++i) {
+      std::vector<uint8_t> corrupt = good;
+      corrupt[i] ^= 0x5A;
+      SocketPair sp;
+      ASSERT_TRUE(WriteFull(sp.a(), corrupt.data(), corrupt.size()).ok());
+      // EOF after the frame: a flip in the length field must surface
+      // as a short read, not hang waiting for bytes that never come.
+      sp.CloseA();
+      ShardFrame frame;
+      const Status s = RecvFrame(sp.b(), &frame);
+      EXPECT_FALSE(s.ok()) << "type " << t << ", flipped byte " << i
+                           << " was ACCEPTED";
+    }
+  }
+}
+
+TEST_F(ShardServerFixture, CorruptedFrameFencesTheServerConnection) {
+  // Server side of the same property: one corrupted byte in an
+  // established session is a lost-framing event — error reply
+  // (best-effort), Serve() exits with a Status, no crash, and the
+  // poisoned frame was never acted on.
+  StartServer();
+  Configure(/*num_nodes=*/16);
+  GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+  std::vector<uint8_t> payload(sizeof(uint64_t) + sizeof(u));
+  const uint64_t epoch = 1;
+  std::memcpy(payload.data(), &epoch, sizeof(epoch));
+  std::memcpy(payload.data() + sizeof(epoch), &u, sizeof(u));
+  std::vector<uint8_t> bytes =
+      FrameBytes(ShardMessageType::kUpdateBatch, payload);
+  bytes[ShardFrameHeader::kBytes + sizeof(uint64_t)] ^= 0xFF;  // Edge bits.
+  ASSERT_TRUE(WriteFull(sp_.a(), bytes.data(), bytes.size()).ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+// ---- Authenticated handshake ----------------------------------------------
+
+TEST_F(ShardServerFixture, MatchingSecretsEstablishAndServe) {
+  StartServer(/*handshake=*/true, "super-secret");
+  Configure();
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);
+}
+
+TEST_F(ShardServerFixture, WrongSecretIsRefusedByTheClient) {
+  // The server proves first (mutual auth), so a coordinator dialing a
+  // shard with the wrong secret discovers the mismatch itself — before
+  // handing over any state.
+  StartServer(/*handshake=*/false, "server-secret");
+  const Status s = ClientHandshake(sp_.a(), "client-secret");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("authentication"), std::string::npos);
+  sp_.CloseA();
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+TEST_F(ShardServerFixture, ForgedClientProofIsRefusedByTheServer) {
+  // An attacker who watched the challenge but lacks the secret cannot
+  // complete: a garbage proof draws a kError and ends the session.
+  StartServer(/*handshake=*/false, "server-secret");
+  const std::vector<uint8_t> nonce(kHandshakeNonceBytes, 0x42);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kHello, nonce.data(),
+                        nonce.size())
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kChallenge);
+  const std::vector<uint8_t> forged(kSha256Bytes, 0x00);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kAuth, forged.data(),
+                        forged.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kFailedPrecondition);
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+TEST_F(ShardServerFixture, UpdateBatchCannotBeInjectedBeforeAuth) {
+  // THE threat-model property: an unauthenticated peer sending an
+  // UPDATE_BATCH as its first frame gets an error and a dead
+  // connection — the frame never reaches the ingest path.
+  StartServer(/*handshake=*/false, "server-secret");
+  GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+  std::vector<uint8_t> payload(sizeof(uint64_t) + sizeof(u));
+  const uint64_t epoch = 1;
+  std::memcpy(payload.data(), &epoch, sizeof(epoch));
+  std::memcpy(payload.data() + sizeof(epoch), &u, sizeof(u));
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kUpdateBatch,
+                        payload.data(), payload.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kFailedPrecondition);
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+TEST_F(ShardServerFixture, PreAuthFrameLengthIsCappedTiny) {
+  // The pre-auth allocation-DoS gate: handshake frames are tiny and
+  // fixed-size, so a length field even modestly above the handshake
+  // cap (let alone the multi-GB protocol cap) is refused BEFORE any
+  // allocation or payload read.
+  StartServer(/*handshake=*/false, "server-secret");
+  WriteRawHeader(sp_.a(), static_cast<uint16_t>(ShardMessageType::kHello),
+                 /*payload_bytes=*/1 << 20);
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  if (server_thread_.joinable()) server_thread_.join();
+  EXPECT_FALSE(serve_status_.ok());
+  stopped_ = true;
+}
+
+TEST_F(ShardServerFixture, HandshakeFrameMidSessionIsErrorNotCrash) {
+  StartServer();
+  Configure();
+  const std::vector<uint8_t> nonce(kHandshakeNonceBytes, 0x01);
+  ASSERT_TRUE(SendFrame(sp_.a(), ShardMessageType::kHello, nonce.data(),
+                        nonce.size())
+                  .ok());
+  ExpectErrorReply(StatusCode::kInvalidArgument);
+  ASSERT_TRUE(
+      SendFrame(sp_.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);  // Session survived.
+}
+
+// ---- ShardEndpoint grammar ------------------------------------------------
+
+TEST(ShardEndpointTest, ParsesTheGrammar) {
+  Result<ShardEndpoint> local = ParseShardEndpoint("local:");
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(local.value().local());
+  EXPECT_EQ(local.value().ToString(), "local:");
+  EXPECT_TRUE(ParseShardEndpoint("").ok());  // Unset slot = local.
+
+  Result<ShardEndpoint> tcp = ParseShardEndpoint("tcp://10.0.0.7:9001");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_FALSE(tcp.value().local());
+  EXPECT_EQ(tcp.value().host, "10.0.0.7");
+  EXPECT_EQ(tcp.value().port, 9001);
+  EXPECT_EQ(tcp.value().ToString(), "tcp://10.0.0.7:9001");
+
+  for (const char* bad :
+       {"tcp://", "tcp://host", "tcp://host:", "tcp://:80",
+        "tcp://host:0", "tcp://host:65536", "tcp://host:12x",
+        "udp://host:80", "host:80"}) {
+    EXPECT_EQ(ParseShardEndpoint(bad).status().code(),
+              StatusCode::kInvalidArgument)
+        << bad;
+  }
 }
 
 // ---- Routing --------------------------------------------------------------

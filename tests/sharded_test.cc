@@ -33,6 +33,19 @@ std::string ModeName(Mode mode) {
   return mode == Mode::kInProcess ? "InProcess" : "Process";
 }
 
+TEST(ShardedTest, InProcessModeRefusesRemoteEndpoints) {
+  // In-process shards have nowhere remote to live: an endpoint list
+  // naming tcp:// shards must fail Init() loudly, never silently run
+  // everything locally while the user's listeners sit undailed.
+  ShardClusterOptions options;
+  options.shard_endpoints = {"local:", "tcp://far-away:9001"};
+  ShardedGraphZeppelin sharded(BaseConfig(64, 9), 2,
+                               ShardedGraphZeppelin::Mode::kInProcess,
+                               options);
+  const Status s = sharded.Init();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(ShardedTest, ShardRoutingDeterministicAndBounded) {
   ShardedGraphZeppelin sharded(BaseConfig(64, 1), 4);
   for (NodeId u = 0; u < 20; ++u) {

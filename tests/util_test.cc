@@ -1,12 +1,16 @@
 // Unit tests for the util substrate: hashing, fields, status, RNG.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "util/crc32c.h"
 #include "util/kwise_hash.h"
 #include "util/mem_usage.h"
+#include "util/sha256.h"
 #include "util/mersenne_field.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -256,6 +260,110 @@ TEST(TimerTest, MeasuresElapsedAndFormatsRates) {
   char buf[32];
   EXPECT_STREQ(FormatRate(2.5e6, buf, sizeof(buf)), "2.50M");
   EXPECT_STREQ(FormatRate(1500, buf, sizeof(buf)), "1.5K");
+}
+
+// ---- CRC32C ---------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectors) {
+  // The classic check value plus the RFC 3720 (iSCSI) test patterns —
+  // these pin the polynomial, reflection and finalization exactly, so
+  // the wire checksum is interoperable, not just self-consistent.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  std::vector<uint8_t> buf(32, 0x00);
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), 0x8A9136AAu);
+  buf.assign(32, 0xFF);
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), 0x62A8AB43u);
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(buf.data(), buf.size()), 0x46DD794Eu);
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShotAtEverySplit) {
+  // The streamed-frame path folds payload pieces of arbitrary sizes;
+  // any split must equal the one-shot CRC.
+  std::vector<uint8_t> buf(257);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  const uint32_t want = Crc32c(buf.data(), buf.size());
+  for (size_t split = 0; split <= buf.size(); split += 13) {
+    uint32_t crc = Crc32cExtend(0, buf.data(), split);
+    crc = Crc32cExtend(crc, buf.data() + split, buf.size() - split);
+    EXPECT_EQ(crc, want) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEveryByteFlip) {
+  std::vector<uint8_t> buf(64, 0x5C);
+  const uint32_t want = Crc32c(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    for (const uint8_t flip : {0x01, 0x80, 0xFF}) {
+      buf[i] ^= flip;
+      EXPECT_NE(Crc32c(buf.data(), buf.size()), want);
+      buf[i] ^= flip;
+    }
+  }
+}
+
+// ---- SHA-256 / HMAC -------------------------------------------------------
+
+std::string HexOf(const uint8_t digest[kSha256Bytes]) {
+  char buf[2 * kSha256Bytes + 1];
+  for (size_t i = 0; i < kSha256Bytes; ++i) {
+    std::snprintf(buf + 2 * i, 3, "%02x", digest[i]);
+  }
+  return std::string(buf, 2 * kSha256Bytes);
+}
+
+TEST(Sha256Test, FipsVectors) {
+  uint8_t digest[kSha256Bytes];
+  Sha256("", 0, digest);
+  EXPECT_EQ(HexOf(digest),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+            "7852b855");
+  Sha256("abc", 3, digest);
+  EXPECT_EQ(HexOf(digest),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+            "f20015ad");
+  // Two-block message (56 bytes forces the padding split).
+  const char* msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                    "nopq";
+  Sha256(msg, std::strlen(msg), digest);
+  EXPECT_EQ(HexOf(digest),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+            "19db06c1");
+}
+
+TEST(Sha256Test, HmacRfc4231Vectors) {
+  uint8_t digest[kSha256Bytes];
+  // Test case 1.
+  std::vector<uint8_t> key(20, 0x0b);
+  HmacSha256(key.data(), key.size(), "Hi There", 8, digest);
+  EXPECT_EQ(HexOf(digest),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+            "2e32cff7");
+  // Test case 2 (short ASCII key).
+  const char* data2 = "what do ya want for nothing?";
+  HmacSha256("Jefe", 4, data2, std::strlen(data2), digest);
+  EXPECT_EQ(HexOf(digest),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+            "64ec3843");
+  // Test case 6 (131-byte key exercises the hash-the-key path).
+  key.assign(131, 0xaa);
+  const char* data6 =
+      "Test Using Larger Than Block-Size Key - Hash Key First";
+  HmacSha256(key.data(), key.size(), data6, std::strlen(data6), digest);
+  EXPECT_EQ(HexOf(digest),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+            "0ee37f54");
+}
+
+TEST(Sha256Test, ConstantTimeEqualCompares) {
+  const uint8_t a[4] = {1, 2, 3, 4};
+  const uint8_t b[4] = {1, 2, 3, 4};
+  const uint8_t c[4] = {1, 2, 3, 5};
+  EXPECT_TRUE(ConstantTimeEqual(a, b, 4));
+  EXPECT_FALSE(ConstantTimeEqual(a, c, 4));
 }
 
 }  // namespace
