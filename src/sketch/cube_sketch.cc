@@ -23,12 +23,20 @@ int RowsForLength(uint64_t n) {
 
 }  // namespace
 
+size_t CubeSketch::NumBuckets(const CubeSketchParams& params) {
+  GZ_CHECK(params.cols >= 1);
+  // cols * rows column buckets plus the deterministic bucket.
+  return static_cast<size_t>(params.cols) * RowsForLength(params.vector_len) +
+         1;
+}
+
 CubeSketch::CubeSketch(const CubeSketchParams& params)
     : params_(params), rows_(RowsForLength(params.vector_len)) {
   GZ_CHECK(params_.vector_len >= 1);
   GZ_CHECK(params_.cols >= 1);
-  alphas_.assign(static_cast<size_t>(params_.cols) * rows_, 0);
-  gammas_.assign(static_cast<size_t>(params_.cols) * rows_, 0);
+  const size_t column_buckets = NumBuckets(params_) - 1;
+  alphas_.assign(column_buckets, 0);
+  gammas_.assign(column_buckets, 0);
   col_seeds_.reserve(params_.cols);
   gamma_seeds_.reserve(params_.cols + 1);
   for (int c = 0; c < params_.cols; ++c) {
@@ -39,31 +47,56 @@ CubeSketch::CubeSketch(const CubeSketchParams& params)
   gamma_seeds_.push_back(XxHash64Word(kDetSeedTag, params_.seed));
 }
 
+// The update math itself lives in sketch_kernel.cc (UpdateOneScalar and
+// the SIMD kernels); this file only owns storage and bounds checks.
 void CubeSketch::Update(uint64_t idx) {
   GZ_CHECK(idx < params_.vector_len);
-  const uint64_t enc = idx + 1;  // 0 is reserved for "empty".
-
-  det_alpha_ ^= enc;
-  det_gamma_ ^= static_cast<uint32_t>(XxHash64Word(enc, gamma_seeds_.back()));
-
-  for (int c = 0; c < params_.cols; ++c) {
-    const uint64_t h = XxHash64Word(enc, col_seeds_[c]);
-    // Rows 0..z where z = number of trailing zero bits of h (capped).
-    int depth = (h == 0) ? rows_ - 1 : std::countr_zero(h);
-    if (depth > rows_ - 1) depth = rows_ - 1;
-    const uint32_t checksum =
-        static_cast<uint32_t>(XxHash64Word(enc, gamma_seeds_[c]));
-    uint64_t* alpha = &alphas_[BucketIndex(c, 0)];
-    uint32_t* gamma = &gammas_[BucketIndex(c, 0)];
-    for (int r = 0; r <= depth; ++r) {
-      alpha[r] ^= enc;
-      gamma[r] ^= checksum;
-    }
-  }
+  // A single update can't fill a lane group; the scalar kernel is the
+  // reference path and the fastest choice here.
+  CubeSketchUpdateBatch(SketchKernel::kScalar, KernelArgs(&idx, 1));
 }
 
 void CubeSketch::UpdateBatch(const uint64_t* indices, size_t count) {
-  for (size_t i = 0; i < count; ++i) Update(indices[i]);
+  if (count == 0) return;
+  // Span-level bounds check, hoisted out of the per-update path: one
+  // max-reduction pass (vectorizable) instead of a branch per update.
+  uint64_t max_idx = 0;
+  for (size_t i = 0; i < count; ++i) {
+    max_idx = indices[i] > max_idx ? indices[i] : max_idx;
+  }
+  GZ_CHECK_MSG(max_idx < params_.vector_len, "batch index out of range");
+  UpdateBatchPrechecked(indices, count);
+}
+
+void CubeSketch::UpdateBatchPrechecked(const uint64_t* indices, size_t count) {
+  CubeSketchUpdateBatch(ActiveSketchKernel(), KernelArgs(indices, count));
+}
+
+void CubeSketch::UpdateBatchWithKernel(SketchKernel kernel,
+                                       const uint64_t* indices, size_t count) {
+  if (count == 0) return;
+  uint64_t max_idx = 0;
+  for (size_t i = 0; i < count; ++i) {
+    max_idx = indices[i] > max_idx ? indices[i] : max_idx;
+  }
+  GZ_CHECK_MSG(max_idx < params_.vector_len, "batch index out of range");
+  CubeSketchUpdateBatch(kernel, KernelArgs(indices, count));
+}
+
+CubeSketchKernelArgs CubeSketch::KernelArgs(const uint64_t* indices,
+                                            size_t count) {
+  CubeSketchKernelArgs args;
+  args.indices = indices;
+  args.count = count;
+  args.cols = params_.cols;
+  args.rows = rows_;
+  args.col_seeds = col_seeds_.data();
+  args.gamma_seeds = gamma_seeds_.data();
+  args.alphas = alphas_.data();
+  args.gammas = gammas_.data();
+  args.det_alpha = &det_alpha_;
+  args.det_gamma = &det_gamma_;
+  return args;
 }
 
 SketchSample CubeSketch::Query() const {
@@ -111,13 +144,11 @@ void CubeSketch::Clear() {
 size_t CubeSketch::ByteSize() const {
   // 12 bytes per bucket (alpha u64 + gamma u32), including the
   // deterministic bucket.
-  return (alphas_.size() + 1) * (sizeof(uint64_t) + sizeof(uint32_t));
+  return NumBuckets(params_) * (sizeof(uint64_t) + sizeof(uint32_t));
 }
 
 size_t CubeSketch::SerializedSizeFor(const CubeSketchParams& params) {
-  const size_t buckets =
-      static_cast<size_t>(params.cols) * RowsForLength(params.vector_len) + 1;
-  return buckets * (sizeof(uint64_t) + sizeof(uint32_t));
+  return NumBuckets(params) * (sizeof(uint64_t) + sizeof(uint32_t));
 }
 
 void CubeSketch::SerializeTo(uint8_t* out) const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sketch/sketch_kernel.h"
 #include "sketch/sketch_sample.h"
 
 namespace gz {
@@ -44,9 +45,22 @@ class CubeSketch {
   // Toggles vector index `idx` (addition of 1 over Z_2).
   void Update(uint64_t idx);
 
-  // Applies a batch of toggles. Equivalent to calling Update() per index
-  // but lets the compiler keep bucket lines hot.
+  // Applies a batch of toggles through the active sketch kernel
+  // (sketch_kernel.h): indices are bounds-checked once for the whole
+  // span, then processed in lane groups — 4 (AVX2) or 8 (AVX-512)
+  // placement hashes, checksums, and bucket depths per column computed
+  // in SIMD, followed by a scalar scatter-XOR into the bucket rows.
+  // Bitwise-identical to calling Update() per index, for every kernel.
   void UpdateBatch(const uint64_t* indices, size_t count);
+
+  // Same, for callers that already validated every index against
+  // vector_len (NodeSketch hoists one span check over all rounds).
+  void UpdateBatchPrechecked(const uint64_t* indices, size_t count);
+
+  // Same as UpdateBatch but with an explicit kernel, so tests and
+  // benches can compare kernels within one process.
+  void UpdateBatchWithKernel(SketchKernel kernel, const uint64_t* indices,
+                             size_t count);
 
   // Returns a nonzero coordinate, or kZero / kFail (see SketchSample).
   SketchSample Query() const;
@@ -61,6 +75,11 @@ class CubeSketch {
   const CubeSketchParams& params() const { return params_; }
   int rows() const { return rows_; }
   int cols() const { return params_.cols; }
+
+  // Total bucket count for the given params: cols * rows plus the
+  // deterministic bucket. The single source of bucket geometry shared
+  // by the constructor, ByteSize(), and SerializedSizeFor().
+  static size_t NumBuckets(const CubeSketchParams& params);
 
   // Exact in-memory payload size: 12 bytes per bucket (64-bit alpha +
   // 32-bit gamma), matching the paper's accounting.
@@ -83,6 +102,9 @@ class CubeSketch {
  private:
   // Bucket index within the flattened column-major arrays.
   int BucketIndex(int col, int row) const { return col * rows_ + row; }
+
+  // Borrowing view of this sketch's geometry/buckets for the kernel.
+  CubeSketchKernelArgs KernelArgs(const uint64_t* indices, size_t count);
 
   CubeSketchParams params_;
   int rows_;

@@ -42,7 +42,17 @@ void NodeSketch::Update(uint64_t edge_index) {
 }
 
 void NodeSketch::UpdateBatch(const uint64_t* indices, size_t count) {
-  for (CubeSketch& s : subsketches_) s.UpdateBatch(indices, count);
+  if (count == 0) return;
+  // One span-level bounds check covers every round's subsketch (they
+  // all share vector_len), so the kernels run with no per-update or
+  // per-round validation at all.
+  const uint64_t vector_len = subsketches_.front().params().vector_len;
+  uint64_t max_idx = 0;
+  for (size_t i = 0; i < count; ++i) {
+    max_idx = indices[i] > max_idx ? indices[i] : max_idx;
+  }
+  GZ_CHECK_MSG(max_idx < vector_len, "batch edge index out of range");
+  for (CubeSketch& s : subsketches_) s.UpdateBatchPrechecked(indices, count);
 }
 
 SketchSample NodeSketch::Query(int round) const {

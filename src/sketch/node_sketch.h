@@ -46,7 +46,10 @@ class NodeSketch {
   // Applies a batch of edge-index toggles. Iterates subsketch-major so
   // each CubeSketch's buckets stay cache-resident across the batch
   // (this ordering is also the unit of the paper's sketch-level
-  // parallelism).
+  // parallelism). Bounds-checks the span once, then feeds each round's
+  // CubeSketch the whole index span through the active SIMD sketch
+  // kernel (sketch_kernel.h) — the ingest workers' delta sketches go
+  // through exactly this path.
   void UpdateBatch(const uint64_t* indices, size_t count);
 
   // Samples an incident (cut) edge index from round `round`'s subsketch.

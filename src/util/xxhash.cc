@@ -5,11 +5,12 @@
 namespace gz {
 namespace {
 
-constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
-constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
-constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
-constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
-constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+// Local aliases for the shared constants in xxhash.h.
+constexpr uint64_t kPrime1 = kXxPrime1;
+constexpr uint64_t kPrime2 = kXxPrime2;
+constexpr uint64_t kPrime3 = kXxPrime3;
+constexpr uint64_t kPrime4 = kXxPrime4;
+constexpr uint64_t kPrime5 = kXxPrime5;
 
 inline uint64_t RotL(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
 

@@ -9,6 +9,15 @@
 
 namespace gz {
 
+// XXH64 round constants. Public because the SIMD lane implementations
+// (util/xxhash_lanes.h) replicate the word-hash dataflow with vector
+// arithmetic and must use bit-identical primes.
+inline constexpr uint64_t kXxPrime1 = 0x9E3779B185EBCA87ULL;
+inline constexpr uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4FULL;
+inline constexpr uint64_t kXxPrime3 = 0x165667B19E3779F9ULL;
+inline constexpr uint64_t kXxPrime4 = 0x85EBCA77C2B2AE63ULL;
+inline constexpr uint64_t kXxPrime5 = 0x27D4EB2F165667C5ULL;
+
 // Hashes an arbitrary byte buffer with the XXH64 algorithm.
 uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
 
