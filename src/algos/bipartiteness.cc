@@ -33,34 +33,32 @@ void BipartitenessSketch::Update(const GraphUpdate& update) {
   doubled_->Update({Edge(v, static_cast<NodeId>(u + shift)), update.type});
 }
 
-BipartitenessResult BipartitenessSketch::Query() {
+BipartitenessResult BipartitenessFromSnapshots(const GraphSnapshot& primal,
+                                               const GraphSnapshot& doubled,
+                                               int num_threads) {
+  const uint64_t num_nodes = primal.params().num_nodes;
+  GZ_CHECK(doubled.params().num_nodes == 2 * num_nodes);
   BipartitenessResult result;
-  // Both instances are queried through their snapshots; the doubled
-  // graph's snapshot could equally be shipped elsewhere and queried
-  // there, since GraphSnapshot is self-describing.
-  const int threads = primal_->config().query_threads;
-  const ConnectivityResult primal_cc =
-      Connectivity(primal_->Snapshot(), threads);
-  const ConnectivityResult doubled_cc =
-      Connectivity(doubled_->Snapshot(), threads);
+  const ConnectivityResult primal_cc = Connectivity(primal, num_threads);
+  const ConnectivityResult doubled_cc = Connectivity(doubled, num_threads);
   if (primal_cc.failed || doubled_cc.failed) {
     result.failed = true;
     return result;
   }
   result.component_of = primal_cc.component_of;
-  result.component_bipartite.assign(num_nodes_, true);
+  result.component_bipartite.assign(num_nodes, true);
 
   // Component C is bipartite iff {u, u+V : u in C} spans exactly two
   // doubled components. Count distinct doubled labels per primal label.
   std::unordered_map<NodeId, std::unordered_set<NodeId>> doubled_labels;
-  for (NodeId u = 0; u < num_nodes_; ++u) {
+  for (NodeId u = 0; u < num_nodes; ++u) {
     auto& labels = doubled_labels[primal_cc.component_of[u]];
     labels.insert(doubled_cc.component_of[u]);
-    labels.insert(doubled_cc.component_of[u + num_nodes_]);
+    labels.insert(doubled_cc.component_of[u + num_nodes]);
   }
 
   result.whole_graph_bipartite = true;
-  for (NodeId u = 0; u < num_nodes_; ++u) {
+  for (NodeId u = 0; u < num_nodes; ++u) {
     const auto& labels = doubled_labels[primal_cc.component_of[u]];
     // Singleton primal components have two isolated doubled vertices
     // (labels = 2) and are trivially bipartite; an odd cycle fuses the
@@ -70,6 +68,15 @@ BipartitenessResult BipartitenessSketch::Query() {
     if (!bipartite) result.whole_graph_bipartite = false;
   }
   return result;
+}
+
+BipartitenessResult BipartitenessSketch::Query() {
+  // Both instances are queried through their snapshots; the doubled
+  // graph's snapshot could equally be shipped elsewhere and queried
+  // there, since GraphSnapshot is self-describing — that is exactly
+  // what gz_query does against a pair of served clusters.
+  return BipartitenessFromSnapshots(primal_->Snapshot(), doubled_->Snapshot(),
+                                    primal_->config().query_threads);
 }
 
 }  // namespace gz

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/graph_snapshot.h"
 #include "core/graph_zeppelin.h"
 #include "stream/stream_types.h"
 #include "util/status.h"
@@ -27,6 +28,16 @@ struct BipartitenessResult {
   std::vector<NodeId> component_of;       // Primal component labels.
   std::vector<bool> component_bipartite;  // Indexed by vertex id.
 };
+
+// The verdict computed from a (primal, doubled) snapshot pair — the
+// query half of the reduction, decoupled from sketch maintenance so a
+// remote reader (gz_query against two served clusters) can run it on
+// snapshots it pulled over the wire. `doubled` must have exactly twice
+// the primal node count and is checked; sketch failure in either
+// connectivity query sets `failed`.
+BipartitenessResult BipartitenessFromSnapshots(const GraphSnapshot& primal,
+                                               const GraphSnapshot& doubled,
+                                               int num_threads = 1);
 
 class BipartitenessSketch {
  public:

@@ -79,6 +79,10 @@ class GraphSnapshot {
   // scratch sketch at a time; call AddUpdates() once per folded source.
   Status MergeNodeDelta(NodeId node, const NodeSketch& delta);
   void AddUpdates(uint64_t count) { num_updates_ += count; }
+  // Pins the stream position outright — for aggregators (the snapshot
+  // cache) that rebuild sketch content from range deltas, which carry
+  // no counts, and know the true total from their own bookkeeping.
+  void SetUpdates(uint64_t count) { num_updates_ = count; }
 
   // --- Serialization -----------------------------------------------------
   // Byte layout: 8-byte magic, params (num_nodes, seed, cols, rounds),

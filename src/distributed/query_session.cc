@@ -1,0 +1,244 @@
+#include "distributed/query_session.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace gz {
+namespace {
+
+// Two position sweeps agree iff every shard reports the same (epoch,
+// updates, delta_seq) triple — the seqlock's "sequence unchanged"
+// check. Monotonicity of all three components makes equality proof of
+// an unmoved position, not a coincidence.
+bool SamePosition(const std::vector<ShardStatsEx>& a,
+                  const std::vector<ShardStatsEx>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].shard_id != b[i].shard_id || a[i].epoch != b[i].epoch ||
+        a[i].num_updates != b[i].num_updates ||
+        a[i].delta_seq != b[i].delta_seq) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+QuerySession::QuerySession(QuerySessionOptions options)
+    : options_(std::move(options)), cache_(options_.nodes_per_chunk) {}
+
+QuerySession::~QuerySession() = default;
+
+Status QuerySession::Connect() {
+  conns_.clear();
+  cache_.Invalidate();  // Cached content may predate a re-dial.
+  if (options_.endpoints.empty()) {
+    return Status::InvalidArgument("query session has no endpoints");
+  }
+  for (const std::string& uri : options_.endpoints) {
+    Result<ShardEndpoint> parsed = ParseShardEndpoint(uri);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value().local()) {
+      return Status::InvalidArgument(
+          "query sessions dial listeners, not local: endpoints (" + uri +
+          ")");
+    }
+    auto conn = std::make_unique<TcpShardTransport>(
+        std::move(parsed).value(), options_.auth_secret,
+        ShardSessionRole::kReader);
+    Status s = conn->Connect();
+    if (!s.ok()) return s;
+    conns_.push_back(std::move(conn));
+  }
+  return Status::Ok();
+}
+
+Status QuerySession::ReadPositions(std::vector<ShardStatsEx>* stats) {
+  stats->clear();
+  stats->resize(conns_.size());
+  for (auto& conn : conns_) {
+    Status s =
+        SendFrame(conn->fd(), ShardMessageType::kStatsEx, nullptr, 0);
+    if (!s.ok()) return s;
+  }
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    bool in_sync = false;
+    Status s = RecvReply(conns_[i]->fd(), ShardMessageType::kStatsReply,
+                         &reply_buf_, &in_sync);
+    if (!s.ok()) return s;
+    s = DecodeShardStatsEx(reply_buf_.payload.data(),
+                           reply_buf_.payload.size(), &(*stats)[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status QuerySession::PullRange(size_t conn, uint64_t lo, uint64_t hi,
+                               std::vector<uint8_t>* delta) {
+  const std::vector<uint8_t> req = EncodeMigrateExtract(lo, hi);
+  Status s = SendFrame(conns_[conn]->fd(),
+                       ShardMessageType::kMigrateExtract, req.data(),
+                       req.size());
+  if (!s.ok()) return s;
+  bool in_sync = false;
+  s = RecvReply(conns_[conn]->fd(), ShardMessageType::kMigrateData,
+                &reply_buf_, &in_sync);
+  if (!s.ok()) return s;
+  *delta = std::move(reply_buf_.payload);
+  return Status::Ok();
+}
+
+Status QuerySession::Snapshot(const GraphSnapshot** out) {
+  if (conns_.empty()) {
+    return Status::FailedPrecondition("query session not connected");
+  }
+  last_refresh_rounds_ = 0;
+  Status last = Status::Ok();
+  std::vector<ShardStatsEx> t0, t1;
+  for (int attempt = 0; attempt < options_.max_position_retries;
+       ++attempt) {
+    ++last_refresh_rounds_;
+    Status s = ReadPositions(&t0);
+    if (!s.ok()) return s;
+    // One cluster position: every shard at the same epoch and
+    // geometry, every shard id distinct. An epoch skew is a reshard
+    // broadcast caught mid-flight — a moving position, so retry.
+    const uint64_t epoch = t0[0].epoch;
+    bool epoch_skew = false;
+    ShardWatermarks marks;
+    uint64_t total_updates = 0;
+    for (const ShardStatsEx& st : t0) {
+      if (st.epoch != epoch) epoch_skew = true;
+      if (st.num_nodes != t0[0].num_nodes || st.seed != t0[0].seed ||
+          st.cols != t0[0].cols || st.rounds != t0[0].rounds) {
+        return Status::FailedPrecondition(
+            "shard listeners disagree on sketch geometry; these "
+            "endpoints are not one cluster");
+      }
+      ShardWatermark mark;
+      mark.num_updates = st.num_updates;
+      mark.delta_seq = st.delta_seq;
+      if (!marks.emplace(st.shard_id, mark).second) {
+        return Status::FailedPrecondition(
+            "two endpoints serve shard id " +
+            std::to_string(st.shard_id) +
+            "; each listener must host a distinct shard");
+      }
+      total_updates += st.num_updates;
+    }
+    if (epoch_skew) {
+      last = Status::FailedPrecondition(
+          "shards straddle a routing-epoch broadcast");
+      continue;
+    }
+    if (cache_.Fresh(epoch, marks)) {
+      *out = &cache_.merged();
+      return Status::Ok();
+    }
+    NodeSketchParams params;
+    params.num_nodes = t0[0].num_nodes;
+    params.seed = t0[0].seed;
+    params.cols = t0[0].cols;
+    params.rounds = t0[0].rounds;
+    // Pre-stage every pull the refresh will make, THEN re-read the
+    // positions: only if nothing moved do the staged bytes enter the
+    // cache. (Staging everything first is what makes the t0 == t1
+    // check meaningful — a pull after the check would be unverified.)
+    std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> staged;
+    bool stage_error = false;
+    for (const int shard : cache_.PlannedPulls(epoch, marks)) {
+      size_t conn = conns_.size();
+      for (size_t i = 0; i < t0.size(); ++i) {
+        if (t0[i].shard_id == shard) conn = i;
+      }
+      if (conn == conns_.size()) {
+        return Status::Internal("planned pull for an unknown shard id");
+      }
+      const uint64_t step = options_.nodes_per_chunk == 0
+                                ? params.num_nodes
+                                : options_.nodes_per_chunk;
+      for (uint64_t lo = 0; lo < params.num_nodes && !stage_error;
+           lo += step) {
+        const uint64_t hi = std::min<uint64_t>(params.num_nodes, lo + step);
+        s = PullRange(conn, lo, hi, &staged[{shard, lo}]);
+        if (!s.ok()) {
+          if (s.code() == StatusCode::kFailedPrecondition) {
+            // "shard not configured": a writer bounce mid-stage. The
+            // position will have moved; retry the round.
+            last = s;
+            stage_error = true;
+          } else {
+            return s;
+          }
+        }
+      }
+    }
+    if (stage_error) continue;
+    s = ReadPositions(&t1);
+    if (!s.ok()) return s;
+    if (!SamePosition(t0, t1)) {
+      last = Status::FailedPrecondition(
+          "cluster position moved during the refresh");
+      continue;
+    }
+    s = cache_.Refresh(
+        epoch, marks, total_updates, params,
+        [&staged](int shard, uint64_t lo, uint64_t hi,
+                  std::vector<uint8_t>* delta) {
+          (void)hi;
+          auto it = staged.find({shard, lo});
+          if (it == staged.end()) {
+            // A cold rebuild wanted a chunk the plan did not stage
+            // (cache was valid, then a geometry-level invalidation
+            // struck mid-round). Refresh invalidates on this error, so
+            // the NEXT round plans — and stages — every shard.
+            return Status::Internal("refresh chunk was not pre-staged");
+          }
+          *delta = std::move(it->second);
+          return Status::Ok();
+        });
+    if (!s.ok()) {
+      last = s;
+      continue;
+    }
+    *out = &cache_.merged();
+    return Status::Ok();
+  }
+  return Status(StatusCode::kResourceExhausted,
+                "cluster position kept moving; refresh did not stabilize "
+                "within " +
+                    std::to_string(options_.max_position_retries) +
+                    " rounds (last: " + last.ToString() + ")");
+}
+
+Status QuerySession::PollPositions(bool* fresh) {
+  *fresh = false;
+  if (conns_.empty()) {
+    return Status::FailedPrecondition("query session not connected");
+  }
+  std::vector<ShardStatsEx> stats;
+  Status s = ReadPositions(&stats);
+  if (!s.ok()) return s;
+  const uint64_t epoch = stats[0].epoch;
+  ShardWatermarks marks;
+  for (const ShardStatsEx& st : stats) {
+    if (st.epoch != epoch) return Status::Ok();  // Mid-reshard = stale.
+    ShardWatermark mark;
+    mark.num_updates = st.num_updates;
+    mark.delta_seq = st.delta_seq;
+    if (!marks.emplace(st.shard_id, mark).second) return Status::Ok();
+  }
+  *fresh = cache_.Fresh(epoch, marks);
+  return Status::Ok();
+}
+
+Result<ConnectivityResult> QuerySession::Connectivity(int threads) {
+  const GraphSnapshot* snap = nullptr;
+  Status s = Snapshot(&snap);
+  if (!s.ok()) return s;
+  return gz::Connectivity(*snap, threads);
+}
+
+}  // namespace gz

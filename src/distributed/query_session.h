@@ -1,0 +1,104 @@
+// QuerySession: a read-side client of the serving tier. Dials every
+// shard listener of a cluster as a *reader* session (role-restricted:
+// the handshake proves the shared secret and binds the reader role, so
+// the session can observe but never mutate — see shard_protocol.h),
+// maintains its own epoch/watermark-keyed SnapshotCache, and serves
+// merged snapshots WITHOUT ever touching the coordinator: queries
+// scale out by adding QuerySessions, not coordinator load.
+//
+// Consistency protocol (a seqlock over shard positions): one refresh
+// reads every shard's STATS_EX position (t0), pre-stages node-range
+// pulls for exactly the shards whose watermark moved, re-reads the
+// positions (t1), and only installs the pulls if t1 == t0. Positions
+// are monotone (update counts, delta sequence numbers and the epoch
+// only grow), so t0 == t1 proves every staged byte corresponds to the
+// keyed position — no ABA, no torn reads across shards mid-migration.
+// A moving cluster just makes the refresh retry; a bounded number of
+// failed rounds returns an error rather than spinning forever.
+//
+// Honest limitation: a QuerySession computes the merged snapshot's
+// update count as the sum over the shards it can see, so after a
+// RemoveShard the retired shard's ingested count (which the
+// coordinator carries forward separately) is missing from
+// num_updates() — the sketch CONTENT is still exact. Sessions must
+// also re-Connect() after the cluster adds or removes listeners; a
+// vanished listener surfaces as an IoError from Snapshot().
+#ifndef GZ_DISTRIBUTED_QUERY_SESSION_H_
+#define GZ_DISTRIBUTED_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/connectivity.h"
+#include "core/snapshot_cache.h"
+#include "distributed/shard_protocol.h"
+#include "distributed/shard_transport.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct QuerySessionOptions {
+  // tcp:// endpoints of the cluster's shard listeners, one per shard.
+  std::vector<std::string> endpoints;
+  // Shared handshake secret; must match the listeners'.
+  std::string auth_secret;
+  // Chunking of refresh pulls (see SnapshotCache).
+  uint64_t nodes_per_chunk = 1 << 14;
+  // Refresh rounds to attempt while the cluster position keeps moving
+  // under the seqlock before giving up.
+  int max_position_retries = 16;
+};
+
+class QuerySession {
+ public:
+  explicit QuerySession(QuerySessionOptions options);
+  ~QuerySession();
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  // Dials and authenticates a reader session to every endpoint.
+  Status Connect();
+
+  // Brings the cache to the cluster's current (epoch, watermarks)
+  // position — zero data pulls when nothing moved — and returns the
+  // merged snapshot. *out stays valid until the next Snapshot() call.
+  // Fails when a shard is unreachable/unconfigured, or when the
+  // position kept moving for max_position_retries rounds.
+  Status Snapshot(const GraphSnapshot** out);
+
+  // Convenience: Snapshot() + the parallel Boruvka query.
+  Result<ConnectivityResult> Connectivity(int threads = 1);
+
+  // Staleness probe: one STATS_EX position sweep, no content pulls.
+  // *fresh says whether the cached snapshot (cache().merged()) is still
+  // exactly the cluster's position — readers that serve slightly-stale
+  // answers poll this cheaply and pay Snapshot()'s refresh only when it
+  // reports false. A position caught mid-reshard (epoch skew) is
+  // reported as stale, not an error.
+  Status PollPositions(bool* fresh);
+
+  // Observability: cache counters, plus how many seqlock rounds the
+  // last Snapshot() needed (1 = stable on the first try).
+  const SnapshotCache& cache() const { return cache_; }
+  int last_refresh_rounds() const { return last_refresh_rounds_; }
+
+ private:
+  // One STATS_EX sweep across every connection (pipelined: all
+  // requests go out before the first reply is read).
+  Status ReadPositions(std::vector<ShardStatsEx>* stats);
+  // kMigrateExtract -> kMigrateData pull of [lo, hi) from conns_[i].
+  Status PullRange(size_t conn, uint64_t lo, uint64_t hi,
+                   std::vector<uint8_t>* delta);
+
+  QuerySessionOptions options_;
+  std::vector<std::unique_ptr<TcpShardTransport>> conns_;
+  SnapshotCache cache_;
+  ShardFrame reply_buf_;
+  int last_refresh_rounds_ = 0;
+};
+
+}  // namespace gz
+
+#endif  // GZ_DISTRIBUTED_QUERY_SESSION_H_

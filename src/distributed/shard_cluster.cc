@@ -20,7 +20,9 @@ constexpr size_t kMaxUpdatesPerFrame = 1 << 18;
 
 ShardCluster::ShardCluster(const GraphZeppelinConfig& base, int num_shards,
                            ShardClusterOptions options)
-    : base_(base), options_(std::move(options)) {
+    : base_(base),
+      options_(std::move(options)),
+      cache_(options_.migrate_nodes_per_chunk) {
   GZ_CHECK(num_shards >= 1);
   GZ_CHECK(options_.migrate_nodes_per_chunk >= 1);
   if (options_.shard_endpoints.size() > static_cast<size_t>(num_shards)) {
@@ -739,17 +741,105 @@ Result<ShardStats> ShardCluster::Stats(int shard) {
     return Status::FailedPrecondition("shard " + std::to_string(shard) +
                                       " is down");
   }
-  ShardAck ack;
-  Status s =
-      procs_[shard]->CallAck(ShardMessageType::kStats, nullptr, 0, &ack);
+  // STATS_EX rather than the legacy STATS: the reply carries the
+  // shard's serving watermark (epoch, update count, delta sequence) on
+  // top of the RAM figure, which is what the serving tier keys its
+  // cache by.
+  Status s = SendFrame(procs_[shard]->fd(), ShardMessageType::kStatsEx,
+                       nullptr, 0);
   if (!s.ok()) {
     down_[shard] = true;
     return s;
   }
+  bool in_sync = false;
+  s = RecvReply(procs_[shard]->fd(), ShardMessageType::kStatsReply,
+                &reply_buf_, &in_sync);
+  if (!s.ok()) {
+    if (!in_sync) down_[shard] = true;
+    return s;
+  }
+  ShardStatsEx ex;
+  s = DecodeShardStatsEx(reply_buf_.payload.data(),
+                         reply_buf_.payload.size(), &ex);
+  if (!s.ok()) {
+    down_[shard] = true;  // A garbled reply payload: lost sync.
+    return s;
+  }
   ShardStats stats;
-  stats.num_updates = ack.value0;
-  stats.ram_bytes = ack.value1;
+  stats.num_updates = ex.num_updates;
+  stats.ram_bytes = ex.ram_bytes;
+  stats.epoch = ex.epoch;
+  stats.delta_seq = ex.delta_seq;
   return stats;
+}
+
+// ---- Serving tier ----------------------------------------------------------
+
+ShardWatermarks ShardCluster::Watermarks() const {
+  // Pure bookkeeping, no RPC: a shard's eventual update count is its
+  // last acked checkpoint position plus its unacked log (the log holds
+  // everything since, including updates buffered for a down shard),
+  // and its delta position is the deltas framed to it. FIFO sockets
+  // make shard content a pure function of this pair.
+  ShardWatermarks marks;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (procs_[s] == nullptr) continue;
+    ShardWatermark mark;
+    mark.num_updates = checkpoint_updates_[s] + unacked_[s].size();
+    mark.delta_seq = delta_seq_sent_[s];
+    marks.emplace(s, mark);
+  }
+  return marks;
+}
+
+Status ShardCluster::CachedSnapshot(const GraphSnapshot** out) {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  const ShardWatermarks marks = Watermarks();
+  uint64_t total_updates = migrated_updates_;
+  for (const auto& [shard, mark] : marks) {
+    total_updates += mark.num_updates;
+  }
+  if (!cache_.Fresh(table_.epoch, marks)) {
+    NodeSketchParams params;
+    params.num_nodes = base_.num_nodes;
+    params.seed = base_.seed;
+    params.cols = base_.cols;
+    params.rounds = base_.rounds;
+    // The puller is the read-only extract RPC migration already uses;
+    // FIFO ordering means the extracted bytes cover every frame sent
+    // before the pull, i.e. exactly the watermark the key promises.
+    const Status s = cache_.Refresh(
+        table_.epoch, marks, total_updates, params,
+        [this](int shard, uint64_t lo, uint64_t hi,
+               std::vector<uint8_t>* delta) {
+          if (procs_[shard] == nullptr || down_[shard]) {
+            return Status::FailedPrecondition(
+                "snapshot-cache refresh needs shard " +
+                std::to_string(shard) +
+                ", which is down; RestartShard() it first");
+          }
+          const std::vector<uint8_t> req = EncodeMigrateExtract(lo, hi);
+          Status st = SendFrame(procs_[shard]->fd(),
+                                ShardMessageType::kMigrateExtract,
+                                req.data(), req.size());
+          if (!st.ok()) {
+            down_[shard] = true;
+            return st;
+          }
+          bool in_sync = false;
+          st = RecvReply(procs_[shard]->fd(), ShardMessageType::kMigrateData,
+                         &reply_buf_, &in_sync);
+          if (!st.ok()) {
+            if (!in_sync) down_[shard] = true;
+            return st;
+          }
+          *delta = std::move(reply_buf_.payload);
+          return Status::Ok();
+        });
+    if (!s.ok()) return s;
+  }
+  *out = &cache_.merged();
+  return Status::Ok();
 }
 
 }  // namespace gz

@@ -39,6 +39,7 @@
 
 #include "core/graph_snapshot.h"
 #include "core/graph_zeppelin.h"
+#include "core/snapshot_cache.h"
 #include "distributed/shard_endpoint.h"
 #include "distributed/shard_process.h"
 #include "distributed/shard_protocol.h"
@@ -80,6 +81,12 @@ struct ShardClusterOptions {
 struct ShardStats {
   uint64_t num_updates = 0;
   uint64_t ram_bytes = 0;
+  // The routing epoch the shard is at and its migration-delta count —
+  // together with num_updates, the shard's serving watermark (see
+  // snapshot_cache.h): equal watermarks at equal epochs imply
+  // bitwise-equal sketch content.
+  uint64_t epoch = 0;
+  uint64_t delta_seq = 0;
 };
 
 class ShardCluster {
@@ -179,6 +186,24 @@ class ShardCluster {
   Status Shutdown();
 
   Result<ShardStats> Stats(int shard);
+
+  // --- Serving tier ----------------------------------------------------------
+  // Like Snapshot(), but answered from the epoch/watermark-keyed
+  // SnapshotCache: O(1) — zero RPCs — while the cluster position is
+  // unchanged since the last call, and node-delta pulls from ONLY the
+  // shards whose watermark moved otherwise (a reshard refreshes by
+  // pulling the moved shards, never a full re-fold). Bitwise identical
+  // to Snapshot() at the same (epoch, watermarks) position — enforced
+  // by tests. *out stays valid until the next CachedSnapshot() call or
+  // cluster mutation. Watermarks come from the coordinator's own
+  // durability bookkeeping, so no barrier runs: a query can even be
+  // served at the last position while a shard is down, as long as
+  // nothing moved; a refresh that needs a down shard fails.
+  Status CachedSnapshot(const GraphSnapshot** out);
+  // The cluster's current serving position: per-shard watermarks from
+  // the durability logs (checkpointed + unacked updates, deltas sent).
+  ShardWatermarks Watermarks() const;
+  const SnapshotCache& snapshot_cache() const { return cache_; }
 
   // Size of the shard-id space (ids are never reused; removed ids stay
   // allocated). Equals the active count until the first RemoveShard.
@@ -286,6 +311,8 @@ class ShardCluster {
   std::optional<Migration> migration_;
   uint64_t updates_since_checkpoint_ = 0;  // Drives auto-checkpointing.
   ShardFrame reply_buf_;  // Reused for pipelined replies.
+  // The serving tier's merged-snapshot cache (see CachedSnapshot()).
+  SnapshotCache cache_;
 };
 
 }  // namespace gz

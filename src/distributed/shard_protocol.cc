@@ -53,7 +53,7 @@ Status DecodeHeader(const uint8_t in[ShardFrameHeader::kBytes],
         std::to_string(ShardFrameHeader::kVersion) + ")");
   }
   if (type16 < static_cast<uint16_t>(ShardMessageType::kConfig) ||
-      type16 > static_cast<uint16_t>(ShardMessageType::kAuth)) {
+      type16 > static_cast<uint16_t>(ShardMessageType::kStatsReply)) {
     return Status::InvalidArgument("shard frame: unknown message type " +
                                    std::to_string(type16));
   }
@@ -258,12 +258,11 @@ Status SendFrame2(int fd, ShardMessageType type, const void* a,
   return Status::Ok();
 }
 
-namespace {
-
 // The real receive path, with an explicit allocation cap: the public
 // RecvFrame accepts up to the protocol cap, while the pre-auth
-// handshake path caps at a few KB — an unauthenticated peer must not
-// be able to command a multi-GB allocation with a length field.
+// handshake path and reader sessions cap at a few KB — a peer not
+// entitled to big requests must not be able to command a multi-GB
+// allocation with a length field.
 Status RecvFrameCapped(int fd, ShardFrame* frame, uint64_t max_payload) {
   uint8_t header_buf[ShardFrameHeader::kBytes];
   Status s = ReadFull(fd, header_buf, sizeof(header_buf));
@@ -310,8 +309,6 @@ Status RecvFrameCapped(int fd, ShardFrame* frame, uint64_t max_payload) {
   return Status::Ok();
 }
 
-}  // namespace
-
 Status RecvFrame(int fd, ShardFrame* frame) {
   return RecvFrameCapped(fd, frame, ShardFrameHeader::kMaxPayloadBytes);
 }
@@ -349,21 +346,25 @@ constexpr size_t kProofBytes = kSha256Bytes;
 // allocation than this.
 constexpr uint64_t kHandshakeMaxFrameBytes = 4096;
 
-// Best-effort pre-auth deadline on a listener socket: an
-// unauthenticated peer that connects and goes silent must not wedge a
-// one-connection-at-a-time server forever (its accept loop would
-// never run again, and a legitimate coordinator queued in the listen
-// backlog would hang with it). 0 clears the deadline — the
-// established session returns to blocking I/O, where long silences
-// are legitimate (a coordinator simply has nothing to send). Fails
-// silently on non-socket fds (gz_shard --fd on a pipe).
-void SetSocketTimeout(int fd, int seconds) {
+}  // namespace
+
+// Public so the shard server can arm per-read deadlines on reader
+// sessions. The handshake's own use is the best-effort pre-auth
+// deadline: an unauthenticated peer that connects and goes silent must
+// not wedge a server (a session thread stalled pre-auth, or — for the
+// single-session server — the whole accept loop, with a legitimate
+// coordinator hanging in the listen backlog). 0 clears the deadline —
+// an established writer session returns to blocking I/O, where long
+// silences are legitimate (a coordinator simply has nothing to send).
+void SetShardSocketTimeout(int fd, int seconds) {
   struct timeval tv;
   tv.tv_sec = seconds;
   tv.tv_usec = 0;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
+
+namespace {
 
 constexpr int kHandshakeTimeoutSeconds = 10;
 // The client side waits out the server-side deadline plus a dead
@@ -425,14 +426,34 @@ Status AuthFailed() {
       "authentication failed: peer does not hold the shared secret");
 }
 
+// Role-specific HMAC domains: the role byte travels in cleartext, but
+// the proofs on both sides commit to it, so a tampered role fails
+// authentication instead of granting a different privilege level. The
+// writer domains are the exact v3 strings — a bare 16-byte HELLO from
+// an existing coordinator authenticates unchanged.
+const char* ServerDomain(ShardSessionRole role) {
+  return role == ShardSessionRole::kReader ? "gzsp3-server-r" : "gzsp3-server";
+}
+const char* ClientDomain(ShardSessionRole role) {
+  return role == ShardSessionRole::kReader ? "gzsp3-client-r" : "gzsp3-client";
+}
+
 }  // namespace
 
-Status ClientHandshake(int fd, const std::string& secret) {
-  SetSocketTimeout(fd, kClientHandshakeTimeoutSeconds);
+Status ClientHandshake(int fd, const std::string& secret,
+                       ShardSessionRole role) {
+  SetShardSocketTimeout(fd, kClientHandshakeTimeoutSeconds);
   uint8_t client_nonce[kHandshakeNonceBytes];
   FillNonce(client_nonce);
-  Status s = SendFrame(fd, ShardMessageType::kHello, client_nonce,
-                       sizeof(client_nonce));
+  // Writer HELLO is the bare nonce (byte-identical to pre-role v3);
+  // reader HELLO appends the role byte.
+  uint8_t hello[kHandshakeNonceBytes + 1];
+  std::memcpy(hello, client_nonce, kHandshakeNonceBytes);
+  hello[kHandshakeNonceBytes] = static_cast<uint8_t>(role);
+  const size_t hello_bytes = role == ShardSessionRole::kWriter
+                                 ? kHandshakeNonceBytes
+                                 : kHandshakeNonceBytes + 1;
+  Status s = SendFrame(fd, ShardMessageType::kHello, hello, hello_bytes);
   if (!s.ok()) return s;
   ShardFrame frame;
   s = RecvHandshakeReply(fd, ShardMessageType::kChallenge, &frame);
@@ -444,27 +465,30 @@ Status ClientHandshake(int fd, const std::string& secret) {
   // Mutual: an impostor shard must not be handed graph state (or a
   // checkpoint path to scribble on), so the server proves first.
   uint8_t expect[kProofBytes];
-  ComputeProof(secret, "gzsp3-server", client_nonce, server_nonce, expect);
+  ComputeProof(secret, ServerDomain(role), client_nonce, server_nonce,
+               expect);
   if (!ConstantTimeEqual(frame.payload.data() + kHandshakeNonceBytes,
                          expect, kProofBytes)) {
     return AuthFailed();
   }
   uint8_t proof[kProofBytes];
-  ComputeProof(secret, "gzsp3-client", client_nonce, server_nonce, proof);
+  ComputeProof(secret, ClientDomain(role), client_nonce, server_nonce,
+               proof);
   s = SendFrame(fd, ShardMessageType::kAuth, proof, sizeof(proof));
   if (!s.ok()) return s;
   s = RecvHandshakeReply(fd, ShardMessageType::kAck, &frame);
   if (!s.ok()) return s;
-  SetSocketTimeout(fd, 0);  // Established: back to blocking I/O.
+  SetShardSocketTimeout(fd, 0);  // Established: back to blocking I/O.
   return Status::Ok();
 }
 
-Status ServerHandshake(int fd, const std::string& secret) {
+Status ServerHandshake(int fd, const std::string& secret,
+                       ShardSessionRole* role_out) {
   // A best-effort error reply, then the non-OK return tells the caller
   // to drop the connection. Nothing a peer sends before proving the
   // secret reaches any other handler, commands more than a tiny
   // allocation, or holds the connection open past the deadline.
-  SetSocketTimeout(fd, kHandshakeTimeoutSeconds);
+  SetShardSocketTimeout(fd, kHandshakeTimeoutSeconds);
   const auto refuse = [fd](Status error) {
     const std::vector<uint8_t> payload = EncodeShardError(error);
     SendFrame(fd, ShardMessageType::kError, payload.data(), payload.size());
@@ -476,10 +500,23 @@ Status ServerHandshake(int fd, const std::string& secret) {
     if (s.code() == StatusCode::kInvalidArgument) refuse(s);
     return s;
   }
+  // Bare 16-byte HELLO = writer (the pre-role v3 wire form); a 17th
+  // byte declares the role. Any other shape — including an unknown
+  // role value — is refused before the challenge is computed.
+  ShardSessionRole role = ShardSessionRole::kWriter;
   if (frame.type != ShardMessageType::kHello ||
-      frame.payload.size() != kHandshakeNonceBytes) {
+      frame.payload.size() < kHandshakeNonceBytes ||
+      frame.payload.size() > kHandshakeNonceBytes + 1) {
     return refuse(Status::FailedPrecondition(
         "expected a HELLO handshake frame before any request"));
+  }
+  if (frame.payload.size() == kHandshakeNonceBytes + 1) {
+    const uint8_t role_byte = frame.payload[kHandshakeNonceBytes];
+    if (role_byte > static_cast<uint8_t>(ShardSessionRole::kReader)) {
+      return refuse(Status::FailedPrecondition(
+          "HELLO declares an unknown session role"));
+    }
+    role = static_cast<ShardSessionRole>(role_byte);
   }
   uint8_t client_nonce[kHandshakeNonceBytes];
   std::memcpy(client_nonce, frame.payload.data(), kHandshakeNonceBytes);
@@ -487,7 +524,7 @@ Status ServerHandshake(int fd, const std::string& secret) {
   FillNonce(server_nonce);
   uint8_t challenge[kHandshakeNonceBytes + kProofBytes];
   std::memcpy(challenge, server_nonce, kHandshakeNonceBytes);
-  ComputeProof(secret, "gzsp3-server", client_nonce, server_nonce,
+  ComputeProof(secret, ServerDomain(role), client_nonce, server_nonce,
                challenge + kHandshakeNonceBytes);
   s = SendFrame(fd, ShardMessageType::kChallenge, challenge,
                 sizeof(challenge));
@@ -498,7 +535,8 @@ Status ServerHandshake(int fd, const std::string& secret) {
     return s;
   }
   uint8_t expect[kProofBytes];
-  ComputeProof(secret, "gzsp3-client", client_nonce, server_nonce, expect);
+  ComputeProof(secret, ClientDomain(role), client_nonce, server_nonce,
+               expect);
   if (frame.type != ShardMessageType::kAuth ||
       frame.payload.size() != kProofBytes ||
       !ConstantTimeEqual(frame.payload.data(), expect, kProofBytes)) {
@@ -507,7 +545,9 @@ Status ServerHandshake(int fd, const std::string& secret) {
   const ShardAck ack;
   const std::vector<uint8_t> payload = EncodeShardAck(ack);
   s = SendFrame(fd, ShardMessageType::kAck, payload.data(), payload.size());
-  if (s.ok()) SetSocketTimeout(fd, 0);  // Established: back to blocking.
+  if (!s.ok()) return s;
+  SetShardSocketTimeout(fd, 0);  // Established: back to blocking.
+  if (role_out != nullptr) *role_out = role;
   return s;
 }
 
@@ -670,6 +710,40 @@ Status DecodeMigrateExtract(const uint8_t* data, size_t size, uint64_t* lo,
   ByteReader r(data, size);
   if (!r.U64(lo) || !r.U64(hi) || !r.Done()) {
     return Status::InvalidArgument("malformed migrate-extract payload");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeShardStatsEx(const ShardStatsEx& stats) {
+  ByteWriter w;
+  w.I32(stats.shard_id);
+  w.U64(stats.epoch);
+  w.U64(stats.num_updates);
+  w.U64(stats.delta_seq);
+  w.U64(stats.ram_bytes);
+  w.U64(stats.num_nodes);
+  w.U64(stats.seed);
+  w.I32(stats.cols);
+  w.I32(stats.rounds);
+  return w.Take();
+}
+
+Status DecodeShardStatsEx(const uint8_t* data, size_t size,
+                          ShardStatsEx* out) {
+  ByteReader r(data, size);
+  const bool ok = r.I32(&out->shard_id) && r.U64(&out->epoch) &&
+                  r.U64(&out->num_updates) && r.U64(&out->delta_seq) &&
+                  r.U64(&out->ram_bytes) && r.U64(&out->num_nodes) &&
+                  r.U64(&out->seed) && r.I32(&out->cols) &&
+                  r.I32(&out->rounds) && r.Done();
+  if (!ok) return Status::InvalidArgument("malformed stats-reply payload");
+  // The geometry came off a socket and feeds zero-snapshot
+  // construction; the caps mirror the config decoder's.
+  if (out->shard_id < 0 || out->shard_id >= RoutingTable::kMaxShardId ||
+      out->epoch == 0 || out->num_nodes < 2 ||
+      out->num_nodes > (1ULL << 32) || out->cols < 1 || out->cols > 1024 ||
+      out->rounds < 1 || out->rounds > 4096) {
+    return Status::InvalidArgument("stats-reply payload out of range");
   }
   return Status::Ok();
 }

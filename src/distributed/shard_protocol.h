@@ -73,11 +73,30 @@ enum class ShardMessageType : uint16_t {
                          // delta (GraphSnapshot range format).
   // Handshake (first frames on every connection; see Client/Server
   // Handshake below).
-  kHello = 16,      // Coordinator -> shard: 16-byte client nonce.
-  kChallenge = 17,  // Shard -> coordinator: 16-byte server nonce +
+  kHello = 16,      // Client -> shard: 16-byte client nonce, optionally
+                    // followed by one role byte (absent = writer; see
+                    // ShardSessionRole below).
+  kChallenge = 17,  // Shard -> client: 16-byte server nonce +
                     // 32-byte server proof.
-  kAuth = 18,       // Coordinator -> shard: 32-byte client proof.
+  kAuth = 18,       // Client -> shard: 32-byte client proof.
                     // Reply: kAck on success, kError on mismatch.
+  // Serving tier (any session -> shard).
+  kStatsEx = 19,    // Empty payload. Reply: kStatsReply — the extended
+                    // stats the snapshot cache keys on (kStats keeps
+                    // its two-u64 kAck reply for wire compatibility).
+  kStatsReply = 20,  // Shard -> client: ShardStatsEx payload.
+};
+
+// Session role, declared in the HELLO frame and bound into the
+// handshake proofs (distinct HMAC domains per role, so a flipped role
+// byte fails authentication rather than silently escalating). A writer
+// session is the coordinator: full protocol, its disconnect discards
+// the shard instance. A reader session may only observe — kPing /
+// kStats / kStatsEx / kSnapshot / kMigrateExtract — and its disconnect
+// never touches the instance.
+enum class ShardSessionRole : uint8_t {
+  kWriter = 0,
+  kReader = 1,
 };
 
 struct ShardFrameHeader {
@@ -144,6 +163,16 @@ Status SendFrameTrailer(int fd, const FrameCrc& crc);
 // EOF or a truncated payload.
 Status RecvFrame(int fd, ShardFrame* frame);
 
+// RecvFrame with an explicit allocation cap, for contexts where the
+// peer is not entitled to command a protocol-cap-sized allocation: the
+// pre-auth handshake, and reader sessions (whose requests are tiny and
+// fixed-shape for their whole lifetime).
+Status RecvFrameCapped(int fd, ShardFrame* frame, uint64_t max_payload);
+
+// The reader-session receive cap: every read-only request (PING,
+// STATS, STATS_EX, SNAPSHOT, MIGRATE_EXTRACT) fits with room to spare.
+constexpr uint64_t kReaderMaxRequestBytes = 4096;
+
 // Receives one *reply* frame and classifies it — the one reply-handling
 // policy every coordinator-side call site shares. Returns Ok when the
 // reply is a well-formed `expected` frame. A well-formed kError reply
@@ -166,6 +195,11 @@ Status ReadFull(int fd, void* data, size_t size);
 // wedge a blocking read forever. No-op on non-TCP fds.
 void TuneShardSocket(int fd);
 
+// Arms SO_RCVTIMEO + SO_SNDTIMEO (seconds) on a session socket; 0
+// clears both. Used for the pre-auth handshake deadline and for reader
+// sessions' per-read deadline. Fails silently on non-socket fds.
+void SetShardSocketTimeout(int fd, int seconds);
+
 // ---- Authenticated handshake ----------------------------------------------
 // Challenge–response, mutual, keyed by a shared secret:
 //
@@ -184,15 +218,21 @@ void TuneShardSocket(int fd);
 // non-handshake frame until its peer has proven the secret.
 constexpr size_t kHandshakeNonceBytes = 16;
 
-// Coordinator side: returns Ok once the shard has proven the secret
-// and acked ours. FailedPrecondition("authentication failed") on a
-// proof mismatch; transport/framing errors pass through.
-Status ClientHandshake(int fd, const std::string& secret);
+// Client side: returns Ok once the shard has proven the secret and
+// acked ours. FailedPrecondition("authentication failed") on a proof
+// mismatch; transport/framing errors pass through. A reader session
+// appends its role byte to HELLO and proves under the reader HMAC
+// domains; the default (writer) sends the bare 16-byte HELLO every v3
+// coordinator already speaks.
+Status ClientHandshake(int fd, const std::string& secret,
+                       ShardSessionRole role = ShardSessionRole::kWriter);
 
 // Shard side: serves one handshake. Replies kError and returns a
 // non-OK status on any deviation — wrong first frame, bad proof —
-// after which the caller must drop the connection.
-Status ServerHandshake(int fd, const std::string& secret);
+// after which the caller must drop the connection. On success `*role`
+// (when non-null) reports the authenticated session role.
+Status ServerHandshake(int fd, const std::string& secret,
+                       ShardSessionRole* role = nullptr);
 
 // ---- Routing --------------------------------------------------------------
 
@@ -291,6 +331,28 @@ Status DecodeShardError(const uint8_t* data, size_t size, bool* decode_ok);
 std::vector<uint8_t> EncodeMigrateExtract(uint64_t lo, uint64_t hi);
 Status DecodeMigrateExtract(const uint8_t* data, size_t size, uint64_t* lo,
                             uint64_t* hi);
+
+// kStatsReply payload: everything a serving-tier client needs to key a
+// snapshot cache and build same-params zero snapshots without ever
+// having seen the shard's config. (epoch, num_updates, delta_seq) is
+// the shard's watermark: num_updates counts ingested stream updates,
+// delta_seq counts folded migration deltas — which change sketch
+// content without changing the update count, so both are needed.
+struct ShardStatsEx {
+  int32_t shard_id = 0;
+  uint64_t epoch = 0;
+  uint64_t num_updates = 0;
+  uint64_t delta_seq = 0;
+  uint64_t ram_bytes = 0;
+  // Sketch geometry (identical across a cluster by construction).
+  uint64_t num_nodes = 0;
+  uint64_t seed = 0;
+  int32_t cols = 0;
+  int32_t rounds = 0;
+};
+std::vector<uint8_t> EncodeShardStatsEx(const ShardStatsEx& stats);
+Status DecodeShardStatsEx(const uint8_t* data, size_t size,
+                          ShardStatsEx* out);
 
 }  // namespace gz
 

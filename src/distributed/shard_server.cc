@@ -1,8 +1,10 @@
 #include "distributed/shard_server.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "core/graph_snapshot.h"
@@ -37,6 +39,22 @@ Status DecodeCheckpointHeader(
   return Status::Ok();
 }
 
+// The extended-stats payload; caller holds the instance mutex.
+std::vector<uint8_t> BuildStatsEx(const ShardInstanceState& state) {
+  ShardStatsEx stats;
+  stats.shard_id = state.shard_id;
+  stats.epoch = state.table.epoch;
+  stats.num_updates = state.gz->num_updates_ingested();
+  stats.delta_seq = state.delta_seq;
+  stats.ram_bytes = state.gz->RamByteSize();
+  const NodeSketchParams params = state.gz->sketch_params();
+  stats.num_nodes = params.num_nodes;
+  stats.seed = params.seed;
+  stats.cols = params.cols;
+  stats.rounds = params.rounds;
+  return EncodeShardStatsEx(stats);
+}
+
 }  // namespace
 
 Status ShardServer::ReplyAck(uint64_t value0, uint64_t value1) {
@@ -55,7 +73,7 @@ Status ShardServer::ReplyError(const Status& error) {
 }
 
 Status ShardServer::HandleConfig(const ShardFrame& frame) {
-  if (gz_ != nullptr) {
+  if (state_->gz != nullptr) {
     return ReplyError(Status::FailedPrecondition("shard already configured"));
   }
   ShardConfig sc;
@@ -99,11 +117,11 @@ Status ShardServer::HandleConfig(const ShardFrame& frame) {
     if (!s.ok()) return ReplyError(s);
     delta_seq = header.delta_seq;
   }
-  gz_ = std::move(gz);
-  shard_id_ = sc.shard_id;
-  table_ = std::move(sc.table);
-  delta_seq_ = delta_seq;
-  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
+  state_->gz = std::move(gz);
+  state_->shard_id = sc.shard_id;
+  state_->table = std::move(sc.table);
+  state_->delta_seq = delta_seq;
+  return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
 Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
@@ -115,7 +133,7 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
   auto defer = [this](Status error) {
     std::fprintf(stderr, "gz_shard: dropped update batch: %s\n",
                  error.ToString().c_str());
-    if (async_error_.ok()) async_error_ = std::move(error);
+    if (state_->async_error.ok()) state_->async_error = std::move(error);
     return Status::Ok();
   };
   if (frame.payload.size() < sizeof(uint64_t) ||
@@ -127,7 +145,7 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
   }
   uint64_t epoch = 0;
   std::memcpy(&epoch, frame.payload.data(), sizeof(epoch));
-  if (epoch != table_.epoch) {
+  if (epoch != state_->table.epoch) {
     // The stamp proves which table the batch was routed under; any
     // mismatch means coordinator and shard disagree about placement.
     // FIFO framing makes this impossible from a correct coordinator
@@ -135,7 +153,7 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
     // dropped-frame-level fault, handled the same way.
     return defer(Status::InvalidArgument(
         "update batch stamped with routing epoch " + std::to_string(epoch) +
-        " but shard is at epoch " + std::to_string(table_.epoch)));
+        " but shard is at epoch " + std::to_string(state_->table.epoch)));
   }
   const size_t count =
       (frame.payload.size() - sizeof(uint64_t)) / sizeof(GraphUpdate);
@@ -148,7 +166,7 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
   // even when the CURRENT table routes its edges elsewhere — the
   // coordinator's durability log, not the table, owns placement of
   // already-routed updates.
-  const uint64_t n = gz_->config().num_nodes;
+  const uint64_t n = state_->gz->config().num_nodes;
   for (size_t i = 0; i < count; ++i) {
     const GraphUpdate& u = updates[i];
     if (!(u.edge.u < u.edge.v && u.edge.v < n) ||
@@ -157,7 +175,7 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
           "update batch contains an out-of-range update"));
     }
   }
-  gz_->Update(updates, count);
+  state_->gz->Update(updates, count);
   return Status::Ok();
 }
 
@@ -167,15 +185,16 @@ Status ShardServer::HandleSnapshot() {
   // even an out-of-core shard never materializes its snapshot. The
   // checksum accumulates alongside the stream and closes the frame.
   const uint64_t bytes =
-      GraphSnapshot::SerializedSizeFor(gz_->sketch_params());
+      GraphSnapshot::SerializedSizeFor(state_->gz->sketch_params());
   FrameCrc crc;
   Status s =
       SendFrameHeader(fd_, ShardMessageType::kSnapshotBytes, bytes, &crc);
   if (!s.ok()) return s;
-  s = gz_->WriteSnapshotTo([this, &crc](const void* data, size_t size) {
-    crc.Fold(data, size);
-    return WriteFull(fd_, data, size);
-  });
+  s = state_->gz->WriteSnapshotTo(
+      [this, &crc](const void* data, size_t size) {
+        crc.Fold(data, size);
+        return WriteFull(fd_, data, size);
+      });
   if (!s.ok()) return s;
   return SendFrameTrailer(fd_, crc);
 }
@@ -196,15 +215,16 @@ Status ShardServer::HandleCheckpoint(const ShardFrame& frame) {
     return ReplyError(Status::IoError("cannot create checkpoint: " + tmp));
   }
   ShardCheckpointHeader header;
-  header.epoch = table_.epoch;
-  header.delta_seq = delta_seq_;
+  header.epoch = state_->table.epoch;
+  header.delta_seq = state_->delta_seq;
   uint8_t header_buf[ShardCheckpointHeader::kBytes];
   EncodeCheckpointHeader(header, header_buf);
   Status s = WriteTo(f, header_buf, sizeof(header_buf), tmp);
   if (s.ok()) {
-    s = gz_->WriteSnapshotTo([f, &tmp](const void* data, size_t size) {
-      return WriteTo(f, data, size, tmp);
-    });
+    s = state_->gz->WriteSnapshotTo(
+        [f, &tmp](const void* data, size_t size) {
+          return WriteTo(f, data, size, tmp);
+        });
   }
   if (std::fclose(f) != 0 && s.ok()) {
     s = Status::IoError("cannot finish checkpoint: " + tmp);
@@ -218,7 +238,7 @@ Status ShardServer::HandleCheckpoint(const ShardFrame& frame) {
     return ReplyError(
         Status::IoError("cannot publish checkpoint: " + path));
   }
-  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
+  return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
 Status ShardServer::HandleEpoch(const ShardFrame& frame) {
@@ -226,15 +246,15 @@ Status ShardServer::HandleEpoch(const ShardFrame& frame) {
   Status s = DecodeRoutingTable(frame.payload.data(), frame.payload.size(),
                                 &table);
   if (!s.ok()) return ReplyError(s);
-  if (table.epoch < table_.epoch) {
+  if (table.epoch < state_->table.epoch) {
     // Epochs only move forward; a regression means a stale coordinator.
     return ReplyError(Status::FailedPrecondition(
         "routing epoch regression: shard at " +
-        std::to_string(table_.epoch) + ", offered " +
+        std::to_string(state_->table.epoch) + ", offered " +
         std::to_string(table.epoch)));
   }
-  table_ = std::move(table);
-  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
+  state_->table = std::move(table);
+  return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
 Status ShardServer::HandleMigrateExtract(const ShardFrame& frame) {
@@ -242,7 +262,7 @@ Status ShardServer::HandleMigrateExtract(const ShardFrame& frame) {
   Status s = DecodeMigrateExtract(frame.payload.data(),
                                   frame.payload.size(), &lo, &hi);
   if (!s.ok()) return ReplyError(s);
-  if (!(lo < hi && hi <= gz_->config().num_nodes)) {
+  if (!(lo < hi && hi <= state_->gz->config().num_nodes)) {
     return ReplyError(
         Status::InvalidArgument("migrate-extract range out of bounds"));
   }
@@ -250,35 +270,176 @@ Status ShardServer::HandleMigrateExtract(const ShardFrame& frame) {
   // retry it freely after any failure. The flush inside
   // WriteNodeRangeTo guarantees every update framed before this
   // request is inside the extracted bytes.
-  const uint64_t bytes =
-      GraphSnapshot::SerializedRangeSizeFor(gz_->sketch_params(), lo, hi);
+  const uint64_t bytes = GraphSnapshot::SerializedRangeSizeFor(
+      state_->gz->sketch_params(), lo, hi);
   FrameCrc crc;
   s = SendFrameHeader(fd_, ShardMessageType::kMigrateData, bytes, &crc);
   if (!s.ok()) return s;
-  s = gz_->WriteNodeRangeTo(lo, hi,
-                            [this, &crc](const void* data, size_t size) {
-                              crc.Fold(data, size);
-                              return WriteFull(fd_, data, size);
-                            });
+  s = state_->gz->WriteNodeRangeTo(
+      lo, hi, [this, &crc](const void* data, size_t size) {
+        crc.Fold(data, size);
+        return WriteFull(fd_, data, size);
+      });
   if (!s.ok()) return s;
   return SendFrameTrailer(fd_, crc);
 }
 
 Status ShardServer::HandleMergeDelta(const ShardFrame& frame) {
-  Status s = gz_->MergeSerializedNodeRange(frame.payload.data(),
-                                           frame.payload.size());
+  Status s = state_->gz->MergeSerializedNodeRange(frame.payload.data(),
+                                                  frame.payload.size());
   if (!s.ok()) return ReplyError(s);
-  ++delta_seq_;
-  return ReplyAck(gz_->num_updates_ingested(), delta_seq_);
+  ++state_->delta_seq;
+  return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
+}
+
+Status ShardServer::HandleStatsEx() {
+  const std::vector<uint8_t> payload = BuildStatsEx(*state_);
+  return SendFrame(fd_, ShardMessageType::kStatsReply, payload.data(),
+                   payload.size());
+}
+
+Status ShardServer::ServeReaderFrame(const ShardFrame& frame) {
+  // Materialize the whole reply under the instance mutex, send it
+  // after release: a reader with a full socket buffer must stall on
+  // its OWN send deadline, never while holding the lock the writer's
+  // ingest path needs.
+  ShardMessageType reply_type = ShardMessageType::kError;
+  std::vector<uint8_t> reply;
+  const auto fail = [&](const Status& error) {
+    reply_type = ShardMessageType::kError;
+    reply = EncodeShardError(error);
+  };
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    const bool needs_instance = frame.type != ShardMessageType::kPing;
+    if (frame.type != ShardMessageType::kPing &&
+        frame.type != ShardMessageType::kStats &&
+        frame.type != ShardMessageType::kStatsEx &&
+        frame.type != ShardMessageType::kSnapshot &&
+        frame.type != ShardMessageType::kMigrateExtract) {
+      // The read-only contract: a reader cannot configure, ingest,
+      // migrate state in, checkpoint, or retire the shard. The session
+      // survives — a confused client gets errors, not a dead socket.
+      fail(Status::FailedPrecondition(
+          "read-only session: frame type " +
+          std::to_string(static_cast<uint16_t>(frame.type)) +
+          " requires the writer session"));
+    } else if (needs_instance && state_->gz == nullptr) {
+      fail(Status::FailedPrecondition("shard not configured"));
+    } else if (needs_instance && !state_->async_error.ok()) {
+      // A diverged shard must not serve answers as if current.
+      fail(state_->async_error);
+    } else {
+      switch (frame.type) {
+        case ShardMessageType::kPing:
+          reply_type = ShardMessageType::kAck;
+          reply = EncodeShardAck(ShardAck{0, 0});
+          break;
+        case ShardMessageType::kStats: {
+          reply_type = ShardMessageType::kAck;
+          reply = EncodeShardAck(
+              ShardAck{state_->gz->num_updates_ingested(),
+                       state_->gz->RamByteSize()});
+          break;
+        }
+        case ShardMessageType::kStatsEx:
+          reply_type = ShardMessageType::kStatsReply;
+          reply = BuildStatsEx(*state_);
+          break;
+        case ShardMessageType::kSnapshot: {
+          std::vector<uint8_t> bytes;
+          bytes.reserve(GraphSnapshot::SerializedSizeFor(
+              state_->gz->sketch_params()));
+          const Status s = state_->gz->WriteSnapshotTo(
+              [&bytes](const void* data, size_t size) {
+                const uint8_t* p = static_cast<const uint8_t*>(data);
+                bytes.insert(bytes.end(), p, p + size);
+                return Status::Ok();
+              });
+          if (!s.ok()) {
+            fail(s);
+          } else {
+            reply_type = ShardMessageType::kSnapshotBytes;
+            reply = std::move(bytes);
+          }
+          break;
+        }
+        case ShardMessageType::kMigrateExtract: {
+          uint64_t lo = 0, hi = 0;
+          Status s = DecodeMigrateExtract(frame.payload.data(),
+                                          frame.payload.size(), &lo, &hi);
+          if (s.ok() && !(lo < hi && hi <= state_->gz->config().num_nodes)) {
+            s = Status::InvalidArgument(
+                "migrate-extract range out of bounds");
+          }
+          if (!s.ok()) {
+            fail(s);
+            break;
+          }
+          std::vector<uint8_t> bytes;
+          bytes.reserve(GraphSnapshot::SerializedRangeSizeFor(
+              state_->gz->sketch_params(), lo, hi));
+          s = state_->gz->WriteNodeRangeTo(
+              lo, hi, [&bytes](const void* data, size_t size) {
+                const uint8_t* p = static_cast<const uint8_t*>(data);
+                bytes.insert(bytes.end(), p, p + size);
+                return Status::Ok();
+              });
+          if (!s.ok()) {
+            fail(s);
+          } else {
+            reply_type = ShardMessageType::kMigrateData;
+            reply = std::move(bytes);
+          }
+          break;
+        }
+        default:
+          fail(Status::Internal("unreachable reader frame"));
+          break;
+      }
+    }
+  }
+  return SendFrame(fd_, reply_type, reply.data(), reply.size());
 }
 
 Status ShardServer::Serve() {
   // Authentication gates everything: until the peer proves the shared
   // secret, no frame below — not even a fire-and-forget UPDATE_BATCH —
   // is looked at. ServerHandshake already sent the kError reply.
-  Status hs = ServerHandshake(fd_, auth_secret_);
-  if (!hs.ok()) return hs;
+  if (!handshaken_) {
+    const Status hs = ServerHandshake(fd_, auth_secret_, &role_);
+    if (!hs.ok()) return hs;
+  }
   ShardFrame frame;
+  if (role_ == ShardSessionRole::kReader) {
+    // Reader sessions live under a per-read deadline: idle waiting
+    // happens in poll() — an idle reader keeping its session open is
+    // legitimate — but once bytes start flowing, SO_RCVTIMEO bounds
+    // every read, so a peer stalled mid-frame errors out within the
+    // deadline instead of occupying a session slot forever. Reader
+    // *requests* are tiny and fixed-shape, so the handshake-sized
+    // receive cap applies for the whole session: a reader can never
+    // command a large allocation.
+    SetShardSocketTimeout(fd_, reader_timeout_seconds_);
+    while (true) {
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      if (::poll(&pfd, 1, -1) < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("reader session poll: ") +
+                               std::strerror(errno));
+      }
+      Status s = RecvFrameCapped(fd_, &frame, kReaderMaxRequestBytes);
+      if (!s.ok()) {
+        if (s.code() == StatusCode::kInvalidArgument) ReplyError(s);
+        return s;
+      }
+      s = ServeReaderFrame(frame);
+      if (!s.ok()) return s;
+    }
+  }
   while (true) {
     Status s = RecvFrame(fd_, &frame);
     if (!s.ok()) {
@@ -289,6 +450,9 @@ Status ShardServer::Serve() {
       if (s.code() == StatusCode::kInvalidArgument) ReplyError(s);
       return s;
     }
+    // Everything below touches the shared instance; reader sessions on
+    // a listener observe it between these critical sections.
+    std::lock_guard<std::mutex> lock(state_->mutex);
     // Handshake frames are single-use; one arriving mid-session is a
     // request/reply violation from a confused peer.
     if (frame.type == ShardMessageType::kHello ||
@@ -300,7 +464,7 @@ Status ShardServer::Serve() {
       continue;
     }
     // Every request except the config itself needs a configured shard.
-    if (gz_ == nullptr && frame.type != ShardMessageType::kConfig &&
+    if (state_->gz == nullptr && frame.type != ShardMessageType::kConfig &&
         frame.type != ShardMessageType::kPing &&
         frame.type != ShardMessageType::kShutdown) {
       // Fire-and-forget requests must not draw an unsolicited reply
@@ -309,8 +473,8 @@ Status ShardServer::Serve() {
         std::fprintf(stderr,
                      "gz_shard: dropped update batch: shard not "
                      "configured\n");
-        if (async_error_.ok()) {
-          async_error_ =
+        if (state_->async_error.ok()) {
+          state_->async_error =
               Status::FailedPrecondition("shard not configured");
         }
         continue;
@@ -326,17 +490,19 @@ Status ShardServer::Serve() {
     // barrier consumed it, a retried CHECKPOINT would succeed, the
     // coordinator would truncate its unacked log (the only copy of the
     // dropped updates), and the divergence would become silently
-    // unrecoverable. Migration frames are gated too: a diverged shard
-    // must neither donate nor adopt state.
-    if (!async_error_.ok() &&
+    // unrecoverable. Migration and serving frames are gated too: a
+    // diverged shard must neither donate state nor serve stale
+    // watermarks.
+    if (!state_->async_error.ok() &&
         (frame.type == ShardMessageType::kFlush ||
          frame.type == ShardMessageType::kSnapshot ||
          frame.type == ShardMessageType::kCheckpoint ||
          frame.type == ShardMessageType::kStats ||
+         frame.type == ShardMessageType::kStatsEx ||
          frame.type == ShardMessageType::kEpoch ||
          frame.type == ShardMessageType::kMigrateExtract ||
          frame.type == ShardMessageType::kMergeDelta)) {
-      s = ReplyError(async_error_);
+      s = ReplyError(state_->async_error);
       if (!s.ok()) return s;
       continue;
     }
@@ -348,8 +514,8 @@ Status ShardServer::Serve() {
         s = HandleUpdateBatch(frame);
         break;
       case ShardMessageType::kFlush:
-        gz_->Flush();
-        s = ReplyAck(gz_->num_updates_ingested());
+        state_->gz->Flush();
+        s = ReplyAck(state_->gz->num_updates_ingested());
         break;
       case ShardMessageType::kSnapshot:
         s = HandleSnapshot();
@@ -358,7 +524,11 @@ Status ShardServer::Serve() {
         s = HandleCheckpoint(frame);
         break;
       case ShardMessageType::kStats:
-        s = ReplyAck(gz_->num_updates_ingested(), gz_->RamByteSize());
+        s = ReplyAck(state_->gz->num_updates_ingested(),
+                     state_->gz->RamByteSize());
+        break;
+      case ShardMessageType::kStatsEx:
+        s = HandleStatsEx();
         break;
       case ShardMessageType::kPing:
         s = ReplyAck(0);
@@ -374,7 +544,8 @@ Status ShardServer::Serve() {
         break;
       case ShardMessageType::kShutdown:
         // Ack first so the coordinator can reap without racing the exit.
-        ReplyAck(gz_ != nullptr ? gz_->num_updates_ingested() : 0);
+        ReplyAck(state_->gz != nullptr ? state_->gz->num_updates_ingested()
+                                       : 0);
         return Status::Ok();
       default:
         // Reply frames are never valid requests.

@@ -3,10 +3,19 @@
 // framing error. The gz_shard tool is a thin main() around this class;
 // keeping the loop in the library lets conformance tests drive it over
 // an in-process socketpair, no fork required.
+//
+// Sessions come in two roles (see ShardSessionRole): a *writer* — the
+// coordinator, full protocol — and *readers*, which may only observe
+// (PING / STATS / STATS_EX / SNAPSHOT / MIGRATE_EXTRACT; anything else
+// draws a kError and the session continues). One ShardServer serves
+// one session; when several sessions share a shard (the multi-session
+// listener, shard_listener.h), they share one ShardInstanceState and
+// every access to the instance goes through its mutex.
 #ifndef GZ_DISTRIBUTED_SHARD_SERVER_H_
 #define GZ_DISTRIBUTED_SHARD_SERVER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/graph_zeppelin.h"
@@ -32,27 +41,85 @@ struct ShardCheckpointHeader {
   uint64_t delta_seq = 0;
 };
 
+// The shard instance one or more sessions serve. Sessions lock `mutex`
+// around every access; the writer session (or the listener, on writer
+// disconnect) is the only party that configures or resets it.
+struct ShardInstanceState {
+  std::mutex mutex;
+  std::unique_ptr<GraphZeppelin> gz;
+  int32_t shard_id = -1;
+  // The routing table this shard last adopted (CONFIG or EPOCH frame).
+  // UPDATE_BATCH frames stamped with any other epoch are dropped: the
+  // stamp proves coordinator and shard agree on the table a batch was
+  // routed under. (Replayed batches are re-stamped by the coordinator
+  // at send time, so a correct coordinator never trips this.)
+  RoutingTable table;
+  // Count of kMergeDelta frames applied since Init; persisted in the
+  // checkpoint header so the coordinator can skip already-covered
+  // deltas on restart replay.
+  uint64_t delta_seq = 0;
+  // A problem in a fire-and-forget UPDATE_BATCH cannot be answered
+  // inline — an unsolicited reply would desynchronize the 1:1
+  // request/reply stream — so it is recorded here and surfaces as the
+  // kError reply to every later barrier (including migration and
+  // serving requests: a diverged shard must not donate state or serve
+  // stale answers). Sticky: a dropped batch is permanent divergence,
+  // curable only by restart + replay.
+  Status async_error;
+
+  // Back to the unconfigured state — what a writer disconnect on the
+  // listener does (the exact state loss of a SIGKILLed local shard).
+  // Caller holds `mutex`.
+  void Reset() {
+    gz.reset();
+    shard_id = -1;
+    table = RoutingTable();
+    delta_seq = 0;
+    async_error = Status::Ok();
+  }
+};
+
 class ShardServer {
  public:
-  // `fd` is the connected coordinator socket; not owned. `auth_secret`
-  // keys the mandatory HELLO handshake — the peer must prove it before
-  // any other frame is served ("" = open, for trusted socketpairs).
+  // Single-session form: `fd` is the connected coordinator socket (not
+  // owned); the instance state lives and dies with this server.
+  // `auth_secret` keys the mandatory HELLO handshake — the peer must
+  // prove it before any other frame is served ("" = open, for trusted
+  // socketpairs).
   explicit ShardServer(int fd, std::string auth_secret = "")
-      : fd_(fd), auth_secret_(std::move(auth_secret)) {}
+      : fd_(fd),
+        auth_secret_(std::move(auth_secret)),
+        state_(&owned_state_) {}
 
-  // Runs the server half of the authenticated handshake, then serves
-  // frames until an orderly kShutdown (returns Ok) or the connection
-  // dies / loses framing / fails authentication (returns the error).
-  // Recoverable request problems — an out-of-range update, a
-  // stale-epoch batch, a checkpoint path that cannot be written, a
-  // request before kConfig — are answered with a kError frame (or
-  // deferred, for fire-and-forget frames) and the loop continues: a
-  // bad request must never take the shard down.
+  // Multi-session form: serves one session against a shared instance.
+  // The caller (shard_listener.cc) has already run the handshake and
+  // knows the role; `reader_timeout_seconds` arms the per-read
+  // deadline a reader session runs under (a reader stalled mid-frame
+  // must not hold its slot forever).
+  ShardServer(int fd, ShardInstanceState* state, ShardSessionRole role,
+              int reader_timeout_seconds)
+      : fd_(fd),
+        state_(state),
+        role_(role),
+        handshaken_(true),
+        reader_timeout_seconds_(reader_timeout_seconds) {}
+
+  // Runs the server half of the authenticated handshake (unless the
+  // multi-session constructor marked it done), then serves frames until
+  // an orderly kShutdown (returns Ok) or the connection dies / loses
+  // framing / fails authentication (returns the error). Recoverable
+  // request problems — an out-of-range update, a stale-epoch batch, a
+  // checkpoint path that cannot be written, a request before kConfig, a
+  // write-class frame on a reader session — are answered with a kError
+  // frame (or deferred, for fire-and-forget frames) and the loop
+  // continues: a bad request must never take the shard down.
   Status Serve();
 
  private:
-  // Handlers reply on fd_ and return false only when the connection is
-  // no longer usable.
+  // Handlers reply on fd_ and return a non-OK status only when the
+  // connection is no longer usable. All of them are called with
+  // state_->mutex held; the reader-session handlers below materialize
+  // their reply under the lock and stream it after release.
   Status HandleConfig(const ShardFrame& frame);
   Status HandleUpdateBatch(const ShardFrame& frame);
   Status HandleSnapshot();
@@ -60,32 +127,22 @@ class ShardServer {
   Status HandleEpoch(const ShardFrame& frame);
   Status HandleMigrateExtract(const ShardFrame& frame);
   Status HandleMergeDelta(const ShardFrame& frame);
+  Status HandleStatsEx();
+
+  // One reader request: dispatch + materialize under the lock, stream
+  // outside it (a slow reader must not hold the instance hostage).
+  Status ServeReaderFrame(const ShardFrame& frame);
 
   Status ReplyAck(uint64_t value0, uint64_t value1 = 0);
   Status ReplyError(const Status& error);
 
   int fd_;
   std::string auth_secret_;
-  std::unique_ptr<GraphZeppelin> gz_;
-  int32_t shard_id_ = -1;
-  // The routing table this shard last adopted (CONFIG or EPOCH frame).
-  // UPDATE_BATCH frames stamped with any other epoch are dropped: the
-  // stamp proves coordinator and shard agree on the table a batch was
-  // routed under. (Replayed batches are re-stamped by the coordinator
-  // at send time, so a correct coordinator never trips this.)
-  RoutingTable table_;
-  // Count of kMergeDelta frames applied since Init; persisted in the
-  // checkpoint header so the coordinator can skip already-covered
-  // deltas on restart replay.
-  uint64_t delta_seq_ = 0;
-  // A problem in a fire-and-forget UPDATE_BATCH cannot be answered
-  // inline — an unsolicited reply would desynchronize the 1:1
-  // request/reply stream — so it is recorded here and surfaces as the
-  // kError reply to every later barrier (including migration
-  // requests: a diverged shard must not donate state). Sticky: a
-  // dropped batch is permanent divergence, curable only by restart +
-  // replay.
-  Status async_error_;
+  ShardInstanceState owned_state_;  // Backs state_ in single-session form.
+  ShardInstanceState* state_;
+  ShardSessionRole role_ = ShardSessionRole::kWriter;
+  bool handshaken_ = false;
+  int reader_timeout_seconds_ = 30;
 };
 
 }  // namespace gz

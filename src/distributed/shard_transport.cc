@@ -152,8 +152,11 @@ bool ConnectWithDeadline(int fd, const struct sockaddr* addr,
 }  // namespace
 
 TcpShardTransport::TcpShardTransport(ShardEndpoint endpoint,
-                                     std::string auth_secret)
-    : endpoint_(std::move(endpoint)), auth_secret_(std::move(auth_secret)) {
+                                     std::string auth_secret,
+                                     ShardSessionRole role)
+    : endpoint_(std::move(endpoint)),
+      auth_secret_(std::move(auth_secret)),
+      role_(role) {
   GZ_CHECK(!endpoint_.local());
 }
 
@@ -200,7 +203,7 @@ Status TcpShardTransport::Connect() {
       ::fcntl(fd, F_SETFD, FD_CLOEXEC);
       if (ConnectWithDeadline(fd, a->ai_addr, a->ai_addrlen)) {
         TuneShardSocket(fd);
-        Status s = ClientHandshake(fd, auth_secret_);
+        Status s = ClientHandshake(fd, auth_secret_, role_);
         if (!s.ok()) {
           ::close(fd);
           ::freeaddrinfo(addrs);

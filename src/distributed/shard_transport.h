@@ -96,7 +96,11 @@ void KillShardChild(pid_t pid, bool* reaped);
 // are latency-bound), and authenticates.
 class TcpShardTransport : public ShardTransport {
  public:
-  TcpShardTransport(ShardEndpoint endpoint, std::string auth_secret);
+  // `role` is the session role the handshake declares: kWriter (the
+  // default — what the coordinator is) or kReader (a serving-tier
+  // session, restricted to read-only frames; see QuerySession).
+  TcpShardTransport(ShardEndpoint endpoint, std::string auth_secret,
+                    ShardSessionRole role = ShardSessionRole::kWriter);
   ~TcpShardTransport() override;
   TcpShardTransport(const TcpShardTransport&) = delete;
   TcpShardTransport& operator=(const TcpShardTransport&) = delete;
@@ -110,6 +114,7 @@ class TcpShardTransport : public ShardTransport {
  private:
   ShardEndpoint endpoint_;
   std::string auth_secret_;
+  ShardSessionRole role_ = ShardSessionRole::kWriter;
   int fd_ = -1;
 };
 

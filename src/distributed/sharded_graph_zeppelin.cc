@@ -31,7 +31,10 @@ Status RequireLocalEndpoint(const std::string& endpoint) {
 ShardedGraphZeppelin::ShardedGraphZeppelin(const GraphZeppelinConfig& base,
                                            int num_shards, Mode mode,
                                            ShardClusterOptions cluster_options)
-    : base_(base), mode_(mode), cluster_options_(std::move(cluster_options)) {
+    : base_(base),
+      mode_(mode),
+      cluster_options_(std::move(cluster_options)),
+      cache_(cluster_options_.migrate_nodes_per_chunk) {
   GZ_CHECK(num_shards >= 1);
   GZ_CHECK(cluster_options_.migrate_nodes_per_chunk >= 1);
   if (mode_ == Mode::kInProcess) {
@@ -53,6 +56,7 @@ int ShardedGraphZeppelin::AllocateInProcessShard() {
   shard_config.instance_tag = "shard" + std::to_string(id);
   shards_.push_back(std::make_unique<GraphZeppelin>(shard_config));
   route_bufs_.emplace_back();
+  delta_seq_.push_back(0);
   return id;
 }
 
@@ -160,6 +164,52 @@ ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
   return Connectivity(Snapshot(), base_.query_threads);
 }
 
+Status ShardedGraphZeppelin::CachedSnapshot(const GraphSnapshot** out) {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->CachedSnapshot(out);
+  }
+  // In-process serving position: each live shard's ingested count plus
+  // its fold count — the exact analogue of the cluster's durability
+  // bookkeeping, and comparable across modes because both count the
+  // same logical events.
+  ShardWatermarks marks;
+  uint64_t total_updates = migrated_updates_;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s] == nullptr) continue;
+    ShardWatermark mark;
+    mark.num_updates = shards_[s]->num_updates_ingested();
+    mark.delta_seq = delta_seq_[s];
+    total_updates += mark.num_updates;
+    marks.emplace(static_cast<int>(s), mark);
+  }
+  if (!cache_.Fresh(table_.epoch, marks)) {
+    NodeSketchParams params;
+    params.num_nodes = base_.num_nodes;
+    params.seed = base_.seed;
+    params.cols = base_.cols;
+    params.rounds = base_.rounds;
+    const Status s = cache_.Refresh(
+        table_.epoch, marks, total_updates, params,
+        [this](int shard, uint64_t lo, uint64_t hi,
+               std::vector<uint8_t>* delta) {
+          delta->clear();
+          delta->reserve(GraphSnapshot::SerializedRangeSizeFor(
+              shards_[shard]->sketch_params(), lo, hi));
+          return shards_[shard]->WriteNodeRangeTo(
+              lo, hi, [delta](const void* data, size_t size) {
+                const uint8_t* p = static_cast<const uint8_t*>(data);
+                delta->insert(delta->end(), p, p + size);
+                return Status::Ok();
+              });
+        });
+    if (!s.ok()) return s;
+  }
+  *out = &cache_.merged();
+  return Status::Ok();
+}
+
 // ---- Elastic resharding ----------------------------------------------------
 
 Result<int> ShardedGraphZeppelin::AddShard(const std::string& endpoint) {
@@ -183,6 +233,7 @@ Result<int> ShardedGraphZeppelin::AddShard(const std::string& endpoint) {
   if (!s.ok()) {
     shards_.pop_back();
     route_bufs_.pop_back();
+    delta_seq_.pop_back();
     return s;
   }
   table_ = TableWithShardAdded(table_, id);
@@ -250,6 +301,7 @@ Result<int> ShardedGraphZeppelin::BeginSplitShard(
   if (!s.ok()) {
     shards_.pop_back();
     route_bufs_.pop_back();
+    delta_seq_.pop_back();
     return s;
   }
   table_ = TableWithShardSplit(table_, shard, id);
@@ -298,6 +350,11 @@ Status ShardedGraphZeppelin::PumpMigration() {
     GZ_CHECK_OK(
         shards_[m.source]->MergeSerializedNodeRange(delta.data(),
                                                     delta.size()));
+    // Each fold is one migration delta: content changed with no update
+    // count change, which is exactly what the watermark's second
+    // component versions (mirrors the cluster's delta_seq_sent_).
+    ++delta_seq_[m.target];
+    ++delta_seq_[m.source];
     m.next_node = hi;
     return Status::Ok();
   }

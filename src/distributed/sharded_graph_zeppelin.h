@@ -89,6 +89,13 @@ class ShardedGraphZeppelin {
   // Aggregates the shard snapshots and runs Boruvka.
   ConnectivityResult ListSpanningForest();
 
+  // Serving-tier counterpart of Snapshot(): answered from the
+  // epoch/watermark-keyed SnapshotCache — O(1) while nothing moved,
+  // node-delta pulls from only the moved shards otherwise. Bitwise
+  // identical to Snapshot() at the same position, in both modes. *out
+  // stays valid until the next CachedSnapshot() or mutation.
+  Status CachedSnapshot(const GraphSnapshot** out);
+
   // --- Elastic resharding --------------------------------------------------
   // Same contract in both modes (see ShardCluster). Add returns the new
   // shard's id; BeginSplitShard's new shard id is the returned value.
@@ -127,6 +134,13 @@ class ShardedGraphZeppelin {
   // in-process mode.
   ShardCluster* cluster() { return cluster_.get(); }
 
+  // The serving cache behind CachedSnapshot() (the cluster's in process
+  // mode), exposed for counter observability: range_pulls() not growing
+  // across a call proves it was answered from cache.
+  const SnapshotCache& snapshot_cache() const {
+    return cluster_ != nullptr ? cluster_->snapshot_cache() : cache_;
+  }
+
  private:
   struct InProcessMigration {
     bool remove = false;  // Else: split.
@@ -149,8 +163,15 @@ class ShardedGraphZeppelin {
   // Per-shard routing buffers for the bulk path (capacity persists
   // across calls, so steady-state routing does not allocate).
   std::vector<std::vector<GraphUpdate>> route_bufs_;
+  // Per-shard migration-delta counts (mirrors the cluster's
+  // delta_seq_sent_): the second watermark component, bumped once per
+  // MergeSerializedNodeRange fold a pump step applies.
+  std::vector<uint64_t> delta_seq_;
   // Stream positions of removed shards (mirrors the cluster's).
   uint64_t migrated_updates_ = 0;
+  // The in-process serving cache behind CachedSnapshot(); process mode
+  // uses the cluster's.
+  SnapshotCache cache_;
   std::optional<InProcessMigration> migration_;
   // Process mode state.
   std::unique_ptr<ShardCluster> cluster_;

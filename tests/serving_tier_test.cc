@@ -1,0 +1,451 @@
+// Serving-tier suite: the epoch/watermark-keyed SnapshotCache behind
+// CachedSnapshot(), the multi-session listener, and QuerySession — the
+// read-side client that answers queries from shard listeners without
+// ever touching the coordinator.
+//
+// The load-bearing property everywhere: a cached or delta-refreshed
+// snapshot must be BITWISE identical to a full re-fold at the same
+// (epoch, watermark) position — through ingest, add/split/remove
+// schedules, shard kill/restart, and concurrent reader sessions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/graph_zeppelin.h"
+#include "distributed/query_session.h"
+#include "distributed/shard_cluster.h"
+#include "distributed/shard_process.h"
+#include "distributed/shard_transport.h"
+#include "distributed/sharded_graph_zeppelin.h"
+#include "stream/erdos_renyi_generator.h"
+#include "util/check.h"
+
+namespace gz {
+namespace {
+
+using Mode = ShardedGraphZeppelin::Mode;
+
+constexpr uint64_t kNumNodes = 96;
+constexpr char kSecret[] = "serving-tier-secret";
+
+GraphZeppelinConfig BaseConfig(uint64_t seed) {
+  GraphZeppelinConfig c;
+  c.num_nodes = kNumNodes;
+  c.seed = seed;
+  c.num_workers = 1;
+  c.disk_dir = ::testing::TempDir();
+  return c;
+}
+
+// Insert/delete chaos stream (the reshard suite's shape, smaller).
+std::vector<GraphUpdate> BuildStream(uint64_t seed) {
+  ErdosRenyiParams ep;
+  ep.num_nodes = kNumNodes;
+  ep.p = 0.08;
+  ep.seed = seed + 1000;
+  EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  std::vector<GraphUpdate> updates;
+  std::vector<Edge> live;
+  uint64_t rng = seed * 7919 + 13;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Edge& e : edges) {
+      updates.push_back({e, UpdateType::kInsert});
+      live.push_back(e);
+      if (next() % 100 < 30) {
+        const size_t pick = next() % live.size();
+        updates.push_back({live[pick], UpdateType::kDelete});
+        live.erase(live.begin() + pick);
+      }
+    }
+  }
+  return updates;
+}
+
+// Chunks a refresh pull sweep covers for one shard at this suite's
+// nodes-per-chunk granularity.
+constexpr uint64_t kChunk = 16;
+constexpr uint64_t kChunksPerShard = (kNumNodes + kChunk - 1) / kChunk;
+
+class ServingTierModeTest : public ::testing::TestWithParam<Mode> {};
+
+TEST_P(ServingTierModeTest, CachedSnapshotBitwiseEqualsFullFold) {
+  // The acceptance pin: at every position along an ingest + reshard
+  // schedule, CachedSnapshot() == Snapshot() bitwise — sketches AND
+  // update count — and a repeat call at an unmoved position is
+  // answered with ZERO data pulls.
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = kChunk;
+  ShardedGraphZeppelin sharded(BaseConfig(21), 3, GetParam(), options);
+  ASSERT_TRUE(sharded.Init().ok());
+  const std::vector<GraphUpdate> updates = BuildStream(21);
+  const size_t burst = updates.size() / 6 + 1;
+  size_t fed = 0;
+  const auto feed_burst = [&] {
+    const size_t count = std::min(burst, updates.size() - fed);
+    sharded.Update(updates.data() + fed, count);
+    fed += count;
+  };
+  const auto check_pinned = [&](const char* step) {
+    GraphSnapshot full = sharded.Snapshot();
+    const GraphSnapshot* cached = nullptr;
+    Status s = sharded.CachedSnapshot(&cached);
+    ASSERT_TRUE(s.ok()) << step << ": " << s.ToString();
+    EXPECT_TRUE(*cached == full) << step;
+    EXPECT_EQ(cached->num_updates(), full.num_updates()) << step;
+    // Nothing moved since: the repeat is served from cache, bitwise
+    // identical, zero pulls.
+    const uint64_t pulls = sharded.snapshot_cache().range_pulls();
+    s = sharded.CachedSnapshot(&cached);
+    ASSERT_TRUE(s.ok()) << step;
+    EXPECT_TRUE(*cached == full) << step << " (cached repeat)";
+    EXPECT_EQ(sharded.snapshot_cache().range_pulls(), pulls)
+        << step << ": a fresh cache must not pull";
+  };
+
+  feed_burst();
+  check_pinned("first burst");
+  feed_burst();
+  check_pinned("second burst");
+
+  Result<int> added = sharded.AddShard();
+  ASSERT_TRUE(added.ok());
+  feed_burst();
+  check_pinned("after add");
+
+  ASSERT_TRUE(sharded.SplitShard(0).ok());
+  feed_burst();
+  check_pinned("after split");
+
+  ASSERT_TRUE(sharded.RemoveShard(added.value()).ok());
+  while (fed < updates.size()) feed_burst();
+  check_pinned("after remove, stream done");
+}
+
+TEST_P(ServingTierModeTest, DeltaRefreshPullsOnlyMovedShards) {
+  // Cache freshness is per shard: a reshard that touches shards A and
+  // B must refresh by pulling node deltas from A and B ONLY — the
+  // unmoved third shard contributes its cached content untouched.
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = kChunk;
+  ShardedGraphZeppelin sharded(BaseConfig(33), 3, GetParam(), options);
+  ASSERT_TRUE(sharded.Init().ok());
+  const std::vector<GraphUpdate> updates = BuildStream(33);
+  sharded.Update(updates.data(), updates.size());
+
+  const GraphSnapshot* cached = nullptr;
+  ASSERT_TRUE(sharded.CachedSnapshot(&cached).ok());
+  const uint64_t cold_pulls = sharded.snapshot_cache().range_pulls();
+  EXPECT_EQ(sharded.snapshot_cache().cold_builds(), 1u);
+  EXPECT_EQ(cold_pulls, 3 * kChunksPerShard);  // Cold: every shard.
+
+  // A split with no interleaved ingest moves exactly two watermarks:
+  // the source (its delta_seq advances per extracted chunk) and the
+  // new target.
+  ASSERT_TRUE(sharded.SplitShard(0).ok());
+  ASSERT_TRUE(sharded.CachedSnapshot(&cached).ok());
+  EXPECT_EQ(sharded.snapshot_cache().range_pulls() - cold_pulls,
+            2 * kChunksPerShard)
+      << "refresh must pull from the two moved shards, not all four";
+  EXPECT_EQ(sharded.snapshot_cache().cold_builds(), 1u)
+      << "a delta refresh must not rebuild from scratch";
+  GraphSnapshot full = sharded.Snapshot();
+  EXPECT_TRUE(*cached == full);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ServingTierModeTest,
+                         ::testing::Values(Mode::kInProcess, Mode::kProcess),
+                         [](const auto& info) {
+                           return info.param == Mode::kInProcess
+                                      ? "InProcess"
+                                      : "Process";
+                         });
+
+TEST(ServingTierFaultTest, CacheServesAtLastPositionWhileShardIsDown) {
+  // Watermarks come from the coordinator's own durability bookkeeping,
+  // so a FRESH cache answers with zero RPCs even while a shard is down;
+  // a refresh that needs the dead shard fails with a precise error; a
+  // restart (checkpoint restore + replay) makes the next refresh exact.
+  ShardClusterOptions options;
+  options.migrate_nodes_per_chunk = kChunk;
+  ShardCluster cluster(BaseConfig(55), 3, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  const std::vector<GraphUpdate> updates = BuildStream(55);
+  const size_t half = updates.size() / 2;
+  ASSERT_TRUE(cluster.Update(updates.data(), half).ok());
+  ASSERT_TRUE(cluster.Checkpoint().ok());  // Replay budget for restart.
+
+  const GraphSnapshot* cached = nullptr;
+  ASSERT_TRUE(cluster.CachedSnapshot(&cached).ok());
+  Result<GraphSnapshot> full = cluster.Snapshot();
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(*cached == full.value());
+
+  cluster.KillShard(1);
+  const uint64_t pulls = cluster.snapshot_cache().range_pulls();
+  ASSERT_TRUE(cluster.CachedSnapshot(&cached).ok())
+      << "a fresh cache must serve with a shard down";
+  EXPECT_TRUE(*cached == full.value());
+  EXPECT_EQ(cluster.snapshot_cache().range_pulls(), pulls);
+
+  // Push the position forward; the refresh now needs the dead shard.
+  (void)cluster.Update(updates.data() + half, updates.size() - half);
+  const Status stale = cluster.CachedSnapshot(&cached);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(stale.message().find("down"), std::string::npos);
+
+  ASSERT_TRUE(cluster.RestartShard(1).ok());
+  ASSERT_TRUE(cluster.CachedSnapshot(&cached).ok());
+  full = cluster.Snapshot();
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(*cached == full.value())
+      << "post-restart refresh must fold replayed state exactly";
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+// ---- TCP serving tier -----------------------------------------------------
+
+// Listener fleet + coordinator + QuerySession readers over loopback.
+class ServingTierTcpTest : public ::testing::Test {
+ protected:
+  void StartFleet(int num_shards) {
+    GZ_CHECK_OK(StartListenerShards(
+        DefaultShardBinary(), num_shards, ::testing::TempDir(),
+        ::testing::TempDir() + "/gz_serving_l", kSecret, &listeners_,
+        &endpoints_));
+  }
+  QuerySessionOptions ReaderOptions(const std::string& secret = kSecret) {
+    QuerySessionOptions qo;
+    qo.endpoints = endpoints_;
+    qo.auth_secret = secret;
+    qo.nodes_per_chunk = kChunk;
+    return qo;
+  }
+  std::vector<std::unique_ptr<ListenerShard>> listeners_;
+  std::vector<std::string> endpoints_;
+};
+
+TEST_F(ServingTierTcpTest, ConcurrentReadersStayBitwiseExactThroughASplit) {
+  // The chaos drill: reader sessions hammer the fleet while the
+  // coordinator ingests and runs a live BeginSplitShard migration.
+  // Every successfully served answer came off the seqlock at ONE
+  // position; at quiesce points reader answers are bitwise equal to
+  // the coordinator's full fold. A reader killed mid-session and a
+  // reader with the wrong secret disturb nothing.
+  StartFleet(3);
+  ShardClusterOptions options;
+  options.auth_secret = kSecret;
+  options.shard_endpoints = endpoints_;
+  options.migrate_nodes_per_chunk = kChunk;
+  ShardedGraphZeppelin sharded(BaseConfig(77), 3, Mode::kProcess, options);
+  ASSERT_TRUE(sharded.Init().ok());
+  // A fourth listener for the split target: the new shard must serve
+  // readers too, so it gets a real endpoint rather than a local child.
+  std::vector<std::string> grown_endpoints;
+  GZ_CHECK_OK(StartListenerShards(
+      DefaultShardBinary(), 1, ::testing::TempDir(),
+      ::testing::TempDir() + "/gz_serving_x", kSecret, &listeners_,
+      &grown_endpoints));
+
+  const std::vector<GraphUpdate> updates = BuildStream(77);
+  const size_t half = updates.size() / 2;
+  sharded.Update(updates.data(), half);
+  sharded.Flush();
+
+  // Quiesced bitwise pin, reader vs coordinator.
+  QuerySession session(ReaderOptions());
+  ASSERT_TRUE(session.Connect().ok());
+  const GraphSnapshot* served = nullptr;
+  Status s = session.Snapshot(&served);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  {
+    GraphSnapshot full = sharded.Snapshot();
+    EXPECT_TRUE(*served == full);
+    EXPECT_EQ(served->num_updates(), full.num_updates());
+  }
+  // Unmoved position: answered from the reader's cache, zero pulls.
+  const uint64_t pulls = session.cache().range_pulls();
+  ASSERT_TRUE(session.Snapshot(&served).ok());
+  EXPECT_EQ(session.cache().range_pulls(), pulls);
+  EXPECT_EQ(session.last_refresh_rounds(), 1);
+
+  // Wrong-secret reader drill: refused at the handshake, before any
+  // frame of graph state moves.
+  {
+    QuerySession intruder(ReaderOptions("not-the-secret"));
+    EXPECT_FALSE(intruder.Connect().ok());
+  }
+
+  // Chaos phase: 2 reader threads query continuously while the
+  // coordinator splits shard 0 with ingest between pump steps.
+  std::atomic<bool> stop{false};
+  std::atomic<int> served_ok{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      QuerySession qs(ReaderOptions());
+      if (!qs.Connect().ok()) return;
+      while (!stop.load()) {
+        Result<ConnectivityResult> cc = qs.Connectivity(1);
+        // A moving position may legitimately exhaust the seqlock's
+        // retry budget mid-migration; any served answer must be a
+        // coherent snapshot (Boruvka on garbage would fail/crash).
+        if (cc.ok()) {
+          served_ok.fetch_add(1);
+          EXPECT_FALSE(cc.value().failed) << "reader " << r;
+        }
+      }
+    });
+  }
+  // A reader killed mid-flight: connect, query once, vanish abruptly.
+  {
+    QuerySession doomed(ReaderOptions());
+    ASSERT_TRUE(doomed.Connect().ok());
+    const GraphSnapshot* snap = nullptr;
+    ASSERT_TRUE(doomed.Snapshot(&snap).ok());
+  }  // Dtor drops all its connections with no goodbye.
+
+  Result<int> target = sharded.BeginSplitShard(0, grown_endpoints[0]);
+  ASSERT_TRUE(target.ok());
+  size_t fed = half;
+  while (sharded.migration_active()) {
+    const size_t count = std::min<size_t>(64, updates.size() - fed);
+    if (count > 0) {
+      sharded.Update(updates.data() + fed, count);
+      fed += count;
+    }
+    ASSERT_TRUE(sharded.PumpMigration().ok());
+  }
+  while (fed < updates.size()) {
+    const size_t count = std::min<size_t>(256, updates.size() - fed);
+    sharded.Update(updates.data() + fed, count);
+    fed += count;
+  }
+  sharded.Flush();
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(served_ok.load(), 0) << "no reader ever served an answer";
+
+  // Quiesce again. The cluster gained a listener, so a session must
+  // (re-)connect with the full endpoint set — the documented contract —
+  // and then serve the post-split position bitwise.
+  std::vector<std::string> all_endpoints = endpoints_;
+  all_endpoints.push_back(grown_endpoints[0]);
+  QuerySessionOptions grown_options = ReaderOptions();
+  grown_options.endpoints = all_endpoints;
+  QuerySession grown_session(std::move(grown_options));
+  ASSERT_TRUE(grown_session.Connect().ok());
+  s = grown_session.Snapshot(&served);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  GraphSnapshot full = sharded.Snapshot();
+  EXPECT_TRUE(*served == full);
+  EXPECT_EQ(served->num_updates(), updates.size());
+
+  // And the writer path survived every reader drill above.
+  const ConnectivityResult coord = sharded.ListSpanningForest();
+  const ConnectivityResult reader_cc = Connectivity(*served, 1);
+  ASSERT_FALSE(coord.failed);
+  ASSERT_FALSE(reader_cc.failed);
+  EXPECT_EQ(coord.num_components, reader_cc.num_components);
+}
+
+TEST_F(ServingTierTcpTest, SessionLimitRefusesTheOverflowReaderCleanly) {
+  // Bounded sessions: with GZ_SHARD_MAX_SESSIONS=2 the third session
+  // is refused with a clean kResourceExhausted error — not a hang, not
+  // a silent close — and the admitted sessions keep working.
+  ::setenv("GZ_SHARD_MAX_SESSIONS", "2", 1);
+  StartFleet(1);
+  ::unsetenv("GZ_SHARD_MAX_SESSIONS");
+  const Result<ShardEndpoint> ep = ParseShardEndpoint(endpoints_[0]);
+  ASSERT_TRUE(ep.ok());
+  TcpShardTransport first(ep.value(), kSecret, ShardSessionRole::kReader);
+  TcpShardTransport second(ep.value(), kSecret, ShardSessionRole::kReader);
+  ASSERT_TRUE(first.Connect().ok());
+  ASSERT_TRUE(second.Connect().ok());
+  TcpShardTransport overflow(ep.value(), kSecret,
+                             ShardSessionRole::kReader);
+  const Status s = overflow.Connect();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("session limit"), std::string::npos);
+  // The admitted sessions still answer.
+  ShardAck ack;
+  EXPECT_TRUE(
+      first.CallAck(ShardMessageType::kPing, nullptr, 0, &ack).ok());
+  EXPECT_TRUE(
+      second.CallAck(ShardMessageType::kPing, nullptr, 0, &ack).ok());
+}
+
+TEST_F(ServingTierTcpTest, StalledPreAuthPeerDoesNotBlockTheWriter) {
+  // The DoS window the multi-session listener closes: a peer that
+  // connects and goes silent — pre-handshake, or mid-frame as a reader
+  // — stalls only its own session thread. The coordinator connects,
+  // configures and serves regardless.
+  StartFleet(1);
+  const Result<ShardEndpoint> ep = ParseShardEndpoint(endpoints_[0]);
+  ASSERT_TRUE(ep.ok());
+
+  // Silent pre-auth connection, parked for the whole test.
+  struct addrinfo hints = {}, *addrs = nullptr;
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  const std::string port = std::to_string(ep.value().port);
+  ASSERT_EQ(::getaddrinfo("127.0.0.1", port.c_str(), &hints, &addrs), 0);
+  const int silent_fd =
+      ::socket(addrs->ai_family, addrs->ai_socktype, addrs->ai_protocol);
+  ASSERT_GE(silent_fd, 0);
+  ASSERT_EQ(::connect(silent_fd, addrs->ai_addr, addrs->ai_addrlen), 0);
+  ::freeaddrinfo(addrs);
+
+  // The writer attaches and operates THROUGH the stalled peer's window.
+  ShardClusterOptions options;
+  options.auth_secret = kSecret;
+  options.shard_endpoints = endpoints_;
+  ShardCluster cluster(BaseConfig(91), 1, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  const std::vector<GraphUpdate> updates = BuildStream(91);
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+
+  // A reader stalled MID-FRAME (header only, payload never comes)
+  // likewise stalls only itself.
+  TcpShardTransport stalled(ep.value(), kSecret,
+                            ShardSessionRole::kReader);
+  ASSERT_TRUE(stalled.Connect().ok());
+  const uint8_t partial[4] = {0x47, 0x5A, 0x53, 0x50};  // Header prefix.
+  ASSERT_EQ(::send(stalled.fd(), partial, sizeof(partial), MSG_NOSIGNAL),
+            4);
+
+  Result<ShardStats> stats = cluster.Stats(0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().num_updates, updates.size());
+  // A well-behaved reader admitted alongside the two stalled peers is
+  // served normally.
+  QuerySession session(ReaderOptions());
+  ASSERT_TRUE(session.Connect().ok());
+  const GraphSnapshot* served = nullptr;
+  ASSERT_TRUE(session.Snapshot(&served).ok());
+  Result<GraphSnapshot> full = cluster.Snapshot();
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(*served == full.value());
+  ::close(silent_fd);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace gz

@@ -71,7 +71,7 @@ TEST(ShardProtocolTest, EveryMessageTypeRoundTrips) {
   const uint8_t payload[5] = {1, 2, 3, 4, 5};
   ShardFrame frame;
   for (uint16_t t = static_cast<uint16_t>(ShardMessageType::kConfig);
-       t <= static_cast<uint16_t>(ShardMessageType::kAuth); ++t) {
+       t <= static_cast<uint16_t>(ShardMessageType::kStatsReply); ++t) {
     const ShardMessageType type = static_cast<ShardMessageType>(t);
     ASSERT_TRUE(SendFrame(sp.a(), type, payload, sizeof(payload)).ok());
     ASSERT_TRUE(RecvFrame(sp.b(), &frame).ok());
@@ -799,8 +799,22 @@ std::vector<uint8_t> RepresentativePayload(ShardMessageType type) {
       return std::vector<uint8_t>(kHandshakeNonceBytes + kSha256Bytes, 0x22);
     case ShardMessageType::kAuth:
       return std::vector<uint8_t>(kSha256Bytes, 0x33);
+    case ShardMessageType::kStatsReply: {
+      ShardStatsEx stats;
+      stats.shard_id = 2;
+      stats.epoch = 7;
+      stats.num_updates = 1234;
+      stats.delta_seq = 3;
+      stats.ram_bytes = 1 << 20;
+      stats.num_nodes = 64;
+      stats.seed = 5;
+      stats.cols = 4;
+      stats.rounds = 12;
+      return EncodeShardStatsEx(stats);
+    }
     default:
-      return {};  // kFlush/kSnapshot/kStats/kPing/kShutdown: empty.
+      // kFlush/kSnapshot/kStats/kStatsEx/kPing/kShutdown: empty.
+      return {};
   }
 }
 
@@ -811,7 +825,7 @@ TEST(ShardProtocolTest, EveryByteFlipOfEveryFrameTypeIsACleanStatus) {
   // and NEVER an accepted frame: any accepted flip would mean a
   // corruption the protocol cannot see.
   for (uint16_t t = static_cast<uint16_t>(ShardMessageType::kConfig);
-       t <= static_cast<uint16_t>(ShardMessageType::kAuth); ++t) {
+       t <= static_cast<uint16_t>(ShardMessageType::kStatsReply); ++t) {
     const ShardMessageType type = static_cast<ShardMessageType>(t);
     const std::vector<uint8_t> good = FrameBytes(type,
                                                  RepresentativePayload(type));
@@ -1109,6 +1123,343 @@ TEST(ShardProtocolTest, EveryLiveShardAlwaysOwnsAtLeastOneSlot) {
     }
     ASSERT_EQ(total, static_cast<int>(RoutingTable::kNumSlots));
   }
+}
+
+// ---- ShardStatsEx codec ---------------------------------------------------
+
+TEST(ShardStatsExTest, RoundTrips) {
+  ShardStatsEx stats;
+  stats.shard_id = 3;
+  stats.epoch = 9;
+  stats.num_updates = 1ULL << 40;
+  stats.delta_seq = 17;
+  stats.ram_bytes = 123456789;
+  stats.num_nodes = 1 << 20;
+  stats.seed = 0xDEADBEEFCAFEULL;
+  stats.cols = 6;
+  stats.rounds = 61;
+  const std::vector<uint8_t> bytes = EncodeShardStatsEx(stats);
+  ShardStatsEx decoded;
+  ASSERT_TRUE(DecodeShardStatsEx(bytes.data(), bytes.size(), &decoded).ok());
+  EXPECT_EQ(decoded.shard_id, stats.shard_id);
+  EXPECT_EQ(decoded.epoch, stats.epoch);
+  EXPECT_EQ(decoded.num_updates, stats.num_updates);
+  EXPECT_EQ(decoded.delta_seq, stats.delta_seq);
+  EXPECT_EQ(decoded.ram_bytes, stats.ram_bytes);
+  EXPECT_EQ(decoded.num_nodes, stats.num_nodes);
+  EXPECT_EQ(decoded.seed, stats.seed);
+  EXPECT_EQ(decoded.cols, stats.cols);
+  EXPECT_EQ(decoded.rounds, stats.rounds);
+}
+
+TEST(ShardStatsExTest, RejectsTruncationTrailingBytesAndBadRanges) {
+  ShardStatsEx stats;
+  stats.shard_id = 1;
+  stats.epoch = 2;
+  stats.num_nodes = 64;
+  stats.seed = 5;
+  stats.cols = 4;
+  stats.rounds = 12;
+  const std::vector<uint8_t> bytes = EncodeShardStatsEx(stats);
+  ShardStatsEx decoded;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeShardStatsEx(bytes.data(), cut, &decoded).ok())
+        << "truncated to " << cut << " bytes was accepted";
+  }
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(
+      DecodeShardStatsEx(padded.data(), padded.size(), &decoded).ok());
+  // Every range cap: this payload feeds zero-snapshot construction on
+  // the client, so out-of-range geometry must die in the decoder.
+  const auto rejects = [&](ShardStatsEx bad) {
+    const std::vector<uint8_t> enc = EncodeShardStatsEx(bad);
+    ShardStatsEx out;
+    const Status s = DecodeShardStatsEx(enc.data(), enc.size(), &out);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  };
+  ShardStatsEx bad = stats;
+  bad.shard_id = -1;
+  rejects(bad);
+  bad = stats;
+  bad.epoch = 0;
+  rejects(bad);
+  bad = stats;
+  bad.num_nodes = 1;
+  rejects(bad);
+  bad = stats;
+  bad.cols = 0;
+  rejects(bad);
+  bad = stats;
+  bad.rounds = 5000;
+  rejects(bad);
+}
+
+// ---- Reader-role handshake ------------------------------------------------
+
+TEST(ReaderRoleTest, ReaderHandshakeBindsTheRole) {
+  SocketPair sp;
+  ShardSessionRole role = ShardSessionRole::kWriter;
+  std::thread server([&] {
+    EXPECT_TRUE(ServerHandshake(sp.b(), "s3cr3t", &role).ok());
+  });
+  EXPECT_TRUE(
+      ClientHandshake(sp.a(), "s3cr3t", ShardSessionRole::kReader).ok());
+  server.join();
+  EXPECT_EQ(role, ShardSessionRole::kReader);
+}
+
+TEST(ReaderRoleTest, WriterHandshakeDefaultsAndStaysCompatible) {
+  // The pre-role client call (no role argument) must still produce a
+  // writer session — a v3 coordinator and a role-aware listener
+  // interoperate without a flag day.
+  SocketPair sp;
+  ShardSessionRole role = ShardSessionRole::kReader;
+  std::thread server([&] {
+    EXPECT_TRUE(ServerHandshake(sp.b(), "s3cr3t", &role).ok());
+  });
+  EXPECT_TRUE(ClientHandshake(sp.a(), "s3cr3t").ok());
+  server.join();
+  EXPECT_EQ(role, ShardSessionRole::kWriter);
+}
+
+TEST(ReaderRoleTest, UnknownRoleByteIsRefused) {
+  SocketPair sp;
+  Status server_status;
+  std::thread server(
+      [&] { server_status = ServerHandshake(sp.b(), "s3cr3t", nullptr); });
+  uint8_t hello[kHandshakeNonceBytes + 1] = {0};
+  hello[kHandshakeNonceBytes] = 7;  // Not a role this protocol knows.
+  ASSERT_TRUE(SendFrame(sp.a(), ShardMessageType::kHello, hello,
+                        sizeof(hello))
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kError);
+  server.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+TEST(ReaderRoleTest, ReaderRoleWithWriterProofIsRefused) {
+  // The role byte travels in cleartext but both proofs commit to it
+  // through distinct HMAC domains: a peer that declares the reader
+  // role yet proves with the WRITER domain (a downgrade/confusion
+  // splice) must fail authentication even though it knows the secret.
+  SocketPair sp;
+  const std::string secret = "s3cr3t";
+  Status server_status;
+  std::thread server(
+      [&] { server_status = ServerHandshake(sp.b(), secret, nullptr); });
+  uint8_t hello[kHandshakeNonceBytes + 1] = {0x42};
+  hello[kHandshakeNonceBytes] =
+      static_cast<uint8_t>(ShardSessionRole::kReader);
+  ASSERT_TRUE(SendFrame(sp.a(), ShardMessageType::kHello, hello,
+                        sizeof(hello))
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(sp.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kChallenge);
+  ASSERT_EQ(frame.payload.size(), kHandshakeNonceBytes + kSha256Bytes);
+  // proof = HMAC(secret, domain16 || client_nonce || server_nonce),
+  // with the writer's client domain instead of the reader's.
+  uint8_t message[16 + 2 * kHandshakeNonceBytes] = {0};
+  std::memcpy(message, "gzsp3-client", sizeof("gzsp3-client") - 1);
+  std::memcpy(message + 16, hello, kHandshakeNonceBytes);
+  std::memcpy(message + 16 + kHandshakeNonceBytes, frame.payload.data(),
+              kHandshakeNonceBytes);
+  uint8_t proof[kSha256Bytes];
+  HmacSha256(secret.data(), secret.size(), message, sizeof(message), proof);
+  ASSERT_TRUE(SendFrame(sp.a(), ShardMessageType::kAuth, proof,
+                        sizeof(proof))
+                  .ok());
+  ASSERT_TRUE(RecvFrame(sp.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kError);
+  server.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+// ---- Reader sessions ------------------------------------------------------
+
+// A writer and a reader session sharing one ShardInstanceState over
+// socketpairs — ShardListener's wiring without the TCP, so the
+// read-only contract is pinned at the ShardServer layer itself.
+class ReaderSessionFixture : public ::testing::Test {
+ protected:
+  void Start() {
+    writer_thread_ = std::thread([this] {
+      writer_status_ = ShardServer(wp_.b(), &state_,
+                                   ShardSessionRole::kWriter, 30)
+                           .Serve();
+    });
+    reader_thread_ = std::thread([this] {
+      reader_status_ = ShardServer(rp_.b(), &state_,
+                                   ShardSessionRole::kReader, 30)
+                           .Serve();
+    });
+  }
+  void TearDown() override {
+    if (writer_thread_.joinable()) {
+      SendFrame(wp_.a(), ShardMessageType::kShutdown, nullptr, 0);
+      ShardFrame frame;
+      RecvFrame(wp_.a(), &frame);
+      writer_thread_.join();
+      EXPECT_TRUE(writer_status_.ok());
+    }
+    if (reader_thread_.joinable()) {
+      rp_.CloseA();  // Reader hangup; must not disturb the instance.
+      reader_thread_.join();
+    }
+  }
+
+  void Configure(uint64_t num_nodes = 16) {
+    ShardConfig sc;
+    sc.config.num_nodes = num_nodes;
+    sc.config.seed = 5;
+    sc.config.num_workers = 1;
+    sc.config.disk_dir = ::testing::TempDir();
+    sc.shard_id = 0;
+    sc.table = MakeRoutingTable(1);
+    sc.table.epoch = 1;
+    const std::vector<uint8_t> payload = EncodeShardConfig(sc);
+    ASSERT_TRUE(SendFrame(wp_.a(), ShardMessageType::kConfig,
+                          payload.data(), payload.size())
+                    .ok());
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(wp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  }
+
+  // One insert through the writer, then a flush (its ack is the
+  // barrier that makes the update visible to reader stats).
+  void IngestOneEdge() {
+    const uint64_t epoch = 1;
+    GraphUpdate u{Edge(0, 1), UpdateType::kInsert};
+    ASSERT_TRUE(SendFrame2(wp_.a(), ShardMessageType::kUpdateBatch, &epoch,
+                           sizeof(epoch), &u, sizeof(u))
+                    .ok());
+    ASSERT_TRUE(
+        SendFrame(wp_.a(), ShardMessageType::kFlush, nullptr, 0).ok());
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(wp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kAck);
+  }
+
+  SocketPair wp_, rp_;
+  ShardInstanceState state_;
+  std::thread writer_thread_, reader_thread_;
+  Status writer_status_, reader_status_;
+};
+
+TEST_F(ReaderSessionFixture, ReaderServesReadOnlyFramesConcurrently) {
+  Start();
+  Configure();
+  IngestOneEdge();
+  ShardFrame frame;
+  // PING works even though this session could never have configured.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);
+  // STATS_EX reports the writer's ingest through the shared instance.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kStatsEx, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kStatsReply);
+  ShardStatsEx stats;
+  ASSERT_TRUE(DecodeShardStatsEx(frame.payload.data(),
+                                 frame.payload.size(), &stats)
+                  .ok());
+  EXPECT_EQ(stats.shard_id, 0);
+  EXPECT_EQ(stats.epoch, 1u);
+  EXPECT_EQ(stats.num_updates, 1u);
+  EXPECT_EQ(stats.num_nodes, 16u);
+  // SNAPSHOT streams the serialized sketch state.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kSnapshot, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kSnapshotBytes);
+  EXPECT_FALSE(frame.payload.empty());
+}
+
+TEST_F(ReaderSessionFixture, ReaderCannotMutateAndSessionSurvives) {
+  Start();
+  Configure();
+  const auto expect_refused = [&](ShardMessageType type, const void* payload,
+                                  size_t payload_bytes) {
+    ASSERT_TRUE(SendFrame(rp_.a(), type, payload, payload_bytes).ok());
+    ShardFrame frame;
+    ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+    ASSERT_EQ(frame.type, ShardMessageType::kError)
+        << "frame type " << static_cast<uint16_t>(type);
+    bool decode_ok = false;
+    const Status s = DecodeShardError(frame.payload.data(),
+                                      frame.payload.size(), &decode_ok);
+    ASSERT_TRUE(decode_ok);
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  };
+  // The whole write surface: ingest, reconfigure, checkpoint, epoch
+  // bump, migration fold-in, retire.
+  const uint64_t epoch = 1;
+  GraphUpdate u{Edge(2, 3), UpdateType::kInsert};
+  std::vector<uint8_t> batch(sizeof(epoch) + sizeof(u));
+  std::memcpy(batch.data(), &epoch, sizeof(epoch));
+  std::memcpy(batch.data() + sizeof(epoch), &u, sizeof(u));
+  expect_refused(ShardMessageType::kUpdateBatch, batch.data(), batch.size());
+  expect_refused(ShardMessageType::kFlush, nullptr, 0);
+  expect_refused(ShardMessageType::kCheckpoint, nullptr, 0);
+  expect_refused(ShardMessageType::kMergeDelta, nullptr, 0);
+  expect_refused(ShardMessageType::kShutdown, nullptr, 0);
+  // And the refused update never reached the instance...
+  ShardFrame frame;
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kStatsEx, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kStatsReply);
+  ShardStatsEx stats;
+  ASSERT_TRUE(DecodeShardStatsEx(frame.payload.data(),
+                                 frame.payload.size(), &stats)
+                  .ok());
+  EXPECT_EQ(stats.num_updates, 0u);
+  // ...and the writer still works after all those refusals.
+  IngestOneEdge();
+}
+
+TEST_F(ReaderSessionFixture, UnconfiguredShardRefusesReadsButAnswersPing) {
+  Start();
+  ShardFrame frame;
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kStatsEx, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kError);
+  bool decode_ok = false;
+  const Status s = DecodeShardError(frame.payload.data(),
+                                    frame.payload.size(), &decode_ok);
+  ASSERT_TRUE(decode_ok);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  Configure();
+}
+
+TEST_F(ReaderSessionFixture, OversizedReaderRequestFencesTheSession) {
+  // Reader requests are tiny by construction; the per-session receive
+  // cap turns a huge length prefix into a clean session fence instead
+  // of a server-side allocation.
+  Start();
+  Configure();
+  const std::vector<uint8_t> big(kReaderMaxRequestBytes + 1, 0xEE);
+  ASSERT_TRUE(SendFrame(rp_.a(), ShardMessageType::kStatsEx, big.data(),
+                        big.size())
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kError);
+  rp_.CloseA();
+  reader_thread_.join();
+  EXPECT_FALSE(reader_status_.ok());
 }
 
 }  // namespace

@@ -4,10 +4,12 @@
 #define GZ_TOOLS_FLAGS_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace gz {
 namespace tools {
@@ -56,6 +58,50 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Splits a comma-separated endpoint list (empty entries dropped) — the
+// shared grammar of every tool that dials a shard fleet.
+inline std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > start) out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+// The shared secret-resolution order of every networked tool:
+// --auth-secret, then --auth-secret-file (trailing newlines stripped,
+// exits on an unreadable file), then $GZ_SHARD_AUTH_SECRET, then "".
+inline std::string ResolveAuthSecret(const Flags& flags, const char* tool) {
+  if (flags.Has("auth-secret")) return flags.GetString("auth-secret", "");
+  if (flags.Has("auth-secret-file")) {
+    const std::string path = flags.GetString("auth-secret-file", "");
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot read --auth-secret-file %s\n", tool,
+                   path.c_str());
+      std::exit(2);
+    }
+    std::string secret;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      secret.append(buf, n);
+    }
+    std::fclose(f);
+    while (!secret.empty() &&
+           (secret.back() == '\n' || secret.back() == '\r')) {
+      secret.pop_back();
+    }
+    return secret;
+  }
+  const char* env = std::getenv("GZ_SHARD_AUTH_SECRET");
+  return env != nullptr ? env : "";
+}
 
 }  // namespace tools
 }  // namespace gz

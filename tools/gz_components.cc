@@ -8,19 +8,118 @@
 //     [--query-threads N] (Boruvka pool; 0 = auto)
 //     [--top K]   (print the K largest components)
 //
+// Sharded coordinator mode — ingest the stream through a running
+// `gz_shard --listen` fleet instead of an in-process instance (one
+// listener per shard; this process holds the writer session):
+//   gz_components --stream stream.gzst
+//     --shard-endpoints tcp://H:P,tcp://H:P,...
+//     [--auth-secret SECRET | --auth-secret-file PATH]
+//     [--hold-seconds N]   (after the query, keep the writer session —
+//                           and so the shard instances — alive for N
+//                           seconds, so gz_query readers can serve)
+//
 // The checkpoint file is a serialized GraphSnapshot: gz_snapshot can
 // re-query it or merge it with snapshots from same-seed instances.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/graph_zeppelin.h"
 #include "core/stream_ingestor.h"
+#include "distributed/sharded_graph_zeppelin.h"
 #include "stream/stream_file.h"
 #include "tools/flags.h"
 #include "util/mem_usage.h"
 #include "util/timer.h"
+
+namespace {
+
+// Sharded coordinator mode: this process is the cluster's writer —
+// routes the stream to a listener fleet, folds the shard snapshots for
+// the query, and (with --hold-seconds) stays connected afterwards so
+// the shard instances keep serving gz_query reader sessions.
+int RunSharded(const gz::tools::Flags& flags,
+               gz::GraphZeppelinConfig config,
+               const std::string& stream_path) {
+  using namespace gz;
+  const std::vector<std::string> endpoints =
+      tools::SplitCommaList(flags.GetString("shard-endpoints", ""));
+  ShardClusterOptions copts;
+  copts.auth_secret = tools::ResolveAuthSecret(flags, "gz_components");
+  copts.shard_endpoints = endpoints;
+  ShardedGraphZeppelin sharded(config, static_cast<int>(endpoints.size()),
+                               ShardedGraphZeppelin::Mode::kProcess, copts);
+  Status s = sharded.Init();
+  if (!s.ok()) {
+    std::fprintf(stderr, "cluster init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  StreamReader reader;
+  s = reader.Open(stream_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  WallTimer timer;
+  std::vector<GraphUpdate> chunk;
+  chunk.reserve(1 << 16);
+  uint64_t ingested = 0;
+  GraphUpdate update;
+  while (reader.Next(&update)) {
+    chunk.push_back(update);
+    if (chunk.size() == chunk.capacity()) {
+      sharded.Update(chunk.data(), chunk.size());
+      ingested += chunk.size();
+      chunk.clear();
+    }
+  }
+  if (!reader.status().ok()) {
+    std::fprintf(stderr, "stream read failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  if (!chunk.empty()) {
+    sharded.Update(chunk.data(), chunk.size());
+    ingested += chunk.size();
+  }
+  sharded.Flush();
+  const double ingest_seconds = timer.Seconds();
+
+  WallTimer query_timer;
+  const ConnectivityResult result = sharded.ListSpanningForest();
+  const double query_seconds = query_timer.Seconds();
+  if (result.failed) {
+    std::fprintf(stderr, "sketch query failed; re-run with another seed\n");
+    return 1;
+  }
+
+  char rate_buf[32];
+  std::printf("ingested  %llu updates across %d shards in %.2fs "
+              "(%s updates/s)\n",
+              static_cast<unsigned long long>(ingested),
+              sharded.num_shards(), ingest_seconds,
+              FormatRate(static_cast<double>(ingested) / ingest_seconds,
+                         rate_buf, sizeof(rate_buf)));
+  std::printf("query     %.3fs, %d Boruvka rounds\n", query_seconds,
+              result.rounds_used);
+  std::printf("components %zu, spanning forest %zu edges\n",
+              result.num_components, result.spanning_forest.size());
+
+  const int hold = static_cast<int>(flags.GetInt("hold-seconds", 0));
+  if (hold > 0) {
+    std::printf("holding writer session for %ds (readers may query)\n",
+                hold);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(hold));
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gz;
@@ -32,7 +131,10 @@ int main(int argc, char** argv) {
                  "usage: gz_components --stream FILE [--buffering leaf|tree]"
                  " [--storage ram|disk] [--workers N]\n"
                  "       [--gutter-fraction F] [--seed N] "
-                 "[--checkpoint FILE] [--query-threads N] [--top K]\n");
+                 "[--checkpoint FILE] [--query-threads N] [--top K]\n"
+                 "       [--shard-endpoints tcp://H:P,...] "
+                 "[--auth-secret S | --auth-secret-file PATH] "
+                 "[--hold-seconds N]\n");
     return 2;
   }
 
@@ -55,6 +157,11 @@ int main(int argc, char** argv) {
     config.storage = GraphZeppelinConfig::Storage::kDisk;
   }
   config.query_threads = static_cast<int>(flags.GetInt("query-threads", 0));
+
+  if (!flags.GetString("shard-endpoints", "").empty()) {
+    reader.Close();  // Only needed it for the node count.
+    return RunSharded(flags, config, stream_path);
+  }
 
   GraphZeppelin gz(config);
   s = gz.Init();

@@ -1,0 +1,215 @@
+// gz_query: a serving-tier client. Dials every shard listener of a
+// cluster as an authenticated *reader* session (QuerySession), pulls a
+// consistent merged snapshot keyed by the cluster's (epoch, watermark)
+// position, and answers graph queries from it — without touching the
+// coordinator, whose write path keeps streaming unimpeded.
+//
+// Usage:
+//   gz_query --endpoints tcp://h:p,tcp://h:p,... [--mode connectivity]
+//     [--auth-secret SECRET | --auth-secret-file PATH]
+//     [--threads N] [--json] [--top K]
+//   gz_query --mode forest --endpoints ... --forest-out forest.gzst
+//   gz_query --mode bipartite --endpoints ... --doubled-endpoints ...
+//
+// Modes:
+//   connectivity  components + spanning-forest size (default)
+//   forest        also write the forest as an insert-only stream file
+//   bipartite     AGM doubled-graph verdict; --endpoints serves the
+//                 primal cluster, --doubled-endpoints the doubled one
+//                 (2V nodes), both fed by a BipartitenessSketch-style
+//                 writer
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algos/bipartiteness.h"
+#include "core/connectivity.h"
+#include "distributed/query_session.h"
+#include "tools/flags.h"
+#include "util/timer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gz_query --endpoints tcp://H:P,... [--mode MODE]\n"
+      "       [--auth-secret SECRET | --auth-secret-file PATH]\n"
+      "       [--threads N] [--json] [--top K]\n"
+      "  --mode connectivity   components + forest size (default)\n"
+      "  --mode forest         connectivity + --forest-out stream file\n"
+      "  --mode bipartite      doubled-graph verdict; needs\n"
+      "                        --doubled-endpoints tcp://H:P,...\n"
+      "  --endpoints           the cluster's shard listeners, one per\n"
+      "                        shard, comma-separated\n"
+      "  --auth-secret         shared handshake secret (or\n"
+      "                        --auth-secret-file / $GZ_SHARD_AUTH_SECRET)\n"
+      "  --threads             Boruvka pool (0 = auto)\n"
+      "  --json                one machine-readable JSON line on stdout\n");
+  return 2;
+}
+
+// Connects a reader session to the given listener endpoints, failing
+// the process with a useful message otherwise.
+std::unique_ptr<gz::QuerySession> Dial(const std::string& endpoint_list,
+                                       const std::string& secret,
+                                       const char* what) {
+  gz::QuerySessionOptions options;
+  options.endpoints = gz::tools::SplitCommaList(endpoint_list);
+  options.auth_secret = secret;
+  auto session = std::make_unique<gz::QuerySession>(std::move(options));
+  const gz::Status s = session->Connect();
+  if (!s.ok()) {
+    std::fprintf(stderr, "gz_query: connecting %s cluster: %s\n", what,
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  return session;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gz;
+  tools::Flags flags(argc, argv);
+  const std::string endpoints = flags.GetString("endpoints", "");
+  if (endpoints.empty()) return Usage();
+  const std::string mode = flags.GetString("mode", "connectivity");
+  if (mode != "connectivity" && mode != "forest" && mode != "bipartite") {
+    return Usage();
+  }
+  const std::string secret = tools::ResolveAuthSecret(flags, "gz_query");
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const bool json = flags.GetBool("json", false);
+
+  std::unique_ptr<QuerySession> session = Dial(endpoints, secret, "primal");
+
+  WallTimer refresh_timer;
+  const GraphSnapshot* snap = nullptr;
+  Status s = session->Snapshot(&snap);
+  if (!s.ok()) {
+    std::fprintf(stderr, "gz_query: snapshot: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double refresh_seconds = refresh_timer.Seconds();
+
+  if (mode == "bipartite") {
+    const std::string doubled_list = flags.GetString("doubled-endpoints", "");
+    if (doubled_list.empty()) return Usage();
+    std::unique_ptr<QuerySession> doubled_session =
+        Dial(doubled_list, secret, "doubled");
+    const GraphSnapshot* doubled = nullptr;
+    s = doubled_session->Snapshot(&doubled);
+    if (!s.ok()) {
+      std::fprintf(stderr, "gz_query: doubled snapshot: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    if (doubled->params().num_nodes != 2 * snap->params().num_nodes) {
+      std::fprintf(stderr,
+                   "gz_query: doubled cluster has %llu nodes, expected "
+                   "2 x %llu — not this graph's doubling\n",
+                   static_cast<unsigned long long>(
+                       doubled->params().num_nodes),
+                   static_cast<unsigned long long>(snap->params().num_nodes));
+      return 1;
+    }
+    WallTimer query_timer;
+    const BipartitenessResult verdict =
+        BipartitenessFromSnapshots(*snap, *doubled, threads);
+    const double query_seconds = query_timer.Seconds();
+    if (verdict.failed) {
+      std::fprintf(stderr, "gz_query: sketch query failed\n");
+      return 1;
+    }
+    size_t odd = 0;
+    for (uint64_t u = 0; u < snap->params().num_nodes; ++u) {
+      if (!verdict.component_bipartite[u] &&
+          verdict.component_of[u] == static_cast<NodeId>(u)) {
+        ++odd;  // Count each non-bipartite component once, at its root.
+      }
+    }
+    if (json) {
+      std::printf(
+          "{\"mode\":\"bipartite\",\"bipartite\":%s,"
+          "\"odd_components\":%zu,\"refresh_seconds\":%.6f,"
+          "\"query_seconds\":%.6f}\n",
+          verdict.whole_graph_bipartite ? "true" : "false", odd,
+          refresh_seconds, query_seconds);
+    } else {
+      std::printf("graph is %sbipartite (%zu component%s with an odd "
+                  "cycle)\n",
+                  verdict.whole_graph_bipartite ? "" : "NOT ", odd,
+                  odd == 1 ? "" : "s");
+    }
+    return 0;
+  }
+
+  WallTimer query_timer;
+  const ConnectivityResult result = gz::Connectivity(*snap, threads);
+  const double query_seconds = query_timer.Seconds();
+  if (result.failed) {
+    std::fprintf(stderr, "gz_query: sketch query failed\n");
+    return 1;
+  }
+
+  if (mode == "forest") {
+    const std::string forest_out = flags.GetString("forest-out", "");
+    if (forest_out.empty()) {
+      std::fprintf(stderr, "gz_query: --mode forest needs --forest-out\n");
+      return 2;
+    }
+    s = WriteSpanningForestStream(result, snap->params().num_nodes,
+                                  forest_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "gz_query: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const SnapshotCache& cache = session->cache();
+  if (json) {
+    std::printf(
+        "{\"mode\":\"%s\",\"num_nodes\":%llu,\"num_updates\":%llu,"
+        "\"components\":%zu,\"forest_edges\":%zu,\"rounds\":%d,"
+        "\"refresh_seconds\":%.6f,\"query_seconds\":%.6f,"
+        "\"seqlock_rounds\":%d,\"range_pulls\":%llu,"
+        "\"cold_builds\":%llu}\n",
+        mode.c_str(),
+        static_cast<unsigned long long>(snap->params().num_nodes),
+        static_cast<unsigned long long>(snap->num_updates()),
+        result.num_components, result.spanning_forest.size(),
+        result.rounds_used, refresh_seconds, query_seconds,
+        session->last_refresh_rounds(),
+        static_cast<unsigned long long>(cache.range_pulls()),
+        static_cast<unsigned long long>(cache.cold_builds()));
+  } else {
+    std::printf("snapshot  %llu nodes, %llu updates served "
+                "(refresh %.3fs, %d seqlock round%s, %llu range pulls)\n",
+                static_cast<unsigned long long>(snap->params().num_nodes),
+                static_cast<unsigned long long>(snap->num_updates()),
+                refresh_seconds, session->last_refresh_rounds(),
+                session->last_refresh_rounds() == 1 ? "" : "s",
+                static_cast<unsigned long long>(cache.range_pulls()));
+    std::printf("query     %.3fs, %d Boruvka rounds\n", query_seconds,
+                result.rounds_used);
+    std::printf("components %zu, spanning forest %zu edges\n",
+                result.num_components, result.spanning_forest.size());
+    const int top = static_cast<int>(flags.GetInt("top", 0));
+    if (top > 0) {
+      auto components = ComponentsFromLabels(result.component_of);
+      std::sort(components.begin(), components.end(),
+                [](const auto& a, const auto& b) {
+                  return a.size() > b.size();
+                });
+      for (int i = 0; i < top && i < static_cast<int>(components.size());
+           ++i) {
+        std::printf("  component %d: %zu nodes\n", i + 1,
+                    components[i].size());
+      }
+    }
+  }
+  return 0;
+}

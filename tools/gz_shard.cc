@@ -3,39 +3,36 @@
 //
 //   --fd N               spawned by ShardCluster (fork/exec) with a
 //                        connected socketpair end as fd N — the local:
-//                        endpoint.
-//   --listen host:port   standalone: bind, accept one coordinator at a
-//                        time, serve it — the tcp://host:port endpoint.
-//                        Port 0 asks the kernel for a free port;
-//                        --port-file PATH publishes the bound port (for
-//                        harnesses that need to discover it). A dropped
-//                        connection discards the in-memory instance and
-//                        returns to accept — exactly the state loss of
-//                        a SIGKILLed local shard, recovered the same
-//                        way (reconnect + checkpoint restore + replay).
-//                        An orderly SHUTDOWN retires the process.
+//                        endpoint. Single session.
+//   --listen host:port   standalone: bind and serve the tcp://host:port
+//                        endpoint as a multi-session listener — one
+//                        authenticated writer (the coordinator, full
+//                        protocol) plus up to --max-sessions-1
+//                        authenticated readers (PING / STATS /
+//                        STATS_EX / SNAPSHOT / MIGRATE_EXTRACT only),
+//                        the serving tier's data plane. Port 0 asks
+//                        the kernel for a free port; --port-file PATH
+//                        publishes the bound port (for harnesses that
+//                        need to discover it). A dropped writer
+//                        connection discards the in-memory instance —
+//                        exactly the state loss of a SIGKILLed local
+//                        shard, recovered the same way (reconnect +
+//                        checkpoint restore + replay) — while reader
+//                        sessions ride through. An orderly SHUTDOWN
+//                        from the writer retires the process.
 //
 // Either way the first protocol exchange is the authenticated HELLO
 // handshake (--auth-secret SECRET or --auth-secret-file PATH, else
 // $GZ_SHARD_AUTH_SECRET; default open). A listener on an untrusted
 // network MUST carry a secret: without one, anyone who can reach the
-// port can inject UPDATE_BATCHes. Then CONFIG arrives (the shard's
-// GraphZeppelinConfig, its id, the routing table) and the shard serves
-// UPDATE_BATCH / FLUSH / SNAPSHOT / CHECKPOINT / STATS / PING / EPOCH /
-// MIGRATE_EXTRACT / MERGE_DELTA / SHUTDOWN. Everything interesting
-// lives in ShardServer; this is only argv + socket plumbing.
-#include <cerrno>
+// port can inject UPDATE_BATCHes — or read the whole graph state
+// through a reader session. Everything interesting lives in
+// ShardServer / ShardListener; this is only argv + socket plumbing.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include "distributed/shard_listener.h"
 #include "distributed/shard_server.h"
 #include "tools/flags.h"
 #include "util/status.h"
@@ -47,152 +44,64 @@ int Usage() {
       stderr,
       "usage: gz_shard --fd N | --listen host:port [--port-file PATH]\n"
       "       [--auth-secret SECRET | --auth-secret-file PATH]\n"
+      "       [--max-sessions N] [--reader-timeout SECONDS]\n"
       "  --fd N        serve the shard protocol on an inherited socket\n"
       "  --listen      bind host:port (port 0 = kernel-assigned) and\n"
-      "                serve one coordinator connection at a time\n"
+      "                serve one writer plus concurrent reader sessions\n"
       "  --port-file   write the bound port here once listening\n"
       "  --auth-secret shared handshake secret (or --auth-secret-file /\n"
       "                $GZ_SHARD_AUTH_SECRET); required on untrusted\n"
-      "                networks\n");
+      "                networks\n"
+      "  --max-sessions   concurrent session bound, writer included\n"
+      "                   (default 17, or $GZ_SHARD_MAX_SESSIONS)\n"
+      "  --reader-timeout per-read deadline for reader sessions, seconds\n"
+      "                   (default 30, or $GZ_SHARD_READER_TIMEOUT)\n");
   return 2;
 }
 
-std::string ResolveSecret(const gz::tools::Flags& flags) {
-  if (flags.Has("auth-secret")) return flags.GetString("auth-secret", "");
-  if (flags.Has("auth-secret-file")) {
-    const std::string path = flags.GetString("auth-secret-file", "");
-    FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "gz_shard: cannot read --auth-secret-file %s\n",
-                   path.c_str());
-      std::exit(2);
-    }
-    std::string secret;
-    char buf[4096];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-      secret.append(buf, n);
-    }
-    std::fclose(f);
-    // A trailing newline is an editor artifact, not part of the secret.
-    while (!secret.empty() &&
-           (secret.back() == '\n' || secret.back() == '\r')) {
-      secret.pop_back();
-    }
-    return secret;
-  }
-  const char* env = std::getenv("GZ_SHARD_AUTH_SECRET");
-  return env != nullptr ? env : "";
+long EnvOr(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::atol(value) : fallback;
 }
 
-int RunListener(const std::string& listen, const std::string& port_file,
-                const std::string& secret) {
-  const size_t colon = listen.rfind(':');
-  if (colon == std::string::npos) {
-    std::fprintf(stderr, "gz_shard: --listen wants host:port\n");
+int RunListener(const gz::tools::Flags& flags, const std::string& secret) {
+  gz::ShardListenerOptions options;
+  options.listen = flags.GetString("listen", "");
+  options.port_file = flags.GetString("port-file", "");
+  options.auth_secret = secret;
+  options.max_sessions = static_cast<int>(
+      flags.GetInt("max-sessions", EnvOr("GZ_SHARD_MAX_SESSIONS", 17)));
+  options.reader_timeout_seconds = static_cast<int>(flags.GetInt(
+      "reader-timeout", EnvOr("GZ_SHARD_READER_TIMEOUT", 30)));
+  if (options.max_sessions < 1 || options.reader_timeout_seconds < 1) {
+    std::fprintf(stderr,
+                 "gz_shard: --max-sessions and --reader-timeout must be "
+                 "positive\n");
     return 2;
   }
-  const std::string host = listen.substr(0, colon);
-  const std::string port = listen.substr(colon + 1);
-
-  struct addrinfo hints;
-  std::memset(&hints, 0, sizeof(hints));
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  hints.ai_flags = AI_PASSIVE;
-  struct addrinfo* addrs = nullptr;
-  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(),
-                         &hints, &addrs);
-  if (rc != 0) {
-    std::fprintf(stderr, "gz_shard: cannot resolve %s: %s\n", listen.c_str(),
-                 ::gai_strerror(rc));
-    return 1;
-  }
-  int listen_fd = -1;
-  for (struct addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
-    listen_fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
-    if (listen_fd < 0) continue;
-    const int one = 1;
-    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(listen_fd, a->ai_addr, a->ai_addrlen) == 0) break;
-    ::close(listen_fd);
-    listen_fd = -1;
-  }
-  ::freeaddrinfo(addrs);
-  if (listen_fd < 0 || ::listen(listen_fd, 4) != 0) {
-    std::fprintf(stderr, "gz_shard: cannot listen on %s: %s\n",
-                 listen.c_str(), std::strerror(errno));
-    return 1;
-  }
-  struct sockaddr_storage bound;
-  socklen_t bound_len = sizeof(bound);
-  uint16_t bound_port = 0;
-  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    if (bound.ss_family == AF_INET) {
-      bound_port = ntohs(
-          reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
-    } else if (bound.ss_family == AF_INET6) {
-      bound_port = ntohs(
-          reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
-    }
-  }
-  if (!port_file.empty()) {
-    // Write-then-rename so a polling harness never reads a half-written
-    // file.
-    const std::string tmp = port_file + ".tmp";
-    FILE* f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "gz_shard: cannot write --port-file %s\n",
-                   tmp.c_str());
-      return 1;
-    }
-    std::fprintf(f, "%u\n", bound_port);
-    std::fclose(f);
-    if (::rename(tmp.c_str(), port_file.c_str()) != 0) {
-      std::fprintf(stderr, "gz_shard: cannot publish --port-file %s\n",
-                   port_file.c_str());
-      return 1;
-    }
+  gz::ShardListener listener(std::move(options));
+  gz::Status s = listener.Bind();
+  if (!s.ok()) {
+    std::fprintf(stderr, "gz_shard: %s\n", s.ToString().c_str());
+    return s.code() == gz::StatusCode::kInvalidArgument ? 2 : 1;
   }
   std::fprintf(stderr, "gz_shard: listening on %s (port %u)%s\n",
-               listen.c_str(), bound_port,
+               flags.GetString("listen", "").c_str(), listener.port(),
                secret.empty() ? " WITHOUT an auth secret" : "");
-
-  while (true) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      std::fprintf(stderr, "gz_shard: accept: %s\n", std::strerror(errno));
-      return 1;
-    }
-    // Same NODELAY + keepalive tuning as the coordinator's end: a
-    // coordinator host that vanishes without a FIN must not wedge this
-    // one-connection-at-a-time loop forever — the dead session errors
-    // out in ~2min and accept() runs again.
-    gz::TuneShardSocket(fd);
-    const gz::Status s = gz::ShardServer(fd, secret).Serve();
-    ::close(fd);
-    if (s.ok()) return 0;  // Orderly SHUTDOWN: the shard retires.
-    // Anything else — coordinator crash, auth failure, lost framing —
-    // ends the session; the in-memory instance is gone (a fresh
-    // ShardServer serves the next connection) and recovery is the
-    // coordinator's reconnect + restore + replay.
-    std::fprintf(stderr,
-                 "gz_shard: session ended (%s); awaiting a new connection\n",
-                 s.ToString().c_str());
+  s = listener.Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "gz_shard: %s\n", s.ToString().c_str());
+    return 1;
   }
+  return 0;  // Orderly SHUTDOWN: the shard retires.
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   gz::tools::Flags flags(argc, argv);
-  const std::string secret = ResolveSecret(flags);
-  if (flags.Has("listen")) {
-    return RunListener(flags.GetString("listen", ""),
-                       flags.GetString("port-file", ""), secret);
-  }
+  const std::string secret = gz::tools::ResolveAuthSecret(flags, "gz_shard");
+  if (flags.Has("listen")) return RunListener(flags, secret);
   const int fd = static_cast<int>(flags.GetInt("fd", -1));
   if (fd < 0) return Usage();
   const gz::Status s = gz::ShardServer(fd, secret).Serve();
