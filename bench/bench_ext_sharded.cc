@@ -185,6 +185,98 @@ int RunRebalanceBench(const gz::bench::Workload& w) {
   return 0;
 }
 
+int RunReplicationBench(const gz::bench::Workload& w) {
+  // The replication column: what does R=2 cost on the ingest path
+  // (every routed slab is sent twice), and how does XOR anti-entropy
+  // repair of a killed replica compare against the classic
+  // checkpoint-restore + log-replay restart of the same replica.
+  using namespace gz;
+  std::printf("[\n");
+  bool first = true;
+  for (const BenchMode mode : {BenchMode::kProcess, BenchMode::kProcessTcp}) {
+    GraphZeppelinConfig base = bench::DefaultGzConfig();
+    base.num_nodes = w.num_nodes;
+    base.num_workers = 1;
+    const std::vector<GraphUpdate>& updates = w.stream.updates;
+    const int shards = 2;
+
+    double ingest_seconds[3] = {0, 0, 0};
+    double repair_seconds = 0, restore_seconds = 0;
+    uint64_t repair_chunks = 0;
+    size_t components = 0;
+    for (const int replication : {1, 2}) {
+      ShardClusterOptions options;
+      options.replication_factor = replication;
+      // Auto-checkpointing off: the restore column must measure a
+      // restart against the HALF-STREAM-OLD checkpoint taken below,
+      // not whatever fresher one the interval happened to cut.
+      options.checkpoint_interval_updates = 0;
+      std::vector<std::unique_ptr<ListenerShard>> listeners;
+      options = OptionsFor(mode, shards * replication, &listeners,
+                           std::move(options));
+      ShardCluster cluster(base, shards, options);
+      GZ_CHECK_OK(cluster.Start());
+
+      // Checkpoint at the halfway mark: a replica killed at the END of
+      // the stream then restores a half-stream-old checkpoint and
+      // replays the other half — the representative mid-stream-crash
+      // shape — while anti-entropy repair moves O(graph) sketch bytes
+      // regardless of how long ago the last checkpoint was.
+      const size_t half = updates.size() / 2;
+      WallTimer timer;
+      GZ_CHECK_OK(cluster.Update(updates.data(), half));
+      GZ_CHECK_OK(cluster.Checkpoint());
+      GZ_CHECK_OK(
+          cluster.Update(updates.data() + half, updates.size() - half));
+      GZ_CHECK_OK(cluster.Flush());
+      ingest_seconds[replication] = timer.Seconds();
+
+      if (replication == 2) {
+        // Both recovery paths start from the same wound: replica 1 of
+        // shard 1 killed at the end of the stream, checkpoint half a
+        // stream stale. Restore is measured FIRST — anti-entropy's
+        // finalizer writes a fresh checkpoint, which would hand the
+        // restart an artificially empty replay log.
+        cluster.KillReplica(1, 1);
+        WallTimer restore_timer;
+        GZ_CHECK_OK(cluster.RestartReplica(1, 1));
+        restore_seconds = restore_timer.Seconds();
+
+        cluster.KillReplica(1, 1);
+        WallTimer repair_timer;
+        GZ_CHECK_OK(cluster.Reconcile(&repair_chunks));
+        repair_seconds = repair_timer.Seconds();
+
+        Result<GraphSnapshot> merged = cluster.Snapshot();
+        GZ_CHECK_OK(merged.status());
+        const ConnectivityResult r =
+            Connectivity(std::move(merged).value(), base.query_threads);
+        GZ_CHECK(!r.failed);
+        components = r.num_components;
+      }
+      GZ_CHECK_OK(cluster.Shutdown());
+    }
+    std::printf(
+        "%s  {\"bench\": \"ext_sharded_replication\", \"workload\": \"%s\",\n"
+        "   \"mode\": \"%s\", \"shards\": %d, \"updates\": %zu,\n"
+        "   \"updates_per_sec_r1\": %.0f, \"updates_per_sec_r2\": %.0f,\n"
+        "   \"replication_overhead_pct\": %.1f,\n"
+        "   \"repair_seconds\": %.4f, \"repair_chunks\": %llu,\n"
+        "   \"restore_seconds\": %.4f,\n"
+        "   \"components\": %zu}",
+        first ? "" : ",\n", w.name.c_str(), BenchModeName(mode), shards,
+        updates.size(),
+        static_cast<double>(updates.size()) / ingest_seconds[1],
+        static_cast<double>(updates.size()) / ingest_seconds[2],
+        100.0 * (ingest_seconds[2] / ingest_seconds[1] - 1.0),
+        repair_seconds, static_cast<unsigned long long>(repair_chunks),
+        restore_seconds, components);
+    first = false;
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,6 +287,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sharded rebalance bench: %s, %zu updates\n",
                  w.name.c_str(), w.stream.updates.size());
     return RunRebalanceBench(w);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--replication") == 0) {
+    std::fprintf(stderr, "sharded replication bench: %s, %zu updates\n",
+                 w.name.c_str(), w.stream.updates.size());
+    return RunReplicationBench(w);
   }
 
   std::fprintf(stderr, "sharded bench: %s, %zu updates\n", w.name.c_str(),

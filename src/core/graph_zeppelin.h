@@ -166,6 +166,12 @@ class GraphZeppelin {
   Status SaveCheckpoint(const std::string& path);
   Status LoadCheckpoint(const std::string& path, size_t offset = 0);
 
+  // Overwrites the ingested-update count without touching sketch
+  // state. Replication repair needs this split: an anti-entropy pass
+  // fixes a replica's content with XOR deltas (which carry no counts),
+  // then asserts the logical position the repaired content represents.
+  void SetUpdatesIngested(uint64_t count) { num_updates_ = count; }
+
   // ----- Introspection ---------------------------------------------------
   uint64_t num_updates_ingested() const { return num_updates_; }
   const NodeSketchParams& sketch_params() const;

@@ -7,14 +7,20 @@
 namespace gz {
 namespace {
 
-// Two position sweeps agree iff every shard reports the same (epoch,
-// updates, delta_seq) triple — the seqlock's "sequence unchanged"
-// check. Monotonicity of all three components makes equality proof of
-// an unmoved position, not a coincidence.
+// Two position sweeps agree iff the same connections are alive and
+// every live one reports the same (shard, epoch, updates, delta_seq)
+// tuple — the seqlock's "sequence unchanged" check. Monotonicity of
+// the position components makes equality proof of an unmoved position,
+// not a coincidence; an alive-set change is treated as movement too
+// (the staged pulls may have come from a connection that then died
+// mid-sweep).
 bool SamePosition(const std::vector<ShardStatsEx>& a,
-                  const std::vector<ShardStatsEx>& b) {
-  if (a.size() != b.size()) return false;
+                  const std::vector<bool>& alive_a,
+                  const std::vector<ShardStatsEx>& b,
+                  const std::vector<bool>& alive_b) {
+  if (alive_a != alive_b) return false;
   for (size_t i = 0; i < a.size(); ++i) {
+    if (!alive_a[i]) continue;
     if (a[i].shard_id != b[i].shard_id || a[i].epoch != b[i].epoch ||
         a[i].num_updates != b[i].num_updates ||
         a[i].delta_seq != b[i].delta_seq) {
@@ -33,6 +39,9 @@ QuerySession::~QuerySession() = default;
 
 Status QuerySession::Connect() {
   conns_.clear();
+  conn_alive_.clear();
+  conn_shard_ids_.clear();
+  conn_error_ = Status::Ok();
   cache_.Invalidate();  // Cached content may predate a re-dial.
   if (options_.endpoints.empty()) {
     return Status::InvalidArgument("query session has no endpoints");
@@ -50,7 +59,16 @@ Status QuerySession::Connect() {
         ShardSessionRole::kReader);
     Status s = conn->Connect();
     if (!s.ok()) return s;
+    // The handshake ran under (and then cleared) its own deadline; from
+    // here on every receive runs under the session's. Armed once — an
+    // OS-level socket timeout, so a silent listener costs one deadline,
+    // not an eternal block.
+    if (options_.receive_deadline_seconds > 0) {
+      SetShardSocketTimeout(conn->fd(), options_.receive_deadline_seconds);
+    }
     conns_.push_back(std::move(conn));
+    conn_alive_.push_back(true);
+    conn_shard_ids_.push_back(-1);
   }
   return Status::Ok();
 }
@@ -58,19 +76,121 @@ Status QuerySession::Connect() {
 Status QuerySession::ReadPositions(std::vector<ShardStatsEx>* stats) {
   stats->clear();
   stats->resize(conns_.size());
-  for (auto& conn : conns_) {
+  std::vector<bool> sent(conns_.size(), false);
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (!conn_alive_[i]) continue;
     Status s =
-        SendFrame(conn->fd(), ShardMessageType::kStatsEx, nullptr, 0);
-    if (!s.ok()) return s;
+        SendFrame(conns_[i]->fd(), ShardMessageType::kStatsEx, nullptr, 0);
+    if (s.ok()) {
+      sent[i] = true;
+    } else {
+      conn_alive_[i] = false;
+      conn_error_ = s;
+    }
   }
   for (size_t i = 0; i < conns_.size(); ++i) {
+    if (!sent[i]) continue;
     bool in_sync = false;
     Status s = RecvReply(conns_[i]->fd(), ShardMessageType::kStatsReply,
                          &reply_buf_, &in_sync);
-    if (!s.ok()) return s;
-    s = DecodeShardStatsEx(reply_buf_.payload.data(),
-                           reply_buf_.payload.size(), &(*stats)[i]);
-    if (!s.ok()) return s;
+    if (s.ok()) {
+      s = DecodeShardStatsEx(reply_buf_.payload.data(),
+                             reply_buf_.payload.size(), &(*stats)[i]);
+    }
+    if (!s.ok()) {
+      // Transport loss, a deadline expiry, or a garbled payload: the
+      // request/reply stream is unrecoverable either way (a late reply
+      // would answer the wrong request), so the connection is done.
+      conn_alive_[i] = false;
+      conn_error_ = s;
+      continue;
+    }
+    conn_shard_ids_[i] = static_cast<int>((*stats)[i].shard_id);
+  }
+  for (const bool alive : conn_alive_) {
+    if (alive) return Status::Ok();
+  }
+  return conn_error_.ok()
+             ? Status::FailedPrecondition("query session not connected")
+             : conn_error_;
+}
+
+Status QuerySession::BuildView(const std::vector<ShardStatsEx>& stats,
+                               PositionView* view) {
+  *view = PositionView();
+  size_t first = conns_.size();
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conn_alive_[i]) {
+      first = i;
+      break;
+    }
+  }
+  // ReadPositions already failed the sweep if nothing was alive.
+  view->epoch = stats[first].epoch;
+  view->params.num_nodes = stats[first].num_nodes;
+  view->params.seed = stats[first].seed;
+  view->params.cols = stats[first].cols;
+  view->params.rounds = stats[first].rounds;
+  const uint32_t replication = stats[first].replication;
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (!conn_alive_[i]) continue;
+    const ShardStatsEx& st = stats[i];
+    if (st.num_nodes != view->params.num_nodes ||
+        st.seed != view->params.seed || st.cols != view->params.cols ||
+        st.rounds != view->params.rounds) {
+      return Status::FailedPrecondition(
+          "shard listeners disagree on sketch geometry; these "
+          "endpoints are not one cluster");
+    }
+    if (st.replication != replication) {
+      return Status::FailedPrecondition(
+          "shard listeners disagree on the replication factor; these "
+          "endpoints are not one cluster");
+    }
+    if (st.epoch != view->epoch) view->skew = true;
+    view->groups[static_cast<int>(st.shard_id)].push_back(i);
+  }
+  for (const auto& [shard, members] : view->groups) {
+    if (members.size() > replication) {
+      // A deployment mistake — two listeners told to host the same
+      // shard — not a moving position. With no replication the classic
+      // message; with it, the group exceeded the advertised factor.
+      if (replication <= 1) {
+        return Status::FailedPrecondition(
+            "two endpoints serve shard id " + std::to_string(shard) +
+            "; each listener must host a distinct shard");
+      }
+      return Status::FailedPrecondition(
+          std::to_string(members.size()) + " endpoints serve shard id " +
+          std::to_string(shard) + " but the cluster replicates " +
+          std::to_string(replication) + " ways");
+    }
+    // Replicas of one shard are bitwise-equal AT ONE POSITION; an
+    // update fan-out or repair caught mid-flight makes them disagree
+    // transiently. Skew, like an epoch straddle — never an error.
+    const ShardStatsEx& lead = stats[members[0]];
+    for (const size_t m : members) {
+      if (stats[m].num_updates != lead.num_updates ||
+          stats[m].delta_seq != lead.delta_seq) {
+        view->skew = true;
+      }
+    }
+    ShardWatermark mark;
+    mark.num_updates = lead.num_updates;
+    mark.delta_seq = lead.delta_seq;
+    view->marks.emplace(shard, mark);
+    view->total_updates += lead.num_updates;
+  }
+  // Coverage: a dead connection is survivable only if some live replica
+  // still serves its shard. A dead conn that never reported a shard id
+  // might have been the only one serving it — the saved transport
+  // error, not a silently smaller cluster, is the answer.
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conn_alive_[i]) continue;
+    if (conn_shard_ids_[i] < 0 ||
+        view->groups.find(conn_shard_ids_[i]) == view->groups.end()) {
+      return conn_error_;
+    }
   }
   return Status::Ok();
 }
@@ -81,11 +201,21 @@ Status QuerySession::PullRange(size_t conn, uint64_t lo, uint64_t hi,
   Status s = SendFrame(conns_[conn]->fd(),
                        ShardMessageType::kMigrateExtract, req.data(),
                        req.size());
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    conn_alive_[conn] = false;
+    conn_error_ = s;
+    return s;
+  }
   bool in_sync = false;
   s = RecvReply(conns_[conn]->fd(), ShardMessageType::kMigrateData,
                 &reply_buf_, &in_sync);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    if (!in_sync) {
+      conn_alive_[conn] = false;
+      conn_error_ = s;
+    }
+    return s;
+  }
   *delta = std::move(reply_buf_.payload);
   return Status::Ok();
 }
@@ -102,89 +232,77 @@ Status QuerySession::Snapshot(const GraphSnapshot** out) {
     ++last_refresh_rounds_;
     Status s = ReadPositions(&t0);
     if (!s.ok()) return s;
-    // One cluster position: every shard at the same epoch and
-    // geometry, every shard id distinct. An epoch skew is a reshard
-    // broadcast caught mid-flight — a moving position, so retry.
-    const uint64_t epoch = t0[0].epoch;
-    bool epoch_skew = false;
-    ShardWatermarks marks;
-    uint64_t total_updates = 0;
-    for (const ShardStatsEx& st : t0) {
-      if (st.epoch != epoch) epoch_skew = true;
-      if (st.num_nodes != t0[0].num_nodes || st.seed != t0[0].seed ||
-          st.cols != t0[0].cols || st.rounds != t0[0].rounds) {
-        return Status::FailedPrecondition(
-            "shard listeners disagree on sketch geometry; these "
-            "endpoints are not one cluster");
-      }
-      ShardWatermark mark;
-      mark.num_updates = st.num_updates;
-      mark.delta_seq = st.delta_seq;
-      if (!marks.emplace(st.shard_id, mark).second) {
-        return Status::FailedPrecondition(
-            "two endpoints serve shard id " +
-            std::to_string(st.shard_id) +
-            "; each listener must host a distinct shard");
-      }
-      total_updates += st.num_updates;
-    }
-    if (epoch_skew) {
+    const std::vector<bool> alive0 = conn_alive_;
+    // One cluster position: every shard at the same epoch and geometry,
+    // replicas in agreement. Skew is a broadcast or fan-out caught
+    // mid-flight — a moving position, so retry.
+    PositionView view;
+    s = BuildView(t0, &view);
+    if (!s.ok()) return s;
+    if (view.skew) {
       last = Status::FailedPrecondition(
           "shards straddle a routing-epoch broadcast");
       continue;
     }
-    if (cache_.Fresh(epoch, marks)) {
+    if (cache_.Fresh(view.epoch, view.marks)) {
       *out = &cache_.merged();
       return Status::Ok();
     }
-    NodeSketchParams params;
-    params.num_nodes = t0[0].num_nodes;
-    params.seed = t0[0].seed;
-    params.cols = t0[0].cols;
-    params.rounds = t0[0].rounds;
     // Pre-stage every pull the refresh will make, THEN re-read the
     // positions: only if nothing moved do the staged bytes enter the
     // cache. (Staging everything first is what makes the t0 == t1
     // check meaningful — a pull after the check would be unverified.)
+    // Each chunk comes from any live replica of its shard: replicas
+    // are bitwise-equal at the position t0 == t1 certifies, so the
+    // pull fails over past a replica that dies mid-stage.
     std::map<std::pair<int, uint64_t>, std::vector<uint8_t>> staged;
     bool stage_error = false;
-    for (const int shard : cache_.PlannedPulls(epoch, marks)) {
-      size_t conn = conns_.size();
-      for (size_t i = 0; i < t0.size(); ++i) {
-        if (t0[i].shard_id == shard) conn = i;
-      }
-      if (conn == conns_.size()) {
+    for (const int shard : cache_.PlannedPulls(view.epoch, view.marks)) {
+      const auto group = view.groups.find(shard);
+      if (group == view.groups.end()) {
         return Status::Internal("planned pull for an unknown shard id");
       }
       const uint64_t step = options_.nodes_per_chunk == 0
-                                ? params.num_nodes
+                                ? view.params.num_nodes
                                 : options_.nodes_per_chunk;
-      for (uint64_t lo = 0; lo < params.num_nodes && !stage_error;
+      for (uint64_t lo = 0; lo < view.params.num_nodes && !stage_error;
            lo += step) {
-        const uint64_t hi = std::min<uint64_t>(params.num_nodes, lo + step);
-        s = PullRange(conn, lo, hi, &staged[{shard, lo}]);
-        if (!s.ok()) {
-          if (s.code() == StatusCode::kFailedPrecondition) {
-            // "shard not configured": a writer bounce mid-stage. The
-            // position will have moved; retry the round.
-            last = s;
-            stage_error = true;
-          } else {
-            return s;
+        const uint64_t hi =
+            std::min<uint64_t>(view.params.num_nodes, lo + step);
+        s = Status::Ok();
+        bool pulled = false;
+        for (const size_t conn : group->second) {
+          if (!conn_alive_[conn]) continue;
+          s = PullRange(conn, lo, hi, &staged[{shard, lo}]);
+          if (s.ok()) {
+            pulled = true;
+            break;
           }
+          if (s.code() == StatusCode::kFailedPrecondition) break;
+        }
+        if (pulled) continue;
+        if (s.ok() || s.code() == StatusCode::kFailedPrecondition) {
+          // "shard not configured" (a writer bounce mid-stage), or the
+          // last replica died earlier in the stage: the position will
+          // have moved or the alive-set changed; retry the round. (The
+          // next round's coverage check surfaces an uncovered shard.)
+          last = s.ok() ? conn_error_ : s;
+          stage_error = true;
+        } else {
+          return s;
         }
       }
     }
     if (stage_error) continue;
     s = ReadPositions(&t1);
     if (!s.ok()) return s;
-    if (!SamePosition(t0, t1)) {
+    if (!SamePosition(t0, alive0, t1, conn_alive_)) {
       last = Status::FailedPrecondition(
           "cluster position moved during the refresh");
       continue;
     }
     s = cache_.Refresh(
-        epoch, marks, total_updates, params,
+        view.epoch, view.marks, view.total_updates, view.params,
         [&staged](int shard, uint64_t lo, uint64_t hi,
                   std::vector<uint8_t>* delta) {
           (void)hi;
@@ -221,16 +339,16 @@ Status QuerySession::PollPositions(bool* fresh) {
   std::vector<ShardStatsEx> stats;
   Status s = ReadPositions(&stats);
   if (!s.ok()) return s;
-  const uint64_t epoch = stats[0].epoch;
-  ShardWatermarks marks;
-  for (const ShardStatsEx& st : stats) {
-    if (st.epoch != epoch) return Status::Ok();  // Mid-reshard = stale.
-    ShardWatermark mark;
-    mark.num_updates = st.num_updates;
-    mark.delta_seq = st.delta_seq;
-    if (!marks.emplace(st.shard_id, mark).second) return Status::Ok();
-  }
-  *fresh = cache_.Fresh(epoch, marks);
+  // Same validation Snapshot() runs: a configuration error (duplicate
+  // shard beyond the replication factor, mixed geometry) is an ERROR
+  // here too — reporting it as mere staleness would have a poller
+  // serving its stale cache forever, never learning the deployment is
+  // broken. Only genuine movement (epoch or replica skew) is stale.
+  PositionView view;
+  s = BuildView(stats, &view);
+  if (!s.ok()) return s;
+  if (view.skew) return Status::Ok();  // Mid-flight position = stale.
+  *fresh = cache_.Fresh(view.epoch, view.marks);
   return Status::Ok();
 }
 

@@ -16,17 +16,35 @@
 // A moving cluster just makes the refresh retry; a bounded number of
 // failed rounds returns an error rather than spinning forever.
 //
+// Replication: endpoints may include several listeners serving the
+// SAME shard id (its replicas). The session groups connections by the
+// shard id each reports, verifies the group sizes against the
+// cluster's advertised replication factor, and reads positions / pulls
+// content from any ONE live group member per shard — so a reader
+// survives the death of a listener mid-sweep as long as every shard
+// keeps one live replica. Replicas of one shard reporting different
+// positions is transient skew (an update fan-out caught mid-flight)
+// and is handled like any moving position: retry / stale.
+//
+// Every request runs under a receive deadline (an OS-level socket
+// timeout, see QuerySessionOptions): a listener that accepts,
+// authenticates, and then goes silent yields DeadlineExceeded instead
+// of hanging the reader forever, and the dead connection is excluded
+// from later sweeps.
+//
 // Honest limitation: a QuerySession computes the merged snapshot's
 // update count as the sum over the shards it can see, so after a
 // RemoveShard the retired shard's ingested count (which the
 // coordinator carries forward separately) is missing from
 // num_updates() — the sketch CONTENT is still exact. Sessions must
 // also re-Connect() after the cluster adds or removes listeners; a
-// vanished listener surfaces as an IoError from Snapshot().
+// vanished listener whose shard has no other live replica surfaces as
+// an error from Snapshot().
 #ifndef GZ_DISTRIBUTED_QUERY_SESSION_H_
 #define GZ_DISTRIBUTED_QUERY_SESSION_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,7 +58,8 @@
 namespace gz {
 
 struct QuerySessionOptions {
-  // tcp:// endpoints of the cluster's shard listeners, one per shard.
+  // tcp:// endpoints of the cluster's shard listeners — one per shard,
+  // or one per replica when the cluster replicates.
   std::vector<std::string> endpoints;
   // Shared handshake secret; must match the listeners'.
   std::string auth_secret;
@@ -49,6 +68,10 @@ struct QuerySessionOptions {
   // Refresh rounds to attempt while the cluster position keeps moving
   // under the seqlock before giving up.
   int max_position_retries = 16;
+  // Per-request receive deadline. A listener that stops answering
+  // mid-request fails with DeadlineExceeded after this long instead of
+  // blocking the reader forever. 0 = wait forever.
+  int receive_deadline_seconds = 30;
 };
 
 class QuerySession {
@@ -75,8 +98,11 @@ class QuerySession {
   // *fresh says whether the cached snapshot (cache().merged()) is still
   // exactly the cluster's position — readers that serve slightly-stale
   // answers poll this cheaply and pay Snapshot()'s refresh only when it
-  // reports false. A position caught mid-reshard (epoch skew) is
-  // reported as stale, not an error.
+  // reports false. A position caught mid-reshard (epoch skew) or with
+  // replica position skew is reported as stale, not an error; a
+  // MISCONFIGURATION — more endpoints serving one shard id than the
+  // cluster replicates — is FailedPrecondition, exactly as Snapshot()
+  // reports it (a config error must never masquerade as staleness).
   Status PollPositions(bool* fresh);
 
   // Observability: cache counters, plus how many seqlock rounds the
@@ -85,15 +111,50 @@ class QuerySession {
   int last_refresh_rounds() const { return last_refresh_rounds_; }
 
  private:
-  // One STATS_EX sweep across every connection (pipelined: all
-  // requests go out before the first reply is read).
+  // One position sweep, grouped: every live connection's STATS_EX reply
+  // validated into a single cluster view.
+  struct PositionView {
+    uint64_t epoch = 0;
+    // Epoch skew across shards, or replicas of one shard reporting
+    // different positions — a moving cluster, not an error.
+    bool skew = false;
+    ShardWatermarks marks;  // One entry per shard (not per conn).
+    uint64_t total_updates = 0;
+    // shard id -> live conn indices serving it (replicas). Built once
+    // per sweep; both position checks and pull failover walk it — no
+    // per-shard scan over the conn list.
+    std::map<int, std::vector<size_t>> groups;
+    NodeSketchParams params;
+  };
+
+  // One STATS_EX sweep across every live connection (pipelined: all
+  // requests go out before the first reply is read). A connection that
+  // fails to answer is marked dead and excluded — the sweep itself only
+  // fails when no live connection remains.
   Status ReadPositions(std::vector<ShardStatsEx>* stats);
-  // kMigrateExtract -> kMigrateData pull of [lo, hi) from conns_[i].
+  // Validates one sweep into a PositionView: geometry and replication
+  // agreement, group sizes against the replication factor, and
+  // coverage — a dead connection whose shard id has no live replica
+  // (or was never learned) surfaces the saved transport error.
+  Status BuildView(const std::vector<ShardStatsEx>& stats,
+                   PositionView* view);
+  // kMigrateExtract -> kMigrateData pull of [lo, hi) from conns_[i];
+  // marks the connection dead on transport failure.
   Status PullRange(size_t conn, uint64_t lo, uint64_t hi,
                    std::vector<uint8_t>* delta);
 
   QuerySessionOptions options_;
   std::vector<std::unique_ptr<TcpShardTransport>> conns_;
+  // Connections that have failed are marked dead rather than torn down:
+  // index stability keeps the seqlock's t0/t1 comparison simple, and a
+  // dead conn's sticky shard id (below) still drives coverage checks.
+  std::vector<bool> conn_alive_;
+  // Last shard id each connection reported (-1 before the first reply).
+  // Sticky across its death, so the session knows whether a dead conn's
+  // shard is still covered by a live replica.
+  std::vector<int> conn_shard_ids_;
+  // Most recent transport error from a connection marked dead.
+  Status conn_error_;
   SnapshotCache cache_;
   ShardFrame reply_buf_;
   int last_refresh_rounds_ = 0;

@@ -1,6 +1,7 @@
 #include "distributed/shard_listener.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -123,8 +124,17 @@ void ShardListener::RunSession(Session* session) {
   }
   if (role == ShardSessionRole::kWriter) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (writer_active_) {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A coordinator that drops its connection and immediately
+      // redials (kill + restart, replica repair) races the OLD writer
+      // session thread, which may not have observed the EOF yet. The
+      // handover is legitimate, so wait briefly for the doomed slot to
+      // drain; a writer that is genuinely alive keeps the slot claimed
+      // past the grace period and the newcomer is refused as before.
+      writer_cv_.wait_for(lock, std::chrono::seconds(10), [this] {
+        return !writer_active_ || stopping_;
+      });
+      if (writer_active_ || stopping_) {
         // The slot is claimed post-handshake: only an AUTHENTICATED
         // second coordinator draws this refusal, and it arrives as the
         // reply to its first request, decoded like any shard error.
@@ -143,6 +153,7 @@ void ShardListener::RunSession(Session* session) {
             .Serve();
     std::lock_guard<std::mutex> lock(mu_);
     writer_active_ = false;
+    writer_cv_.notify_all();
     if (s.ok()) {
       // Orderly kShutdown: retire the whole listener.
       shutdown_requested_ = true;
@@ -224,13 +235,20 @@ Status ShardListener::Run() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   std::unique_lock<std::mutex> lock(mu_);
+  stopping_ = true;
+  writer_cv_.notify_all();  // Break any writer waiting on the slot.
   for (Session& s : sessions_) {
     if (!s.done.load()) ::shutdown(s.fd, SHUT_RDWR);
   }
+  // Join OUTSIDE the lock: a session draining out of the writer-slot
+  // wait (or clearing the slot after Serve) needs mu_ to exit. The
+  // accept loop is gone, so sessions_ cannot grow under us.
+  lock.unlock();
   for (Session& s : sessions_) {
     s.thread.join();
     ::close(s.fd);
   }
+  lock.lock();
   sessions_.clear();
   const bool orderly = shutdown_requested_;
   lock.unlock();

@@ -30,6 +30,7 @@
 #define GZ_DISTRIBUTED_SHARD_LISTENER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -109,6 +110,13 @@ class ShardListener {
   std::mutex mu_;  // Guards sessions_, writer_active_, writer_status_.
   std::list<Session> sessions_;
   bool writer_active_ = false;
+  // Signaled when the writer slot drains (and at wind-down): a
+  // coordinator that reconnects right after dropping its old session —
+  // kill/restart, replica repair — races the old session thread's EOF
+  // observation, so a new writer waits briefly for the slot instead of
+  // being refused over a doomed predecessor.
+  std::condition_variable writer_cv_;
+  bool stopping_ = false;
   // Set when a writer session ends with an orderly kShutdown; what
   // Run() returns.
   bool shutdown_requested_ = false;

@@ -53,7 +53,7 @@ Status DecodeHeader(const uint8_t in[ShardFrameHeader::kBytes],
         std::to_string(ShardFrameHeader::kVersion) + ")");
   }
   if (type16 < static_cast<uint16_t>(ShardMessageType::kConfig) ||
-      type16 > static_cast<uint16_t>(ShardMessageType::kStatsReply)) {
+      type16 > static_cast<uint16_t>(ShardMessageType::kSyncPosition)) {
     return Status::InvalidArgument("shard frame: unknown message type " +
                                    std::to_string(type16));
   }
@@ -157,6 +157,13 @@ Status ReadFull(int fd, void* data, size_t size) {
     const ssize_t n = ::read(fd, p, size);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // SO_RCVTIMEO expiry (reader-session deadlines, pre-auth
+      // handshake): its own code, so callers can distinguish "peer is
+      // stalled" from "stream is broken".
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "shard socket read: receive deadline expired");
+      }
       return Status::IoError(std::string("shard socket read: ") +
                              std::strerror(errno));
     }
@@ -560,10 +567,12 @@ void WriteTable(const RoutingTable& table, ByteWriter* w) {
   w->U64(table.epoch);
   w->U32(RoutingTable::kNumSlots);
   for (const int32_t owner : table.owners) w->I32(owner);
+  w->U32(table.replication);
 }
 
 // Structural + range validation in one place: a table off the wire must
-// be directly usable (every slot owned by a sane shard id, real epoch).
+// be directly usable (every slot owned by a sane shard id, real epoch,
+// sane replica count).
 bool ReadTable(ByteReader* r, RoutingTable* table) {
   uint32_t num_slots = 0;
   if (!r->U64(&table->epoch) || !r->U32(&num_slots) ||
@@ -576,6 +585,10 @@ bool ReadTable(ByteReader* r, RoutingTable* table) {
         owner >= RoutingTable::kMaxShardId) {
       return false;
     }
+  }
+  if (!r->U32(&table->replication) || table->replication < 1 ||
+      table->replication > RoutingTable::kMaxReplication) {
+    return false;
   }
   return true;
 }
@@ -689,7 +702,7 @@ Status DecodeShardError(const uint8_t* data, size_t size, bool* decode_ok) {
   uint32_t code = 0;
   std::string message;
   if (!r.U32(&code) || !r.Str(&message) || !r.Done() ||
-      code > static_cast<uint32_t>(StatusCode::kResourceExhausted) ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded) ||
       code == static_cast<uint32_t>(StatusCode::kOk)) {
     *decode_ok = false;
     return Status::InvalidArgument("malformed shard error payload");
@@ -714,6 +727,23 @@ Status DecodeMigrateExtract(const uint8_t* data, size_t size, uint64_t* lo,
   return Status::Ok();
 }
 
+std::vector<uint8_t> EncodeSyncPosition(uint64_t num_updates,
+                                        uint64_t delta_seq) {
+  ByteWriter w;
+  w.U64(num_updates);
+  w.U64(delta_seq);
+  return w.Take();
+}
+
+Status DecodeSyncPosition(const uint8_t* data, size_t size,
+                          uint64_t* num_updates, uint64_t* delta_seq) {
+  ByteReader r(data, size);
+  if (!r.U64(num_updates) || !r.U64(delta_seq) || !r.Done()) {
+    return Status::InvalidArgument("malformed sync-position payload");
+  }
+  return Status::Ok();
+}
+
 std::vector<uint8_t> EncodeShardStatsEx(const ShardStatsEx& stats) {
   ByteWriter w;
   w.I32(stats.shard_id);
@@ -725,6 +755,7 @@ std::vector<uint8_t> EncodeShardStatsEx(const ShardStatsEx& stats) {
   w.U64(stats.seed);
   w.I32(stats.cols);
   w.I32(stats.rounds);
+  w.U32(stats.replication);
   return w.Take();
 }
 
@@ -735,14 +766,16 @@ Status DecodeShardStatsEx(const uint8_t* data, size_t size,
                   r.U64(&out->num_updates) && r.U64(&out->delta_seq) &&
                   r.U64(&out->ram_bytes) && r.U64(&out->num_nodes) &&
                   r.U64(&out->seed) && r.I32(&out->cols) &&
-                  r.I32(&out->rounds) && r.Done();
+                  r.I32(&out->rounds) && r.U32(&out->replication) &&
+                  r.Done();
   if (!ok) return Status::InvalidArgument("malformed stats-reply payload");
   // The geometry came off a socket and feeds zero-snapshot
   // construction; the caps mirror the config decoder's.
   if (out->shard_id < 0 || out->shard_id >= RoutingTable::kMaxShardId ||
       out->epoch == 0 || out->num_nodes < 2 ||
       out->num_nodes > (1ULL << 32) || out->cols < 1 || out->cols > 1024 ||
-      out->rounds < 1 || out->rounds > 4096) {
+      out->rounds < 1 || out->rounds > 4096 || out->replication < 1 ||
+      out->replication > RoutingTable::kMaxReplication) {
     return Status::InvalidArgument("stats-reply payload out of range");
   }
   return Status::Ok();

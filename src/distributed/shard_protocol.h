@@ -85,6 +85,12 @@ enum class ShardMessageType : uint16_t {
                     // stats the snapshot cache keys on (kStats keeps
                     // its two-u64 kAck reply for wire compatibility).
   kStatsReply = 20,  // Shard -> client: ShardStatsEx payload.
+  // Replication (coordinator -> shard, writer session only).
+  kSyncPosition = 21,  // Two u64s {num_updates, delta_seq}: the
+                       // coordinator asserts the shard's logical
+                       // position after an anti-entropy repair, so a
+                       // rejoined replica's watermark matches its
+                       // (repaired) content. Reply: kAck.
 };
 
 // Session role, declared in the HELLO frame and bound into the
@@ -248,12 +254,22 @@ struct RoutingTable {
   // Shard ids are small non-negative integers; this caps what a wire
   // decode accepts (and what any deployment remotely needs).
   static constexpr int32_t kMaxShardId = 4096;
+  // Caps the per-slot replica-set size a wire decode accepts.
+  static constexpr uint32_t kMaxReplication = 8;
 
   uint64_t epoch = 0;  // 0 = unset; real tables start at 1.
   std::vector<int32_t> owners;  // kNumSlots entries: slot -> shard id.
+  // Every slot's owner is served by `replication` copies: replica r of
+  // shard s is the instance at endpoint index s * replication + r, and
+  // replica 0 is the primary. 1 = unreplicated (the pre-replication
+  // wire form and behavior, bit for bit). The replica set is derived,
+  // not stored per slot: all slots of a shard share its replicas, so
+  // elastic reassignment (add/split/remove) never touches this field.
+  uint32_t replication = 1;
 
   friend bool operator==(const RoutingTable& a, const RoutingTable& b) {
-    return a.epoch == b.epoch && a.owners == b.owners;
+    return a.epoch == b.epoch && a.owners == b.owners &&
+           a.replication == b.replication;
   }
 };
 
@@ -332,6 +348,13 @@ std::vector<uint8_t> EncodeMigrateExtract(uint64_t lo, uint64_t hi);
 Status DecodeMigrateExtract(const uint8_t* data, size_t size, uint64_t* lo,
                             uint64_t* hi);
 
+// kSyncPosition payload: the coordinator-asserted logical position
+// {num_updates, delta_seq} a repaired replica must report from now on.
+std::vector<uint8_t> EncodeSyncPosition(uint64_t num_updates,
+                                        uint64_t delta_seq);
+Status DecodeSyncPosition(const uint8_t* data, size_t size,
+                          uint64_t* num_updates, uint64_t* delta_seq);
+
 // kStatsReply payload: everything a serving-tier client needs to key a
 // snapshot cache and build same-params zero snapshots without ever
 // having seen the shard's config. (epoch, num_updates, delta_seq) is
@@ -349,6 +372,9 @@ struct ShardStatsEx {
   uint64_t seed = 0;
   int32_t cols = 0;
   int32_t rounds = 0;
+  // The routing table's replica count, so a reader session can group
+  // its endpoints into replica sets and fail over within one.
+  uint32_t replication = 1;
 };
 std::vector<uint8_t> EncodeShardStatsEx(const ShardStatsEx& stats);
 Status DecodeShardStatsEx(const uint8_t* data, size_t size,

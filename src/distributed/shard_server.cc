@@ -52,6 +52,7 @@ std::vector<uint8_t> BuildStatsEx(const ShardInstanceState& state) {
   stats.seed = params.seed;
   stats.cols = params.cols;
   stats.rounds = params.rounds;
+  stats.replication = state.table.replication;
   return EncodeShardStatsEx(stats);
 }
 
@@ -292,6 +293,19 @@ Status ShardServer::HandleMergeDelta(const ShardFrame& frame) {
   return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
+Status ShardServer::HandleSyncPosition(const ShardFrame& frame) {
+  uint64_t num_updates = 0, delta_seq = 0;
+  Status s = DecodeSyncPosition(frame.payload.data(), frame.payload.size(),
+                                &num_updates, &delta_seq);
+  if (!s.ok()) return ReplyError(s);
+  // The coordinator asserts the logical position this shard's
+  // (repaired) content represents. Content itself moved via XOR deltas
+  // — which carry no counts — so only the bookkeeping changes here.
+  state_->gz->SetUpdatesIngested(num_updates);
+  state_->delta_seq = delta_seq;
+  return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
+}
+
 Status ShardServer::HandleStatsEx() {
   const std::vector<uint8_t> payload = BuildStatsEx(*state_);
   return SendFrame(fd_, ShardMessageType::kStatsReply, payload.data(),
@@ -501,7 +515,8 @@ Status ShardServer::Serve() {
          frame.type == ShardMessageType::kStatsEx ||
          frame.type == ShardMessageType::kEpoch ||
          frame.type == ShardMessageType::kMigrateExtract ||
-         frame.type == ShardMessageType::kMergeDelta)) {
+         frame.type == ShardMessageType::kMergeDelta ||
+         frame.type == ShardMessageType::kSyncPosition)) {
       s = ReplyError(state_->async_error);
       if (!s.ok()) return s;
       continue;
@@ -541,6 +556,9 @@ Status ShardServer::Serve() {
         break;
       case ShardMessageType::kMergeDelta:
         s = HandleMergeDelta(frame);
+        break;
+      case ShardMessageType::kSyncPosition:
+        s = HandleSyncPosition(frame);
         break;
       case ShardMessageType::kShutdown:
         // Ack first so the coordinator can reap without racing the exit.

@@ -127,6 +127,7 @@ class ShardServer {
   Status HandleEpoch(const ShardFrame& frame);
   Status HandleMigrateExtract(const ShardFrame& frame);
   Status HandleMergeDelta(const ShardFrame& frame);
+  Status HandleSyncPosition(const ShardFrame& frame);
   Status HandleStatsEx();
 
   // One reader request: dispatch + materialize under the lock, stream

@@ -66,6 +66,16 @@ Status ShardedGraphZeppelin::Init() {
     if (s.ok()) initialized_ = true;
     return s;
   }
+  // Replication needs independently failing processes; R "replicas"
+  // inside one address space share every fault, so an in-process
+  // cluster asking for them is a misconfiguration, not a degenerate
+  // deployment to run anyway.
+  if (cluster_options_.replication_factor > 1) {
+    return Status::InvalidArgument(
+        "in-process mode cannot replicate (replication_factor " +
+        std::to_string(cluster_options_.replication_factor) +
+        "); use Mode::kProcess");
+  }
   // An endpoint list naming remote shards with in-process execution is
   // a misconfiguration that must not silently run everything locally —
   // the same refusal the elastic ops give a non-local endpoint.

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 // Value-semantic status: either OK or a code plus a human-readable message.
@@ -42,6 +43,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -224,6 +224,77 @@ TEST_P(ReshardChaosTest, FoldedSnapshotBitwiseEqualsSingleInstance) {
   EXPECT_EQ(got.component_of, want.component_of);
 }
 
+TEST(ReshardReplicationTest, ReconcileUnderALiveSplitStaysBitwise) {
+  // Replication meets elasticity: at R=2, kill one replica of the
+  // split SOURCE while its migration is mid-flight, reconcile it back
+  // WITHOUT pausing the migration or the stream, finish the split, and
+  // the final fold — including one served by the repaired replica
+  // alone — must be bitwise-identical to an unsharded instance.
+  const uint64_t seed = 171;
+  const std::vector<GraphUpdate> updates = BuildChaosStream(seed);
+  const GraphZeppelinConfig base = BaseConfig(seed + 5);
+  ShardClusterOptions options;
+  options.replication_factor = 2;
+  options.migrate_nodes_per_chunk = 12;
+  ShardCluster cluster(base, 2, options);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const size_t burst = updates.size() / 30 + 1;
+  size_t fed = 0;
+  const auto feed_burst = [&] {
+    if (fed >= updates.size()) return;
+    const size_t count = std::min(burst, updates.size() - fed);
+    ASSERT_TRUE(cluster.Update(updates.data() + fed, count).ok());
+    fed += count;
+  };
+  for (int i = 0; i < 8; ++i) feed_burst();
+
+  Result<int> target = cluster.BeginSplitShard(0);
+  ASSERT_TRUE(target.ok()) << target.status().ToString();
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  feed_burst();
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+
+  cluster.KillReplica(0, 1);  // The source loses a replica mid-split.
+  // The migration keeps pumping on the surviving replicas, with
+  // ingestion interleaved — zero pause on either axis.
+  feed_burst();
+  ASSERT_TRUE(cluster.PumpMigration().ok());
+  feed_burst();
+
+  // Anti-entropy mid-migration: the dead replica rejoins while chunks
+  // are still moving (its repaired content includes the half-finished
+  // migration — linear diffs don't care).
+  uint64_t repaired = 0;
+  ASSERT_TRUE(cluster.Reconcile(&repaired).ok());
+  EXPECT_GT(repaired, 0u);
+  EXPECT_FALSE(cluster.replica_down(0, 1));
+
+  while (cluster.migration_active()) {
+    feed_burst();
+    ASSERT_TRUE(cluster.PumpMigration().ok());
+  }
+  while (fed < updates.size()) feed_burst();
+
+  GraphZeppelin single(base);
+  ASSERT_TRUE(single.Init().ok());
+  single.Update(updates.data(), updates.size());
+  const GraphSnapshot expect = single.Snapshot();
+
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == expect);
+
+  // The mid-split repair really converged: the repaired replica can
+  // carry the post-split source by itself.
+  cluster.KillReplica(0, 0);
+  folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_TRUE(folded.value() == expect);
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
 // Four N -> M transitions covering both corners of {1..4}, each on all
 // three substrates: 12 randomized schedules total.
 INSTANTIATE_TEST_SUITE_P(

@@ -18,8 +18,11 @@
 #include <vector>
 
 #include <netdb.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <chrono>
 
 #include "core/graph_zeppelin.h"
 #include "distributed/query_session.h"
@@ -445,6 +448,162 @@ TEST_F(ServingTierTcpTest, StalledPreAuthPeerDoesNotBlockTheWriter) {
   EXPECT_TRUE(*served == full.value());
   ::close(silent_fd);
   ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST_F(ServingTierTcpTest, SilentListenerYieldsDeadlineExceededNotAHang) {
+  // The reader-hang bug: a listener that accepts and AUTHENTICATES,
+  // then never answers another byte, used to park the QuerySession in
+  // a blocking recv() forever. With a receive deadline the stalled
+  // request fails with DeadlineExceeded in bounded time, and the dead
+  // connection is excluded from later sweeps instead of re-hanging.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd,
+                          reinterpret_cast<struct sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  // The impostor: speaks the v3 handshake honestly, then goes mute.
+  std::atomic<bool> stop{false};
+  std::atomic<int> session_fd{-1};
+  std::thread silent_listener([&] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    session_fd.store(fd);
+    if (!ServerHandshake(fd, kSecret).ok()) return;
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  QuerySessionOptions qo;
+  qo.endpoints = {"tcp://127.0.0.1:" + std::to_string(port)};
+  qo.auth_secret = kSecret;
+  qo.nodes_per_chunk = kChunk;
+  qo.receive_deadline_seconds = 1;
+  QuerySession session(qo);
+  ASSERT_TRUE(session.Connect().ok());  // Handshake really completes.
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const GraphSnapshot* served = nullptr;
+  Status s = session.Snapshot(&served);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+  // Bounded: one deadline (1s) plus slack, nowhere near a hang.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed)
+                .count(),
+            10);
+
+  // The connection is now marked dead: later probes fail fast with the
+  // saved error instead of waiting out another deadline.
+  const auto t1 = std::chrono::steady_clock::now();
+  bool fresh = false;
+  s = session.PollPositions(&fresh);
+  const auto poll_elapsed = std::chrono::steady_clock::now() - t1;
+  EXPECT_FALSE(s.ok());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                poll_elapsed)
+                .count(),
+            1000);
+
+  stop.store(true);
+  if (session_fd.load() >= 0) ::close(session_fd.load());
+  ::close(listen_fd);
+  silent_listener.join();
+}
+
+TEST_F(ServingTierTcpTest, DuplicateShardIdIsAnErrorFromPollAndSnapshot) {
+  // Misconfiguration drill: two UNRELATED single-shard clusters both
+  // serve shard id 0 at replication 1. A session dialed across both is
+  // pointed at garbage — Snapshot() always said so, and PollPositions()
+  // must report the same FailedPrecondition rather than disguising the
+  // config error as mere staleness.
+  StartFleet(2);
+  ShardClusterOptions options_a;
+  options_a.auth_secret = kSecret;
+  options_a.shard_endpoints = {endpoints_[0]};
+  ShardCluster cluster_a(BaseConfig(101), 1, options_a);
+  ASSERT_TRUE(cluster_a.Start().ok());
+  ShardClusterOptions options_b;
+  options_b.auth_secret = kSecret;
+  options_b.shard_endpoints = {endpoints_[1]};
+  // Same config on purpose: identical geometry gets PAST the
+  // geometry-agreement check, so the duplicate id itself must trip.
+  ShardCluster cluster_b(BaseConfig(101), 1, options_b);
+  ASSERT_TRUE(cluster_b.Start().ok());
+  const std::vector<GraphUpdate> updates = BuildStream(101);
+  ASSERT_TRUE(cluster_a.Update(updates.data(), updates.size()).ok());
+  ASSERT_TRUE(cluster_b.Update(updates.data(), updates.size()).ok());
+
+  QuerySession session(ReaderOptions());
+  ASSERT_TRUE(session.Connect().ok());
+  const GraphSnapshot* served = nullptr;
+  Status s = session.Snapshot(&served);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+  EXPECT_NE(s.message().find("serve shard id"), std::string::npos)
+      << s.ToString();
+
+  bool fresh = true;
+  s = session.PollPositions(&fresh);
+  ASSERT_FALSE(s.ok()) << "a misconfigured session must not poll Ok";
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+  EXPECT_NE(s.message().find("serve shard id"), std::string::npos)
+      << s.ToString();
+
+  ASSERT_TRUE(cluster_a.Shutdown().ok());
+  ASSERT_TRUE(cluster_b.Shutdown().ok());
+}
+
+TEST_F(ServingTierTcpTest, ReaderFailsOverToAliveReplicaMidSweep) {
+  // Replication on the read side: both replicas of one shard serve
+  // readers, and a session dialed across both survives the death of
+  // either listener — the position sweep and the content pulls fail
+  // over to the live group member, bitwise-identically. Only when the
+  // LAST replica dies does the session surface an error.
+  StartFleet(2);  // Two listeners, ONE shard at R=2 (shard-major).
+  ShardClusterOptions options;
+  options.auth_secret = kSecret;
+  options.shard_endpoints = endpoints_;
+  options.replication_factor = 2;
+  ShardCluster cluster(BaseConfig(111), 1, options);
+  ASSERT_TRUE(cluster.Start().ok());
+  const std::vector<GraphUpdate> updates = BuildStream(111);
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+  ASSERT_TRUE(cluster.Flush().ok());
+  Result<GraphSnapshot> full = cluster.Snapshot();
+  ASSERT_TRUE(full.ok());
+
+  QuerySession session(ReaderOptions());
+  ASSERT_TRUE(session.Connect().ok());
+  const GraphSnapshot* served = nullptr;
+  Status s = session.Snapshot(&served);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(*served == full.value());
+
+  // Replica 0's listener dies mid-session. The sweep marks its
+  // connection dead and the group's surviving member answers.
+  listeners_[0]->Stop();
+  s = session.Snapshot(&served);
+  ASSERT_TRUE(s.ok()) << "one live replica left: " << s.ToString();
+  EXPECT_TRUE(*served == full.value());
+
+  // The last replica dies: now the shard is genuinely uncovered and
+  // the session says so instead of serving a stale answer as fresh.
+  listeners_[1]->Stop();
+  EXPECT_FALSE(session.Snapshot(&served).ok());
+  cluster.Shutdown();  // Both children are already gone; best effort.
 }
 
 }  // namespace

@@ -241,7 +241,10 @@ TEST_P(ShardClusterTest, RepeatedKillsOfDifferentShards) {
 
   ASSERT_TRUE(cluster.Update(updates.data(), chunk).ok());
   cluster.KillShard(0);
-  ASSERT_TRUE(cluster.RestartShard(0).ok());
+  {
+    const Status restarted = cluster.RestartShard(0);
+    ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+  }
 
   ASSERT_TRUE(cluster.Update(updates.data() + chunk, chunk).ok());
   ASSERT_TRUE(cluster.Checkpoint().ok());
@@ -290,7 +293,10 @@ TEST_P(ShardClusterTest, AutoCheckpointBoundsTheUnackedLogs) {
   }
   // Auto-checkpoints are real checkpoints: kill + restart recovers.
   cluster.KillShard(0);
-  ASSERT_TRUE(cluster.RestartShard(0).ok());
+  {
+    const Status restarted = cluster.RestartShard(0);
+    ASSERT_TRUE(restarted.ok()) << restarted.ToString();
+  }
   Result<GraphSnapshot> folded = cluster.Snapshot();
   ASSERT_TRUE(folded.ok()) << folded.status().ToString();
   EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
@@ -699,6 +705,196 @@ TEST_P(ShardClusterTest, AddShardOnTcpEndpointGrowsAcrossMachines) {
   ASSERT_TRUE(cluster.Shutdown().ok());
 }
 
+// ---- Replication ----------------------------------------------------------
+
+TEST_P(ShardClusterTest, ReplicaKillDrillRepairsWithZeroStreamPause) {
+  // The replication acceptance drill: at R=2, SIGKILL one replica of a
+  // shard mid-stream. Ingestion and queries continue with ZERO pause
+  // (the surviving replica carries the shard), the killed replica
+  // rejoins via reconnect + anti-entropy — no checkpoint restore, no
+  // replay — and afterwards it can serve the shard ALONE, bitwise
+  // identical to a single unsharded instance.
+  const uint64_t n = 128;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.05;
+  ep.seed = 221;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 5);
+  const size_t third = updates.size() / 3;
+
+  const GraphZeppelinConfig base = BaseConfig(n, 241);
+  ShardClusterOptions options;
+  options.replication_factor = 2;
+  options.migrate_nodes_per_chunk = 16;
+  // 3 shards x 2 replicas: the TCP variant needs one listener per
+  // REPLICA (endpoints are shard-major, replicas consecutive).
+  ShardCluster cluster(base, 3, MakeOptions(3 * 2, options));
+  ASSERT_TRUE(cluster.Start().ok());
+  EXPECT_EQ(cluster.replication(), 2);
+
+  ASSERT_TRUE(cluster.Update(updates.data(), third).ok());
+  cluster.KillReplica(1, 1);  // Murder one replica mid-stream.
+  EXPECT_TRUE(cluster.replica_down(1, 1));
+  EXPECT_FALSE(cluster.replica_down(1, 0));
+
+  // Zero stream pause: ingestion keeps flowing...
+  ASSERT_TRUE(cluster.Update(updates.data() + third, third).ok());
+  // ...and so do queries — the fold fails over to the live replica.
+  {
+    Result<GraphSnapshot> folded = cluster.Snapshot();
+    ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+    const std::vector<GraphUpdate> prefix(updates.begin(),
+                                          updates.begin() + 2 * third);
+    EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, prefix));
+  }
+
+  // Rejoin: reconnect + reconcile. The replica comes back empty and
+  // anti-entropy transfers exactly the reference's content.
+  uint64_t repaired = 0;
+  ASSERT_TRUE(cluster.Reconcile(&repaired).ok());
+  EXPECT_GT(repaired, 0u);
+  EXPECT_FALSE(cluster.replica_down(1, 1));
+  for (const bool alive : cluster.HealthCheck()) EXPECT_TRUE(alive);
+
+  // Finish the stream, then kill the OTHER replica: the repaired one
+  // now carries the shard alone, and the fold must still be bitwise
+  // identical to the unsharded ground truth.
+  ASSERT_TRUE(cluster
+                  .Update(updates.data() + 2 * third,
+                          updates.size() - 2 * third)
+                  .ok());
+  cluster.KillReplica(1, 0);
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+
+  // And a second reconcile rejoins replica 0 from the repaired one.
+  ASSERT_TRUE(cluster.Reconcile(&repaired).ok());
+  EXPECT_FALSE(cluster.replica_down(1, 0));
+  ASSERT_TRUE(cluster.Flush().ok());  // All-replica barrier works again.
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST_P(ShardClusterTest, PeriodicReconcileRejoinsAKilledReplica) {
+  // The cadence knob: with reconcile_interval_updates set, ingestion
+  // alone rejoins a dead replica — no manual Reconcile() call.
+  const uint64_t n = 64;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.08;
+  ep.seed = 231;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 5);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 251);
+  ShardClusterOptions options;
+  options.replication_factor = 2;
+  options.reconcile_interval_updates = 200;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 2, MakeOptions(2 * 2, options));
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const size_t quarter = updates.size() / 4;
+  ASSERT_TRUE(cluster.Update(updates.data(), quarter).ok());
+  cluster.KillReplica(0, 1);
+  // Feed well past the interval in driver-sized bursts; a periodic
+  // pass fires inside Update() and repairs the replica along the way.
+  size_t fed = quarter;
+  while (fed < updates.size()) {
+    const size_t count = std::min<size_t>(100, updates.size() - fed);
+    ASSERT_TRUE(cluster.Update(updates.data() + fed, count).ok());
+    fed += count;
+  }
+  EXPECT_FALSE(cluster.replica_down(0, 1))
+      << "periodic reconcile never rejoined the replica";
+
+  // The rejoined replica serves the shard alone, bitwise.
+  cluster.KillReplica(0, 0);
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST_P(ShardClusterTest, ReconcileDetectsAndRepairsInjectedDivergence) {
+  // Silent corruption drill: fold a rogue delta into one replica
+  // BEHIND the coordinator's books. Folds from the healthy replica are
+  // unaffected; Reconcile() must detect the divergence (the corrupted
+  // copy cannot be a reference — its position disagrees with the
+  // books), repair it chunk-by-chunk, and converge: a second pass
+  // finds nothing, and the repaired replica serves the shard alone.
+  const uint64_t n = 96;
+  ErdosRenyiParams ep;
+  ep.num_nodes = n;
+  ep.p = 0.06;
+  ep.seed = 241;
+  const EdgeList edges = ErdosRenyiGenerator(ep).Generate();
+  const std::vector<GraphUpdate> updates = ToggleStream(edges, 3);
+
+  const GraphZeppelinConfig base = BaseConfig(n, 261);
+  ShardClusterOptions options;
+  options.replication_factor = 2;
+  options.migrate_nodes_per_chunk = 16;
+  ShardCluster cluster(base, 2, MakeOptions(2 * 2, options));
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+
+  // A rogue same-geometry delta nobody logged.
+  GraphZeppelin rogue(base);
+  ASSERT_TRUE(rogue.Init().ok());
+  for (NodeId u = 0; u + 1 < 10; ++u) {
+    rogue.Update({Edge(u, u + 1), UpdateType::kInsert});
+  }
+  const GraphSnapshot rogue_snap = rogue.Snapshot();
+  const std::vector<uint8_t> delta = rogue_snap.ExtractNodeRange(0, n);
+  ASSERT_TRUE(cluster.CorruptReplicaForTest(0, 1, delta).ok());
+
+  // The healthy replica still answers for the shard.
+  const GraphSnapshot expect = SingleProcessSnapshot(base, updates);
+  {
+    Result<GraphSnapshot> folded = cluster.Snapshot();
+    ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+    EXPECT_TRUE(folded.value() == expect);
+  }
+
+  uint64_t repaired = 0;
+  ASSERT_TRUE(cluster.Reconcile(&repaired).ok());
+  EXPECT_GT(repaired, 0u) << "the injected divergence went undetected";
+  ASSERT_TRUE(cluster.Reconcile(&repaired).ok());
+  EXPECT_EQ(repaired, 0u) << "a repaired cluster must reconcile clean";
+
+  cluster.KillReplica(0, 0);
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded.value().num_updates(), updates.size());
+  EXPECT_TRUE(folded.value() == expect)
+      << "the repaired replica's content still diverges";
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
+TEST_P(ShardClusterTest, ReconcileIsANoOpOnAHealthyUnreplicatedCluster) {
+  // R=1 parity: Reconcile() exists but has nothing to compare a lone
+  // replica against — a healthy cluster reconciles clean with zero
+  // repairs and an unchanged fold.
+  const GraphZeppelinConfig base = BaseConfig(64, 271);
+  ShardCluster cluster(base, 2, MakeOptions(2));
+  ASSERT_TRUE(cluster.Start().ok());
+  std::vector<GraphUpdate> updates;
+  for (NodeId u = 0; u + 1 < 40; ++u) {
+    updates.push_back({Edge(u, u + 1), UpdateType::kInsert});
+  }
+  ASSERT_TRUE(cluster.Update(updates.data(), updates.size()).ok());
+  uint64_t repaired = 7;
+  ASSERT_TRUE(cluster.Reconcile(&repaired).ok());
+  EXPECT_EQ(repaired, 0u);
+  Result<GraphSnapshot> folded = cluster.Snapshot();
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_TRUE(folded.value() == SingleProcessSnapshot(base, updates));
+  ASSERT_TRUE(cluster.Shutdown().ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Transports, ShardClusterTest,
     ::testing::Values(Transport::kLocal, Transport::kTcp),
@@ -748,6 +944,30 @@ TEST(ShardClusterTcpTest, MalformedEndpointFailsStartCleanly) {
   ShardClusterOptions options;
   options.shard_endpoints = {"carrier-pigeon://coop:7"};
   ShardCluster cluster(base, 1, options);
+  const Status s = cluster.Start();
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardClusterConfigTest, OutOfRangeReplicationFactorFailsStartCleanly) {
+  const GraphZeppelinConfig base = BaseConfig(64, 9);
+  for (const int r : {0, -1, 9}) {
+    ShardClusterOptions options;
+    options.replication_factor = r;
+    ShardCluster cluster(base, 2, options);
+    const Status s = cluster.Start();
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "factor " << r;
+  }
+}
+
+TEST(ShardClusterConfigTest, TooManyEndpointsForTheReplicaLayoutFailStart) {
+  // 2 shards x 2 replicas = 4 endpoint positions; a fifth entry has
+  // nowhere to go and must be a config error, not a silent drop.
+  const GraphZeppelinConfig base = BaseConfig(64, 13);
+  ShardClusterOptions options;
+  options.replication_factor = 2;
+  options.shard_endpoints = {"local:", "local:", "local:", "local:",
+                             "local:"};
+  ShardCluster cluster(base, 2, options);
   const Status s = cluster.Start();
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }

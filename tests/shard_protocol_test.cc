@@ -1033,6 +1033,56 @@ TEST(ShardProtocolTest, RoutingTablePayloadRoundTrips) {
       StatusCode::kInvalidArgument);
 }
 
+TEST(ShardProtocolTest, RoutingTableCarriesAndBoundsTheReplicationFactor) {
+  // Replication rides the routing-table broadcast: the factor must
+  // round-trip exactly, default to 1 (the pre-replication wire form),
+  // and die in the decoder when out of [1, kMaxReplication].
+  RoutingTable table = MakeRoutingTable(3);
+  EXPECT_EQ(table.replication, 1u);  // Unreplicated by default.
+  table.replication = 4;
+  const std::vector<uint8_t> bytes = EncodeRoutingTable(table);
+  RoutingTable out;
+  ASSERT_TRUE(DecodeRoutingTable(bytes.data(), bytes.size(), &out).ok());
+  EXPECT_TRUE(out == table);
+  EXPECT_EQ(out.replication, 4u);
+  for (const uint32_t bad : {0u, RoutingTable::kMaxReplication + 1}) {
+    RoutingTable garbled = table;
+    garbled.replication = bad;
+    const std::vector<uint8_t> enc = EncodeRoutingTable(garbled);
+    EXPECT_EQ(DecodeRoutingTable(enc.data(), enc.size(), &out).code(),
+              StatusCode::kInvalidArgument)
+        << "replication " << bad << " was accepted";
+  }
+}
+
+TEST(ShardProtocolTest, SyncPositionPayloadRoundTrips) {
+  // The anti-entropy finalizer: kSyncPosition asserts the logical
+  // {num_updates, delta_seq} position a repaired replica must report.
+  const std::vector<uint8_t> bytes =
+      EncodeSyncPosition(1ULL << 40, 17);
+  uint64_t num_updates = 0, delta_seq = 0;
+  ASSERT_TRUE(
+      DecodeSyncPosition(bytes.data(), bytes.size(), &num_updates,
+                         &delta_seq)
+          .ok());
+  EXPECT_EQ(num_updates, 1ULL << 40);
+  EXPECT_EQ(delta_seq, 17u);
+  // Every truncation and any trailing garbage is a structural error.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_EQ(DecodeSyncPosition(bytes.data(), cut, &num_updates,
+                                 &delta_seq)
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "truncated to " << cut << " bytes was accepted";
+  }
+  std::vector<uint8_t> padded = bytes;
+  padded.push_back(0);
+  const Status s = DecodeSyncPosition(padded.data(), padded.size(),
+                                      &num_updates, &delta_seq);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("sync-position"), std::string::npos);
+}
+
 TEST(ShardProtocolTest, SlotOwnershipIsBalancedForAnyShardCount) {
   // The old modulo router was biased for non-power-of-two shard
   // counts. Slot routing is uniform over slots by construction (mask
@@ -1194,6 +1244,31 @@ TEST(ShardStatsExTest, RejectsTruncationTrailingBytesAndBadRanges) {
   bad = stats;
   bad.rounds = 5000;
   rejects(bad);
+  // The replication factor feeds reader-side replica grouping; zero or
+  // beyond the protocol cap is as fatal as broken geometry.
+  bad = stats;
+  bad.replication = 0;
+  rejects(bad);
+  bad = stats;
+  bad.replication = RoutingTable::kMaxReplication + 1;
+  rejects(bad);
+}
+
+TEST(ShardStatsExTest, ReplicationFactorRoundTrips) {
+  ShardStatsEx stats;
+  stats.shard_id = 0;
+  stats.epoch = 1;
+  stats.num_nodes = 64;
+  stats.seed = 5;
+  stats.cols = 4;
+  stats.rounds = 12;
+  EXPECT_EQ(stats.replication, 1u);  // Pre-replication default.
+  stats.replication = 3;
+  const std::vector<uint8_t> bytes = EncodeShardStatsEx(stats);
+  ShardStatsEx decoded;
+  ASSERT_TRUE(
+      DecodeShardStatsEx(bytes.data(), bytes.size(), &decoded).ok());
+  EXPECT_EQ(decoded.replication, 3u);
 }
 
 // ---- Reader-role handshake ------------------------------------------------

@@ -13,6 +13,10 @@
 // listener per shard; this process holds the writer session):
 //   gz_components --stream stream.gzst
 //     --shard-endpoints tcp://H:P,tcp://H:P,...
+//     [--replication R]    (R listeners per shard, shard-major: the
+//                           endpoint list is replica 0..R-1 of shard 0,
+//                           then of shard 1, ...; its length must be a
+//                           multiple of R)
 //     [--auth-secret SECRET | --auth-secret-file PATH]
 //     [--hold-seconds N]   (after the query, keep the writer session —
 //                           and so the shard instances — alive for N
@@ -47,11 +51,28 @@ int RunSharded(const gz::tools::Flags& flags,
   using namespace gz;
   const std::vector<std::string> endpoints =
       tools::SplitCommaList(flags.GetString("shard-endpoints", ""));
+  const int replication =
+      static_cast<int>(flags.GetInt("replication", 1));
+  if (replication < 1) {
+    std::fprintf(stderr, "--replication wants a factor >= 1, got %d\n",
+                 replication);
+    return 2;
+  }
+  if (endpoints.size() % replication != 0) {
+    std::fprintf(stderr,
+                 "--shard-endpoints lists %zu listeners, not a multiple of "
+                 "--replication %d (shard-major: R consecutive endpoints "
+                 "per shard)\n",
+                 endpoints.size(), replication);
+    return 2;
+  }
   ShardClusterOptions copts;
   copts.auth_secret = tools::ResolveAuthSecret(flags, "gz_components");
   copts.shard_endpoints = endpoints;
-  ShardedGraphZeppelin sharded(config, static_cast<int>(endpoints.size()),
-                               ShardedGraphZeppelin::Mode::kProcess, copts);
+  copts.replication_factor = replication;
+  ShardedGraphZeppelin sharded(
+      config, static_cast<int>(endpoints.size()) / replication,
+      ShardedGraphZeppelin::Mode::kProcess, copts);
   Status s = sharded.Init();
   if (!s.ok()) {
     std::fprintf(stderr, "cluster init failed: %s\n", s.ToString().c_str());
@@ -133,6 +154,7 @@ int main(int argc, char** argv) {
                  "       [--gutter-fraction F] [--seed N] "
                  "[--checkpoint FILE] [--query-threads N] [--top K]\n"
                  "       [--shard-endpoints tcp://H:P,...] "
+                 "[--replication R] "
                  "[--auth-secret S | --auth-secret-file PATH] "
                  "[--hold-seconds N]\n");
     return 2;

@@ -4,6 +4,10 @@
 // position, and answers graph queries from it — without touching the
 // coordinator, whose write path keeps streaming unimpeded.
 //
+// Replicated clusters need no extra flags: list every replica's
+// endpoint and the session groups them by the shard id each reports,
+// reading from one live replica per shard (with failover).
+//
 // Usage:
 //   gz_query --endpoints tcp://h:p,tcp://h:p,... [--mode connectivity]
 //     [--auth-secret SECRET | --auth-secret-file PATH]
