@@ -1,8 +1,11 @@
 // Query-layer benchmark: parallel vs single-thread Boruvka, plus the
 // GraphSnapshot lifecycle costs (capture, XOR merge, serialize,
 // deserialize), plus the serving tier — cached vs delta-refresh vs
-// cold snapshot serving, and reader-session query qps/p99 at 1/4/16
-// concurrent readers with the ingest-rate impact on the writer. Emits
+// cold snapshot serving, reader-session query qps/p99 at 1/4/16
+// concurrent readers with the ingest-rate impact on the writer, and
+// the standing-query watch — push vs poll notification latency
+// p50/p99 and the writer's ingest rate with 16 live subscriptions.
+// Emits
 // one JSON object per vertex scale (the serving object last) so
 // BENCH_*.json trajectories can track the query path across builds.
 //
@@ -18,14 +21,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/standing_query.h"
 #include "core/graph_snapshot.h"
 #include "distributed/query_session.h"
 #include "distributed/shard_process.h"
@@ -203,7 +209,10 @@ int main() {
     ::unsetenv("GZ_SHARD_MAX_SESSIONS");
 
     GraphZeppelinConfig tcp_config = bench::DefaultGzConfig();
-    tcp_config.num_nodes = n;
+    // Two spare nodes host the standing-query probe edge: outside the
+    // random graph, connected only by the probe itself, so every
+    // toggle flips the watched answer deterministically.
+    tcp_config.num_nodes = n + 2;
     ShardClusterOptions copts;
     copts.auth_secret = kSecret;
     copts.shard_endpoints = fleet;
@@ -378,8 +387,6 @@ int main() {
            window_s > 0 ? static_cast<double>(polls.load()) / window_s : 0.0,
            loaded_rate, solo_rate > 0 ? loaded_rate / solo_rate : 0.0});
     }
-    GZ_CHECK_OK(cluster.Shutdown());
-
     std::printf(
         "  {\"serving\": {\"v\": %llu, \"shards\": %d,\n"
         "   \"cold_refresh_s\": %.6f, \"cached_s\": %.9f,\n"
@@ -399,7 +406,109 @@ int main() {
           p.readers, p.qps, p.p50_ms, p.p99_ms, p.poll_rate, p.ingest_rate,
           p.ingest_ratio, i + 1 < points.size() ? "," : "");
     }
-    std::printf("]}}\n");
+    std::printf("],\n");
+
+    // ---- Standing-query watch ---------------------------------------
+    // Notification latency: a kConnected standing query on the probe
+    // edge, toggled by the otherwise-quiesced writer. The sample is
+    // Update() -> the notifier firing with the flipped answer, so it
+    // covers the full path: shard position push (or cadence poll),
+    // delta refresh, the fold, and the answer diff. Push subscriptions
+    // vs pure polling at the same cadence.
+    const int toggles = bench::GetEnvInt("GZ_BENCH_WATCH_TOGGLES", 20);
+    const int watch_poll_ms = bench::GetEnvInt("GZ_BENCH_WATCH_POLL_MS", 200);
+    const Edge probe(static_cast<NodeId>(n), static_cast<NodeId>(n + 1));
+    GZ_CHECK_OK(cluster.Flush());
+    struct WatchLatency {
+      double p50_ms = 0, p99_ms = 0;
+    };
+    WatchLatency push_lat, poll_lat;
+    bool probe_in = false;
+    for (const bool subscribe : {true, false}) {
+      QuerySession session(qopts);
+      GZ_CHECK_OK(session.Connect());
+      session.AddStandingQuery(
+          {StandingQueryKind::kConnected, probe.u, probe.v});
+      std::mutex mu;
+      std::condition_variable cv;
+      bool last_connected = false;
+      uint64_t notes = 0;
+      StandingWatchOptions wopts;
+      wopts.poll_interval_ms = watch_poll_ms;
+      wopts.subscribe = subscribe;
+      GZ_CHECK_OK(session.StartWatch(
+          wopts,
+          [&](const StandingQueryNotification& nn, const GraphSnapshot&) {
+            std::lock_guard<std::mutex> lock(mu);
+            last_connected = nn.answer.connected;
+            ++notes;
+            cv.notify_all();
+          }));
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        GZ_CHECK(cv.wait_for(lock, std::chrono::seconds(30),
+                             [&] { return notes >= 1; }));
+      }
+      std::vector<double> lat;
+      lat.reserve(toggles);
+      for (int i = 0; i < toggles; ++i) {
+        const GraphUpdate u{
+            probe, probe_in ? UpdateType::kDelete : UpdateType::kInsert};
+        probe_in = !probe_in;
+        WallTimer toggle_timer;
+        GZ_CHECK_OK(cluster.Update(&u, 1));
+        std::unique_lock<std::mutex> lock(mu);
+        GZ_CHECK(cv.wait_for(lock, std::chrono::seconds(30),
+                             [&] { return last_connected == probe_in; }));
+        lat.push_back(toggle_timer.Seconds());
+      }
+      session.StopWatch();
+      WatchLatency& out = subscribe ? push_lat : poll_lat;
+      out.p50_ms = 1e3 * Percentile(&lat, 0.50);
+      out.p99_ms = 1e3 * Percentile(&lat, 0.99);
+    }
+
+    // Ingest impact of live subscriptions: 16 sessions, each holding a
+    // component-count standing query over push notify streams,
+    // re-folding as the writer streams — the heaviest continuous-query
+    // fleet the serving tier is specified for. Solo/loaded window
+    // pairs as above; the watchers are torn down for the solo half of
+    // each pair, so the drift-cancelling alternation is preserved.
+    const int kWatchers = 16;
+    double watch_solo = 0, watch_loaded = 0;
+    {
+      const int pairs = bench::GetEnvInt("GZ_BENCH_SERVING_WINDOWS", 3);
+      for (int w = 0; w < pairs; ++w) {
+        watch_solo += steady_rate(target_rate);
+        std::vector<std::unique_ptr<QuerySession>> watchers;
+        for (int r = 0; r < kWatchers; ++r) {
+          watchers.push_back(std::make_unique<QuerySession>(qopts));
+          GZ_CHECK_OK(watchers.back()->Connect());
+          watchers.back()->AddStandingQuery(
+              {StandingQueryKind::kComponentCount, 0, 0});
+          StandingWatchOptions wopts;
+          wopts.poll_interval_ms = watch_poll_ms;
+          GZ_CHECK_OK(watchers.back()->StartWatch(
+              wopts,
+              [](const StandingQueryNotification&, const GraphSnapshot&) {}));
+        }
+        watch_loaded += steady_rate(target_rate);
+        for (auto& watcher : watchers) watcher->StopWatch();
+      }
+      watch_solo /= pairs;
+      watch_loaded /= pairs;
+    }
+    GZ_CHECK_OK(cluster.Shutdown());
+
+    std::printf(
+        "   \"watch\": {\"toggles\": %d, \"poll_ms\": %d,\n"
+        "    \"push_p50_ms\": %.3f, \"push_p99_ms\": %.3f,\n"
+        "    \"poll_p50_ms\": %.3f, \"poll_p99_ms\": %.3f,\n"
+        "    \"subscribers\": %d, \"ingest_updates_per_s\": %.0f, "
+        "\"ingest_ratio\": %.3f}}}\n",
+        toggles, watch_poll_ms, push_lat.p50_ms, push_lat.p99_ms,
+        poll_lat.p50_ms, poll_lat.p99_ms, kWatchers, watch_loaded,
+        watch_solo > 0 ? watch_loaded / watch_solo : 0.0);
   }
   std::printf("]\n");
   return 0;

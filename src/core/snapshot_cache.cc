@@ -21,11 +21,7 @@ std::vector<int> SnapshotCache::PlannedPulls(
                 // epoch only versions the key.
   std::vector<int> pulls;
   for (const auto& [shard, mark] : marks) {
-    const auto it = marks_.find(shard);
-    const bool known = valid() && it != marks_.end();
-    if (known ? it->second != mark : mark != ShardWatermark{}) {
-      pulls.push_back(shard);
-    }
+    if (NeedsPull(shard, mark)) pulls.push_back(shard);
   }
   return pulls;
 }
@@ -104,17 +100,17 @@ Status SnapshotCache::Refresh(uint64_t epoch, const ShardWatermarks& marks,
     }
     it = shard_content_.erase(it);
   }
-  // New and moved shards. A shard whose watermark is unchanged is
-  // skipped outright — its sketch content cannot have changed.
+  // New and moved shards, pulled exactly when the shared NeedsPull
+  // predicate says so — the same predicate PlannedPulls() consulted, so
+  // a pre-staging caller's plan always matches the pulls made here. A
+  // shard whose watermark is unchanged is skipped outright (its sketch
+  // content cannot have changed); a brand-new shard at the zero
+  // watermark is installed as the XOR identity without a pull.
   for (const auto& [shard, mark] : marks) {
-    auto it = shard_content_.find(shard);
-    if (it == shard_content_.end()) {
+    if (shard_content_.find(shard) == shard_content_.end()) {
       shard_content_.emplace(shard, ZeroSnapshot(params));
-      if (mark == ShardWatermark{}) continue;  // Brand new: still zero.
-    } else {
-      const auto prev = marks_.find(shard);
-      if (prev != marks_.end() && prev->second == mark) continue;
     }
+    if (!NeedsPull(shard, mark)) continue;
     const Status s = PullShard(shard, params, puller);
     if (!s.ok()) {
       Invalidate();

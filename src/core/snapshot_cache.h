@@ -102,6 +102,10 @@ class SnapshotCache {
 
   // The served snapshot; only meaningful when valid().
   const GraphSnapshot& merged() const { return merged_; }
+  // The routing epoch the cached snapshot is keyed at (0 before the
+  // first refresh). With merged().num_updates(), the position a
+  // standing-query notification reports.
+  uint64_t epoch() const { return epoch_; }
 
   void Invalidate();
 
@@ -111,6 +115,19 @@ class SnapshotCache {
   uint64_t range_pulls() const { return range_pulls_; }
 
  private:
+  // THE needs-pull predicate — the single definition both
+  // PlannedPulls() and Refresh() consult, so the plan can never drift
+  // from the pulls actually performed. A shard needs a pull when its
+  // watermark differs from the recorded one; a shard the cache has no
+  // record of needs one exactly when its content can be nonzero (a
+  // zero watermark means a brand-new shard whose content is still the
+  // XOR identity).
+  bool NeedsPull(int shard, const ShardWatermark& mark) const {
+    const auto it = marks_.find(shard);
+    const bool known = valid() && it != marks_.end();
+    return known ? it->second != mark : mark != ShardWatermark{};
+  }
+
   // Chunk-folds `shard`'s transition old-content -> new-content into
   // both the merged snapshot and the shard's cached content.
   Status PullShard(int shard, const NodeSketchParams& params,

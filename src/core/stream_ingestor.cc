@@ -31,6 +31,11 @@ Result<uint64_t> IngestStreamFile(GraphZeppelin* gz, const std::string& path,
   std::vector<GraphUpdate> chunk;
   chunk.reserve(kChunkUpdates);
   const bool callbacks_on = callback != nullptr && callback_every > 0;
+  // The consumed count last reported through a boundary callback, so
+  // the completion callback below can be suppressed when the stream
+  // length is an exact multiple of callback_every (the boundary
+  // callback at the last chunk already reported that exact count).
+  uint64_t reported = UINT64_MAX;
   bool eof = false;
   while (!eof) {
     // Cap the chunk at the next progress boundary so callbacks fire at
@@ -54,12 +59,15 @@ Result<uint64_t> IngestStreamFile(GraphZeppelin* gz, const std::string& path,
     if (callbacks_on && progress.consumed % callback_every == 0) {
       progress.seconds = timer.Seconds();
       callback(progress);
+      reported = progress.consumed;
     }
   }
   if (!reader.status().ok()) return reader.status();
   gz->Flush();
-  progress.seconds = timer.Seconds();
-  if (callback != nullptr) callback(progress);
+  if (callback != nullptr && progress.consumed != reported) {
+    progress.seconds = timer.Seconds();
+    callback(progress);
+  }
   return progress.consumed;
 }
 

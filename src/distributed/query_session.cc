@@ -1,8 +1,13 @@
 #include "distributed/query_session.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <map>
 #include <utility>
+
+#include <poll.h>
+#include <unistd.h>
 
 namespace gz {
 namespace {
@@ -35,7 +40,7 @@ bool SamePosition(const std::vector<ShardStatsEx>& a,
 QuerySession::QuerySession(QuerySessionOptions options)
     : options_(std::move(options)), cache_(options_.nodes_per_chunk) {}
 
-QuerySession::~QuerySession() = default;
+QuerySession::~QuerySession() { StopWatch(); }
 
 Status QuerySession::Connect() {
   conns_.clear();
@@ -357,6 +362,185 @@ Result<ConnectivityResult> QuerySession::Connectivity(int threads) {
   Status s = Snapshot(&snap);
   if (!s.ok()) return s;
   return gz::Connectivity(*snap, threads);
+}
+
+// ---- Standing queries ---------------------------------------------
+
+uint64_t QuerySession::AddStandingQuery(const StandingQuerySpec& spec) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return registry_.Add(spec);
+}
+
+bool QuerySession::RemoveStandingQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return registry_.Remove(query_id);
+}
+
+uint64_t QuerySession::watch_notifications() const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return registry_.notifications();
+}
+
+uint64_t QuerySession::watch_evaluations() const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return registry_.evaluations();
+}
+
+size_t QuerySession::watch_notify_streams() const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return notify_conns_.size();
+}
+
+Status QuerySession::watch_error() const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  return watch_error_;
+}
+
+void QuerySession::OpenNotifyStreams() {
+  // Extra reader sessions, one per endpoint, each converted into a
+  // notify stream by kSubscribe. Every failure — dial, handshake, a
+  // kError refusal (shard not yet configured), a garbled first frame —
+  // just drops that stream: the cadence poll still covers its shard,
+  // and a subscriber that wants pushes back can re-StartWatch later.
+  for (const std::string& uri : options_.endpoints) {
+    Result<ShardEndpoint> parsed = ParseShardEndpoint(uri);
+    if (!parsed.ok()) continue;
+    auto conn = std::make_unique<TcpShardTransport>(
+        std::move(parsed).value(), options_.auth_secret,
+        ShardSessionRole::kReader);
+    if (!conn->Connect().ok()) continue;
+    if (options_.receive_deadline_seconds > 0) {
+      SetShardSocketTimeout(conn->fd(), options_.receive_deadline_seconds);
+    }
+    if (!SendFrame(conn->fd(), ShardMessageType::kSubscribe, nullptr, 0)
+             .ok()) {
+      continue;
+    }
+    // The 1:1 reply: the initial kNotify (current position), or kError.
+    ShardFrame first;
+    if (!RecvFrame(conn->fd(), &first).ok() ||
+        first.type != ShardMessageType::kNotify) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    notify_conns_.push_back(std::move(conn));
+  }
+}
+
+Status QuerySession::StartWatch(const StandingWatchOptions& options,
+                                StandingQueryNotifier notifier) {
+  if (watching_.load()) {
+    return Status::FailedPrecondition("watch already running");
+  }
+  if (conns_.empty()) {
+    return Status::FailedPrecondition("query session not connected");
+  }
+  if (options.poll_interval_ms <= 0) {
+    return Status::InvalidArgument("poll_interval_ms must be positive");
+  }
+  if (::pipe(watch_stop_pipe_) != 0) {
+    return Status::IoError(std::string("watch stop pipe: ") +
+                           std::strerror(errno));
+  }
+  watch_options_ = options;
+  watch_notifier_ = std::move(notifier);
+  watch_error_ = Status::Ok();
+  watching_.store(true);
+  watch_thread_ = std::thread([this] { WatchLoop(); });
+  return Status::Ok();
+}
+
+void QuerySession::StopWatch() {
+  if (!watching_.load()) return;
+  const char byte = 'q';
+  // A full pipe just means a wake-up is already pending.
+  (void)!::write(watch_stop_pipe_[1], &byte, 1);
+  watch_thread_.join();
+  ::close(watch_stop_pipe_[0]);
+  ::close(watch_stop_pipe_[1]);
+  watch_stop_pipe_[0] = watch_stop_pipe_[1] = -1;
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  notify_conns_.clear();
+  watching_.store(false);
+}
+
+void QuerySession::WatchLoop() {
+  if (watch_options_.subscribe) OpenNotifyStreams();
+  ShardFrame frame;
+  while (true) {
+    // Wait for a push, the stop byte, or the fallback cadence. The
+    // notify fds are registered alongside the stop pipe so a pushed
+    // position change wakes the watcher immediately.
+    std::vector<struct pollfd> pfds;
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      pfds.reserve(notify_conns_.size() + 1);
+      struct pollfd stop;
+      stop.fd = watch_stop_pipe_[0];
+      stop.events = POLLIN;
+      stop.revents = 0;
+      pfds.push_back(stop);
+      for (const auto& conn : notify_conns_) {
+        struct pollfd p;
+        p.fd = conn->fd();
+        p.events = POLLIN;
+        p.revents = 0;
+        pfds.push_back(p);
+      }
+    }
+    const int rc =
+        ::poll(pfds.data(), pfds.size(), watch_options_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) return;
+    if (pfds[0].revents != 0) return;  // StopWatch.
+    if (rc > 0) {
+      // Drain one frame per readable stream; anything but a clean
+      // kNotify (EOF, transport error, a stray frame type) retires the
+      // stream — the cadence poll takes over for its shard.
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      size_t conn_idx = 0;
+      for (size_t i = 1; i < pfds.size(); ++i, ++conn_idx) {
+        if (pfds[i].revents == 0) continue;
+        // pfds[i] was built from notify_conns_ under the same mutex and
+        // streams are only ever retired here, so indices still line up.
+        const Status s =
+            RecvFrame(notify_conns_[conn_idx]->fd(), &frame);
+        if (!s.ok() || frame.type != ShardMessageType::kNotify) {
+          notify_conns_.erase(notify_conns_.begin() + conn_idx);
+          --conn_idx;
+          continue;
+        }
+      }
+    }
+    WatchEvaluate();
+  }
+}
+
+void QuerySession::WatchEvaluate() {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  if (registry_.size() == 0) return;
+  // Probe first: a fresh position with nothing newly registered means
+  // no fold and no pulls this cycle. (Snapshot() would conclude the
+  // same, but the probe makes the steady-state cost of an idle watch
+  // exactly one STATS_EX sweep per wake-up.)
+  bool fresh = false;
+  Status s = PollPositions(&fresh);
+  if (!s.ok()) {
+    watch_error_ = s;
+    return;
+  }
+  if (fresh && !registry_.HasUnevaluated()) return;
+  const GraphSnapshot* snap = nullptr;
+  s = Snapshot(&snap);
+  if (!s.ok()) {
+    // Transient by design: a mid-reshard refresh that kept moving, or
+    // a shard waiting on failover. The watch keeps running; the next
+    // wake-up retries.
+    watch_error_ = s;
+    return;
+  }
+  const Result<size_t> fired = registry_.Evaluate(
+      *snap, cache_.epoch(), watch_options_.threads, watch_notifier_);
+  watch_error_ = fired.ok() ? Status::Ok() : fired.status();
 }
 
 }  // namespace gz

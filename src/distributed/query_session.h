@@ -43,14 +43,18 @@
 #ifndef GZ_DISTRIBUTED_QUERY_SESSION_H_
 #define GZ_DISTRIBUTED_QUERY_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/connectivity.h"
 #include "core/snapshot_cache.h"
+#include "core/standing_query.h"
 #include "distributed/shard_protocol.h"
 #include "distributed/shard_transport.h"
 #include "util/status.h"
@@ -72,6 +76,23 @@ struct QuerySessionOptions {
   // mid-request fails with DeadlineExceeded after this long instead of
   // blocking the reader forever. 0 = wait forever.
   int receive_deadline_seconds = 30;
+};
+
+// How a watch (StartWatch) paces itself.
+struct StandingWatchOptions {
+  // The fallback cadence: how long the watcher sleeps between position
+  // probes when no push notification arrives. With live notify streams
+  // this is only a safety net; with subscribe = false (or after every
+  // notify stream has died) it is the whole pacing.
+  int poll_interval_ms = 200;
+  // Open a dedicated kSubscribe notify stream to every endpoint so the
+  // shard PUSHES position changes and the watcher reacts immediately
+  // instead of discovering them a poll interval late. A stream that is
+  // refused (shard not yet configured) or dies later is simply dropped
+  // — the cadence poll still covers its shard.
+  bool subscribe = true;
+  // Threads for the Boruvka fold each evaluation runs.
+  int threads = 1;
 };
 
 class QuerySession {
@@ -110,6 +131,41 @@ class QuerySession {
   const SnapshotCache& cache() const { return cache_; }
   int last_refresh_rounds() const { return last_refresh_rounds_; }
 
+  // ---- Standing queries -------------------------------------------
+  //
+  // Register queries, then StartWatch() to spawn the watcher thread:
+  // it waits on the notify streams (or the fallback cadence), probes
+  // the cluster position, and re-runs Snapshot() + one evaluation only
+  // when the position moved (or a freshly added query needs its
+  // initial answer), firing `notifier` once per changed answer — see
+  // core/standing_query.h for the delivery contract. The notifier runs
+  // on the watcher thread; keep it quick or hand off.
+  //
+  // While a watch runs, the watcher thread owns the request/reply
+  // connections: the owner must not call Snapshot(), Connectivity(),
+  // PollPositions(), or Connect() until StopWatch() returns. Add and
+  // Remove are safe at any time.
+  uint64_t AddStandingQuery(const StandingQuerySpec& spec);
+  bool RemoveStandingQuery(uint64_t query_id);
+
+  // Spawns the watcher. Fails if already watching or never connected.
+  // Notify-stream subscription failures are NOT fatal (the cadence
+  // poll covers them); watch_notify_streams() says how many are live.
+  Status StartWatch(const StandingWatchOptions& options,
+                    StandingQueryNotifier notifier);
+  // Stops and joins the watcher, closes the notify streams. Idempotent.
+  void StopWatch();
+  bool watching() const { return watching_.load(); }
+
+  // Watch observability (safe while watching).
+  uint64_t watch_notifications() const;
+  uint64_t watch_evaluations() const;
+  size_t watch_notify_streams() const;
+  // The most recent evaluation-cycle failure (a mid-reshard refresh
+  // that kept moving, a dead shard). Cleared by the next clean cycle;
+  // the watch itself keeps running through transient errors.
+  Status watch_error() const;
+
  private:
   // One position sweep, grouped: every live connection's STATS_EX reply
   // validated into a single cluster view.
@@ -143,6 +199,15 @@ class QuerySession {
   Status PullRange(size_t conn, uint64_t lo, uint64_t hi,
                    std::vector<uint8_t>* delta);
 
+  // Dials every endpoint as an extra reader session and converts each
+  // into a kSubscribe notify stream. Failures drop the stream, never
+  // the watch.
+  void OpenNotifyStreams();
+  // The watcher thread body.
+  void WatchLoop();
+  // One watch cycle: position probe, refresh if moved, evaluate.
+  void WatchEvaluate();
+
   QuerySessionOptions options_;
   std::vector<std::unique_ptr<TcpShardTransport>> conns_;
   // Connections that have failed are marked dead rather than torn down:
@@ -158,6 +223,20 @@ class QuerySession {
   SnapshotCache cache_;
   ShardFrame reply_buf_;
   int last_refresh_rounds_ = 0;
+
+  // ---- Watch state ------------------------------------------------
+  // watch_mu_ guards the registry, watch_error_, and the notify-stream
+  // list; the watcher thread holds it across a whole evaluation cycle,
+  // so Add/Remove may briefly block behind a refresh.
+  mutable std::mutex watch_mu_;
+  StandingQueryRegistry registry_;
+  Status watch_error_;
+  StandingWatchOptions watch_options_;
+  StandingQueryNotifier watch_notifier_;
+  std::vector<std::unique_ptr<TcpShardTransport>> notify_conns_;
+  std::thread watch_thread_;
+  int watch_stop_pipe_[2] = {-1, -1};  // Wakes the watcher for StopWatch.
+  std::atomic<bool> watching_{false};
 };
 
 }  // namespace gz

@@ -1253,4 +1253,14 @@ Status ShardCluster::CachedSnapshot(const GraphSnapshot** out) {
   return Status::Ok();
 }
 
+Result<size_t> ShardCluster::EvaluateStandingQueries(
+    int threads, const StandingQueryNotifier& notifier) {
+  if (standing_queries_.size() == 0) return size_t{0};
+  const GraphSnapshot* snap = nullptr;
+  const Status s = CachedSnapshot(&snap);
+  if (!s.ok()) return s;
+  return standing_queries_.Evaluate(*snap, table_.epoch, threads,
+                                    notifier);
+}
+
 }  // namespace gz

@@ -55,6 +55,7 @@
 #include "core/graph_snapshot.h"
 #include "core/graph_zeppelin.h"
 #include "core/snapshot_cache.h"
+#include "core/standing_query.h"
 #include "distributed/shard_endpoint.h"
 #include "distributed/shard_process.h"
 #include "distributed/shard_protocol.h"
@@ -271,6 +272,17 @@ class ShardCluster {
   ShardWatermarks Watermarks() const;
   const SnapshotCache& snapshot_cache() const { return cache_; }
 
+  // Standing queries, coordinator-driven: register specs here, then
+  // call EvaluateStandingQueries() wherever the stream pauses (between
+  // batches, after a reshard step). One CachedSnapshot() refresh + one
+  // fold serves every registered query; `notifier` fires once per
+  // changed answer (see core/standing_query.h for the contract).
+  // Returns the number of notifications fired. Single-driver, like
+  // every other coordinator call.
+  StandingQueryRegistry& standing_queries() { return standing_queries_; }
+  Result<size_t> EvaluateStandingQueries(
+      int threads, const StandingQueryNotifier& notifier);
+
   // Size of the shard-id space (ids are never reused; removed ids stay
   // allocated). Equals the active count until the first RemoveShard.
   int num_shards() const { return static_cast<int>(procs_.size()); }
@@ -421,6 +433,7 @@ class ShardCluster {
   ShardFrame reply_buf_;  // Reused for pipelined replies.
   // The serving tier's merged-snapshot cache (see CachedSnapshot()).
   SnapshotCache cache_;
+  StandingQueryRegistry standing_queries_;
 };
 
 }  // namespace gz

@@ -234,6 +234,14 @@ Status ShardListener::Run() {
   // loop exits with an IoError) and join.
   ::close(listen_fd_);
   listen_fd_ = -1;
+  {
+    // Subscription loops block on the instance condvar, not a read, so
+    // shutdown(2) alone does not wake them — flag the wind-down and
+    // signal so they exit on their next predicate check.
+    std::lock_guard<std::mutex> state_lock(state_.mutex);
+    state_.winding_down = true;
+    state_.position_cv.notify_all();
+  }
   std::unique_lock<std::mutex> lock(mu_);
   stopping_ = true;
   writer_cv_.notify_all();  // Break any writer waiting on the slot.

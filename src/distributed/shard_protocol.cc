@@ -53,7 +53,7 @@ Status DecodeHeader(const uint8_t in[ShardFrameHeader::kBytes],
         std::to_string(ShardFrameHeader::kVersion) + ")");
   }
   if (type16 < static_cast<uint16_t>(ShardMessageType::kConfig) ||
-      type16 > static_cast<uint16_t>(ShardMessageType::kSyncPosition)) {
+      type16 > static_cast<uint16_t>(ShardMessageType::kNotify)) {
     return Status::InvalidArgument("shard frame: unknown message type " +
                                    std::to_string(type16));
   }

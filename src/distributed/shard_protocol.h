@@ -91,6 +91,20 @@ enum class ShardMessageType : uint16_t {
                        // position after an anti-entropy repair, so a
                        // rejoined replica's watermark matches its
                        // (repaired) content. Reply: kAck.
+  // Standing queries (reader session only).
+  kSubscribe = 22,  // Empty payload. Converts the reader session into a
+                    // server-push notify stream: the shard replies with
+                    // one immediate kNotify (the current position) and
+                    // from then on pushes a kNotify whenever the
+                    // shard's serving position changes (coalesced — a
+                    // burst of changes may yield one frame carrying the
+                    // latest position). The client sends nothing more
+                    // on the connection; any byte it does send (or its
+                    // EOF) ends the subscription. On a writer session,
+                    // or on an unconfigured/diverged shard, the reply
+                    // is kError and the session continues unconverted.
+  kNotify = 23,     // Shard -> subscriber: ShardStatsEx payload, the
+                    // position that changed. Never a valid request.
 };
 
 // Session role, declared in the HELLO frame and bound into the

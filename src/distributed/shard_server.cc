@@ -1,6 +1,7 @@
 #include "distributed/shard_server.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -122,6 +123,7 @@ Status ShardServer::HandleConfig(const ShardFrame& frame) {
   state_->shard_id = sc.shard_id;
   state_->table = std::move(sc.table);
   state_->delta_seq = delta_seq;
+  state_->NotifyPositionChanged();
   return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
@@ -177,6 +179,7 @@ Status ShardServer::HandleUpdateBatch(const ShardFrame& frame) {
     }
   }
   state_->gz->Update(updates, count);
+  state_->NotifyPositionChanged();
   return Status::Ok();
 }
 
@@ -255,6 +258,7 @@ Status ShardServer::HandleEpoch(const ShardFrame& frame) {
         std::to_string(table.epoch)));
   }
   state_->table = std::move(table);
+  state_->NotifyPositionChanged();
   return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
@@ -290,6 +294,7 @@ Status ShardServer::HandleMergeDelta(const ShardFrame& frame) {
                                                   frame.payload.size());
   if (!s.ok()) return ReplyError(s);
   ++state_->delta_seq;
+  state_->NotifyPositionChanged();
   return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
@@ -303,6 +308,7 @@ Status ShardServer::HandleSyncPosition(const ShardFrame& frame) {
   // — which carry no counts — so only the bookkeeping changes here.
   state_->gz->SetUpdatesIngested(num_updates);
   state_->delta_seq = delta_seq;
+  state_->NotifyPositionChanged();
   return ReplyAck(state_->gz->num_updates_ingested(), state_->delta_seq);
 }
 
@@ -416,6 +422,63 @@ Status ShardServer::ServeReaderFrame(const ShardFrame& frame) {
   return SendFrame(fd_, reply_type, reply.data(), reply.size());
 }
 
+Status ShardServer::ServeSubscription(std::vector<uint8_t> last_notified) {
+  // Pure server-push from here on. The loop alternates between waiting
+  // for a position change (predicate on the change counter — a change
+  // that lands between payload build and the next wait is never lost)
+  // and pushing the new position. The periodic timeout exists only to
+  // run the fd health probe below; an unchanged position never pushes
+  // a frame (payload-compare dedupe), so a quiet shard keeps a quiet
+  // wire.
+  uint64_t seen = 0;
+  while (true) {
+    std::vector<uint8_t> payload;
+    bool winding_down = false;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->position_cv.wait_for(
+          lock, std::chrono::milliseconds(500), [&] {
+            return state_->winding_down || state_->position_changes != seen;
+          });
+      seen = state_->position_changes;
+      winding_down = state_->winding_down;
+      // A reset or diverged instance has no position to report; stay
+      // subscribed and silent until it is configured again (the next
+      // config bumps the counter and the fresh position pushes then).
+      if (state_->gz != nullptr && state_->async_error.ok()) {
+        payload = BuildStatsEx(*state_);
+      }
+    }
+    if (winding_down) {
+      return Status::IoError("listener wind-down ended the subscription");
+    }
+    // Health probe: a subscriber never legitimately sends after
+    // kSubscribe, so ANY inbound event — a stray byte, EOF, a socket
+    // error — ends the subscription. This is also how hang-up is
+    // detected at all: a push-only loop would otherwise only notice a
+    // dead peer on its next (possibly never) send.
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, 0);
+    if (rc < 0 && errno != EINTR) {
+      return Status::IoError(std::string("subscription poll: ") +
+                             std::strerror(errno));
+    }
+    if (rc > 0 && pfd.revents != 0) {
+      return Status::IoError("subscriber hung up or broke the push-only "
+                             "contract");
+    }
+    if (!payload.empty() && payload != last_notified) {
+      const Status s = SendFrame(fd_, ShardMessageType::kNotify,
+                                 payload.data(), payload.size());
+      if (!s.ok()) return s;
+      last_notified = std::move(payload);
+    }
+  }
+}
+
 Status ShardServer::Serve() {
   // Authentication gates everything: until the peer proves the shared
   // secret, no frame below — not even a fire-and-forget UPDATE_BATCH —
@@ -449,6 +512,34 @@ Status ShardServer::Serve() {
       if (!s.ok()) {
         if (s.code() == StatusCode::kInvalidArgument) ReplyError(s);
         return s;
+      }
+      if (frame.type == ShardMessageType::kSubscribe) {
+        // Converts the session into a server-push notify stream. The
+        // immediate first kNotify is the 1:1 reply to this request;
+        // after it the client sends nothing more. An unconfigured or
+        // diverged shard refuses (kError) and the session continues as
+        // a plain reader — the subscriber can retry later.
+        std::vector<uint8_t> payload;
+        Status refuse = Status::Ok();
+        {
+          std::lock_guard<std::mutex> lock(state_->mutex);
+          if (state_->gz == nullptr) {
+            refuse = Status::FailedPrecondition("shard not configured");
+          } else if (!state_->async_error.ok()) {
+            refuse = state_->async_error;
+          } else {
+            payload = BuildStatsEx(*state_);
+          }
+        }
+        if (!refuse.ok()) {
+          s = ReplyError(refuse);
+          if (!s.ok()) return s;
+          continue;
+        }
+        s = SendFrame(fd_, ShardMessageType::kNotify, payload.data(),
+                      payload.size());
+        if (!s.ok()) return s;
+        return ServeSubscription(std::move(payload));
       }
       s = ServeReaderFrame(frame);
       if (!s.ok()) return s;
@@ -559,6 +650,13 @@ Status ShardServer::Serve() {
         break;
       case ShardMessageType::kSyncPosition:
         s = HandleSyncPosition(frame);
+        break;
+      case ShardMessageType::kSubscribe:
+        // Subscriptions are a reader-session feature: converting the
+        // writer's request/reply stream into a push stream would strand
+        // the coordinator.
+        s = ReplyError(Status::FailedPrecondition(
+            "subscriptions require a reader session"));
         break;
       case ShardMessageType::kShutdown:
         // Ack first so the coordinator can reap without racing the exit.

@@ -14,9 +14,11 @@
 #ifndef GZ_DISTRIBUTED_SHARD_SERVER_H_
 #define GZ_DISTRIBUTED_SHARD_SERVER_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/graph_zeppelin.h"
 #include "distributed/shard_protocol.h"
@@ -66,6 +68,23 @@ struct ShardInstanceState {
   // stale answers). Sticky: a dropped batch is permanent divergence,
   // curable only by restart + replay.
   Status async_error;
+  // Signaled (under `mutex`) on every serving-position change — ingest,
+  // delta fold, position sync, epoch adoption, configure, reset — so
+  // subscribed reader sessions (kSubscribe) push a kNotify instead of
+  // the client polling. `position_changes` counts the signals, letting
+  // a subscription wait on a predicate (no change can slip between its
+  // payload build and its next wait). Also signaled with
+  // `winding_down` set when the listener retires, so subscription
+  // loops exit promptly.
+  std::condition_variable position_cv;
+  uint64_t position_changes = 0;
+  bool winding_down = false;
+
+  // Caller holds `mutex`.
+  void NotifyPositionChanged() {
+    ++position_changes;
+    position_cv.notify_all();
+  }
 
   // Back to the unconfigured state — what a writer disconnect on the
   // listener does (the exact state loss of a SIGKILLed local shard).
@@ -76,6 +95,7 @@ struct ShardInstanceState {
     table = RoutingTable();
     delta_seq = 0;
     async_error = Status::Ok();
+    NotifyPositionChanged();  // Subscribers must learn of the loss.
   }
 };
 
@@ -133,6 +153,15 @@ class ShardServer {
   // One reader request: dispatch + materialize under the lock, stream
   // outside it (a slow reader must not hold the instance hostage).
   Status ServeReaderFrame(const ShardFrame& frame);
+
+  // The notify stream a reader session becomes after kSubscribe: waits
+  // on position_cv, pushes a kNotify whenever the serving position
+  // differs from the last pushed one (`last_notified`, seeded with the
+  // initial kNotify's payload), and exits when the subscriber hangs up
+  // (any inbound byte or EOF), the instance winds down, or a send
+  // fails. Never returns Ok — a subscription only ends with the
+  // connection.
+  Status ServeSubscription(std::vector<uint8_t> last_notified);
 
   Status ReplyAck(uint64_t value0, uint64_t value1 = 0);
   Status ReplyError(const Status& error);

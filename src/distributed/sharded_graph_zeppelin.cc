@@ -220,6 +220,27 @@ Status ShardedGraphZeppelin::CachedSnapshot(const GraphSnapshot** out) {
   return Status::Ok();
 }
 
+StandingQueryRegistry& ShardedGraphZeppelin::standing_queries() {
+  return mode_ == Mode::kProcess && cluster_ != nullptr
+             ? cluster_->standing_queries()
+             : standing_queries_;
+}
+
+Result<size_t> ShardedGraphZeppelin::EvaluateStandingQueries(
+    int threads, const StandingQueryNotifier& notifier) {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->EvaluateStandingQueries(threads, notifier);
+  }
+  if (standing_queries_.size() == 0) return size_t{0};
+  const GraphSnapshot* snap = nullptr;
+  const Status s = CachedSnapshot(&snap);
+  if (!s.ok()) return s;
+  return standing_queries_.Evaluate(*snap, table_.epoch, threads,
+                                    notifier);
+}
+
 // ---- Elastic resharding ----------------------------------------------------
 
 Result<int> ShardedGraphZeppelin::AddShard(const std::string& endpoint) {

@@ -96,6 +96,16 @@ class ShardedGraphZeppelin {
   // stays valid until the next CachedSnapshot() or mutation.
   Status CachedSnapshot(const GraphSnapshot** out);
 
+  // Standing queries, same contract in both modes: register specs,
+  // then call EvaluateStandingQueries() between updates — one
+  // CachedSnapshot() refresh + one fold serves every registered query,
+  // firing `notifier` once per changed answer (core/standing_query.h).
+  // In-process mode drives its own registry; process mode delegates to
+  // the cluster's.
+  StandingQueryRegistry& standing_queries();
+  Result<size_t> EvaluateStandingQueries(
+      int threads, const StandingQueryNotifier& notifier);
+
   // --- Elastic resharding --------------------------------------------------
   // Same contract in both modes (see ShardCluster). Add returns the new
   // shard's id; BeginSplitShard's new shard id is the returned value.
@@ -170,8 +180,9 @@ class ShardedGraphZeppelin {
   // Stream positions of removed shards (mirrors the cluster's).
   uint64_t migrated_updates_ = 0;
   // The in-process serving cache behind CachedSnapshot(); process mode
-  // uses the cluster's.
+  // uses the cluster's. Same split for the standing-query registry.
   SnapshotCache cache_;
+  StandingQueryRegistry standing_queries_;
   std::optional<InProcessMigration> migration_;
   // Process mode state.
   std::unique_ptr<ShardCluster> cluster_;

@@ -1519,6 +1519,120 @@ TEST_F(ReaderSessionFixture, UnconfiguredShardRefusesReadsButAnswersPing) {
   Configure();
 }
 
+TEST_F(ReaderSessionFixture, SubscribeStreamsNotifiesOnPositionChanges) {
+  Start();
+  Configure();
+  // kSubscribe converts the reader session into a notify stream; the
+  // immediate first kNotify is the 1:1 reply and carries the current
+  // position.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kSubscribe, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kNotify);
+  ShardStatsEx stats;
+  ASSERT_TRUE(DecodeShardStatsEx(frame.payload.data(),
+                                 frame.payload.size(), &stats)
+                  .ok());
+  EXPECT_EQ(stats.num_updates, 0u);
+  EXPECT_EQ(stats.epoch, 1u);
+  // Writer ingest pushes a second kNotify without the subscriber
+  // sending anything.
+  IngestOneEdge();
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kNotify);
+  ASSERT_TRUE(DecodeShardStatsEx(frame.payload.data(),
+                                 frame.payload.size(), &stats)
+                  .ok());
+  EXPECT_EQ(stats.num_updates, 1u);
+  // Subscriber hangup ends the subscription without disturbing the
+  // instance (TearDown's writer shutdown proves the writer survived).
+  rp_.CloseA();
+  reader_thread_.join();
+  EXPECT_FALSE(reader_status_.ok());
+}
+
+TEST_F(ReaderSessionFixture, SubscribeRefusedOnUnconfiguredShard) {
+  Start();
+  // Before kConfig there is no position to subscribe to: kError, and
+  // the session continues as a plain reader.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kSubscribe, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kError);
+  bool decode_ok = false;
+  const Status s = DecodeShardError(frame.payload.data(),
+                                    frame.payload.size(), &decode_ok);
+  ASSERT_TRUE(decode_ok);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // Unconverted: the same session still answers PING, and a subscribe
+  // AFTER configuration converts it.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kPing, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kAck);
+  Configure();
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kSubscribe, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kNotify);
+}
+
+TEST_F(ReaderSessionFixture, WriterSessionCannotSubscribe) {
+  Start();
+  Configure();
+  // Converting the writer's request/reply stream into a push stream
+  // would strand the coordinator: kError, session survives.
+  ASSERT_TRUE(
+      SendFrame(wp_.a(), ShardMessageType::kSubscribe, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(wp_.a(), &frame).ok());
+  ASSERT_EQ(frame.type, ShardMessageType::kError);
+  bool decode_ok = false;
+  const Status s = DecodeShardError(frame.payload.data(),
+                                    frame.payload.size(), &decode_ok);
+  ASSERT_TRUE(decode_ok);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  IngestOneEdge();  // The writer still writes.
+}
+
+TEST_F(ReaderSessionFixture, NotifyIsNeverAValidRequest) {
+  Start();
+  Configure();
+  // kNotify is a reply-type frame; on the writer stream it draws the
+  // generic reply-type refusal and the session survives.
+  ASSERT_TRUE(
+      SendFrame(wp_.a(), ShardMessageType::kNotify, nullptr, 0).ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(wp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kError);
+  // On a reader session it is read-only-contract refused the same way.
+  ASSERT_TRUE(
+      SendFrame(rp_.a(), ShardMessageType::kNotify, nullptr, 0).ok());
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kError);
+  IngestOneEdge();
+}
+
+TEST_F(ReaderSessionFixture, OversizedSubscribeFencesTheSession) {
+  // The reader receive cap covers kSubscribe like every other reader
+  // request: a huge length prefix is a session fence, not a server
+  // allocation.
+  Start();
+  Configure();
+  const std::vector<uint8_t> big(kReaderMaxRequestBytes + 1, 0xEE);
+  ASSERT_TRUE(SendFrame(rp_.a(), ShardMessageType::kSubscribe, big.data(),
+                        big.size())
+                  .ok());
+  ShardFrame frame;
+  ASSERT_TRUE(RecvFrame(rp_.a(), &frame).ok());
+  EXPECT_EQ(frame.type, ShardMessageType::kError);
+  rp_.CloseA();
+  reader_thread_.join();
+  EXPECT_FALSE(reader_status_.ok());
+}
+
 TEST_F(ReaderSessionFixture, OversizedReaderRequestFencesTheSession) {
   // Reader requests are tiny by construction; the per-session receive
   // cap turns a huge length prefix into a clean session fence instead

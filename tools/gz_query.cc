@@ -14,6 +14,9 @@
 //     [--threads N] [--json] [--top K]
 //   gz_query --mode forest --endpoints ... --forest-out forest.gzst
 //   gz_query --mode bipartite --endpoints ... --doubled-endpoints ...
+//   gz_query --watch --endpoints ... --watch-count
+//     [--watch-connected U:V,...] [--watch-forest] [--poll-ms MS]
+//     [--no-subscribe] [--watch-duration SEC] [--watch-max N]
 //
 // Modes:
 //   connectivity  components + spanning-forest size (default)
@@ -22,10 +25,18 @@
 //                 primal cluster, --doubled-endpoints the doubled one
 //                 (2V nodes), both fed by a BipartitenessSketch-style
 //                 writer
+//   --watch       standing queries: registers the requested watches,
+//                 subscribes to the shards' push-notify streams, and
+//                 prints one JSON line per CHANGED answer until
+//                 --watch-duration / --watch-max / SIGINT ends it
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/bipartiteness.h"
@@ -51,8 +62,128 @@ int Usage() {
       "  --auth-secret         shared handshake secret (or\n"
       "                        --auth-secret-file / $GZ_SHARD_AUTH_SECRET)\n"
       "  --threads             Boruvka pool (0 = auto)\n"
-      "  --json                one machine-readable JSON line on stdout\n");
+      "  --json                one machine-readable JSON line on stdout\n"
+      "  --watch               stream standing-query notifications; add\n"
+      "                        --watch-count, --watch-forest and/or\n"
+      "                        --watch-connected U:V[,U:V...]\n"
+      "  --poll-ms             watch fallback poll cadence (default 200)\n"
+      "  --no-subscribe        watch by polling only (no push streams)\n"
+      "  --watch-duration      stop the watch after SEC seconds (0 = run\n"
+      "                        until --watch-max or SIGINT)\n"
+      "  --watch-max           stop after N notifications (0 = no limit)\n");
   return 2;
+}
+
+std::atomic<bool> g_interrupted{false};
+
+const char* KindName(gz::StandingQueryKind kind) {
+  switch (kind) {
+    case gz::StandingQueryKind::kConnected:
+      return "connected";
+    case gz::StandingQueryKind::kComponentCount:
+      return "components";
+    case gz::StandingQueryKind::kSpanningForest:
+      return "forest";
+  }
+  return "unknown";
+}
+
+// The streaming watch loop: registers the requested standing queries,
+// starts the watcher (push-notified unless --no-subscribe), and prints
+// one JSON line per notification. Exits 0 when a bound (--watch-max /
+// --watch-duration / SIGINT) ends the watch, 2 when no watch was
+// requested.
+int RunWatch(const gz::tools::Flags& flags, gz::QuerySession* session) {
+  using namespace gz;
+  std::vector<StandingQuerySpec> specs;
+  for (const std::string& pair :
+       tools::SplitCommaList(flags.GetString("watch-connected", ""))) {
+    const size_t colon = pair.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "gz_query: --watch-connected wants U:V, got %s\n",
+                   pair.c_str());
+      return 2;
+    }
+    StandingQuerySpec spec;
+    spec.kind = StandingQueryKind::kConnected;
+    spec.u = static_cast<NodeId>(std::atoll(pair.substr(0, colon).c_str()));
+    spec.v = static_cast<NodeId>(std::atoll(pair.substr(colon + 1).c_str()));
+    specs.push_back(spec);
+  }
+  if (flags.GetBool("watch-count", false)) {
+    specs.push_back({StandingQueryKind::kComponentCount, 0, 0});
+  }
+  if (flags.GetBool("watch-forest", false)) {
+    specs.push_back({StandingQueryKind::kSpanningForest, 0, 0});
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr,
+                 "gz_query: --watch needs at least one of --watch-count, "
+                 "--watch-forest, --watch-connected\n");
+    return 2;
+  }
+  for (const StandingQuerySpec& spec : specs) {
+    session->AddStandingQuery(spec);
+  }
+
+  const uint64_t max_notifications =
+      static_cast<uint64_t>(flags.GetInt("watch-max", 0));
+  const double duration = flags.GetDouble("watch-duration", 0.0);
+  std::atomic<uint64_t> printed{0};
+  StandingWatchOptions options;
+  options.poll_interval_ms =
+      static_cast<int>(flags.GetInt("poll-ms", 200));
+  options.subscribe = !flags.GetBool("no-subscribe", false);
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  const Status s = session->StartWatch(
+      options,
+      [&printed](const StandingQueryNotification& n, const GraphSnapshot&) {
+        // One line per changed answer, flushed: a pipe consumer (the CI
+        // subscriber, a dashboard) sees it immediately.
+        std::printf("{\"event\":\"notify\",\"query_id\":%llu,"
+                    "\"seq\":%llu,\"epoch\":%llu,\"num_updates\":%llu,"
+                    "\"kind\":\"%s\",\"u\":%llu,\"v\":%llu,"
+                    "\"connected\":%s,\"components\":%zu,"
+                    "\"forest_edges\":%zu}\n",
+                    static_cast<unsigned long long>(n.query_id),
+                    static_cast<unsigned long long>(n.sequence),
+                    static_cast<unsigned long long>(n.epoch),
+                    static_cast<unsigned long long>(n.num_updates),
+                    KindName(n.spec.kind),
+                    static_cast<unsigned long long>(n.spec.u),
+                    static_cast<unsigned long long>(n.spec.v),
+                    n.answer.connected ? "true" : "false",
+                    n.answer.num_components, n.answer.forest.size());
+        std::fflush(stdout);
+        printed.fetch_add(1);
+      });
+  if (!s.ok()) {
+    std::fprintf(stderr, "gz_query: watch: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, [](int) { g_interrupted.store(true); });
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(duration * 1000));
+  while (!g_interrupted.load()) {
+    if (max_notifications > 0 && printed.load() >= max_notifications) break;
+    if (duration > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Counters read before StopWatch(): it tears the notify streams down.
+  const size_t streams = session->watch_notify_streams();
+  session->StopWatch();
+  const Status err = session->watch_error();
+  if (!err.ok()) {
+    std::fprintf(stderr, "gz_query: watch ended with: %s\n",
+                 err.ToString().c_str());
+  }
+  std::printf("{\"event\":\"watch_done\",\"notifications\":%llu,"
+              "\"evaluations\":%llu,\"notify_streams\":%zu}\n",
+              static_cast<unsigned long long>(session->watch_notifications()),
+              static_cast<unsigned long long>(session->watch_evaluations()),
+              streams);
+  return 0;
 }
 
 // Connects a reader session to the given listener endpoints, failing
@@ -89,6 +220,10 @@ int main(int argc, char** argv) {
   const bool json = flags.GetBool("json", false);
 
   std::unique_ptr<QuerySession> session = Dial(endpoints, secret, "primal");
+
+  if (flags.GetBool("watch", false)) {
+    return RunWatch(flags, session.get());
+  }
 
   WallTimer refresh_timer;
   const GraphSnapshot* snap = nullptr;
