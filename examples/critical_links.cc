@@ -62,8 +62,14 @@ int main() {
   // Extract a 2-edge-connectivity certificate from a snapshot of the
   // sketches and find the bridges on it (the temporary snapshot is
   // consumed in place — no second copy of the sketch state).
-  const ForestDecomposition decomposition =
+  const Result<ForestDecomposition> extracted =
       ExtractSpanningForests(gz.Snapshot(), 2);
+  if (!extracted.ok()) {
+    std::fprintf(stderr, "forest extraction rejected: %s\n",
+                 extracted.status().ToString().c_str());
+    return 1;
+  }
+  const ForestDecomposition& decomposition = extracted.value();
   if (decomposition.failed) {
     std::fprintf(stderr, "forest extraction failed\n");
     return 1;

@@ -1,5 +1,7 @@
 #include "algos/spanning_forests.h"
 
+#include <string>
+
 #include "core/connectivity.h"
 #include "util/check.h"
 
@@ -18,29 +20,46 @@ int RoundsForForests(uint64_t num_nodes, int k) {
   return k * NodeSketch::DefaultRounds(num_nodes);
 }
 
-ForestDecomposition ExtractSpanningForests(const GraphSnapshot& snapshot,
-                                           int k) {
+int MaxForestsForRounds(uint64_t num_nodes, int rounds) {
+  return rounds / NodeSketch::DefaultRounds(num_nodes);
+}
+
+Result<ForestDecomposition> ExtractSpanningForests(
+    const GraphSnapshot& snapshot, int k) {
   GZ_CHECK_MSG(snapshot.valid(), "decomposing an empty snapshot");
   std::vector<NodeSketch> scratch = snapshot.CopySketches();
   return ExtractSpanningForests(&scratch, k);
 }
 
-ForestDecomposition ExtractSpanningForests(GraphSnapshot&& snapshot, int k) {
+Result<ForestDecomposition> ExtractSpanningForests(GraphSnapshot&& snapshot,
+                                                   int k) {
   GZ_CHECK_MSG(snapshot.valid(), "decomposing an empty snapshot");
   std::vector<NodeSketch> scratch = snapshot.ReleaseSketches();
   return ExtractSpanningForests(&scratch, k);
 }
 
-ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* snapshot,
-                                           int k) {
+Result<ForestDecomposition> ExtractSpanningForests(
+    std::vector<NodeSketch>* snapshot, int k) {
   GZ_CHECK(snapshot != nullptr && !snapshot->empty());
-  GZ_CHECK(k >= 1);
+  // k arrives from CLIs and wire queries: validate, don't abort, and
+  // never clamp (a clamped k would certify less than the caller asked
+  // for while claiming otherwise).
+  if (k < 1) {
+    return Status::InvalidArgument("forest count k must be >= 1, got " +
+                                   std::to_string(k));
+  }
   std::vector<NodeSketch>& pristine = *snapshot;
   const uint64_t num_nodes = pristine[0].params().num_nodes;
   const int total_rounds = pristine[0].rounds();
+  if (k > MaxForestsForRounds(num_nodes, total_rounds)) {
+    return Status::InvalidArgument(
+        "snapshot has too few rounds for the requested k: k=" +
+        std::to_string(k) + " wants >= " +
+        std::to_string(RoundsForForests(num_nodes, k)) + " rounds, have " +
+        std::to_string(total_rounds) + " (max k here: " +
+        std::to_string(MaxForestsForRounds(num_nodes, total_rounds)) + ")");
+  }
   const int rounds_per_phase = total_rounds / k;
-  GZ_CHECK_MSG(rounds_per_phase >= 1,
-               "snapshot has too few rounds for the requested k");
 
   ForestDecomposition result;
   for (int phase = 0; phase < k; ++phase) {

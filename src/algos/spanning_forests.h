@@ -18,6 +18,7 @@
 #include "core/graph_snapshot.h"
 #include "sketch/node_sketch.h"
 #include "stream/stream_types.h"
+#include "util/status.h"
 
 namespace gz {
 
@@ -38,22 +39,34 @@ struct ForestDecomposition {
 // decomposition of a graph on `num_nodes` vertices.
 int RoundsForForests(uint64_t num_nodes, int k);
 
+// Largest k a snapshot with `rounds` rounds can decompose for
+// `num_nodes` vertices (each phase needs a full Boruvka round budget);
+// the k-validation bound of the extractors below.
+int MaxForestsForRounds(uint64_t num_nodes, int rounds);
+
 // Extracts up to `k` edge-disjoint spanning forests from the snapshot,
 // which must carry at least RoundsForForests(V, k) rounds (configure
 // the producing instance with `rounds = RoundsForForests(V, k)`). The
 // snapshot itself is untouched: the destructive working copy is taken
 // internally, once.
-ForestDecomposition ExtractSpanningForests(const GraphSnapshot& snapshot,
-                                           int k);
+//
+// `k` is validated, not trusted: k < 1, or a k whose per-phase round
+// budget exceeds what the snapshot carries, is an InvalidArgument —
+// the request often comes from a CLI or a wire query, so it must bounce
+// as a Status rather than abort (and silently clamping would disguise
+// an under-provisioned snapshot as a certified answer).
+Result<ForestDecomposition> ExtractSpanningForests(
+    const GraphSnapshot& snapshot, int k);
 
 // Rvalue form: consumes a temporary snapshot's sketches as the pristine
 // working set directly (no extra full copy of the sketch state).
-ForestDecomposition ExtractSpanningForests(GraphSnapshot&& snapshot, int k);
+Result<ForestDecomposition> ExtractSpanningForests(GraphSnapshot&& snapshot,
+                                                   int k);
 
 // Raw-sketch form used by the engine and by tests that build sketches
 // directly; `sketches` is consumed destructively.
-ForestDecomposition ExtractSpanningForests(std::vector<NodeSketch>* sketches,
-                                           int k);
+Result<ForestDecomposition> ExtractSpanningForests(
+    std::vector<NodeSketch>* sketches, int k);
 
 }  // namespace gz
 

@@ -435,6 +435,43 @@ Result<GraphSnapshot> ShardCluster::Snapshot() {
   return merged;
 }
 
+Result<HeavyHitterSketch> ShardCluster::HeavyHitters() {
+  if (!started_) return Status::FailedPrecondition("cluster not started");
+  if (base_.heavy_hitter_width == 0) {
+    return Status::FailedPrecondition(
+        "heavy-hitter tracking disabled (heavy_hitter_width == 0)");
+  }
+  // Sum-merge one live replica per shard (all replicas of a shard hold
+  // identical counters — every routed slab fans out to all of them),
+  // then fold in what removed shards contributed before retiring.
+  HeavyHitterSketch merged;
+  Status s = PipelinedBarrier(
+      ShardMessageType::kHeavyHitters, ShardMessageType::kHeavyHitterBytes,
+      nullptr,
+      [&merged](int, int, const ShardFrame& reply) {
+        Result<HeavyHitterSketch> r = HeavyHitterSketch::Deserialize(
+            reply.payload.data(), reply.payload.size());
+        if (!r.ok()) return r.status();
+        if (!merged.valid()) {
+          merged = std::move(r).value();
+          return Status::Ok();
+        }
+        return merged.Merge(r.value());
+      },
+      BarrierScope::kOnePerShard);
+  if (!s.ok()) return s;
+  if (retired_hh_.valid()) {
+    if (!merged.valid()) {
+      merged = retired_hh_;
+    } else {
+      s = merged.Merge(retired_hh_);
+      if (!s.ok()) return s;
+    }
+  }
+  if (!merged.valid()) return Status::Internal("no heavy-hitter replies");
+  return merged;
+}
+
 Status ShardCluster::Checkpoint() {
   if (!started_) return Status::FailedPrecondition("cluster not started");
   // Per-replica commit as each ack arrives: a failure on one replica
@@ -738,6 +775,33 @@ Status ShardCluster::PumpMigration() {
   // Final step. For a split there is nothing left to do; for a removal
   // the source — now a zero sketch holding no routed slots — retires.
   if (m.kind == Migration::Kind::kRemove) {
+    // The retiring shard's heavy-hitter counters are additive state
+    // that no migration delta carries (deltas move XOR sketch content
+    // only), so they are captured here, before the process goes away,
+    // and folded into every later HeavyHitters() answer. Fetched and
+    // staged BEFORE any bookkeeping commits: a failure anywhere in
+    // this step leaves nothing applied, so the step retries cleanly.
+    HeavyHitterSketch source_hh;
+    if (base_.heavy_hitter_width > 0) {
+      Status s = SendFrame(procs_[m.source][src]->fd(),
+                           ShardMessageType::kHeavyHitters, nullptr, 0);
+      if (!s.ok()) {
+        down_[m.source][src] = true;
+        return s;
+      }
+      bool in_sync = false;
+      s = RecvReply(procs_[m.source][src]->fd(),
+                    ShardMessageType::kHeavyHitterBytes, &reply_buf_,
+                    &in_sync);
+      if (!s.ok()) {
+        if (!in_sync) down_[m.source][src] = true;
+        return s;
+      }
+      Result<HeavyHitterSketch> hh = HeavyHitterSketch::Deserialize(
+          reply_buf_.payload.data(), reply_buf_.payload.size());
+      if (!hh.ok()) return hh.status();
+      source_hh = std::move(hh).value();
+    }
     ShardAck ack;
     // The source is quiescent (no slots since the epoch bump, flushed
     // by every extract), so its position is final; it must survive in
@@ -749,7 +813,17 @@ Status ShardCluster::PumpMigration() {
       down_[m.source][src] = true;
       return s;
     }
+    // Commit point: nothing below can fail, so the captured counters
+    // and the update count land exactly once.
     migrated_updates_ += ack.value0;
+    if (source_hh.valid()) {
+      if (!retired_hh_.valid()) {
+        retired_hh_ = std::move(source_hh);
+      } else {
+        // Same cluster-wide params by construction.
+        GZ_CHECK(retired_hh_.Merge(source_hh).ok());
+      }
+    }
     for (int r = 0; r < replication_; ++r) {
       if (!down_[m.source][r]) {
         ShardAck ignored;

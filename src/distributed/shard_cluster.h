@@ -157,6 +157,17 @@ class ShardCluster {
   // global XOR never double-counts. Survives dead replicas as long as
   // every shard keeps one live one.
   Result<GraphSnapshot> Snapshot();
+  // Aggregated heavy-hitter surface: folds one live replica per
+  // shard's serialized HeavyHitterSketch (sum-merge — the CM grids are
+  // linear and routing partitions edges disjointly) plus the counters
+  // captured from retired shards, yielding exactly — bitwise, thanks
+  // to canonical serialization — the single-process sketch over the
+  // whole stream. FailedPrecondition when the cluster was configured
+  // with heavy_hitter_width == 0. Two documented gaps: CM counters are
+  // not part of checkpoints (a restore+replay repair recovers only the
+  // unacked tail's counts) and are not repaired by anti-entropy
+  // (Reconcile moves XOR sketch content, not additive counters).
+  Result<HeavyHitterSketch> HeavyHitters();
   // Checkpoints every replica of every shard. Each replica's unacked
   // log and pending-delta log are truncated as its ack arrives —
   // commits are per-replica, so a failure on one leaves the others'
@@ -427,6 +438,11 @@ class ShardCluster {
   // Stream positions of removed shards: their ingested counts fold into
   // every Snapshot() so the aggregate update count survives removal.
   uint64_t migrated_updates_ = 0;
+  // Heavy-hitter counters of removed shards, captured before their
+  // processes retire (migration deltas carry XOR sketch content only,
+  // never additive CM counters) and folded into every HeavyHitters()
+  // answer. Invalid until the first removal of a tracking shard.
+  HeavyHitterSketch retired_hh_;
   std::optional<Migration> migration_;
   uint64_t updates_since_checkpoint_ = 0;  // Drives auto-checkpointing.
   uint64_t updates_since_reconcile_ = 0;   // Drives periodic anti-entropy.

@@ -105,6 +105,16 @@ enum class ShardMessageType : uint16_t {
                     // is kError and the session continues unconverted.
   kNotify = 23,     // Shard -> subscriber: ShardStatsEx payload, the
                     // position that changed. Never a valid request.
+  // Heavy hitters (any session -> shard).
+  kHeavyHitters = 24,  // Empty payload. Reply: kHeavyHitterBytes with
+                       // the shard's serialized HeavyHitterSketch
+                       // (workloads/count_min.h), or kError when the
+                       // shard was configured with tracking off
+                       // (heavy_hitter_width == 0).
+  kHeavyHitterBytes = 25,  // Shard -> client: HeavyHitterSketch::
+                           // Serialize payload. Linear, so the
+                           // coordinator sum-merges per-shard replies
+                           // into the exact whole-stream sketch.
 };
 
 // Session role, declared in the HELLO frame and bound into the

@@ -318,6 +318,17 @@ Status ShardServer::HandleStatsEx() {
                    payload.size());
 }
 
+Status ShardServer::HandleHeavyHitters() {
+  const HeavyHitterSketch* hh = state_->gz->heavy_hitters();
+  if (hh == nullptr) {
+    return ReplyError(Status::FailedPrecondition(
+        "heavy-hitter tracking disabled (heavy_hitter_width == 0)"));
+  }
+  const std::vector<uint8_t> payload = hh->Serialize();
+  return SendFrame(fd_, ShardMessageType::kHeavyHitterBytes, payload.data(),
+                   payload.size());
+}
+
 Status ShardServer::ServeReaderFrame(const ShardFrame& frame) {
   // Materialize the whole reply under the instance mutex, send it
   // after release: a reader with a full socket buffer must stall on
@@ -336,7 +347,8 @@ Status ShardServer::ServeReaderFrame(const ShardFrame& frame) {
         frame.type != ShardMessageType::kStats &&
         frame.type != ShardMessageType::kStatsEx &&
         frame.type != ShardMessageType::kSnapshot &&
-        frame.type != ShardMessageType::kMigrateExtract) {
+        frame.type != ShardMessageType::kMigrateExtract &&
+        frame.type != ShardMessageType::kHeavyHitters) {
       // The read-only contract: a reader cannot configure, ingest,
       // migrate state in, checkpoint, or retire the shard. The session
       // survives — a confused client gets errors, not a dead socket.
@@ -381,6 +393,18 @@ Status ShardServer::ServeReaderFrame(const ShardFrame& frame) {
           } else {
             reply_type = ShardMessageType::kSnapshotBytes;
             reply = std::move(bytes);
+          }
+          break;
+        }
+        case ShardMessageType::kHeavyHitters: {
+          const HeavyHitterSketch* hh = state_->gz->heavy_hitters();
+          if (hh == nullptr) {
+            fail(Status::FailedPrecondition(
+                "heavy-hitter tracking disabled (heavy_hitter_width == "
+                "0)"));
+          } else {
+            reply_type = ShardMessageType::kHeavyHitterBytes;
+            reply = hh->Serialize();
           }
           break;
         }
@@ -607,7 +631,8 @@ Status ShardServer::Serve() {
          frame.type == ShardMessageType::kEpoch ||
          frame.type == ShardMessageType::kMigrateExtract ||
          frame.type == ShardMessageType::kMergeDelta ||
-         frame.type == ShardMessageType::kSyncPosition)) {
+         frame.type == ShardMessageType::kSyncPosition ||
+         frame.type == ShardMessageType::kHeavyHitters)) {
       s = ReplyError(state_->async_error);
       if (!s.ok()) return s;
       continue;
@@ -650,6 +675,9 @@ Status ShardServer::Serve() {
         break;
       case ShardMessageType::kSyncPosition:
         s = HandleSyncPosition(frame);
+        break;
+      case ShardMessageType::kHeavyHitters:
+        s = HandleHeavyHitters();
         break;
       case ShardMessageType::kSubscribe:
         // Subscriptions are a reader-session feature: converting the

@@ -6,8 +6,9 @@
 //
 // Sessions come in two roles (see ShardSessionRole): a *writer* — the
 // coordinator, full protocol — and *readers*, which may only observe
-// (PING / STATS / STATS_EX / SNAPSHOT / MIGRATE_EXTRACT; anything else
-// draws a kError and the session continues). One ShardServer serves
+// (PING / STATS / STATS_EX / SNAPSHOT / MIGRATE_EXTRACT /
+// HEAVY_HITTERS; anything else draws a kError and the session
+// continues). One ShardServer serves
 // one session; when several sessions share a shard (the multi-session
 // listener, shard_listener.h), they share one ShardInstanceState and
 // every access to the instance goes through its mutex.
@@ -149,6 +150,7 @@ class ShardServer {
   Status HandleMergeDelta(const ShardFrame& frame);
   Status HandleSyncPosition(const ShardFrame& frame);
   Status HandleStatsEx();
+  Status HandleHeavyHitters();
 
   // One reader request: dispatch + materialize under the lock, stream
   // outside it (a slow reader must not hold the instance hostage).

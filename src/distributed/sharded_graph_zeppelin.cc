@@ -174,6 +174,41 @@ ConnectivityResult ShardedGraphZeppelin::ListSpanningForest() {
   return Connectivity(Snapshot(), base_.query_threads);
 }
 
+Result<HeavyHitterSketch> ShardedGraphZeppelin::HeavyHitters() {
+  if (!initialized_) return Status::FailedPrecondition("not initialized");
+  if (mode_ == Mode::kProcess) {
+    DrainPending();
+    return cluster_->HeavyHitters();
+  }
+  if (base_.heavy_hitter_width == 0) {
+    return Status::FailedPrecondition(
+        "heavy-hitter tracking disabled (heavy_hitter_width == 0)");
+  }
+  // Sum-merge the live shards' side sketches, then the counters
+  // captured from removed shards. Merge order is irrelevant to the
+  // result (additive grids, sorted candidate serialization).
+  HeavyHitterSketch merged;
+  for (auto& shard : shards_) {
+    if (shard == nullptr) continue;
+    const HeavyHitterSketch* hh = shard->heavy_hitters();
+    GZ_CHECK(hh != nullptr);
+    if (!merged.valid()) {
+      merged = *hh;
+    } else {
+      GZ_CHECK_OK(merged.Merge(*hh));
+    }
+  }
+  if (retired_hh_.valid()) {
+    if (!merged.valid()) {
+      merged = retired_hh_;
+    } else {
+      GZ_CHECK_OK(merged.Merge(retired_hh_));
+    }
+  }
+  GZ_CHECK_MSG(merged.valid(), "no active shards");
+  return merged;
+}
+
 Status ShardedGraphZeppelin::CachedSnapshot(const GraphSnapshot** out) {
   if (!initialized_) return Status::FailedPrecondition("not initialized");
   if (mode_ == Mode::kProcess) {
@@ -391,6 +426,17 @@ Status ShardedGraphZeppelin::PumpMigration() {
   }
   if (m.remove) {
     migrated_updates_ += shards_[m.source]->num_updates_ingested();
+    // Mirror the cluster: the retiring shard's additive heavy-hitter
+    // counters are not in any migrated delta, so capture them before
+    // the instance goes away.
+    const HeavyHitterSketch* hh = shards_[m.source]->heavy_hitters();
+    if (hh != nullptr) {
+      if (!retired_hh_.valid()) {
+        retired_hh_ = *hh;
+      } else {
+        GZ_CHECK_OK(retired_hh_.Merge(*hh));
+      }
+    }
     shards_[m.source].reset();
   }
   migration_.reset();

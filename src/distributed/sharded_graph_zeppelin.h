@@ -89,6 +89,14 @@ class ShardedGraphZeppelin {
   // Aggregates the shard snapshots and runs Boruvka.
   ConnectivityResult ListSpanningForest();
 
+  // Heavy-hitter fold: sum-merges the per-shard count-min side
+  // sketches (plus counters captured from removed shards) into exactly
+  // the sketch a single-process instance would hold over the same
+  // stream — canonical serialization even makes the bytes identical.
+  // Same contract in both modes; FailedPrecondition when the base
+  // config has heavy_hitter_width == 0.
+  Result<HeavyHitterSketch> HeavyHitters();
+
   // Serving-tier counterpart of Snapshot(): answered from the
   // epoch/watermark-keyed SnapshotCache — O(1) while nothing moved,
   // node-delta pulls from only the moved shards otherwise. Bitwise
@@ -179,6 +187,9 @@ class ShardedGraphZeppelin {
   std::vector<uint64_t> delta_seq_;
   // Stream positions of removed shards (mirrors the cluster's).
   uint64_t migrated_updates_ = 0;
+  // Heavy-hitter counters of removed in-process shards, captured
+  // before the instance is destroyed (mirrors the cluster's).
+  HeavyHitterSketch retired_hh_;
   // The in-process serving cache behind CachedSnapshot(); process mode
   // uses the cluster's. Same split for the standing-query registry.
   SnapshotCache cache_;

@@ -1,0 +1,363 @@
+#include "workloads/count_min.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace gz {
+namespace {
+
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Little-endian append/read helpers for the canonical byte form.
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool U32(uint32_t* v) {
+    if (size - pos < 4) return false;
+    uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) x |= static_cast<uint32_t>(data[pos + i])
+                                     << (8 * i);
+    pos += 4;
+    *v = x;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (size - pos < 8) return false;
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x |= static_cast<uint64_t>(data[pos + i])
+                                     << (8 * i);
+    pos += 8;
+    *v = x;
+    return true;
+  }
+};
+
+constexpr uint32_t kHeavyHitterMagic = 0x48485A47;  // "GZHH" little-endian.
+constexpr uint32_t kHeavyHitterVersion = 1;
+
+}  // namespace
+
+// ---- CountMinSketch --------------------------------------------------------
+
+CountMinSketch::CountMinSketch(const CountMinParams& params)
+    : params_(params) {
+  GZ_CHECK_MSG(IsPowerOfTwo(params_.width) && params_.width <= kMaxWidth,
+               "CM width must be a power of two");
+  GZ_CHECK_MSG(params_.depth >= 1 && params_.depth <= kMaxDepth,
+               "CM depth out of range");
+  rows_.reserve(params_.depth);
+  for (uint32_t d = 0; d < params_.depth; ++d) {
+    // Per-row seeds derived deterministically, so same-params sketches
+    // hash identically (the precondition of exact merging).
+    rows_.emplace_back(params_.seed * 0x9e3779b97f4a7c15ull + d + 1, 2);
+  }
+  counters_.assign(static_cast<size_t>(params_.depth) * params_.width, 0);
+}
+
+void CountMinSketch::Add(uint64_t key, int64_t delta) {
+  GZ_CHECK_MSG(valid(), "Add on an invalid CountMinSketch");
+  const uint32_t mask = params_.width - 1;
+  for (uint32_t d = 0; d < params_.depth; ++d) {
+    const size_t col = static_cast<size_t>(rows_[d].Hash(key)) & mask;
+    counters_[static_cast<size_t>(d) * params_.width + col] += delta;
+  }
+}
+
+int64_t CountMinSketch::Estimate(uint64_t key) const {
+  GZ_CHECK_MSG(valid(), "Estimate on an invalid CountMinSketch");
+  const uint32_t mask = params_.width - 1;
+  int64_t best = INT64_MAX;
+  for (uint32_t d = 0; d < params_.depth; ++d) {
+    const size_t col = static_cast<size_t>(rows_[d].Hash(key)) & mask;
+    best = std::min(best,
+                    counters_[static_cast<size_t>(d) * params_.width + col]);
+  }
+  return best;
+}
+
+Status CountMinSketch::LoadCounters(const int64_t* values, size_t count) {
+  if (!valid() || count != counters_.size()) {
+    return Status::InvalidArgument("counter grid size mismatch");
+  }
+  std::memcpy(counters_.data(), values, count * sizeof(int64_t));
+  return Status::Ok();
+}
+
+Status CountMinSketch::Merge(const CountMinSketch& other) {
+  if (!valid() || !other.valid() || !(params_ == other.params_)) {
+    return Status::InvalidArgument(
+        "count-min merge requires matching geometry and seed");
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  return Status::Ok();
+}
+
+// ---- HeavyHitterSketch::KeySet ---------------------------------------------
+
+void HeavyHitterSketch::KeySet::Reset(size_t cap) {
+  capacity = cap;
+  // Slot count: power of two >= 2 * capacity, so the load factor stays
+  // below 1/2 and probe chains stay short.
+  size_t n = 16;
+  while (n < cap * 2) n <<= 1;
+  slots.assign(n, kEmpty);
+  size = 0;
+}
+
+bool HeavyHitterSketch::KeySet::Admit(uint64_t key) {
+  GZ_CHECK_MSG(key != kEmpty, "key collides with the empty sentinel");
+  const size_t mask = slots.size() - 1;
+  // Fibonacci scramble: keys are structured (small ints, triangular
+  // indices), the probe sequence must not be.
+  size_t i = (key * 0x9e3779b97f4a7c15ull) & mask;
+  while (slots[i] != kEmpty) {
+    if (slots[i] == key) return true;
+    i = (i + 1) & mask;
+  }
+  if (size >= capacity) return false;
+  slots[i] = key;
+  ++size;
+  return true;
+}
+
+std::vector<uint64_t> HeavyHitterSketch::KeySet::SortedKeys() const {
+  std::vector<uint64_t> keys;
+  keys.reserve(size);
+  for (const uint64_t slot : slots) {
+    if (slot != kEmpty) keys.push_back(slot);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// ---- HeavyHitterSketch -----------------------------------------------------
+
+CountMinParams HeavyHitterSketch::GridParams(uint64_t salt) const {
+  CountMinParams p;
+  p.seed = params_.seed ^ salt;
+  p.width = params_.width;
+  p.depth = params_.depth;
+  return p;
+}
+
+HeavyHitterSketch::HeavyHitterSketch(const HeavyHitterParams& params)
+    : params_(params) {
+  GZ_CHECK_MSG(params_.num_nodes >= 2, "need at least two nodes");
+  GZ_CHECK_MSG(params_.candidates >= 1 &&
+                   params_.candidates <= kMaxCandidates,
+               "candidate capacity out of range");
+  edge_grid_ = CountMinSketch(GridParams(0x65646765));    // "edge"
+  degree_grid_ = CountMinSketch(GridParams(0x64656772));  // "degr"
+  edge_keys_.Reset(params_.candidates);
+  degree_keys_.Reset(params_.candidates);
+}
+
+void HeavyHitterSketch::Update(const GraphUpdate* updates, size_t count) {
+  GZ_CHECK_MSG(valid(), "Update on an invalid HeavyHitterSketch");
+  for (size_t i = 0; i < count; ++i) {
+    const GraphUpdate& u = updates[i];
+    const int64_t delta = u.type == UpdateType::kInsert ? 1 : -1;
+    const uint64_t edge_key = EdgeToIndex(u.edge, params_.num_nodes);
+    edge_grid_.Add(edge_key, delta);
+    degree_grid_.Add(u.edge.u, delta);
+    degree_grid_.Add(u.edge.v, delta);
+    if (!edge_keys_.Admit(edge_key)) edge_saturated_ = true;
+    if (!degree_keys_.Admit(u.edge.u)) degree_saturated_ = true;
+    if (!degree_keys_.Admit(u.edge.v)) degree_saturated_ = true;
+    ++updates_;
+  }
+}
+
+int64_t HeavyHitterSketch::EdgeCount(const Edge& e) const {
+  GZ_CHECK_MSG(valid(), "query on an invalid HeavyHitterSketch");
+  return edge_grid_.Estimate(EdgeToIndex(e, params_.num_nodes));
+}
+
+int64_t HeavyHitterSketch::DegreeCount(NodeId node) const {
+  GZ_CHECK_MSG(valid(), "query on an invalid HeavyHitterSketch");
+  return degree_grid_.Estimate(node);
+}
+
+namespace {
+
+std::vector<HeavyHitterEntry> RankTop(const std::vector<uint64_t>& keys,
+                                      const CountMinSketch& grid, size_t k) {
+  std::vector<HeavyHitterEntry> entries;
+  entries.reserve(keys.size());
+  for (const uint64_t key : keys) {
+    entries.push_back({key, grid.Estimate(key)});
+  }
+  // Count descending, key ascending: a total order, so ranking is
+  // deterministic across merge orders and shard layouts.
+  const auto before = [](const HeavyHitterEntry& a,
+                         const HeavyHitterEntry& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  };
+  if (entries.size() > k) {
+    std::partial_sort(entries.begin(), entries.begin() + k, entries.end(),
+                      before);
+    entries.resize(k);
+  } else {
+    std::sort(entries.begin(), entries.end(), before);
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::vector<HeavyHitterEntry> HeavyHitterSketch::TopEdges(size_t k) const {
+  GZ_CHECK_MSG(valid(), "query on an invalid HeavyHitterSketch");
+  return RankTop(edge_keys_.SortedKeys(), edge_grid_, k);
+}
+
+std::vector<HeavyHitterEntry> HeavyHitterSketch::TopDegrees(size_t k) const {
+  GZ_CHECK_MSG(valid(), "query on an invalid HeavyHitterSketch");
+  return RankTop(degree_keys_.SortedKeys(), degree_grid_, k);
+}
+
+Status HeavyHitterSketch::Merge(const HeavyHitterSketch& other) {
+  if (!valid() || !other.valid() || !(params_ == other.params_)) {
+    return Status::InvalidArgument(
+        "heavy-hitter merge requires matching params");
+  }
+  Status s = edge_grid_.Merge(other.edge_grid_);
+  if (!s.ok()) return s;
+  s = degree_grid_.Merge(other.degree_grid_);
+  if (!s.ok()) return s;
+  // Candidate union. The merged set may exceed the admission cap —
+  // grow it rather than dropping keys, so a coordinator fold never
+  // loses a candidate either shard held (this runs on the query path,
+  // where allocation is fine).
+  auto fold_keys = [](KeySet* into, const KeySet& from) {
+    const std::vector<uint64_t> keys = from.SortedKeys();
+    if (into->size + keys.size() > into->capacity) {
+      KeySet grown;
+      grown.Reset(into->size + keys.size());
+      for (const uint64_t key : into->SortedKeys()) grown.Admit(key);
+      *into = std::move(grown);
+    }
+    for (const uint64_t key : keys) into->Admit(key);
+  };
+  fold_keys(&edge_keys_, other.edge_keys_);
+  fold_keys(&degree_keys_, other.degree_keys_);
+  edge_saturated_ = edge_saturated_ || other.edge_saturated_;
+  degree_saturated_ = degree_saturated_ || other.degree_saturated_;
+  updates_ += other.updates_;
+  return Status::Ok();
+}
+
+std::vector<uint8_t> HeavyHitterSketch::Serialize() const {
+  GZ_CHECK_MSG(valid(), "Serialize on an invalid HeavyHitterSketch");
+  std::vector<uint8_t> out;
+  const std::vector<uint64_t> edge_keys = edge_keys_.SortedKeys();
+  const std::vector<uint64_t> degree_keys = degree_keys_.SortedKeys();
+  out.reserve(64 + 8 * (edge_grid_.counters().size() +
+                        degree_grid_.counters().size() + edge_keys.size() +
+                        degree_keys.size()));
+  PutU32(&out, kHeavyHitterMagic);
+  PutU32(&out, kHeavyHitterVersion);
+  PutU64(&out, params_.num_nodes);
+  PutU64(&out, params_.seed);
+  PutU32(&out, params_.width);
+  PutU32(&out, params_.depth);
+  PutU32(&out, params_.candidates);
+  PutU32(&out, (edge_saturated_ ? 1u : 0u) | (degree_saturated_ ? 2u : 0u));
+  PutU64(&out, updates_);
+  for (const int64_t c : edge_grid_.counters()) {
+    PutU64(&out, static_cast<uint64_t>(c));
+  }
+  for (const int64_t c : degree_grid_.counters()) {
+    PutU64(&out, static_cast<uint64_t>(c));
+  }
+  // Candidates in sorted key order: the canonical form that makes a
+  // coordinator fold byte-identical to the single-process sketch.
+  PutU64(&out, edge_keys.size());
+  for (const uint64_t key : edge_keys) PutU64(&out, key);
+  PutU64(&out, degree_keys.size());
+  for (const uint64_t key : degree_keys) PutU64(&out, key);
+  return out;
+}
+
+Result<HeavyHitterSketch> HeavyHitterSketch::Deserialize(const uint8_t* data,
+                                                         size_t size) {
+  ByteReader r{data, size};
+  uint32_t magic = 0, version = 0;
+  if (!r.U32(&magic) || !r.U32(&version) || magic != kHeavyHitterMagic ||
+      version != kHeavyHitterVersion) {
+    return Status::InvalidArgument("bad heavy-hitter sketch header");
+  }
+  HeavyHitterParams p;
+  uint32_t flags = 0;
+  uint64_t updates = 0;
+  if (!r.U64(&p.num_nodes) || !r.U64(&p.seed) || !r.U32(&p.width) ||
+      !r.U32(&p.depth) || !r.U32(&p.candidates) || !r.U32(&flags) ||
+      !r.U64(&updates)) {
+    return Status::InvalidArgument("truncated heavy-hitter sketch header");
+  }
+  if (p.num_nodes < 2 || !IsPowerOfTwo(p.width) ||
+      p.width > CountMinSketch::kMaxWidth || p.depth < 1 ||
+      p.depth > CountMinSketch::kMaxDepth || p.candidates < 1 ||
+      p.candidates > kMaxCandidates || flags > 3) {
+    return Status::InvalidArgument("heavy-hitter sketch params out of range");
+  }
+  HeavyHitterSketch sketch(p);
+  sketch.updates_ = updates;
+  sketch.edge_saturated_ = (flags & 1) != 0;
+  sketch.degree_saturated_ = (flags & 2) != 0;
+  const size_t cells = static_cast<size_t>(p.depth) * p.width;
+  // Bound the allocation by the actual payload before trusting the
+  // header's geometry (these bytes come off the wire).
+  if (size - r.pos < 2 * cells * sizeof(int64_t)) {
+    return Status::InvalidArgument("truncated heavy-hitter counters");
+  }
+  std::vector<int64_t> grid_buf(cells);
+  auto read_grid = [&r, &grid_buf, cells](CountMinSketch* grid) {
+    for (size_t i = 0; i < cells; ++i) {
+      uint64_t v = 0;
+      if (!r.U64(&v)) return false;
+      grid_buf[i] = static_cast<int64_t>(v);
+    }
+    return grid->LoadCounters(grid_buf.data(), cells).ok();
+  };
+  if (!read_grid(&sketch.edge_grid_) || !read_grid(&sketch.degree_grid_)) {
+    return Status::InvalidArgument("truncated heavy-hitter counters");
+  }
+  const uint64_t max_edge_key = NumPossibleEdges(p.num_nodes);
+  auto read_keys = [&r](KeySet* set, uint64_t key_limit) {
+    uint64_t count = 0;
+    if (!r.U64(&count) || count > kMaxCandidates) return false;
+    if (count > set->capacity) set->Reset(count);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t key = 0;
+      if (!r.U64(&key) || key >= key_limit) return false;
+      if (i > 0 && key <= prev) return false;  // Canonical = sorted+unique.
+      prev = key;
+      if (!set->Admit(key)) return false;
+    }
+    return true;
+  };
+  if (!read_keys(&sketch.edge_keys_, max_edge_key) ||
+      !read_keys(&sketch.degree_keys_, p.num_nodes)) {
+    return Status::InvalidArgument("bad heavy-hitter candidate list");
+  }
+  if (r.pos != size) {
+    return Status::InvalidArgument("trailing bytes after heavy-hitter sketch");
+  }
+  return sketch;
+}
+
+}  // namespace gz

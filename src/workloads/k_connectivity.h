@@ -1,0 +1,59 @@
+// k-edge-connectivity over linear sketches: the AGM certification
+// workload. ExtractSpanningForests(snap, k) peels k edge-disjoint
+// spanning forests; their union C is a k-edge-connectivity CERTIFICATE
+// of the streamed graph G — every cut of size <= k survives in C with
+// its exact size, so min(λ(G), k) = min(λ(C), k). C has at most
+// k·(V-1) edges however dense G was, which makes an EXACT edge-
+// connectivity computation on it cheap: λ(C) capped at k is computed
+// with max-flow (k-bounded augmenting paths from a fixed source to
+// every sink), O(k² · V²) worst case on the sparse certificate.
+//
+// Because the certificate comes out of a GraphSnapshot fold, the whole
+// workload distributes for free: a sharded cluster's merged snapshot
+// is bitwise-identical to the single-process snapshot, hence so are
+// the forests, the certificate, and the certified answer.
+#ifndef GZ_WORKLOADS_K_CONNECTIVITY_H_
+#define GZ_WORKLOADS_K_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "algos/spanning_forests.h"
+#include "core/graph_snapshot.h"
+#include "stream/stream_types.h"
+#include "util/status.h"
+
+namespace gz {
+
+struct KConnectivityResult {
+  int k = 0;  // The certification level asked for.
+  ForestDecomposition decomposition;
+  EdgeList certificate;  // Union of the forests; <= k·(V-1) edges.
+  // min(λ(G), k), exact: 0 = disconnected, k = "at least k-edge-
+  // connected" (the certificate cannot distinguish beyond k).
+  int certified_connectivity = 0;
+  bool is_k_edge_connected = false;  // certified_connectivity >= k.
+  // True when a peeling phase ran out of sketch rounds (re-run with a
+  // different seed; polynomially unlikely at the provisioned rounds).
+  bool sketch_failed = false;
+};
+
+// Exact edge connectivity of the graph (num_nodes, edges), capped at
+// `cap`: returns min(λ, cap). 0 when any vertex is separated
+// (including isolated vertices). Exposed for tests and for certifying
+// explicit edge lists; O(cap² · V · avg_degree) via bounded max-flow.
+int EdgeConnectivityUpTo(uint64_t num_nodes, const EdgeList& edges, int cap);
+
+// Certifies min(λ(G), k) from a snapshot. InvalidArgument when k < 1
+// or the snapshot's rounds cannot budget k peeling phases (the
+// ExtractSpanningForests validation); the snapshot itself is untouched.
+Result<KConnectivityResult> KEdgeConnectivity(const GraphSnapshot& snapshot,
+                                              int k);
+
+// As above, but consumes an already-extracted decomposition (e.g. one
+// an example shares with other certificate consumers).
+KConnectivityResult CertifyFromForests(uint64_t num_nodes, int k,
+                                       ForestDecomposition decomposition);
+
+}  // namespace gz
+
+#endif  // GZ_WORKLOADS_K_CONNECTIVITY_H_

@@ -1,0 +1,44 @@
+#include "workloads/windowed_connectivity.h"
+
+#include "core/connectivity.h"
+#include "util/check.h"
+
+namespace gz {
+
+WindowedConnectivity::WindowedConnectivity(
+    const WindowedConnectivityParams& params)
+    : params_(params) {
+  GZ_CHECK_MSG(params_.config.num_nodes == params_.window.num_nodes,
+               "window and instance must agree on num_nodes");
+  gz_ = std::make_unique<GraphZeppelin>(params_.config);
+  window_ = std::make_unique<WindowIngestor>(
+      params_.window, [this](const GraphUpdate* updates, size_t count) {
+        gz_->Update(updates, count);
+      });
+}
+
+Status WindowedConnectivity::Init() { return gz_->Init(); }
+
+void WindowedConnectivity::Observe(const Edge& e) { window_->Observe(e); }
+
+void WindowedConnectivity::Observe(const Edge* edges, size_t count) {
+  window_->Observe(edges, count);
+}
+
+GraphSnapshot WindowedConnectivity::Snapshot() {
+  window_->Flush();
+  return gz_->Snapshot();  // Snapshot() flushes the instance itself.
+}
+
+ConnectivityResult WindowedConnectivity::Connectivity() {
+  return gz::Connectivity(Snapshot(), params_.config.query_threads);
+}
+
+Result<size_t> WindowedConnectivity::EvaluateStandingQueries(
+    int threads, const StandingQueryNotifier& notifier) {
+  // Epoch 0: a single-instance window has no routing epochs; the
+  // notification position is the instance's update count.
+  return registry_.Evaluate(Snapshot(), 0, threads, notifier);
+}
+
+}  // namespace gz

@@ -1,0 +1,74 @@
+// WindowedConnectivity: the sliding-window workload as one assembled
+// surface — a WindowIngestor feeding a private GraphZeppelin, plus a
+// StandingQueryRegistry over the windowed instance's snapshots. The
+// downstream instance always holds exactly the windowed graph (the
+// ingestor's expiry deletes ARE the decay), so every query here is a
+// last-W-observations query by construction:
+//
+//   WindowedConnectivity wc(params);
+//   wc.Init();
+//   wc.standing_queries().Add({StandingQueryKind::kConnected, u, v});
+//   for (const Edge& e : stream) {
+//     wc.Observe(e);
+//     if (due) wc.EvaluateStandingQueries(1, notifier);  // windowed!
+//   }
+//
+// Notifications carry the evaluated snapshot, so a subscriber can
+// verify the windowed answer against a fresh fold of a fresh windowed
+// instance driven to the same observation position (the chaos test
+// does exactly this). Single-driver, like the registries it composes.
+#ifndef GZ_WORKLOADS_WINDOWED_CONNECTIVITY_H_
+#define GZ_WORKLOADS_WINDOWED_CONNECTIVITY_H_
+
+#include <memory>
+
+#include "core/graph_zeppelin.h"
+#include "core/standing_query.h"
+#include "workloads/window_ingestor.h"
+
+namespace gz {
+
+struct WindowedConnectivityParams {
+  // Config of the private downstream instance; num_nodes must match
+  // `window.num_nodes` (checked in the constructor).
+  GraphZeppelinConfig config;
+  WindowIngestorParams window;
+};
+
+class WindowedConnectivity {
+ public:
+  explicit WindowedConnectivity(const WindowedConnectivityParams& params);
+
+  Status Init();
+
+  // One stream observation (see WindowIngestor::Observe).
+  void Observe(const Edge& e);
+  void Observe(const Edge* edges, size_t count);
+
+  // Flushes the window layer AND the instance, then captures the
+  // windowed graph's snapshot — bitwise what a fresh instance fed the
+  // same last-W observations would capture.
+  GraphSnapshot Snapshot();
+  ConnectivityResult Connectivity();
+
+  // Watchable window queries: registered specs are evaluated against
+  // the CURRENT window whenever the caller invokes
+  // EvaluateStandingQueries — answers change both when edges arrive
+  // and when they expire out of the window.
+  StandingQueryRegistry& standing_queries() { return registry_; }
+  Result<size_t> EvaluateStandingQueries(
+      int threads, const StandingQueryNotifier& notifier);
+
+  WindowIngestor& window() { return *window_; }
+  GraphZeppelin& instance() { return *gz_; }
+
+ private:
+  WindowedConnectivityParams params_;
+  std::unique_ptr<GraphZeppelin> gz_;
+  std::unique_ptr<WindowIngestor> window_;
+  StandingQueryRegistry registry_;
+};
+
+}  // namespace gz
+
+#endif  // GZ_WORKLOADS_WINDOWED_CONNECTIVITY_H_

@@ -47,7 +47,8 @@ TEST(SpanningForestsTest, TreePeelsToOneForest) {
   EdgeList edges;
   for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
   auto sketches = SketchGraph(n, 1, edges, RoundsForForests(n, 2));
-  const ForestDecomposition d = ExtractSpanningForests(&sketches, 2);
+  const ForestDecomposition d =
+      ExtractSpanningForests(&sketches, 2).value();
   ASSERT_FALSE(d.failed);
   ASSERT_EQ(d.forests.size(), 1u);  // Second phase finds no edges.
   EXPECT_EQ(ToSet(d.forests[0]), ToSet(edges));
@@ -60,7 +61,8 @@ TEST(SpanningForestsTest, CyclePeelsToTreePlusEdge) {
     edges.emplace_back(i, static_cast<NodeId>((i + 1) % n));
   }
   auto sketches = SketchGraph(n, 2, edges, RoundsForForests(n, 2));
-  const ForestDecomposition d = ExtractSpanningForests(&sketches, 2);
+  const ForestDecomposition d =
+      ExtractSpanningForests(&sketches, 2).value();
   ASSERT_FALSE(d.failed);
   ASSERT_EQ(d.forests.size(), 2u);
   EXPECT_EQ(d.forests[0].size(), n - 1);
@@ -78,7 +80,8 @@ TEST_P(SpanningForestsPropertyTest, ForestsAreEdgeDisjointSubForests) {
   const EdgeList edges = RandomConnectedGraph(n, 140, seed);
   const int k = 3;
   auto sketches = SketchGraph(n, seed + 50, edges, RoundsForForests(n, k));
-  const ForestDecomposition d = ExtractSpanningForests(&sketches, k);
+  const ForestDecomposition d =
+      ExtractSpanningForests(&sketches, k).value();
   ASSERT_FALSE(d.failed);
   ASSERT_GE(d.forests.size(), 1u);
 
@@ -104,14 +107,39 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SpanningForestsPropertyTest,
 
 TEST(SpanningForestsTest, EmptyGraphYieldsNoForests) {
   auto sketches = SketchGraph(8, 3, {}, RoundsForForests(8, 2));
-  const ForestDecomposition d = ExtractSpanningForests(&sketches, 2);
+  const ForestDecomposition d =
+      ExtractSpanningForests(&sketches, 2).value();
   EXPECT_FALSE(d.failed);
   EXPECT_TRUE(d.forests.empty());
 }
 
-TEST(SpanningForestsTest, TooFewRoundsAborts) {
-  auto sketches = SketchGraph(8, 3, {Edge(0, 1)}, 2);
-  EXPECT_DEATH(ExtractSpanningForests(&sketches, 5), "too few rounds");
+// Both validation edges of the k parameter: the request often arrives
+// from a CLI or a wire query, so a bad k must bounce as InvalidArgument
+// (never clamp, never abort).
+TEST(SpanningForestsTest, RejectsKBelowOne) {
+  auto sketches = SketchGraph(8, 3, {Edge(0, 1)}, RoundsForForests(8, 2));
+  for (const int k : {0, -1, -7}) {
+    auto copy = sketches;
+    const Result<ForestDecomposition> r = ExtractSpanningForests(&copy, k);
+    ASSERT_FALSE(r.ok()) << "k=" << k;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SpanningForestsTest, RejectsKBeyondRoundBudget) {
+  // rounds = budget for exactly 2 forests: k = 3 must be refused, and
+  // the refusal must not silently clamp to a smaller certificate.
+  auto sketches = SketchGraph(8, 3, {Edge(0, 1)}, RoundsForForests(8, 2));
+  EXPECT_EQ(MaxForestsForRounds(8, RoundsForForests(8, 2)), 2);
+  {
+    auto copy = sketches;
+    const Result<ForestDecomposition> r = ExtractSpanningForests(&copy, 3);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The largest admissible k still works.
+  const Result<ForestDecomposition> ok = ExtractSpanningForests(&sketches, 2);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
 // ---------------- bridges ------------------------------------------------
@@ -211,7 +239,8 @@ TEST(BridgesTest, CertificateFromSketchesPreservesBridges) {
   edges.emplace_back(10, 11);
 
   auto sketches = SketchGraph(n, 9, edges, RoundsForForests(n, 2));
-  const ForestDecomposition d = ExtractSpanningForests(&sketches, 2);
+  const ForestDecomposition d =
+      ExtractSpanningForests(&sketches, 2).value();
   ASSERT_FALSE(d.failed);
   const EdgeList cert = d.CertificateEdges();
 

@@ -230,6 +230,9 @@ TEST(ShardProtocolTest, ConfigPayloadRoundTrips) {
   in.config.gutter_tree_buffer_bytes = 1 << 20;
   in.config.gutter_tree_fanout = 32;
   in.config.query_threads = 2;
+  in.config.heavy_hitter_width = 4096;
+  in.config.heavy_hitter_depth = 5;
+  in.config.heavy_hitter_candidates = 777;
   in.shard_id = 7;
   in.table = MakeRoutingTable(9);
   in.table.epoch = 42;
@@ -256,7 +259,50 @@ TEST(ShardProtocolTest, ConfigPayloadRoundTrips) {
             in.config.gutter_tree_buffer_bytes);
   EXPECT_EQ(out.config.gutter_tree_fanout, in.config.gutter_tree_fanout);
   EXPECT_EQ(out.config.query_threads, in.config.query_threads);
+  EXPECT_EQ(out.config.heavy_hitter_width, in.config.heavy_hitter_width);
+  EXPECT_EQ(out.config.heavy_hitter_depth, in.config.heavy_hitter_depth);
+  EXPECT_EQ(out.config.heavy_hitter_candidates,
+            in.config.heavy_hitter_candidates);
   EXPECT_EQ(out.restore_checkpoint, in.restore_checkpoint);
+}
+
+TEST(ShardProtocolTest, ConfigPayloadRejectsBadHeavyHitterGeometry) {
+  // The heavy-hitter knobs cross the wire; out-of-range values must
+  // bounce in the decoder, not abort sketch construction in the shard.
+  ShardConfig base;
+  base.config.num_nodes = 64;
+  base.table = MakeRoutingTable(1);
+  auto expect_rejected = [&](GraphZeppelinConfig mutate) {
+    ShardConfig in = base;
+    in.config = mutate;
+    const std::vector<uint8_t> bytes = EncodeShardConfig(in);
+    ShardConfig out;
+    EXPECT_EQ(DecodeShardConfig(bytes.data(), bytes.size(), &out).code(),
+              StatusCode::kInvalidArgument);
+  };
+  GraphZeppelinConfig c = base.config;
+  c.heavy_hitter_width = 1000;  // Not a power of two.
+  expect_rejected(c);
+  c = base.config;
+  c.heavy_hitter_width = CountMinSketch::kMaxWidth * 2;
+  expect_rejected(c);
+  c = base.config;
+  c.heavy_hitter_width = 1024;
+  c.heavy_hitter_depth = CountMinSketch::kMaxDepth + 1;
+  expect_rejected(c);
+  c = base.config;
+  c.heavy_hitter_width = 1024;
+  c.heavy_hitter_candidates = 0;
+  expect_rejected(c);
+  // Width 0 (tracking off) ignores the other knobs entirely.
+  c = base.config;
+  c.heavy_hitter_width = 0;
+  c.heavy_hitter_depth = 200;
+  ShardConfig in = base;
+  in.config = c;
+  const std::vector<uint8_t> bytes = EncodeShardConfig(in);
+  ShardConfig out;
+  EXPECT_TRUE(DecodeShardConfig(bytes.data(), bytes.size(), &out).ok());
 }
 
 TEST(ShardProtocolTest, TruncatedConfigPayloadIsInvalidArgument) {

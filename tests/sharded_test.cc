@@ -196,7 +196,10 @@ TEST_P(ShardedModeTest, ForestDecompositionOverShardedSnapshot) {
     sharded.Update({e, UpdateType::kInsert});
   }
   const GraphSnapshot snapshot = sharded.Snapshot();
-  const ForestDecomposition d = ExtractSpanningForests(snapshot, 2);
+  const Result<ForestDecomposition> extracted =
+      ExtractSpanningForests(snapshot, 2);
+  ASSERT_TRUE(extracted.ok()) << extracted.status().ToString();
+  const ForestDecomposition& d = extracted.value();
   ASSERT_FALSE(d.failed);
   const EdgeList bridges = FindBridges(n, d.CertificateEdges());
   ASSERT_EQ(bridges.size(), 1u);

@@ -13,6 +13,8 @@
 //     [--auth-secret SECRET | --auth-secret-file PATH]
 //     [--threads N] [--json] [--top K]
 //   gz_query --mode forest --endpoints ... --forest-out forest.gzst
+//   gz_query --heavy-hitters K --endpoints ...       (count-min fold)
+//   gz_query --k-connectivity K --endpoints ...      (forest peeling)
 //   gz_query --mode bipartite --endpoints ... --doubled-endpoints ...
 //   gz_query --watch --endpoints ... --watch-count
 //     [--watch-connected U:V,...] [--watch-forest] [--poll-ms MS]
@@ -44,6 +46,8 @@
 #include "distributed/query_session.h"
 #include "tools/flags.h"
 #include "util/timer.h"
+#include "workloads/count_min.h"
+#include "workloads/k_connectivity.h"
 
 namespace {
 
@@ -63,6 +67,12 @@ int Usage() {
       "                        --auth-secret-file / $GZ_SHARD_AUTH_SECRET)\n"
       "  --threads             Boruvka pool (0 = auto)\n"
       "  --json                one machine-readable JSON line on stdout\n"
+      "  --heavy-hitters K     fold the shards' count-min side sketches\n"
+      "                        and print the top-K edges and degrees\n"
+      "                        (needs a cluster configured with\n"
+      "                        heavy_hitter_width > 0)\n"
+      "  --k-connectivity K    certify min(edge connectivity, K) from\n"
+      "                        the merged snapshot (k forest peels)\n"
       "  --watch               stream standing-query notifications; add\n"
       "                        --watch-count, --watch-forest and/or\n"
       "                        --watch-connected U:V[,U:V...]\n"
@@ -186,6 +196,67 @@ int RunWatch(const gz::tools::Flags& flags, gz::QuerySession* session) {
   return 0;
 }
 
+// Heavy-hitter mode: folds one count-min side sketch per shard (see
+// QuerySession::HeavyHitters for the exactness argument and caveats)
+// and prints the top-K edges and degrees re-estimated against the
+// merged grids.
+int RunHeavyHitters(gz::QuerySession* session, int top, bool json) {
+  using namespace gz;
+  WallTimer fold_timer;
+  const Result<HeavyHitterSketch> folded = session->HeavyHitters();
+  if (!folded.ok()) {
+    std::fprintf(stderr, "gz_query: heavy-hitters: %s\n",
+                 folded.status().ToString().c_str());
+    return 1;
+  }
+  const double fold_seconds = fold_timer.Seconds();
+  const HeavyHitterSketch& hh = folded.value();
+  const uint64_t num_nodes = hh.params().num_nodes;
+  const std::vector<HeavyHitterEntry> edges =
+      hh.TopEdges(static_cast<size_t>(top));
+  const std::vector<HeavyHitterEntry> degrees =
+      hh.TopDegrees(static_cast<size_t>(top));
+  if (json) {
+    std::printf("{\"mode\":\"heavy_hitters\",\"updates\":%llu,"
+                "\"saturated\":%s,\"fold_seconds\":%.6f,\"edges\":[",
+                static_cast<unsigned long long>(hh.updates_applied()),
+                hh.saturated() ? "true" : "false", fold_seconds);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      const Edge e = IndexToEdge(edges[i].key, num_nodes);
+      std::printf("%s{\"u\":%llu,\"v\":%llu,\"count\":%lld}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(e.u),
+                  static_cast<unsigned long long>(e.v),
+                  static_cast<long long>(edges[i].count));
+    }
+    std::printf("],\"degrees\":[");
+    for (size_t i = 0; i < degrees.size(); ++i) {
+      std::printf("%s{\"node\":%llu,\"count\":%lld}", i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(degrees[i].key),
+                  static_cast<long long>(degrees[i].count));
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("heavy hitters  %llu updates folded (%.3fs)%s\n",
+                static_cast<unsigned long long>(hh.updates_applied()),
+                fold_seconds,
+                hh.saturated() ? " [candidate tables saturated]" : "");
+    for (const HeavyHitterEntry& entry : edges) {
+      const Edge e = IndexToEdge(entry.key, num_nodes);
+      std::printf("  edge %llu-%llu count %lld\n",
+                  static_cast<unsigned long long>(e.u),
+                  static_cast<unsigned long long>(e.v),
+                  static_cast<long long>(entry.count));
+    }
+    for (const HeavyHitterEntry& entry : degrees) {
+      std::printf("  degree %llu count %lld\n",
+                  static_cast<unsigned long long>(entry.key),
+                  static_cast<long long>(entry.count));
+    }
+  }
+  return 0;
+}
+
 // Connects a reader session to the given listener endpoints, failing
 // the process with a useful message otherwise.
 std::unique_ptr<gz::QuerySession> Dial(const std::string& endpoint_list,
@@ -225,6 +296,11 @@ int main(int argc, char** argv) {
     return RunWatch(flags, session.get());
   }
 
+  const int hh_top = static_cast<int>(flags.GetInt("heavy-hitters", 0));
+  if (hh_top > 0) {
+    return RunHeavyHitters(session.get(), hh_top, json);
+  }
+
   WallTimer refresh_timer;
   const GraphSnapshot* snap = nullptr;
   Status s = session->Snapshot(&snap);
@@ -233,6 +309,44 @@ int main(int argc, char** argv) {
     return 1;
   }
   const double refresh_seconds = refresh_timer.Seconds();
+
+  const int kconn = static_cast<int>(flags.GetInt("k-connectivity", 0));
+  if (kconn > 0) {
+    WallTimer query_timer;
+    const Result<KConnectivityResult> certified =
+        KEdgeConnectivity(*snap, kconn);
+    const double query_seconds = query_timer.Seconds();
+    if (!certified.ok()) {
+      std::fprintf(stderr, "gz_query: k-connectivity: %s\n",
+                   certified.status().ToString().c_str());
+      return 1;
+    }
+    const KConnectivityResult& kc = certified.value();
+    if (kc.sketch_failed) {
+      std::fprintf(stderr, "gz_query: sketch query failed\n");
+      return 1;
+    }
+    if (json) {
+      std::printf(
+          "{\"mode\":\"k_connectivity\",\"k\":%d,"
+          "\"certified_connectivity\":%d,\"is_k_edge_connected\":%s,"
+          "\"certificate_edges\":%zu,\"refresh_seconds\":%.6f,"
+          "\"query_seconds\":%.6f}\n",
+          kc.k, kc.certified_connectivity,
+          kc.is_k_edge_connected ? "true" : "false", kc.certificate.size(),
+          refresh_seconds, query_seconds);
+    } else {
+      std::printf("k-connectivity  certified min(lambda, %d) = %d — graph "
+                  "is %sat least %d-edge-connected\n",
+                  kc.k, kc.certified_connectivity,
+                  kc.is_k_edge_connected ? "" : "NOT ", kc.k);
+      std::printf("certificate     %zu edges across %zu forests "
+                  "(query %.3fs)\n",
+                  kc.certificate.size(), kc.decomposition.forests.size(),
+                  query_seconds);
+    }
+    return 0;
+  }
 
   if (mode == "bipartite") {
     const std::string doubled_list = flags.GetString("doubled-endpoints", "");
